@@ -1,0 +1,35 @@
+// Shared helpers for the figure-reproduction harnesses: uniform headers,
+// paper-vs-measured formatting, and optional CSV dumps.
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace nwdec::bench {
+
+/// Prints the standard harness banner.
+inline void banner(const std::string& figure, const std::string& what) {
+  std::cout << "=== " << figure << ": " << what << " ===\n"
+            << "    (Ben Jamaa et al., DAC'09 -- nwdec reproduction)\n\n";
+}
+
+/// "measured (paper X, delta%)" cell.
+inline std::string versus(double measured, double paper, int decimals = 1) {
+  const double delta = 100.0 * (measured - paper) / paper;
+  return format_fixed(measured, decimals) + " (paper " +
+         format_fixed(paper, decimals) + ", " +
+         (delta >= 0 ? "+" : "") + format_fixed(delta, 1) + "%)";
+}
+
+/// Opens the CSV sink when a path was given.
+inline std::optional<csv_writer> open_csv(
+    const std::string& path, const std::vector<std::string>& header) {
+  if (path.empty()) return std::nullopt;
+  return csv_writer(path, header);
+}
+
+}  // namespace nwdec::bench

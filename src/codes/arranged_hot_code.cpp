@@ -1,0 +1,88 @@
+#include "codes/arranged_hot_code.h"
+
+#include <algorithm>
+
+#include "codes/arrangement.h"
+#include "codes/hot_code.h"
+#include "util/error.h"
+
+namespace nwdec::codes {
+
+namespace {
+
+// Recursive revolving-door list of k-subsets of {0, ..., n-1} (Knuth 4A,
+// "revolving door" / Nijenhuis-Wilf): R(n, k) = R(n-1, k) followed by
+// R(n-1, k-1) reversed with element n-1 added to each subset. Successive
+// subsets -- including the wrap -- differ by removing one element and
+// adding another.
+void revolving_door_subsets(std::size_t n, std::size_t k,
+                            std::vector<std::vector<std::size_t>>& out) {
+  if (k == 0) {
+    out.push_back({});
+    return;
+  }
+  if (k == n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    out.push_back(std::move(all));
+    return;
+  }
+  std::vector<std::vector<std::size_t>> keep;
+  revolving_door_subsets(n - 1, k, keep);
+  std::vector<std::vector<std::size_t>> add;
+  revolving_door_subsets(n - 1, k - 1, add);
+
+  out.reserve(out.size() + keep.size() + add.size());
+  for (auto& subset : keep) out.push_back(std::move(subset));
+  for (auto it = add.rbegin(); it != add.rend(); ++it) {
+    it->push_back(n - 1);
+    out.push_back(std::move(*it));
+  }
+}
+
+}  // namespace
+
+std::vector<code_word> revolving_door_words(std::size_t total,
+                                            std::size_t chosen) {
+  NWDEC_EXPECTS(total >= 1, "revolving door needs at least one element");
+  NWDEC_EXPECTS(chosen <= total, "cannot choose more elements than exist");
+  std::vector<std::vector<std::size_t>> subsets;
+  revolving_door_subsets(total, chosen, subsets);
+
+  std::vector<code_word> out;
+  out.reserve(subsets.size());
+  for (const auto& subset : subsets) {
+    std::vector<digit> digits(total, 0);
+    for (const std::size_t element : subset) digits[element] = 1;
+    out.emplace_back(2u, std::move(digits));
+  }
+  return out;
+}
+
+std::vector<code_word> arranged_hot_code_words(unsigned radix,
+                                               std::size_t k) {
+  NWDEC_EXPECTS(radix >= 2, "hot code radix must be at least 2");
+  NWDEC_EXPECTS(k >= 1, "hot code k must be at least 1");
+
+  if (radix == 2) {
+    // Constructive path: revolving-door over M = 2k positions choosing the
+    // k positions holding value 1.
+    std::vector<code_word> words = revolving_door_words(2 * k, k);
+    NWDEC_ENSURES(
+        total_transitions(words, /*cyclic=*/true) == 2 * words.size(),
+        "revolving-door arrangement must cost exactly 2 per step");
+    return words;
+  }
+
+  const std::vector<code_word> words = hot_code_words(radix, k);
+  if (const auto exact =
+          fixed_cost_arrangement(words, /*per_step=*/2, /*cyclic=*/false)) {
+    return exact->sequence;
+  }
+  // Beyond the exact-search budget: greedy nearest-neighbor then 2-opt.
+  arrangement_result best = greedy_arrangement(words);
+  best = two_opt_improve(std::move(best.sequence), /*cyclic=*/false);
+  return best.sequence;
+}
+
+}  // namespace nwdec::codes

@@ -1,0 +1,34 @@
+// Arranged hot codes (AHC, Sec. 5.2): hot codes reordered "in a Gray-code
+// fashion" so that every pair of successive words differs in exactly two
+// digits -- the minimum possible, since hot-code words have fixed value
+// counts and therefore cannot differ in a single digit.
+//
+// For binary hot codes the arrangement is produced constructively by the
+// revolving-door combination Gray code (Nijenhuis & Wilf), which walks all
+// C(M, k) constant-weight words swapping one 1 with one 0 per step and is
+// cyclic. For higher radices we reproduce the paper's approach: an
+// exhaustive Hamiltonian-path search over the 2-transition graph (the paper
+// reports such an arrangement "always exists" for spaces up to ~100 words),
+// falling back to greedy + 2-opt beyond the exact-search budget.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "codes/word.h"
+
+namespace nwdec::codes {
+
+/// All C(total, chosen) binary constant-weight words in revolving-door
+/// order: successive words (cyclically) differ by exactly one 0<->1 swap.
+/// Digit j of each word is 1 when element j is in the combination.
+std::vector<code_word> revolving_door_words(std::size_t total,
+                                            std::size_t chosen);
+
+/// The arranged (M, k) hot code over `radix` values: the full hot-code
+/// space ordered so successive words differ in exactly two digits whenever
+/// such an ordering is found (always, for the sizes in the paper). The
+/// returned sequence is a permutation of hot_code_words(radix, k).
+std::vector<code_word> arranged_hot_code_words(unsigned radix, std::size_t k);
+
+}  // namespace nwdec::codes

@@ -1,0 +1,271 @@
+#include "codes/arrangement.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "util/error.h"
+
+namespace nwdec::codes {
+
+namespace {
+
+// Pairwise transition-count table; all solvers work on indices into it.
+std::vector<std::vector<std::size_t>> cost_table(
+    const std::vector<code_word>& words) {
+  const std::size_t n = words.size();
+  std::vector<std::vector<std::size_t>> cost(n, std::vector<std::size_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::size_t t = words[i].transitions_to(words[j]);
+      cost[i][j] = t;
+      cost[j][i] = t;
+    }
+  }
+  return cost;
+}
+
+arrangement_result make_result(const std::vector<code_word>& words,
+                               const std::vector<std::size_t>& order,
+                               bool cyclic, bool optimal) {
+  arrangement_result out;
+  out.sequence.reserve(order.size());
+  for (const std::size_t idx : order) out.sequence.push_back(words[idx]);
+  out.transitions = total_transitions(out.sequence, cyclic);
+  out.optimal = optimal;
+  return out;
+}
+
+}  // namespace
+
+std::size_t total_transitions(const std::vector<code_word>& sequence,
+                              bool cyclic) {
+  if (sequence.size() < 2) return 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i + 1 < sequence.size(); ++i) {
+    total += sequence[i].transitions_to(sequence[i + 1]);
+  }
+  if (cyclic) total += sequence.back().transitions_to(sequence.front());
+  return total;
+}
+
+std::vector<std::size_t> per_digit_transitions(
+    const std::vector<code_word>& sequence, bool cyclic) {
+  NWDEC_EXPECTS(!sequence.empty(), "per-digit transitions of empty sequence");
+  std::vector<std::size_t> counts(sequence.front().length(), 0);
+  const auto add_pair = [&counts](const code_word& a, const code_word& b) {
+    for (std::size_t pos = 0; pos < counts.size(); ++pos) {
+      if (a.at(pos) != b.at(pos)) ++counts[pos];
+    }
+  };
+  for (std::size_t i = 0; i + 1 < sequence.size(); ++i) {
+    add_pair(sequence[i], sequence[i + 1]);
+  }
+  if (cyclic && sequence.size() > 1) {
+    add_pair(sequence.back(), sequence.front());
+  }
+  return counts;
+}
+
+arrangement_result exact_min_arrangement(const std::vector<code_word>& words,
+                                         bool cyclic) {
+  const std::size_t n = words.size();
+  NWDEC_EXPECTS(n >= 1, "cannot arrange an empty word set");
+  NWDEC_EXPECTS(n <= 20, "exact arrangement limited to 20 words (Held-Karp)");
+  if (n == 1) return make_result(words, {0}, cyclic, true);
+
+  const auto cost = cost_table(words);
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max() / 4;
+  const std::size_t full = std::size_t{1} << n;
+
+  // dp[mask][last] = cheapest path visiting `mask`, ending at `last`.
+  // For open paths any start is allowed; for cycles fix start at 0.
+  std::vector<std::vector<std::size_t>> dp(full,
+                                           std::vector<std::size_t>(n, kInf));
+  std::vector<std::vector<std::uint8_t>> parent(
+      full, std::vector<std::uint8_t>(n, 0xff));
+  if (cyclic) {
+    dp[1][0] = 0;
+  } else {
+    for (std::size_t v = 0; v < n; ++v) dp[std::size_t{1} << v][v] = 0;
+  }
+
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    for (std::size_t last = 0; last < n; ++last) {
+      const std::size_t base = dp[mask][last];
+      if (base >= kInf || !(mask & (std::size_t{1} << last))) continue;
+      for (std::size_t next = 0; next < n; ++next) {
+        if (mask & (std::size_t{1} << next)) continue;
+        const std::size_t next_mask = mask | (std::size_t{1} << next);
+        const std::size_t candidate = base + cost[last][next];
+        if (candidate < dp[next_mask][next]) {
+          dp[next_mask][next] = candidate;
+          parent[next_mask][next] = static_cast<std::uint8_t>(last);
+        }
+      }
+    }
+  }
+
+  std::size_t best = kInf;
+  std::size_t best_last = 0;
+  for (std::size_t last = 0; last < n; ++last) {
+    const std::size_t closing = cyclic ? cost[last][0] : 0;
+    if (dp[full - 1][last] >= kInf) continue;
+    const std::size_t candidate = dp[full - 1][last] + closing;
+    if (candidate < best) {
+      best = candidate;
+      best_last = last;
+    }
+  }
+  NWDEC_ENSURES(best < kInf, "Held-Karp must find a path on a complete graph");
+
+  std::vector<std::size_t> order(n);
+  std::size_t mask = full - 1;
+  std::size_t last = best_last;
+  for (std::size_t i = n; i-- > 0;) {
+    order[i] = last;
+    const std::uint8_t prev = parent[mask][last];
+    mask &= ~(std::size_t{1} << last);
+    last = prev;
+  }
+  return make_result(words, order, cyclic, true);
+}
+
+std::optional<arrangement_result> fixed_cost_arrangement(
+    const std::vector<code_word>& words, std::size_t per_step, bool cyclic,
+    std::size_t expansion_limit) {
+  const std::size_t n = words.size();
+  NWDEC_EXPECTS(n >= 1, "cannot arrange an empty word set");
+  if (n == 1) return make_result(words, {0}, cyclic, true);
+
+  // Adjacency restricted to edges of exactly `per_step` transitions.
+  std::vector<std::vector<std::size_t>> adjacency(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && words[i].transitions_to(words[j]) == per_step) {
+        adjacency[i].push_back(j);
+      }
+    }
+  }
+
+  std::vector<bool> visited(n, false);
+  std::vector<std::size_t> path;
+  path.reserve(n);
+  std::size_t expansions = 0;
+
+  const auto open_degree = [&](std::size_t v) {
+    std::size_t deg = 0;
+    for (const std::size_t w : adjacency[v]) {
+      if (!visited[w]) ++deg;
+    }
+    return deg;
+  };
+
+  // Warnsdorff-ordered DFS for a Hamiltonian path in the fixed-cost graph.
+  const std::function<bool(std::size_t)> extend = [&](std::size_t v) -> bool {
+    if (++expansions > expansion_limit) return false;
+    if (path.size() == n) {
+      if (!cyclic) return true;
+      return words[v].transitions_to(words[path.front()]) == per_step;
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> next;  // (degree, node)
+    for (const std::size_t w : adjacency[v]) {
+      if (!visited[w]) next.emplace_back(open_degree(w), w);
+    }
+    std::sort(next.begin(), next.end());
+    for (const auto& [deg, w] : next) {
+      visited[w] = true;
+      path.push_back(w);
+      if (extend(w)) return true;
+      path.pop_back();
+      visited[w] = false;
+    }
+    return false;
+  };
+
+  // Starting from the lexicographically smallest word keeps the output
+  // deterministic; try other starts only if the first fails.
+  for (std::size_t start = 0; start < n; ++start) {
+    std::fill(visited.begin(), visited.end(), false);
+    path.clear();
+    visited[start] = true;
+    path.push_back(start);
+    if (extend(start)) {
+      return make_result(words, path, cyclic, true);
+    }
+    if (expansions > expansion_limit) break;
+  }
+  return std::nullopt;
+}
+
+arrangement_result greedy_arrangement(const std::vector<code_word>& words,
+                                      std::size_t start) {
+  const std::size_t n = words.size();
+  NWDEC_EXPECTS(n >= 1, "cannot arrange an empty word set");
+  NWDEC_EXPECTS(start < n, "greedy start index out of range");
+
+  std::vector<bool> used(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  used[start] = true;
+  order.push_back(start);
+  while (order.size() < n) {
+    const code_word& current = words[order.back()];
+    std::size_t best = n;
+    std::size_t best_cost = std::numeric_limits<std::size_t>::max();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (used[j]) continue;
+      const std::size_t c = current.transitions_to(words[j]);
+      if (c < best_cost ||
+          (c == best_cost && best < n && words[j] < words[best])) {
+        best_cost = c;
+        best = j;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+  }
+  return make_result(words, order, /*cyclic=*/false, false);
+}
+
+arrangement_result two_opt_improve(std::vector<code_word> sequence,
+                                   bool cyclic) {
+  NWDEC_EXPECTS(!sequence.empty(), "cannot improve an empty sequence");
+  const std::size_t n = sequence.size();
+  const auto edge = [&](std::size_t a, std::size_t b) {
+    return sequence[a].transitions_to(sequence[b]);
+  };
+
+  bool improved = true;
+  while (improved && n >= 4) {
+    improved = false;
+    // Reversing sequence[i..j] replaces edges (i-1,i) and (j,j+1) with
+    // (i-1,j) and (i,j+1). For open paths the boundary edges are skipped.
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      for (std::size_t j = i + 1; j < n - (cyclic ? 0 : 1); ++j) {
+        if (j >= n) break;
+        const std::size_t before = edge(i - 1, i) +
+                                   (j + 1 < n ? edge(j, j + 1)
+                                              : (cyclic ? edge(j, 0) : 0));
+        const std::size_t after = edge(i - 1, j) +
+                                  (j + 1 < n ? edge(i, j + 1)
+                                             : (cyclic ? edge(i, 0) : 0));
+        if (after < before) {
+          std::reverse(sequence.begin() + static_cast<std::ptrdiff_t>(i),
+                       sequence.begin() + static_cast<std::ptrdiff_t>(j + 1));
+          improved = true;
+        }
+      }
+    }
+  }
+
+  arrangement_result out;
+  out.transitions = total_transitions(sequence, cyclic);
+  out.sequence = std::move(sequence);
+  out.optimal = false;
+  return out;
+}
+
+}  // namespace nwdec::codes

@@ -1,0 +1,65 @@
+// Arrangement optimization: ordering a fixed set of code words so that the
+// number of digit transitions between successive words is minimal.
+//
+// Section 5 of the paper reduces both decoder cost functions (fabrication
+// complexity Phi and variability ||Sigma||_1) to the transition counts of
+// the arrangement, so "find the best code" becomes "find the
+// minimum-transition Hamiltonian path through the code space". This header
+// provides:
+//   * exact solvers for small spaces (Held-Karp over <= 20 words, and a
+//     fixed-per-step Hamiltonian search used to reproduce the paper's
+//     exhaustive arranged-hot-code experiment),
+//   * scalable heuristics (greedy nearest-neighbor and 2-opt) for larger
+//     spaces,
+//   * the transition statistics used by every experiment.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "codes/word.h"
+
+namespace nwdec::codes {
+
+/// Sum of transitions over successive pairs; `cyclic` adds the wrap pair.
+std::size_t total_transitions(const std::vector<code_word>& sequence,
+                              bool cyclic);
+
+/// Per-digit transition counts over successive pairs (wrap included when
+/// `cyclic`); entry j counts how often digit j changes.
+std::vector<std::size_t> per_digit_transitions(
+    const std::vector<code_word>& sequence, bool cyclic);
+
+/// Result of an arrangement search.
+struct arrangement_result {
+  std::vector<code_word> sequence;
+  std::size_t transitions = 0;  ///< total_transitions(sequence, cyclic)
+  bool optimal = false;         ///< true when produced by an exact solver
+};
+
+/// Exact minimum-total-transition open path through all words (Held-Karp
+/// dynamic program, O(2^W * W^2)); requires words.size() <= 20.
+arrangement_result exact_min_arrangement(const std::vector<code_word>& words,
+                                         bool cyclic);
+
+/// Searches for a Hamiltonian path (cycle when `cyclic`) in which *every*
+/// step costs exactly `per_step` transitions -- the "arranged in a
+/// Gray-code fashion" property of Sec. 5.2. Returns nullopt when the DFS
+/// exhausts its expansion budget without finding one.
+std::optional<arrangement_result> fixed_cost_arrangement(
+    const std::vector<code_word>& words, std::size_t per_step, bool cyclic,
+    std::size_t expansion_limit = 50'000'000);
+
+/// Greedy nearest-neighbor arrangement starting from words[start]; ties are
+/// broken towards the lexicographically smaller word for determinism.
+arrangement_result greedy_arrangement(const std::vector<code_word>& words,
+                                      std::size_t start = 0);
+
+/// 2-opt local search: repeatedly reverses subsequences while that lowers
+/// the total transition count. Improves a greedy arrangement close to the
+/// optimum for the space sizes used in the experiments.
+arrangement_result two_opt_improve(std::vector<code_word> sequence,
+                                   bool cyclic);
+
+}  // namespace nwdec::codes

@@ -1,0 +1,44 @@
+#include "codes/code_space.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace nwdec::codes {
+
+std::string code_type_name(code_type type) {
+  switch (type) {
+    case code_type::tree: return "TC";
+    case code_type::gray: return "GC";
+    case code_type::balanced_gray: return "BGC";
+    case code_type::hot: return "HC";
+    case code_type::arranged_hot: return "AHC";
+  }
+  throw logic_invariant_error("unhandled code_type");
+}
+
+code_type parse_code_type(const std::string& name) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::toupper(ch)); });
+  if (upper == "TC") return code_type::tree;
+  if (upper == "GC") return code_type::gray;
+  if (upper == "BGC") return code_type::balanced_gray;
+  if (upper == "HC") return code_type::hot;
+  if (upper == "AHC") return code_type::arranged_hot;
+  throw invalid_argument_error("unknown code type: " + name +
+                               " (expected TC, GC, BGC, HC or AHC)");
+}
+
+std::vector<code_word> code::pattern_sequence(
+    std::size_t nanowire_count) const {
+  NWDEC_EXPECTS(!words.empty(), "pattern sequence of an empty code");
+  std::vector<code_word> out;
+  out.reserve(nanowire_count);
+  for (std::size_t i = 0; i < nanowire_count; ++i) {
+    out.push_back(words[i % words.size()]);
+  }
+  return out;
+}
+
+}  // namespace nwdec::codes

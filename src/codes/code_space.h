@@ -1,0 +1,51 @@
+// The `code` value type: an ordered code space ready for decoder use.
+//
+// A code bundles the arranged sequence of (full-length, possibly reflected)
+// code words with the metadata the rest of the library needs: the logic
+// radix n, the full word length M, and the code family it came from. The
+// order of `words` is significant — it is the order in which nanowires are
+// patterned inside a half cave, which is exactly what the Gray-code
+// optimization of the paper is about.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "codes/word.h"
+
+namespace nwdec::codes {
+
+/// The code families studied in the paper (Sec. 2.3 and 5).
+enum class code_type {
+  tree,           ///< n-ary counting code, reflected (TC)
+  gray,           ///< n-ary reflected Gray arrangement of the tree space (GC)
+  balanced_gray,  ///< Gray code with balanced per-digit transitions (BGC)
+  hot,            ///< (M,k) hot code in lexicographic order (HC)
+  arranged_hot,   ///< hot code arranged Gray-fashion, 2 transitions/step (AHC)
+};
+
+/// Short display name, e.g. "GC".
+std::string code_type_name(code_type type);
+
+/// Parses "TC"/"GC"/"BGC"/"HC"/"AHC" (case-insensitive).
+code_type parse_code_type(const std::string& name);
+
+/// An ordered code space; produced by codes::make_code (factory.h).
+struct code {
+  code_type type = code_type::tree;
+  unsigned radix = 2;       ///< logic values n
+  std::size_t length = 0;   ///< full word length M (reflection included)
+  bool reflected = false;   ///< true for tree-family codes
+  std::vector<code_word> words;  ///< arranged full-length words
+
+  /// Code space size Omega.
+  std::size_t size() const { return words.size(); }
+
+  /// The pattern sequence for N nanowires: nanowire i receives word
+  /// (i mod Omega). A half cave holding more nanowires than the code space
+  /// reuses the space cyclically, one full period per contact group.
+  std::vector<code_word> pattern_sequence(std::size_t nanowire_count) const;
+};
+
+}  // namespace nwdec::codes

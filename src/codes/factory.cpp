@@ -1,0 +1,65 @@
+#include "codes/factory.h"
+
+#include "codes/arranged_hot_code.h"
+#include "codes/balanced_gray.h"
+#include "codes/gray_code.h"
+#include "codes/hot_code.h"
+#include "codes/metrics.h"
+#include "codes/tree_code.h"
+#include "util/error.h"
+
+namespace nwdec::codes {
+
+std::vector<code_word> reflect_words(const std::vector<code_word>& base) {
+  std::vector<code_word> out;
+  out.reserve(base.size());
+  for (const code_word& w : base) out.push_back(w.reflected());
+  return out;
+}
+
+code make_code(code_type type, unsigned radix, std::size_t full_length) {
+  NWDEC_EXPECTS(radix >= 2, "codes need at least two logic values");
+  NWDEC_EXPECTS(full_length >= 2, "codes need at least two digits");
+
+  code out;
+  out.type = type;
+  out.radix = radix;
+  out.length = full_length;
+
+  switch (type) {
+    case code_type::tree:
+    case code_type::gray:
+    case code_type::balanced_gray: {
+      NWDEC_EXPECTS(full_length % 2 == 0,
+                    "tree-family codes are reflected; the full length must "
+                    "be even");
+      const std::size_t free_length = full_length / 2;
+      std::vector<code_word> base;
+      if (type == code_type::tree) {
+        base = tree_code_words(radix, free_length);
+      } else if (type == code_type::gray) {
+        base = gray_code_words(radix, free_length);
+      } else {
+        base = balanced_gray_code_words(radix, free_length);
+      }
+      out.words = reflect_words(base);
+      out.reflected = true;
+      break;
+    }
+    case code_type::hot:
+    case code_type::arranged_hot: {
+      NWDEC_EXPECTS(full_length % radix == 0,
+                    "hot codes need a length divisible by the radix");
+      const std::size_t k = full_length / radix;
+      out.words = type == code_type::hot ? hot_code_words(radix, k)
+                                         : arranged_hot_code_words(radix, k);
+      out.reflected = false;
+      break;
+    }
+  }
+
+  validate_code(out);
+  return out;
+}
+
+}  // namespace nwdec::codes

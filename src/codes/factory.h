@@ -1,0 +1,27 @@
+// Factory assembling ready-to-use codes from (type, radix, full length).
+//
+// The full length M is the word length the decoder sees:
+//   * tree-family codes (TC, GC, BGC) have M/2 free digits and are returned
+//     reflected (each word concatenated with its complement, Sec. 2.3), so
+//     M must be even; the space size is Omega = radix^(M/2);
+//   * hot codes (HC, AHC) use the word as-is with k = M / radix occurrences
+//     of each value, so M must be divisible by the radix;
+//     Omega = M! / (k!)^radix.
+#pragma once
+
+#include <cstddef>
+
+#include "codes/code_space.h"
+
+namespace nwdec::codes {
+
+/// Builds the arranged, validated code for the requested family.
+/// Throws invalid_argument_error when (radix, full_length) is not
+/// compatible with the family (see header comment).
+code make_code(code_type type, unsigned radix, std::size_t full_length);
+
+/// Reflects a base sequence: every word is replaced by word+complement,
+/// doubling the length. Exposed for tests and for custom arrangements.
+std::vector<code_word> reflect_words(const std::vector<code_word>& base);
+
+}  // namespace nwdec::codes

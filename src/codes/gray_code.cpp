@@ -1,0 +1,64 @@
+#include "codes/gray_code.h"
+
+#include "util/error.h"
+
+namespace nwdec::codes {
+
+namespace {
+
+// Recursive reflected construction: G(m) prefixes each value v in 0..n-1 to
+// G(m-1), reversing the sub-sequence for odd v so the junctions change only
+// the new leading digit.
+void build(unsigned radix, std::size_t free_length,
+           std::vector<std::vector<digit>>& out) {
+  if (free_length == 0) {
+    out.push_back({});
+    return;
+  }
+  std::vector<std::vector<digit>> inner;
+  build(radix, free_length - 1, inner);
+  out.reserve(inner.size() * radix);
+  for (unsigned v = 0; v < radix; ++v) {
+    if (v % 2 == 0) {
+      for (auto it = inner.begin(); it != inner.end(); ++it) {
+        std::vector<digit> word{static_cast<digit>(v)};
+        word.insert(word.end(), it->begin(), it->end());
+        out.push_back(std::move(word));
+      }
+    } else {
+      for (auto it = inner.rbegin(); it != inner.rend(); ++it) {
+        std::vector<digit> word{static_cast<digit>(v)};
+        word.insert(word.end(), it->begin(), it->end());
+        out.push_back(std::move(word));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<code_word> gray_code_words(unsigned radix,
+                                       std::size_t free_length) {
+  NWDEC_EXPECTS(radix >= 2, "gray code radix must be at least 2");
+  NWDEC_EXPECTS(free_length >= 1, "gray code needs at least one digit");
+  std::vector<std::vector<digit>> raw;
+  build(radix, free_length, raw);
+  std::vector<code_word> out;
+  out.reserve(raw.size());
+  for (auto& digits : raw) out.emplace_back(radix, std::move(digits));
+  return out;
+}
+
+bool is_gray_sequence(const std::vector<code_word>& words,
+                      std::size_t per_step, bool cyclic) {
+  if (words.size() < 2) return true;
+  for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+    if (words[i].transitions_to(words[i + 1]) != per_step) return false;
+  }
+  if (cyclic && words.back().transitions_to(words.front()) != per_step) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace nwdec::codes

@@ -1,0 +1,28 @@
+// Gray codes (GC): the transition-minimal arrangement of the tree space.
+//
+// The n-ary reflected Gray code enumerates all n^m words so that successive
+// words differ in exactly one digit (and the change is +-1). Propositions 4
+// and 5 of the paper show this arrangement minimizes both the decoder
+// variability ||Sigma||_1 and the fabrication complexity Phi among all
+// arrangements of the tree space.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "codes/word.h"
+
+namespace nwdec::codes {
+
+/// All n^free_length words in n-ary reflected Gray order. Successive words
+/// (including none across the wrap for odd radix; for even radix the wrap
+/// is also a single-digit change) differ in exactly one digit.
+std::vector<code_word> gray_code_words(unsigned radix,
+                                       std::size_t free_length);
+
+/// True when every adjacent pair of `words` differs in exactly
+/// `per_step` digits; `cyclic` additionally checks the wrap-around pair.
+bool is_gray_sequence(const std::vector<code_word>& words,
+                      std::size_t per_step, bool cyclic);
+
+}  // namespace nwdec::codes

@@ -1,0 +1,60 @@
+#include "codes/hot_code.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace nwdec::codes {
+
+std::size_t hot_code_space_size(unsigned radix, std::size_t k) {
+  NWDEC_EXPECTS(radix >= 2, "hot code radix must be at least 2");
+  NWDEC_EXPECTS(k >= 1, "hot code k must be at least 1");
+  // Multinomial (k*n)! / (k!)^n computed as a product of binomials:
+  // prod_{i=1..n} C(i*k, k); each factor fits, guard the running product.
+  std::size_t result = 1;
+  for (unsigned i = 1; i <= radix; ++i) {
+    // C(i*k, k)
+    std::size_t c = 1;
+    for (std::size_t j = 1; j <= k; ++j) {
+      const std::size_t numerator = (static_cast<std::size_t>(i) - 1) * k + j;
+      NWDEC_EXPECTS(c <= std::numeric_limits<std::size_t>::max() / numerator,
+                    "hot code space size overflows 64 bits");
+      c = c * numerator / j;
+    }
+    NWDEC_EXPECTS(result <= std::numeric_limits<std::size_t>::max() / c,
+                  "hot code space size overflows 64 bits");
+    result *= c;
+  }
+  return result;
+}
+
+std::vector<code_word> hot_code_words(unsigned radix, std::size_t k) {
+  const std::size_t size = hot_code_space_size(radix, k);
+  NWDEC_EXPECTS(size <= 1'000'000,
+                "hot code space too large to enumerate explicitly");
+
+  std::vector<digit> current;
+  current.reserve(k * radix);
+  for (unsigned v = 0; v < radix; ++v) {
+    current.insert(current.end(), k, static_cast<digit>(v));
+  }
+
+  std::vector<code_word> out;
+  out.reserve(size);
+  do {
+    out.emplace_back(radix, current);
+  } while (std::next_permutation(current.begin(), current.end()));
+
+  NWDEC_ENSURES(out.size() == size,
+                "hot code enumeration must match the multinomial size");
+  return out;
+}
+
+bool is_hot_word(const code_word& word, std::size_t k) {
+  const std::vector<std::size_t> counts = word.value_counts();
+  return std::all_of(counts.begin(), counts.end(),
+                     [k](std::size_t c) { return c == k; });
+}
+
+}  // namespace nwdec::codes

@@ -1,0 +1,30 @@
+// Hot codes (HC): the (M, k) multiset codes of Sec. 2.3.
+//
+// A hot code over radix n with parameters (M, k), M = k*n, contains every
+// length-M word in which each of the n values appears exactly k times. Hot
+// codes have constant digit sum, so no word can componentwise cover
+// another: they are antichains and uniquely addressable *without*
+// reflection. For n = 2 they are the classic constant-weight ("k-hot")
+// address codes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "codes/word.h"
+
+namespace nwdec::codes {
+
+/// All (M, k) hot-code words over `radix` values in lexicographic order,
+/// where M = k * radix. Requires k >= 1 and a space size small enough to
+/// enumerate (the experiments stay below ~10^4 words).
+std::vector<code_word> hot_code_words(unsigned radix, std::size_t k);
+
+/// True when each of the radix values appears exactly k times in `word`.
+bool is_hot_word(const code_word& word, std::size_t k);
+
+/// Space size M! / (k!)^n, computed exactly in 64-bit; throws when it
+/// would overflow.
+std::size_t hot_code_space_size(unsigned radix, std::size_t k);
+
+}  // namespace nwdec::codes

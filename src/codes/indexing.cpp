@@ -1,0 +1,194 @@
+#include "codes/indexing.h"
+
+#include <limits>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace nwdec::codes {
+
+std::size_t binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::size_t result = 1;
+  for (std::size_t j = 1; j <= k; ++j) {
+    const std::size_t numerator = n - k + j;
+    NWDEC_EXPECTS(result <= std::numeric_limits<std::size_t>::max() / numerator,
+                  "binomial coefficient overflows 64 bits");
+    result = result * numerator / j;
+  }
+  return result;
+}
+
+std::size_t tree_rank(const code_word& base_word) {
+  std::size_t rank = 0;
+  for (std::size_t j = 0; j < base_word.length(); ++j) {
+    rank = rank * base_word.radix() + base_word.at(j);
+  }
+  return rank;
+}
+
+code_word gray_unrank(unsigned radix, std::size_t free_length,
+                      std::size_t index) {
+  NWDEC_EXPECTS(radix >= 2, "gray code radix must be at least 2");
+  NWDEC_EXPECTS(free_length >= 1, "gray code needs at least one digit");
+  std::size_t block = 1;
+  for (std::size_t j = 0; j + 1 < free_length; ++j) block *= radix;
+  NWDEC_EXPECTS(index < block * radix, "gray index exceeds the space size");
+
+  // Walk the reflected construction: positional value `pos` selects the
+  // prefix digit; inside an odd-valued prefix the inner sequence runs
+  // backwards, which toggles the `reversed` frame for later digits and
+  // mirrors the digit actually written.
+  std::vector<digit> digits(free_length);
+  std::size_t rest = index;
+  bool reversed = false;
+  for (std::size_t j = 0; j < free_length; ++j) {
+    const std::size_t pos = rest / block;
+    rest %= block;
+    const std::size_t v = reversed ? (radix - 1 - pos) : pos;
+    digits[j] = static_cast<digit>(v);
+    if (v % 2 == 1) reversed = !reversed;
+    if (j + 1 < free_length) block /= radix;
+  }
+  return code_word(radix, std::move(digits));
+}
+
+std::size_t gray_rank(const code_word& base_word) {
+  const unsigned radix = base_word.radix();
+  const std::size_t m = base_word.length();
+  std::size_t block = 1;
+  for (std::size_t j = 0; j + 1 < m; ++j) block *= radix;
+
+  std::size_t rank = 0;
+  bool reversed = false;
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t v = base_word.at(j);
+    const std::size_t pos = reversed ? (radix - 1 - v) : v;
+    rank += pos * block;
+    if (v % 2 == 1) reversed = !reversed;
+    if (j + 1 < m) block /= radix;
+  }
+  return rank;
+}
+
+namespace {
+
+// Revolving-door recurrence on sorted-set membership of the top element.
+std::vector<std::size_t> door_unrank_subset(std::size_t n, std::size_t k,
+                                            std::size_t index) {
+  if (k == 0) return {};
+  if (k == n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  const std::size_t without_top = binomial(n - 1, k);
+  if (index < without_top) return door_unrank_subset(n - 1, k, index);
+  const std::size_t inner =
+      binomial(n - 1, k - 1) - 1 - (index - without_top);
+  std::vector<std::size_t> subset = door_unrank_subset(n - 1, k - 1, inner);
+  subset.push_back(n - 1);
+  return subset;
+}
+
+std::size_t door_rank_subset(const std::vector<bool>& member, std::size_t n,
+                             std::size_t k) {
+  if (k == 0) return 0;
+  if (member[n - 1]) {
+    std::vector<bool> rest = member;
+    rest[n - 1] = false;
+    return binomial(n - 1, k) +
+           (binomial(n - 1, k - 1) - 1 - door_rank_subset(rest, n - 1, k - 1));
+  }
+  return door_rank_subset(member, n - 1, k);
+}
+
+// Number of distinct arrangements of the remaining digit multiset.
+std::size_t multiset_count(const std::vector<std::size_t>& counts) {
+  std::size_t total = 0;
+  std::size_t result = 1;
+  for (const std::size_t c : counts) {
+    for (std::size_t j = 1; j <= c; ++j) {
+      ++total;
+      const std::size_t numerator = total;
+      NWDEC_EXPECTS(
+          result <= std::numeric_limits<std::size_t>::max() / numerator,
+          "multiset count overflows 64 bits");
+      result = result * numerator / j;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+code_word revolving_door_unrank(std::size_t total, std::size_t chosen,
+                                std::size_t index) {
+  NWDEC_EXPECTS(total >= 1, "need at least one digit");
+  NWDEC_EXPECTS(chosen <= total, "cannot choose more digits than exist");
+  NWDEC_EXPECTS(index < binomial(total, chosen),
+                "revolving-door index exceeds the space size");
+  const std::vector<std::size_t> subset =
+      door_unrank_subset(total, chosen, index);
+  std::vector<digit> digits(total, 0);
+  for (const std::size_t element : subset) digits[element] = 1;
+  return code_word(2, std::move(digits));
+}
+
+std::size_t revolving_door_rank(const code_word& word) {
+  NWDEC_EXPECTS(word.radix() == 2, "revolving-door words are binary");
+  std::vector<bool> member(word.length(), false);
+  std::size_t ones = 0;
+  for (std::size_t j = 0; j < word.length(); ++j) {
+    if (word.at(j) == 1) {
+      member[j] = true;
+      ++ones;
+    }
+  }
+  return door_rank_subset(member, word.length(), ones);
+}
+
+code_word hot_lex_unrank(unsigned radix, std::size_t k, std::size_t index) {
+  NWDEC_EXPECTS(radix >= 2 && k >= 1, "invalid hot code parameters");
+  std::vector<std::size_t> counts(radix, k);
+  const std::size_t length = k * radix;
+  std::vector<digit> digits(length);
+  std::size_t rest = index;
+  for (std::size_t p = 0; p < length; ++p) {
+    bool placed = false;
+    for (unsigned v = 0; v < radix && !placed; ++v) {
+      if (counts[v] == 0) continue;
+      --counts[v];
+      const std::size_t below = multiset_count(counts);
+      if (rest < below) {
+        digits[p] = static_cast<digit>(v);
+        placed = true;
+      } else {
+        rest -= below;
+        ++counts[v];
+      }
+    }
+    NWDEC_EXPECTS(placed, "hot lexicographic index exceeds the space size");
+  }
+  return code_word(radix, std::move(digits));
+}
+
+std::size_t hot_lex_rank(const code_word& word) {
+  std::vector<std::size_t> counts = word.value_counts();
+  std::size_t rank = 0;
+  for (std::size_t p = 0; p < word.length(); ++p) {
+    const digit d = word.at(p);
+    for (unsigned v = 0; v < d; ++v) {
+      if (counts[v] == 0) continue;
+      --counts[v];
+      rank += multiset_count(counts);
+      ++counts[v];
+    }
+    NWDEC_EXPECTS(counts[d] > 0, "word is not a valid multiset permutation");
+    --counts[d];
+  }
+  return rank;
+}
+
+}  // namespace nwdec::codes

@@ -1,0 +1,57 @@
+// Closed-form indexing (rank/unrank) of the arranged code spaces.
+//
+// The experiment harnesses materialize whole code spaces, but a memory
+// controller only ever needs "the address word of nanowire i" and "the
+// position of this word in the patterning order". These run in O(M) or
+// O(M * radix) time and O(1) space:
+//   * tree codes: base-n positional arithmetic,
+//   * Gray codes: the recursive reflected construction,
+//   * binary hot codes in revolving-door order: the classic combinatorial
+//     recurrence (Knuth 4A, Algorithm R companion identities),
+//   * n-ary hot codes in lexicographic order: multiset-permutation
+//     ranking by multinomial counting.
+// Balanced Gray codes are produced by search and have no closed form;
+// their indexing intentionally throws (use codes::make_code).
+//
+// All functions operate on *base* (unreflected) words; reflect with
+// code_word::reflected() for the decoder's full-length form.
+#pragma once
+
+#include <cstddef>
+
+#include "codes/word.h"
+
+namespace nwdec::codes {
+
+/// Position of `base_word` in counting order; inverse of tree_code_word.
+std::size_t tree_rank(const code_word& base_word);
+
+/// The index-th word of the n-ary reflected Gray code with `free_length`
+/// digits; index < radix^free_length.
+code_word gray_unrank(unsigned radix, std::size_t free_length,
+                      std::size_t index);
+
+/// Position of `base_word` in the n-ary reflected Gray order.
+std::size_t gray_rank(const code_word& base_word);
+
+/// The index-th constant-weight word (binary, `chosen` ones out of
+/// `total` digits) in revolving-door order; matches
+/// revolving_door_words(total, chosen)[index].
+code_word revolving_door_unrank(std::size_t total, std::size_t chosen,
+                                std::size_t index);
+
+/// Position of a binary constant-weight word in revolving-door order.
+std::size_t revolving_door_rank(const code_word& word);
+
+/// The index-th (M, k) hot-code word over `radix` values in lexicographic
+/// order; matches hot_code_words(radix, k)[index].
+code_word hot_lex_unrank(unsigned radix, std::size_t k, std::size_t index);
+
+/// Position of a hot-code word in lexicographic order.
+std::size_t hot_lex_rank(const code_word& word);
+
+/// Binomial coefficient C(n, k) in 64 bits; throws on overflow. Exposed
+/// because the ranking recurrences and their tests share it.
+std::size_t binomial(std::size_t n, std::size_t k);
+
+}  // namespace nwdec::codes

@@ -1,0 +1,68 @@
+#include "codes/metrics.h"
+
+#include <algorithm>
+
+#include "codes/arrangement.h"
+#include "util/error.h"
+
+namespace nwdec::codes {
+
+transition_stats analyze_transitions(const std::vector<code_word>& sequence,
+                                     bool cyclic) {
+  NWDEC_EXPECTS(!sequence.empty(), "cannot analyze an empty sequence");
+  transition_stats stats;
+  stats.per_digit = per_digit_transitions(sequence, cyclic);
+  stats.total = total_transitions(sequence, cyclic);
+
+  const std::size_t steps =
+      sequence.size() < 2 ? 0 : sequence.size() - (cyclic ? 0 : 1);
+  stats.mean_per_step =
+      steps == 0 ? 0.0
+                 : static_cast<double>(stats.total) / static_cast<double>(steps);
+
+  for (std::size_t i = 0; i + 1 < sequence.size(); ++i) {
+    stats.max_per_step = std::max(
+        stats.max_per_step, sequence[i].transitions_to(sequence[i + 1]));
+  }
+  if (cyclic && sequence.size() > 1) {
+    stats.max_per_step = std::max(
+        stats.max_per_step, sequence.back().transitions_to(sequence.front()));
+  }
+
+  if (!stats.per_digit.empty()) {
+    const auto [lo, hi] =
+        std::minmax_element(stats.per_digit.begin(), stats.per_digit.end());
+    stats.digit_spread = *hi - *lo;
+  }
+  return stats;
+}
+
+bool is_antichain(const std::vector<code_word>& words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    for (std::size_t j = 0; j < words.size(); ++j) {
+      if (i == j) continue;
+      if (words[i].componentwise_le(words[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool all_distinct(std::vector<code_word> words) {
+  std::sort(words.begin(), words.end());
+  return std::adjacent_find(words.begin(), words.end()) == words.end();
+}
+
+void validate_code(const code& c) {
+  NWDEC_ENSURES(!c.words.empty(), "code has no words");
+  for (const code_word& w : c.words) {
+    NWDEC_ENSURES(w.radix() == c.radix, "word radix differs from code radix");
+    NWDEC_ENSURES(w.length() == c.length,
+                  "word length differs from code length");
+  }
+  NWDEC_ENSURES(all_distinct(c.words), "code words are not distinct");
+  NWDEC_ENSURES(is_antichain(c.words),
+                "code is not an antichain: some address would select "
+                "multiple nanowires");
+}
+
+}  // namespace nwdec::codes

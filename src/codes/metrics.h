@@ -1,0 +1,42 @@
+// Code-space metrics: the structural properties the decoder analysis
+// consumes -- transition statistics, per-digit balance, and the antichain
+// property that guarantees unique addressability.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "codes/code_space.h"
+#include "codes/word.h"
+
+namespace nwdec::codes {
+
+/// Summary of the transition structure of an arranged sequence.
+struct transition_stats {
+  std::size_t total = 0;            ///< sum of transitions over the sequence
+  double mean_per_step = 0.0;       ///< total / (steps)
+  std::size_t max_per_step = 0;     ///< worst single step
+  std::vector<std::size_t> per_digit;  ///< how often each digit changes
+  std::size_t digit_spread = 0;     ///< max - min of per_digit
+};
+
+/// Computes transition statistics of `sequence`; `cyclic` includes the
+/// wrap-around step.
+transition_stats analyze_transitions(const std::vector<code_word>& sequence,
+                                     bool cyclic);
+
+/// True when no word of `words` is componentwise <= another (distinct)
+/// word. Under the threshold-conduction rule this is exactly the condition
+/// for every word to address one and only one nanowire pattern.
+bool is_antichain(const std::vector<code_word>& words);
+
+/// True when all words are pairwise distinct.
+bool all_distinct(std::vector<code_word> words);
+
+/// Validates that `c` is internally consistent: words all share the
+/// declared radix/length, are distinct, and form an antichain (reflected
+/// tree-family codes and hot codes both must). Throws logic_invariant_error
+/// with a description on failure; returns normally otherwise.
+void validate_code(const code& c);
+
+}  // namespace nwdec::codes

@@ -1,0 +1,49 @@
+#include "codes/tree_code.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace nwdec::codes {
+
+namespace {
+
+std::size_t checked_space_size(unsigned radix, std::size_t free_length) {
+  NWDEC_EXPECTS(radix >= 2, "tree code radix must be at least 2");
+  NWDEC_EXPECTS(free_length >= 1, "tree code needs at least one digit");
+  std::size_t size = 1;
+  for (std::size_t i = 0; i < free_length; ++i) {
+    NWDEC_EXPECTS(size <= (std::size_t{1} << 40) / radix,
+                  "tree code space too large to enumerate");
+    size *= radix;
+  }
+  return size;
+}
+
+}  // namespace
+
+code_word tree_code_word(unsigned radix, std::size_t free_length,
+                         std::size_t index) {
+  const std::size_t size = checked_space_size(radix, free_length);
+  NWDEC_EXPECTS(index < size, "tree code index exceeds the space size");
+  std::vector<digit> digits(free_length, 0);
+  std::size_t rest = index;
+  for (std::size_t pos = free_length; pos-- > 0;) {
+    digits[pos] = static_cast<digit>(rest % radix);
+    rest /= radix;
+  }
+  return code_word(radix, std::move(digits));
+}
+
+std::vector<code_word> tree_code_words(unsigned radix,
+                                       std::size_t free_length) {
+  const std::size_t size = checked_space_size(radix, free_length);
+  std::vector<code_word> out;
+  out.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(tree_code_word(radix, free_length, i));
+  }
+  return out;
+}
+
+}  // namespace nwdec::codes

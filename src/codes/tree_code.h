@@ -1,0 +1,28 @@
+// Tree codes (TC): the n-ary counting code of Sec. 2.3.
+//
+// A tree code with `free_length` digits over radix n enumerates all n^m
+// words in counting order: 0000, 0001, 0002, 0010, ... The decoder uses
+// tree codes in *reflected* form (factory.h appends the complement), which
+// turns the space into an antichain and therefore uniquely addressable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "codes/word.h"
+
+namespace nwdec::codes {
+
+/// All n^free_length words of the tree code, in counting order, most
+/// significant digit first. Requires radix >= 2 and free_length >= 1;
+/// the space size n^free_length must fit comfortably in memory (the
+/// experiments use at most a few thousand words).
+std::vector<code_word> tree_code_words(unsigned radix,
+                                       std::size_t free_length);
+
+/// The single word encoding `index` in base `radix` with `free_length`
+/// digits, most significant first. Requires index < radix^free_length.
+code_word tree_code_word(unsigned radix, std::size_t free_length,
+                         std::size_t index);
+
+}  // namespace nwdec::codes

@@ -1,0 +1,101 @@
+#include "codes/word.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nwdec::codes {
+
+code_word::code_word(unsigned radix, std::size_t length)
+    : radix_(radix), digits_(length, 0) {
+  NWDEC_EXPECTS(radix >= 2, "a code word needs at least two logic values");
+}
+
+code_word::code_word(unsigned radix, std::vector<digit> digits)
+    : radix_(radix), digits_(std::move(digits)) {
+  NWDEC_EXPECTS(radix >= 2, "a code word needs at least two logic values");
+  for (const digit d : digits_) {
+    NWDEC_EXPECTS(d < radix_, "digit value exceeds radix");
+  }
+}
+
+digit code_word::at(std::size_t pos) const {
+  NWDEC_EXPECTS(pos < digits_.size(), "digit index out of range");
+  return digits_[pos];
+}
+
+void code_word::set(std::size_t pos, digit value) {
+  NWDEC_EXPECTS(pos < digits_.size(), "digit index out of range");
+  NWDEC_EXPECTS(value < radix_, "digit value exceeds radix");
+  digits_[pos] = value;
+}
+
+std::size_t code_word::transitions_to(const code_word& other) const {
+  NWDEC_EXPECTS(radix_ == other.radix_ && length() == other.length(),
+                "transition count requires words of equal shape");
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < digits_.size(); ++i) {
+    if (digits_[i] != other.digits_[i]) ++count;
+  }
+  return count;
+}
+
+code_word code_word::complement() const {
+  std::vector<digit> out(digits_.size());
+  const digit top = static_cast<digit>(radix_ - 1);
+  for (std::size_t i = 0; i < digits_.size(); ++i) {
+    out[i] = static_cast<digit>(top - digits_[i]);
+  }
+  return code_word(radix_, std::move(out));
+}
+
+code_word code_word::reflected() const {
+  std::vector<digit> out = digits_;
+  const code_word comp = complement();
+  out.insert(out.end(), comp.digits_.begin(), comp.digits_.end());
+  return code_word(radix_, std::move(out));
+}
+
+bool code_word::componentwise_le(const code_word& other) const {
+  NWDEC_EXPECTS(radix_ == other.radix_ && length() == other.length(),
+                "cover relation requires words of equal shape");
+  for (std::size_t i = 0; i < digits_.size(); ++i) {
+    if (digits_[i] > other.digits_[i]) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> code_word::value_counts() const {
+  std::vector<std::size_t> counts(radix_, 0);
+  for (const digit d : digits_) ++counts[d];
+  return counts;
+}
+
+std::size_t code_word::digit_sum() const {
+  return std::accumulate(digits_.begin(), digits_.end(), std::size_t{0});
+}
+
+std::string code_word::to_string() const {
+  std::string out;
+  for (const digit d : digits_) {
+    if (d < 10) {
+      out += static_cast<char>('0' + d);
+    } else {
+      out += '[';
+      out += std::to_string(static_cast<unsigned>(d));
+      out += ']';
+    }
+  }
+  return out;
+}
+
+code_word parse_word(unsigned radix, const std::string& text) {
+  std::vector<digit> digits;
+  digits.reserve(text.size());
+  for (const char ch : text) {
+    NWDEC_EXPECTS(ch >= '0' && ch <= '9', "parse_word accepts digits 0-9");
+    digits.push_back(static_cast<digit>(ch - '0'));
+  }
+  return code_word(radix, std::move(digits));
+}
+
+}  // namespace nwdec::codes

@@ -1,0 +1,92 @@
+// Code words for nanowire addressing.
+//
+// A code word is a fixed-length sequence of digits over an n-valued logic
+// ("radix"). Digit value v corresponds to the v-th threshold voltage level
+// of the doping region it patterns (see device/vt_levels.h). The word
+// operations here implement the paper's code machinery: the transition
+// count between successive words (the quantity Gray arrangements minimize),
+// the complement used to build reflected codes, and the componentwise cover
+// relation that determines unique addressability (decoder/addressing.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nwdec::codes {
+
+/// One digit of a code word; values live in {0, ..., radix-1}.
+using digit = std::uint8_t;
+
+/// Fixed-length word of digits over an n-valued logic.
+class code_word {
+ public:
+  /// Creates the all-zero word of the given length.
+  code_word(unsigned radix, std::size_t length);
+
+  /// Creates a word from explicit digits; every digit must be < radix.
+  code_word(unsigned radix, std::vector<digit> digits);
+
+  /// Number of logic values (n); at least 2.
+  unsigned radix() const { return radix_; }
+  /// Number of digits (M).
+  std::size_t length() const { return digits_.size(); }
+
+  /// Bounds-checked digit access.
+  digit at(std::size_t pos) const;
+  /// Sets the digit at `pos`; `value` must be < radix.
+  void set(std::size_t pos, digit value);
+
+  /// Underlying digits, most significant first.
+  const std::vector<digit>& digits() const { return digits_; }
+
+  /// Number of positions where this word and `other` differ. Both words
+  /// must have the same radix and length. This is the "number of
+  /// transitions" between successive code words in the paper.
+  std::size_t transitions_to(const code_word& other) const;
+
+  /// The complement word: each digit v is replaced by (radix-1) - v, i.e.
+  /// the word is subtracted from the largest word of the code space
+  /// (Sec. 2.3 of the paper).
+  code_word complement() const;
+
+  /// The reflected word: this word with its complement appended, doubling
+  /// the length. Reflected words are what the decoder actually uses, since
+  /// reflection makes tree-family codes uniquely addressable.
+  code_word reflected() const;
+
+  /// True when every digit of this word is <= the corresponding digit of
+  /// `other`. Under the "conducts iff applied level >= threshold level"
+  /// rule, nanowire `this` conducts at the address of `other` exactly when
+  /// this covers-or-equals relation holds; unique addressability therefore
+  /// requires the code to be an antichain under it.
+  bool componentwise_le(const code_word& other) const;
+
+  /// Count of each digit value, indexed by value (size == radix). Hot codes
+  /// require every count to equal k.
+  std::vector<std::size_t> value_counts() const;
+
+  /// Sum of all digits; constant across a hot code space.
+  std::size_t digit_sum() const;
+
+  /// Digits concatenated as characters, e.g. "0121"; digits >= 10 are
+  /// rendered in brackets. For logs and test failure messages.
+  std::string to_string() const;
+
+  friend bool operator==(const code_word& a, const code_word& b) {
+    return a.radix_ == b.radix_ && a.digits_ == b.digits_;
+  }
+  friend auto operator<=>(const code_word& a, const code_word& b) = default;
+
+ private:
+  unsigned radix_;
+  std::vector<digit> digits_;
+};
+
+/// Parses a word from a digit string like "0121" with the given radix;
+/// provided for tests and examples.
+code_word parse_word(unsigned radix, const std::string& text);
+
+}  // namespace nwdec::codes

@@ -1,0 +1,83 @@
+#include "core/design_explorer.h"
+
+#include <algorithm>
+
+#include "codes/factory.h"
+#include "crossbar/area_model.h"
+#include "crossbar/contact_groups.h"
+#include "decoder/decoder_design.h"
+#include "util/error.h"
+#include "yield/analytic_yield.h"
+#include "yield/monte_carlo_yield.h"
+
+namespace nwdec::core {
+
+design_explorer::design_explorer(crossbar::crossbar_spec spec,
+                                 device::technology tech)
+    : spec_(spec), tech_(tech) {
+  spec_.validate();
+  tech_.validate();
+}
+
+design_evaluation design_explorer::evaluate(const design_point& point,
+                                            std::size_t mc_trials,
+                                            std::uint64_t seed) const {
+  const codes::code code =
+      codes::make_code(point.type, point.radix, point.length);
+  const decoder::decoder_design design(code, spec_.nanowires_per_half_cave,
+                                       tech_);
+  const crossbar::contact_group_plan plan = crossbar::plan_contact_groups(
+      design.nanowire_count(), code.size(), tech_);
+  const yield::yield_result yields = yield::analytic_yield(design, plan);
+  const crossbar::layer_geometry geometry = crossbar::derive_layer_geometry(
+      spec_, tech_, point.length, plan.group_count);
+  const crossbar::area_breakdown area =
+      crossbar::estimate_area(geometry, tech_);
+
+  design_evaluation out;
+  out.point = point;
+  out.code_space = code.size();
+  out.fabrication_steps = design.fabrication_complexity();
+  out.average_variability = design.average_variability_sigma_units();
+  out.contact_groups = plan.group_count;
+  out.expected_discarded = yields.expected_discarded;
+  out.nanowire_yield = yields.nanowire_yield;
+  out.crosspoint_yield = yields.crosspoint_yield;
+  out.effective_bits = yield::effective_bits(yields, spec_.raw_bits);
+  out.total_area_nm2 = area.total_nm2;
+  out.bit_area_nm2 = crossbar::bit_area_nm2(area, out.effective_bits);
+
+  if (mc_trials > 0) {
+    rng random(seed);
+    const yield::mc_yield_result mc = yield::monte_carlo_yield(
+        design, plan, yield::mc_mode::operational, mc_trials, random);
+    out.has_monte_carlo = true;
+    out.mc_nanowire_yield = mc.nanowire_yield;
+    out.mc_ci_low = mc.ci.low;
+    out.mc_ci_high = mc.ci.high;
+  }
+  return out;
+}
+
+std::vector<design_evaluation> design_explorer::sweep(
+    const std::vector<design_point>& points, std::size_t mc_trials,
+    std::uint64_t seed) const {
+  std::vector<design_evaluation> out;
+  out.reserve(points.size());
+  for (const design_point& point : points) {
+    out.push_back(evaluate(point, mc_trials, seed));
+  }
+  return out;
+}
+
+const design_evaluation& design_explorer::best_bit_area(
+    const std::vector<design_evaluation>& evaluations) {
+  NWDEC_EXPECTS(!evaluations.empty(), "nothing to rank");
+  return *std::min_element(evaluations.begin(), evaluations.end(),
+                           [](const design_evaluation& a,
+                              const design_evaluation& b) {
+                             return a.bit_area_nm2 < b.bit_area_nm2;
+                           });
+}
+
+}  // namespace nwdec::core

@@ -1,0 +1,52 @@
+// design_explorer: the top-level entry point of the library.
+//
+// Given the crossbar specification and the technology, the explorer
+// evaluates decoder design points end to end -- code construction, decoder
+// matrices, contact plan, analytic yield, area, and optionally a
+// Monte-Carlo cross-check -- and ranks candidates, reproducing the
+// "optimizing the decoder parameters" study of Sec. 6.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/design_point.h"
+#include "crossbar/geometry.h"
+#include "device/tech_params.h"
+#include "util/rng.h"
+
+namespace nwdec::core {
+
+/// Evaluates and ranks decoder design points on a fixed platform.
+class design_explorer {
+ public:
+  design_explorer(crossbar::crossbar_spec spec, device::technology tech);
+
+  /// The platform.
+  const crossbar::crossbar_spec& spec() const { return spec_; }
+  const device::technology& tech() const { return tech_; }
+
+  /// Full evaluation of one design point. When `mc_trials` > 0 a
+  /// Monte-Carlo run (operational decode criterion) is attached, seeded
+  /// from `seed`.
+  design_evaluation evaluate(const design_point& point,
+                             std::size_t mc_trials = 0,
+                             std::uint64_t seed = 1) const;
+
+  /// Evaluates every point of a grid.
+  std::vector<design_evaluation> sweep(
+      const std::vector<design_point>& points, std::size_t mc_trials = 0,
+      std::uint64_t seed = 1) const;
+
+  /// The evaluation with the smallest bit area (the paper's headline
+  /// optimization target); `evaluations` must not be empty.
+  static const design_evaluation& best_bit_area(
+      const std::vector<design_evaluation>& evaluations);
+
+ private:
+  crossbar::crossbar_spec spec_;
+  device::technology tech_;
+};
+
+}  // namespace nwdec::core

@@ -1,0 +1,13 @@
+#include "core/design_point.h"
+
+namespace nwdec::core {
+
+std::string design_point::label() const {
+  std::string out = codes::code_type_name(type);
+  if (radix != 2) out += std::to_string(radix);
+  out += "-";
+  out += std::to_string(length);
+  return out;
+}
+
+}  // namespace nwdec::core

@@ -1,0 +1,52 @@
+// Design points and their full evaluation: the paper's "decoder design"
+// is the pair (code type, code length) -- plus the logic radix -- and the
+// evaluation bundles every figure of merit the paper reports for it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "codes/code_space.h"
+
+namespace nwdec::core {
+
+/// One decoder design choice.
+struct design_point {
+  codes::code_type type = codes::code_type::tree;
+  unsigned radix = 2;
+  std::size_t length = 8;  ///< full code length M
+
+  /// Short label like "BGC-10" (binary) or "GC3-8" (ternary).
+  std::string label() const;
+};
+
+/// Everything the platform computes for one design point.
+struct design_evaluation {
+  design_point point;
+
+  // Code / decoder metrics.
+  std::size_t code_space = 0;          ///< Omega
+  std::size_t fabrication_steps = 0;   ///< Phi
+  double average_variability = 0.0;    ///< ||Sigma||_1 / (N*M), sigma_T^2 units
+
+  // Contact plan.
+  std::size_t contact_groups = 0;
+  double expected_discarded = 0.0;
+
+  // Analytic yield.
+  double nanowire_yield = 0.0;    ///< Y
+  double crosspoint_yield = 0.0;  ///< Y^2 (Fig. 7's quantity)
+  double effective_bits = 0.0;    ///< D_EFF
+
+  // Area.
+  double total_area_nm2 = 0.0;
+  double bit_area_nm2 = 0.0;  ///< Fig. 8's quantity
+
+  // Optional Monte-Carlo cross-check (operational decode criterion).
+  bool has_monte_carlo = false;
+  double mc_nanowire_yield = 0.0;
+  double mc_ci_low = 0.0;
+  double mc_ci_high = 0.0;
+};
+
+}  // namespace nwdec::core

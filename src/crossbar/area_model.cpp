@@ -1,0 +1,31 @@
+#include "crossbar/area_model.h"
+
+#include "util/error.h"
+
+namespace nwdec::crossbar {
+
+area_breakdown estimate_area(const layer_geometry& geometry,
+                             const device::technology& tech) {
+  tech.validate();
+  area_breakdown area;
+  const double core_width =
+      static_cast<double>(geometry.nanowire_count) * tech.nanowire_pitch_nm;
+  area.array_core_nm2 = core_width * core_width;
+  const double wall_width =
+      static_cast<double>(geometry.cave_count) * tech.cave_wall_overhead_nm;
+  // Walls widen both axes; count the full difference between the walled
+  // array square and the core square.
+  const double walled = core_width + wall_width;
+  area.cave_overhead_nm2 = walled * walled - area.array_core_nm2;
+  area.total_nm2 = geometry.total_area_nm2;
+  area.decoder_nm2 = area.total_nm2 - walled * walled;
+  return area;
+}
+
+double bit_area_nm2(const area_breakdown& area, double effective_bits) {
+  NWDEC_EXPECTS(effective_bits > 0.0,
+                "bit area undefined for a crossbar with no working bits");
+  return area.total_nm2 / effective_bits;
+}
+
+}  // namespace nwdec::crossbar

@@ -1,0 +1,27 @@
+// Area accounting for the crossbar die and the per-bit figure of merit of
+// Fig. 8: bit area = total die area / effective (working) crosspoints.
+#pragma once
+
+#include <cstddef>
+
+#include "crossbar/geometry.h"
+
+namespace nwdec::crossbar {
+
+/// Die-area breakdown for a square crossbar.
+struct area_breakdown {
+  double array_core_nm2 = 0.0;     ///< nanowire-pitch area of the crosspoints
+  double cave_overhead_nm2 = 0.0;  ///< sacrificial walls and clearances
+  double decoder_nm2 = 0.0;        ///< mesowires + contact landings, both axes
+  double total_nm2 = 0.0;          ///< side^2
+};
+
+/// Splits the layer geometry's total area into its contributions.
+area_breakdown estimate_area(const layer_geometry& geometry,
+                             const device::technology& tech);
+
+/// Average area per *functional* bit: total area / effective bits. Throws
+/// when effective_bits is not positive.
+double bit_area_nm2(const area_breakdown& area, double effective_bits);
+
+}  // namespace nwdec::crossbar

@@ -1,0 +1,115 @@
+#include "crossbar/contact_groups.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace nwdec::crossbar {
+
+std::size_t contact_group_plan::group_of(std::size_t nanowire) const {
+  NWDEC_EXPECTS(nanowire < nanowire_count, "nanowire index out of range");
+  return nanowire / group_size;
+}
+
+double contact_group_plan::discard_probability(std::size_t nanowire) const {
+  NWDEC_EXPECTS(nanowire < nanowire_count, "nanowire index out of range");
+  if (std::binary_search(excess_nanowires.begin(), excess_nanowires.end(),
+                         nanowire)) {
+    return 1.0;
+  }
+  const auto it = std::lower_bound(
+      boundary_risks.begin(), boundary_risks.end(), nanowire,
+      [](const boundary_risk& risk, std::size_t index) {
+        return risk.nanowire < index;
+      });
+  if (it != boundary_risks.end() && it->nanowire == nanowire) {
+    return it->probability;
+  }
+  return 0.0;
+}
+
+double contact_group_plan::expected_discarded() const {
+  double expected = static_cast<double>(excess_nanowires.size());
+  for (const boundary_risk& risk : boundary_risks) {
+    if (!std::binary_search(excess_nanowires.begin(), excess_nanowires.end(),
+                            risk.nanowire)) {
+      expected += risk.probability;
+    }
+  }
+  return expected;
+}
+
+contact_group_plan plan_contact_groups(std::size_t nanowires,
+                                       std::size_t code_space,
+                                       const device::technology& tech) {
+  NWDEC_EXPECTS(nanowires >= 1, "a half cave holds at least one nanowire");
+  NWDEC_EXPECTS(code_space >= 1, "the code space cannot be empty");
+  tech.validate();
+
+  contact_group_plan plan;
+  plan.nanowire_count = nanowires;
+  plan.code_space = code_space;
+  plan.min_group_size = static_cast<std::size_t>(
+      std::ceil(tech.contact_min_width_factor * tech.litho_pitch_nm /
+                tech.nanowire_pitch_nm));
+
+  // Fewest groups = largest group: bounded above by the code space (unique
+  // addresses) unless the layout rule forces wider groups, and by N.
+  plan.group_size =
+      std::min(nanowires, std::max(code_space, plan.min_group_size));
+  plan.group_count = (nanowires + plan.group_size - 1) / plan.group_size;
+  plan.group_width_nm =
+      static_cast<double>(plan.group_size) * tech.nanowire_pitch_nm;
+
+  // Boundary uncertainty bands: the edge between groups g and g+1 sits at
+  // x = (g+1) * C * P_N and its position is uncertain within +- w_b / 2.
+  // A nanowire is at risk with probability equal to the fraction of its
+  // footprint [i * P_N, (i+1) * P_N) covered by the band.
+  const double pitch = tech.nanowire_pitch_nm;
+  const double half_band = 0.5 * tech.boundary_band_nm;
+  for (std::size_t g = 0; g + 1 < plan.group_count; ++g) {
+    const double edge = static_cast<double>((g + 1) * plan.group_size) * pitch;
+    const double band_lo = edge - half_band;
+    const double band_hi = edge + half_band;
+    const std::size_t first = static_cast<std::size_t>(
+        std::max(0.0, std::floor(band_lo / pitch)));
+    for (std::size_t i = first; i < nanowires; ++i) {
+      const double lo = static_cast<double>(i) * pitch;
+      const double hi = lo + pitch;
+      if (lo >= band_hi) break;
+      const double overlap = std::min(hi, band_hi) - std::max(lo, band_lo);
+      if (overlap <= 0.0) continue;
+      const double probability = std::min(1.0, overlap / pitch);
+      plan.boundary_risks.push_back(
+          contact_group_plan::boundary_risk{i, probability});
+    }
+  }
+  // Merge duplicate indices (a nanowire can only be near one edge in
+  // practice, but keep the invariant robust): keep the max probability.
+  std::sort(plan.boundary_risks.begin(), plan.boundary_risks.end(),
+            [](const auto& a, const auto& b) {
+              return a.nanowire < b.nanowire ||
+                     (a.nanowire == b.nanowire &&
+                      a.probability > b.probability);
+            });
+  plan.boundary_risks.erase(
+      std::unique(plan.boundary_risks.begin(), plan.boundary_risks.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.nanowire == b.nanowire;
+                  }),
+      plan.boundary_risks.end());
+
+  // When the layout rule forces groups beyond Omega, in-group positions
+  // past the code space cannot receive a unique address.
+  if (plan.group_size > code_space) {
+    for (std::size_t i = 0; i < nanowires; ++i) {
+      if (i % plan.group_size >= code_space) {
+        plan.excess_nanowires.push_back(i);
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace nwdec::crossbar

@@ -1,0 +1,68 @@
+// Contact-group planning (Sec. 2.2 and 6.1).
+//
+// A contact group is the smallest set of adjacent nanowires one
+// lithographic mesowire contact can reach; within a group every nanowire
+// must carry a distinct code word, so a group holds at most Omega
+// nanowires. Layout rules bound the group width from below at
+// contact_min_width_factor * P_L. The planner minimizes the number of
+// groups per half cave (fewest contacts, fewest boundaries).
+//
+// Group boundaries are lithographic edges over a sub-lithographic array:
+// a nanowire overlapping the boundary uncertainty band w_b may end up
+// contacted by *two* adjacent groups. Such a nanowire answers an address
+// on both contacts, so it is removed from the addressable set (paper
+// following DeHon [6]). Which nanowire the misaligned edge actually clips
+// varies die to die, so the model is probabilistic: nanowire i is at risk
+// with probability equal to the overlap of its footprint with the band
+// (the analytic yield uses the expectation, the Monte Carlo samples it).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/tech_params.h"
+
+namespace nwdec::crossbar {
+
+/// Partition of one half cave into contact groups.
+struct contact_group_plan {
+  std::size_t nanowire_count = 0;   ///< N, nanowires in the half cave
+  std::size_t code_space = 0;       ///< Omega
+  std::size_t group_size = 0;       ///< nanowires per full group (C)
+  std::size_t group_count = 0;      ///< G = ceil(N / C)
+  std::size_t min_group_size = 0;   ///< layout-rule lower bound in nanowires
+  double group_width_nm = 0.0;      ///< C * P_N
+
+  /// One nanowire at risk of double contact at a group edge.
+  struct boundary_risk {
+    std::size_t nanowire = 0;
+    double probability = 0.0;  ///< overlap of its footprint with the band
+  };
+  /// All at-risk nanowires, sorted by index, probabilities in (0, 1].
+  std::vector<boundary_risk> boundary_risks;
+
+  /// Indices of nanowires beyond the code space inside their group (only
+  /// when the layout rule forces groups larger than Omega); always
+  /// unaddressable.
+  std::vector<std::size_t> excess_nanowires;
+
+  /// Internal boundaries between adjacent groups: G - 1.
+  std::size_t boundary_count() const {
+    return group_count == 0 ? 0 : group_count - 1;
+  }
+  /// Group index of nanowire i.
+  std::size_t group_of(std::size_t nanowire) const;
+  /// Probability that nanowire i loses its contact: 1 for excess
+  /// nanowires, the band-overlap fraction for boundary risks, else 0.
+  double discard_probability(std::size_t nanowire) const;
+  /// Expected number of discarded nanowires in the half cave.
+  double expected_discarded() const;
+};
+
+/// Plans the contact groups for a half cave of `nanowires` nanowires
+/// addressed from a code space of `code_space` words.
+contact_group_plan plan_contact_groups(std::size_t nanowires,
+                                       std::size_t code_space,
+                                       const device::technology& tech);
+
+}  // namespace nwdec::crossbar

@@ -1,0 +1,43 @@
+#include "crossbar/geometry.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace nwdec::crossbar {
+
+void crossbar_spec::validate() const {
+  NWDEC_EXPECTS(raw_bits >= 1, "a crossbar needs at least one crosspoint");
+  NWDEC_EXPECTS(nanowires_per_half_cave >= 1,
+                "a half cave holds at least one nanowire");
+}
+
+layer_geometry derive_layer_geometry(const crossbar_spec& spec,
+                                     const device::technology& tech,
+                                     std::size_t code_length,
+                                     std::size_t contact_rows) {
+  spec.validate();
+  tech.validate();
+  NWDEC_EXPECTS(code_length >= 1, "code length must be at least 1");
+  NWDEC_EXPECTS(contact_rows >= 1, "need at least one contact row");
+
+  layer_geometry geo;
+  geo.nanowire_count = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(spec.raw_bits))));
+
+  const std::size_t per_cave = 2 * spec.nanowires_per_half_cave;
+  geo.cave_count = (geo.nanowire_count + per_cave - 1) / per_cave;
+  geo.half_cave_count = 2 * geo.cave_count;
+
+  geo.array_width_nm =
+      static_cast<double>(geo.nanowire_count) * tech.nanowire_pitch_nm +
+      static_cast<double>(geo.cave_count) * tech.cave_wall_overhead_nm;
+  geo.decoder_length_nm =
+      static_cast<double>(code_length) * tech.litho_pitch_nm +
+      static_cast<double>(contact_rows) * tech.contact_depth_nm;
+  geo.side_nm = geo.array_width_nm + geo.decoder_length_nm;
+  geo.total_area_nm2 = geo.side_nm * geo.side_nm;
+  return geo;
+}
+
+}  // namespace nwdec::crossbar

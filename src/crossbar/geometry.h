@@ -1,0 +1,53 @@
+// Crossbar geometry (Sec. 6.1): how many nanowires, caves and contact
+// groups a square memory crossbar of given raw capacity needs, and how much
+// silicon it occupies.
+//
+// The crossbar is square: two identical orthogonal nanowire layers, each
+// fabricated as a row of MSPT caves. Every cave is seeded by one
+// lithographically defined sacrificial wall and grows N spacers (nanowires)
+// on each flank, so a cave contributes two half caves of N nanowires. The
+// decoder (M mesowires at litho pitch plus the contact landing) extends one
+// end of each layer.
+#pragma once
+
+#include <cstddef>
+
+#include "device/tech_params.h"
+
+namespace nwdec::crossbar {
+
+/// Top-level crossbar sizing inputs.
+struct crossbar_spec {
+  /// Raw crosspoint count D_RAW; the paper's 16 kB memory.
+  std::size_t raw_bits = 16 * 1024 * 8;
+  /// Nanowires per half cave (N); set by the number of MSPT spacer
+  /// iterations the process sustains.
+  std::size_t nanowires_per_half_cave = 20;
+
+  /// Throws invalid_argument_error when a field is out of range.
+  void validate() const;
+};
+
+/// Derived per-layer geometry.
+struct layer_geometry {
+  std::size_t nanowire_count = 0;   ///< nanowires per layer (array side)
+  std::size_t cave_count = 0;       ///< MSPT caves per layer
+  std::size_t half_cave_count = 0;  ///< 2 * cave_count
+  double array_width_nm = 0.0;      ///< nanowires + per-cave wall overhead
+  double decoder_length_nm = 0.0;   ///< M mesowires + contact landing
+  double side_nm = 0.0;             ///< array width + decoder extent
+  double total_area_nm2 = 0.0;      ///< side^2 (square die)
+};
+
+/// Sizes one layer of the crossbar for a decoder with code length M.
+/// The layer holds ceil(sqrt(raw_bits)) nanowires; caves are filled with
+/// 2 * N nanowires each (the last cave may be partial). `contact_rows`
+/// is the number of contact groups per half cave: every group needs its
+/// own staggered mesowire landing of depth contact_depth_nm along the
+/// nanowire axis, so small code spaces (many groups) pay decoder area.
+layer_geometry derive_layer_geometry(const crossbar_spec& spec,
+                                     const device::technology& tech,
+                                     std::size_t code_length,
+                                     std::size_t contact_rows = 1);
+
+}  // namespace nwdec::crossbar

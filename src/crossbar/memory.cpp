@@ -1,0 +1,57 @@
+#include "crossbar/memory.h"
+
+#include "util/error.h"
+
+namespace nwdec::crossbar {
+
+crossbar_memory::crossbar_memory(decoder::address_table row_table,
+                                 decoder::address_table col_table,
+                                 std::vector<bool> row_ok,
+                                 std::vector<bool> col_ok)
+    : row_table_(std::move(row_table)),
+      col_table_(std::move(col_table)),
+      row_ok_(std::move(row_ok)),
+      col_ok_(std::move(col_ok)),
+      bits_(row_ok_.size(), col_ok_.size(), 0) {
+  NWDEC_EXPECTS(row_ok_.size() == row_table_.size(),
+                "row mask must match the row address table");
+  NWDEC_EXPECTS(col_ok_.size() == col_table_.size(),
+                "column mask must match the column address table");
+}
+
+double crossbar_memory::usable_fraction() const {
+  std::size_t usable_rows = 0;
+  std::size_t usable_cols = 0;
+  for (const bool ok : row_ok_) usable_rows += ok ? 1 : 0;
+  for (const bool ok : col_ok_) usable_cols += ok ? 1 : 0;
+  return static_cast<double>(usable_rows * usable_cols) /
+         static_cast<double>(rows() * cols());
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> crossbar_memory::resolve(
+    const codes::code_word& row_address,
+    const codes::code_word& col_address) const {
+  const auto row = row_table_.select(row_address);
+  const auto col = col_table_.select(col_address);
+  if (!row || !col) return std::nullopt;
+  if (!row_ok_[*row] || !col_ok_[*col]) return std::nullopt;
+  return std::make_pair(*row, *col);
+}
+
+bool crossbar_memory::write(const codes::code_word& row_address,
+                            const codes::code_word& col_address, bool value) {
+  const auto cell = resolve(row_address, col_address);
+  if (!cell) return false;
+  bits_(cell->first, cell->second) = value ? 1 : 0;
+  return true;
+}
+
+std::optional<bool> crossbar_memory::read(
+    const codes::code_word& row_address,
+    const codes::code_word& col_address) const {
+  const auto cell = resolve(row_address, col_address);
+  if (!cell) return std::nullopt;
+  return bits_(cell->first, cell->second) != 0;
+}
+
+}  // namespace nwdec::crossbar

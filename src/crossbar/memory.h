@@ -1,0 +1,55 @@
+// A functional crossbar memory built on the decoder address tables: the
+// end-to-end artifact the paper's platform models statistically. Used by
+// the examples and the integration tests to demonstrate that addressing,
+// defect masking and storage compose.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "decoder/addressing.h"
+#include "util/matrix.h"
+
+namespace nwdec::crossbar {
+
+/// One crosspoint block: a row contact group x a column contact group.
+/// Rows/columns flagged unaddressable (decoder variability, boundary bands,
+/// fabrication defects) reject every access.
+class crossbar_memory {
+ public:
+  /// Builds the memory; `row_ok` / `col_ok` flag which nanowires decoded
+  /// usable, sized like the corresponding address tables.
+  crossbar_memory(decoder::address_table row_table,
+                  decoder::address_table col_table, std::vector<bool> row_ok,
+                  std::vector<bool> col_ok);
+
+  /// Row / column counts of the block.
+  std::size_t rows() const { return row_ok_.size(); }
+  std::size_t cols() const { return col_ok_.size(); }
+
+  /// Fraction of crosspoints whose row and column both work.
+  double usable_fraction() const;
+
+  /// Writes a bit through the decoders; returns false (and stores nothing)
+  /// when either address selects no usable nanowire.
+  bool write(const codes::code_word& row_address,
+             const codes::code_word& col_address, bool value);
+
+  /// Reads a bit through the decoders; nullopt when unaddressable.
+  std::optional<bool> read(const codes::code_word& row_address,
+                           const codes::code_word& col_address) const;
+
+ private:
+  std::optional<std::pair<std::size_t, std::size_t>> resolve(
+      const codes::code_word& row_address,
+      const codes::code_word& col_address) const;
+
+  decoder::address_table row_table_;
+  decoder::address_table col_table_;
+  std::vector<bool> row_ok_;
+  std::vector<bool> col_ok_;
+  matrix<std::uint8_t> bits_;
+};
+
+}  // namespace nwdec::crossbar

@@ -1,0 +1,65 @@
+#include "crossbar/remap.h"
+
+#include "util/error.h"
+
+namespace nwdec::crossbar {
+
+remap_controller::remap_controller(crossbar_memory memory,
+                                   std::vector<codes::code_word> row_words,
+                                   std::vector<codes::code_word> col_words)
+    : memory_(std::move(memory)),
+      row_words_(std::move(row_words)),
+      col_words_(std::move(col_words)) {
+  NWDEC_EXPECTS(row_words_.size() == memory_.rows(),
+                "one physical word per row required");
+  NWDEC_EXPECTS(col_words_.size() == memory_.cols(),
+                "one physical word per column required");
+
+  // Probe each line once through the memory itself: a line is usable when
+  // a write through it is accepted. Probing writes 0, which is also the
+  // memory's initial state, so probing is non-destructive.
+  for (std::size_t r = 0; r < memory_.rows(); ++r) {
+    for (std::size_t c = 0; c < memory_.cols(); ++c) {
+      if (memory_.write(row_words_[r], col_words_[c], false)) {
+        row_map_.push_back(r);
+        break;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < memory_.cols(); ++c) {
+    for (std::size_t r = 0; r < memory_.rows(); ++r) {
+      if (memory_.write(row_words_[r], col_words_[c], false)) {
+        col_map_.push_back(c);
+        break;
+      }
+    }
+  }
+}
+
+bool remap_controller::write(std::size_t logical_row, std::size_t logical_col,
+                             bool value) {
+  NWDEC_EXPECTS(logical_row < rows() && logical_col < cols(),
+                "logical coordinates out of range");
+  return memory_.write(row_words_[row_map_[logical_row]],
+                       col_words_[col_map_[logical_col]], value);
+}
+
+std::optional<bool> remap_controller::read(std::size_t logical_row,
+                                           std::size_t logical_col) const {
+  NWDEC_EXPECTS(logical_row < rows() && logical_col < cols(),
+                "logical coordinates out of range");
+  return memory_.read(row_words_[row_map_[logical_row]],
+                      col_words_[col_map_[logical_col]]);
+}
+
+std::size_t remap_controller::physical_row(std::size_t logical_row) const {
+  NWDEC_EXPECTS(logical_row < rows(), "logical row out of range");
+  return row_map_[logical_row];
+}
+
+std::size_t remap_controller::physical_col(std::size_t logical_col) const {
+  NWDEC_EXPECTS(logical_col < cols(), "logical column out of range");
+  return col_map_[logical_col];
+}
+
+}  // namespace nwdec::crossbar

@@ -1,0 +1,54 @@
+// Defect remapping: a thin controller that presents a dense logical
+// address space over the sparse set of usable crossbar lines.
+//
+// The paper's effective density D_EFF counts the surviving crosspoints; a
+// deployed memory also needs them *contiguous* from the host's point of
+// view. The remap controller scans the usable row/column masks once,
+// builds logical->physical line tables, and serves logical (row, col)
+// accesses -- the standard row/column sparing scheme of DRAM, here driven
+// by the decoder's addressability outcome instead of laser fuses.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "crossbar/memory.h"
+
+namespace nwdec::crossbar {
+
+/// Dense logical view over a partially usable crossbar_memory.
+class remap_controller {
+ public:
+  /// Wraps `memory`; the usable masks are re-derived from the memory's
+  /// own accept/reject behavior, so the controller never touches dead
+  /// lines. `row_words` / `col_words` are the physical address words in
+  /// line order (as used to build the memory).
+  remap_controller(crossbar_memory memory,
+                   std::vector<codes::code_word> row_words,
+                   std::vector<codes::code_word> col_words);
+
+  /// Logical dimensions: the usable line counts.
+  std::size_t rows() const { return row_map_.size(); }
+  std::size_t cols() const { return col_map_.size(); }
+  /// Logical capacity in bits.
+  std::size_t capacity_bits() const { return rows() * cols(); }
+
+  /// Writes/reads through logical coordinates; logical coordinates are
+  /// always valid when within rows()/cols() (that is the point).
+  bool write(std::size_t logical_row, std::size_t logical_col, bool value);
+  std::optional<bool> read(std::size_t logical_row,
+                           std::size_t logical_col) const;
+
+  /// Physical line behind a logical one (for diagnostics).
+  std::size_t physical_row(std::size_t logical_row) const;
+  std::size_t physical_col(std::size_t logical_col) const;
+
+ private:
+  crossbar_memory memory_;
+  std::vector<codes::code_word> row_words_;
+  std::vector<codes::code_word> col_words_;
+  std::vector<std::size_t> row_map_;  ///< logical -> physical
+  std::vector<std::size_t> col_map_;
+};
+
+}  // namespace nwdec::crossbar

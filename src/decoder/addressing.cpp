@@ -1,0 +1,87 @@
+#include "decoder/addressing.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace nwdec::decoder {
+
+bool conducts(const codes::code_word& pattern,
+              const codes::code_word& address) {
+  return pattern.componentwise_le(address);
+}
+
+bool conducts(const std::vector<double>& realized_vt,
+              const std::vector<double>& gate_voltages) {
+  NWDEC_EXPECTS(realized_vt.size() == gate_voltages.size(),
+                "one gate voltage per doping region required");
+  for (std::size_t j = 0; j < realized_vt.size(); ++j) {
+    if (gate_voltages[j] <= realized_vt[j]) return false;
+  }
+  return true;
+}
+
+std::vector<double> drive_pattern(const codes::code_word& w,
+                                  const device::vt_levels& levels) {
+  NWDEC_EXPECTS(w.radix() == levels.radix(),
+                "address radix must match the level count");
+  std::vector<double> out;
+  out.reserve(w.length());
+  for (std::size_t j = 0; j < w.length(); ++j) {
+    out.push_back(levels.drive_voltage(w.at(j)));
+  }
+  return out;
+}
+
+std::vector<std::size_t> addressed_rows(const matrix<codes::digit>& pattern,
+                                        unsigned radix,
+                                        const codes::code_word& address) {
+  NWDEC_EXPECTS(pattern.cols() == address.length(),
+                "address length must match the region count");
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pattern.rows(); ++i) {
+    const codes::code_word row(radix, pattern.row(i));
+    if (conducts(row, address)) out.push_back(i);
+  }
+  return out;
+}
+
+bool uniquely_addressable(const std::vector<codes::code_word>& words) {
+  for (const codes::code_word& address : words) {
+    std::size_t selected = 0;
+    for (const codes::code_word& pattern : words) {
+      if (conducts(pattern, address)) ++selected;
+      if (selected > 1) return false;
+    }
+    if (selected != 1) return false;
+  }
+  return true;
+}
+
+address_table::address_table(std::vector<codes::code_word> words)
+    : words_(std::move(words)) {
+  NWDEC_EXPECTS(!words_.empty(), "address table needs at least one word");
+  NWDEC_EXPECTS(uniquely_addressable(words_),
+                "the word set is not uniquely addressable (not an antichain)");
+}
+
+const codes::code_word& address_table::address_of(std::size_t index) const {
+  NWDEC_EXPECTS(index < words_.size(), "nanowire index out of range");
+  return words_[index];
+}
+
+std::optional<std::size_t> address_table::select(
+    const codes::code_word& address) const {
+  // A valid selection turns on exactly one nanowire; an address that makes
+  // several conduct (e.g. the all-high word) selects nothing usable.
+  std::optional<std::size_t> selected;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (conducts(words_[i], address)) {
+      if (selected.has_value()) return std::nullopt;
+      selected = i;
+    }
+  }
+  return selected;
+}
+
+}  // namespace nwdec::decoder

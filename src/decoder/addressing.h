@@ -1,0 +1,78 @@
+// Decoder conduction logic and address tables (Sec. 2.2, Fig. 1.c).
+//
+// Every doping region is a transistor in series along the nanowire; the
+// region conducts when its gate (mesowire) voltage exceeds its threshold
+// voltage, and the nanowire conducts when all M regions conduct. To address
+// the nanowire patterned with word w, each mesowire j is driven just above
+// the w_j-th level (vt_levels::drive_voltage), so a nanowire with pattern x
+// conducts iff x <= w componentwise. Unique addressing therefore holds
+// exactly when the code is an antichain -- which reflected tree-family
+// codes and hot codes are.
+//
+// Two conduction entry points are provided: the nominal digit-level rule
+// (used for address-table construction and code validation), and the
+// voltage-level rule on *realized* V_T matrices (used by the Monte-Carlo
+// yield simulator, where process variability has displaced every V_T).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "codes/code_space.h"
+#include "codes/word.h"
+#include "device/vt_levels.h"
+#include "util/matrix.h"
+
+namespace nwdec::decoder {
+
+/// Nominal rule: pattern x conducts under the address of w iff x <= w
+/// componentwise (every region's level is at or below the driven level).
+bool conducts(const codes::code_word& pattern, const codes::code_word& address);
+
+/// Voltage rule: a nanowire with realized thresholds `realized_vt` (volts,
+/// one entry per region) conducts under `gate_voltages` iff every region
+/// satisfies gate > threshold.
+bool conducts(const std::vector<double>& realized_vt,
+              const std::vector<double>& gate_voltages);
+
+/// Mesowire voltages driving the address of word w.
+std::vector<double> drive_pattern(const codes::code_word& w,
+                                  const device::vt_levels& levels);
+
+/// Indices of the pattern rows that conduct under the address of `address`
+/// (nominal rule).
+std::vector<std::size_t> addressed_rows(const matrix<codes::digit>& pattern,
+                                        unsigned radix,
+                                        const codes::code_word& address);
+
+/// True when every word in `words` addresses exactly one word of the set
+/// (itself) under the nominal rule -- the operational definition of unique
+/// addressability the antichain property guarantees.
+bool uniquely_addressable(const std::vector<codes::code_word>& words);
+
+/// Address lookup table for one contact group: maps each code word to the
+/// in-group nanowire index it selects, and exposes the inverse.
+class address_table {
+ public:
+  /// Builds the table for a group whose nanowires are patterned with
+  /// `words` (all distinct); verifies unique addressability.
+  explicit address_table(std::vector<codes::code_word> words);
+
+  /// Number of addressable nanowires.
+  std::size_t size() const { return words_.size(); }
+
+  /// The address (code word) selecting in-group nanowire `index`.
+  const codes::code_word& address_of(std::size_t index) const;
+
+  /// The in-group nanowire index selected by `address`, or nullopt when the
+  /// address matches no nanowire -- or more than one (an over-driving word
+  /// like the all-high address makes several nanowires conduct and selects
+  /// nothing usable).
+  std::optional<std::size_t> select(const codes::code_word& address) const;
+
+ private:
+  std::vector<codes::code_word> words_;
+};
+
+}  // namespace nwdec::decoder

@@ -1,0 +1,53 @@
+#include "decoder/complexity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace nwdec::decoder {
+
+namespace {
+
+bool same_dose(double a, double b, double rel_tol) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= rel_tol * scale;
+}
+
+}  // namespace
+
+std::size_t step_complexity(const matrix<double>& step, std::size_t row,
+                            double rel_tol) {
+  NWDEC_EXPECTS(row < step.rows(), "step row out of range");
+  NWDEC_EXPECTS(rel_tol >= 0.0, "dose tolerance cannot be negative");
+  std::vector<double> doses;
+  for (std::size_t j = 0; j < step.cols(); ++j) {
+    const double dose = step(row, j);
+    if (dose == 0.0) continue;
+    const bool seen = std::any_of(
+        doses.begin(), doses.end(),
+        [&](double d) { return same_dose(d, dose, rel_tol); });
+    if (!seen) doses.push_back(dose);
+  }
+  return doses.size();
+}
+
+std::vector<std::size_t> per_step_complexity(const matrix<double>& step,
+                                             double rel_tol) {
+  std::vector<std::size_t> out(step.rows());
+  for (std::size_t i = 0; i < step.rows(); ++i) {
+    out[i] = step_complexity(step, i, rel_tol);
+  }
+  return out;
+}
+
+std::size_t fabrication_complexity(const matrix<double>& step,
+                                   double rel_tol) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < step.rows(); ++i) {
+    total += step_complexity(step, i, rel_tol);
+  }
+  return total;
+}
+
+}  // namespace nwdec::decoder

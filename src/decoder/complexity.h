@@ -1,0 +1,36 @@
+// Fabrication complexity Phi (Definition 4).
+//
+// Each row of S is one post-spacer patterning procedure; every *distinct
+// non-zero* dose value in the row needs its own lithography/implantation
+// pass (same-valued doses share one mask and one implant). phi_i counts
+// them, and Phi = sum_i phi_i is the total number of additional
+// lithography/doping steps the decoder adds to the MSPT flow.
+//
+// Dose values are physical quantities (cm^-3) compared with a relative
+// tolerance: h is nonlinear, so analytically distinct level differences
+// stay distinct numerically, but exact == would be brittle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace nwdec::decoder {
+
+/// Default relative tolerance for "the same dose".
+inline constexpr double default_dose_tolerance = 1e-9;
+
+/// Number of distinct non-zero dose values in row `row` of S (phi_row).
+std::size_t step_complexity(const matrix<double>& step, std::size_t row,
+                            double rel_tol = default_dose_tolerance);
+
+/// phi_i for every row of S.
+std::vector<std::size_t> per_step_complexity(
+    const matrix<double>& step, double rel_tol = default_dose_tolerance);
+
+/// Phi: total number of additional lithography/doping steps.
+std::size_t fabrication_complexity(const matrix<double>& step,
+                                   double rel_tol = default_dose_tolerance);
+
+}  // namespace nwdec::decoder

@@ -1,0 +1,51 @@
+#include "decoder/doping_profile.h"
+
+#include "util/error.h"
+
+namespace nwdec::decoder {
+
+matrix<double> final_doping(const matrix<codes::digit>& pattern,
+                            const device::dose_table& doses) {
+  NWDEC_EXPECTS(!pattern.empty(), "final doping of an empty pattern");
+  matrix<double> out(pattern.rows(), pattern.cols());
+  for (std::size_t i = 0; i < pattern.rows(); ++i) {
+    for (std::size_t j = 0; j < pattern.cols(); ++j) {
+      const codes::digit v = pattern(i, j);
+      NWDEC_EXPECTS(v < doses.size(),
+                    "pattern digit has no entry in the dose table");
+      out(i, j) = doses[v];
+    }
+  }
+  return out;
+}
+
+matrix<double> step_doping(const matrix<double>& final) {
+  NWDEC_EXPECTS(!final.empty(), "step doping of an empty matrix");
+  const std::size_t rows = final.rows();
+  const std::size_t cols = final.cols();
+  matrix<double> step(rows, cols);
+  for (std::size_t j = 0; j < cols; ++j) {
+    step(rows - 1, j) = final(rows - 1, j);
+    for (std::size_t i = 0; i + 1 < rows; ++i) {
+      step(i, j) = final(i, j) - final(i + 1, j);
+    }
+  }
+  return step;
+}
+
+matrix<double> accumulate_doping(const matrix<double>& step) {
+  NWDEC_EXPECTS(!step.empty(), "accumulating an empty step matrix");
+  const std::size_t rows = step.rows();
+  const std::size_t cols = step.cols();
+  matrix<double> final(rows, cols);
+  for (std::size_t j = 0; j < cols; ++j) {
+    double suffix = 0.0;
+    for (std::size_t i = rows; i-- > 0;) {
+      suffix += step(i, j);
+      final(i, j) = suffix;
+    }
+  }
+  return final;
+}
+
+}  // namespace nwdec::decoder

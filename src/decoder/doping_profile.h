@@ -1,0 +1,33 @@
+// Final and step doping matrices (Definitions 2-3, Propositions 1-2).
+//
+// D[i][j] = h(P[i][j]) is the doping level region (i, j) must end up with.
+// The MSPT constraint is that the dose applied after defining nanowire k
+// lands on *every* earlier nanowire too, so the per-step doses S satisfy
+//
+//     D[i][j] = sum_{k = i}^{N-1} S[k][j]        (Proposition 2)
+//
+// which inverts to the backward difference S[i] = D[i] - D[i+1] (with
+// S[N-1] = D[N-1]). Doses may be negative: a negative entry is a
+// compensating implant of the opposite dopant species.
+#pragma once
+
+#include "codes/word.h"
+#include "device/doping_map.h"
+#include "util/matrix.h"
+
+namespace nwdec::decoder {
+
+/// Elementwise application of h: maps each pattern digit to its doping
+/// level using `doses` (index = digit value, cm^-3).
+matrix<double> final_doping(const matrix<codes::digit>& pattern,
+                            const device::dose_table& doses);
+
+/// The step doping matrix S solving Proposition 2 for a given D; unique,
+/// computed as the backward difference along the nanowire axis.
+matrix<double> step_doping(const matrix<double>& final);
+
+/// Reconstructs D from S (suffix sums); inverse of step_doping, used by
+/// round-trip tests and the process simulator.
+matrix<double> accumulate_doping(const matrix<double>& step);
+
+}  // namespace nwdec::decoder

@@ -1,0 +1,57 @@
+#include "decoder/margins.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace nwdec::decoder {
+
+std::size_t margin_analysis::regions_below(double threshold) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < sigma_margins.rows(); ++i) {
+    for (std::size_t j = 0; j < sigma_margins.cols(); ++j) {
+      if (sigma_margins(i, j) < threshold) ++count;
+    }
+  }
+  return count;
+}
+
+margin_analysis analyze_margins(const decoder_design& design) {
+  NWDEC_EXPECTS(design.tech().sigma_vt > 0.0,
+                "margins are defined for a noisy process (sigma_vt > 0)");
+  const double window = design.levels().window_half_width();
+  const double sigma_vt = design.tech().sigma_vt;
+
+  margin_analysis analysis;
+  analysis.sigma_margins =
+      matrix<double>(design.nanowire_count(), design.region_count());
+  analysis.per_nanowire_worst.assign(design.nanowire_count(),
+                                     std::numeric_limits<double>::infinity());
+  analysis.worst_margin = std::numeric_limits<double>::infinity();
+
+  double sum = 0.0;
+  for (std::size_t i = 0; i < design.nanowire_count(); ++i) {
+    for (std::size_t j = 0; j < design.region_count(); ++j) {
+      const double sigma =
+          sigma_vt *
+          std::sqrt(static_cast<double>(design.dose_counts()(i, j)));
+      const double margin = window / sigma;
+      analysis.sigma_margins(i, j) = margin;
+      sum += margin;
+      if (margin < analysis.per_nanowire_worst[i]) {
+        analysis.per_nanowire_worst[i] = margin;
+      }
+      if (margin < analysis.worst_margin) {
+        analysis.worst_margin = margin;
+        analysis.critical_nanowire = i;
+        analysis.critical_region = j;
+      }
+    }
+  }
+  analysis.mean_margin =
+      sum / static_cast<double>(analysis.sigma_margins.size());
+  return analysis;
+}
+
+}  // namespace nwdec::decoder

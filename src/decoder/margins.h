@@ -1,0 +1,41 @@
+// Noise-margin analysis of a decoder design.
+//
+// Region (i, j) tolerates |V_T - nominal| up to the addressability window;
+// its V_T spread is sigma_T * sqrt(nu[i][j]). The ratio
+//
+//     margin[i][j] = window / (sigma_T * sqrt(nu[i][j]))
+//
+// is the region's guard band measured in standard deviations ("sigma
+// margin"), the quantity designers actually review: anything below ~2
+// sigma is a likely field failure. The analysis identifies the critical
+// region, summarizes the distribution, and shows where each code family
+// concentrates its risk (the tree code's fast-toggling digits, spread
+// evenly by the balanced Gray code).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "decoder/decoder_design.h"
+#include "util/matrix.h"
+
+namespace nwdec::decoder {
+
+/// Sigma-margin analysis of one half cave.
+struct margin_analysis {
+  matrix<double> sigma_margins;        ///< window / (sigma_T sqrt(nu))
+  double worst_margin = 0.0;           ///< min over all regions
+  std::size_t critical_nanowire = 0;   ///< argmin row
+  std::size_t critical_region = 0;     ///< argmin column
+  std::vector<double> per_nanowire_worst;  ///< min margin per nanowire
+  double mean_margin = 0.0;
+
+  /// Count of regions with a margin below `threshold` sigmas.
+  std::size_t regions_below(double threshold) const;
+};
+
+/// Runs the analysis; sigma_vt must be positive (margins are infinite in
+/// a noiseless process).
+margin_analysis analyze_margins(const decoder_design& design);
+
+}  // namespace nwdec::decoder

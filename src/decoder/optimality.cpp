@@ -1,0 +1,138 @@
+#include "decoder/optimality.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+
+#include "codes/factory.h"
+#include "decoder/complexity.h"
+#include "decoder/doping_profile.h"
+#include "decoder/pattern_matrix.h"
+#include "decoder/variability.h"
+#include "device/doping_map.h"
+#include "util/error.h"
+
+namespace nwdec::decoder {
+
+namespace {
+
+arrangement_costs evaluate_with_doses(
+    const std::vector<codes::code_word>& sequence, std::size_t nanowires,
+    const device::dose_table& doses) {
+  std::vector<codes::code_word> rows;
+  rows.reserve(nanowires);
+  for (std::size_t i = 0; i < nanowires; ++i) {
+    rows.push_back(sequence[i % sequence.size()]);
+  }
+  const matrix<codes::digit> pattern = pattern_matrix(rows);
+  const matrix<double> final = final_doping(pattern, doses);
+  const matrix<double> step = step_doping(final);
+
+  arrangement_costs costs;
+  costs.fabrication_complexity = fabrication_complexity(step);
+  costs.variability_sigma_units =
+      variability_norm_sigma_units(dose_count_matrix(step));
+  return costs;
+}
+
+}  // namespace
+
+arrangement_costs evaluate_arrangement(
+    const std::vector<codes::code_word>& sequence, std::size_t nanowires,
+    const device::technology& tech) {
+  NWDEC_EXPECTS(!sequence.empty(), "cannot evaluate an empty arrangement");
+  const device::dose_table doses =
+      device::physical_dose_table(sequence.front().radix(), tech);
+  return evaluate_with_doses(sequence, nanowires, doses);
+}
+
+namespace {
+
+optimality_report compare_with_generator(
+    const std::vector<codes::code_word>& base_words, bool reflect,
+    const std::vector<codes::code_word>& reference_sequence,
+    std::size_t nanowires, const device::technology& tech,
+    const std::function<bool(std::vector<std::size_t>&)>& next_permutation) {
+  NWDEC_EXPECTS(!base_words.empty(), "need at least one base word");
+  const device::dose_table doses =
+      device::physical_dose_table(base_words.front().radix(), tech);
+  optimality_report report;
+  report.reference =
+      evaluate_with_doses(reference_sequence, nanowires, doses);
+  report.best_other.fabrication_complexity = SIZE_MAX;
+  report.best_other.variability_sigma_units = SIZE_MAX;
+  report.best_other_phi_same_last = SIZE_MAX;
+
+  // The last *patterned* row is row (nanowires-1) of the cyclic sequence;
+  // its word determines the arrangement-independent part of phi_{N-1}.
+  const codes::code_word& reference_last =
+      reference_sequence[(nanowires - 1) % reference_sequence.size()];
+
+  std::vector<std::size_t> order(base_words.size());
+  std::iota(order.begin(), order.end(), 0);
+  do {
+    std::vector<codes::code_word> sequence;
+    sequence.reserve(base_words.size());
+    for (const std::size_t idx : order) sequence.push_back(base_words[idx]);
+    if (reflect) sequence = codes::reflect_words(sequence);
+
+    const arrangement_costs costs =
+        evaluate_with_doses(sequence, nanowires, doses);
+    report.best_other.fabrication_complexity =
+        std::min(report.best_other.fabrication_complexity,
+                 costs.fabrication_complexity);
+    report.best_other.variability_sigma_units =
+        std::min(report.best_other.variability_sigma_units,
+                 costs.variability_sigma_units);
+    if (sequence[(nanowires - 1) % sequence.size()] == reference_last) {
+      report.best_other_phi_same_last = std::min(
+          report.best_other_phi_same_last, costs.fabrication_complexity);
+    }
+    ++report.arrangements_tested;
+  } while (next_permutation(order));
+
+  report.reference_minimizes_phi =
+      report.reference.fabrication_complexity <=
+      report.best_other_phi_same_last;
+  report.reference_minimizes_phi_globally =
+      report.reference.fabrication_complexity <=
+      report.best_other.fabrication_complexity;
+  report.reference_minimizes_sigma =
+      report.reference.variability_sigma_units <=
+      report.best_other.variability_sigma_units;
+  return report;
+}
+
+}  // namespace
+
+optimality_report compare_exhaustive(
+    const std::vector<codes::code_word>& base_words, bool reflect,
+    const std::vector<codes::code_word>& reference_sequence,
+    std::size_t nanowires, const device::technology& tech) {
+  NWDEC_EXPECTS(base_words.size() <= 8,
+                "exhaustive comparison limited to 8 base words (8! orders)");
+  return compare_with_generator(
+      base_words, reflect, reference_sequence, nanowires, tech,
+      [](std::vector<std::size_t>& order) {
+        return std::next_permutation(order.begin(), order.end());
+      });
+}
+
+optimality_report compare_sampled(
+    const std::vector<codes::code_word>& base_words, bool reflect,
+    const std::vector<codes::code_word>& reference_sequence,
+    std::size_t nanowires, const device::technology& tech,
+    std::size_t samples, rng& random) {
+  NWDEC_EXPECTS(samples >= 1, "need at least one sample");
+  std::size_t remaining = samples;
+  return compare_with_generator(
+      base_words, reflect, reference_sequence, nanowires, tech,
+      [&remaining, &random](std::vector<std::size_t>& order) {
+        if (remaining-- <= 1) return false;
+        std::shuffle(order.begin(), order.end(), random.engine());
+        return true;
+      });
+}
+
+}  // namespace nwdec::decoder

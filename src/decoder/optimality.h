@@ -1,0 +1,71 @@
+// Empirical verification of Propositions 4-5: among all arrangements of a
+// code space, transition-minimal (Gray) arrangements minimize both the
+// variability norm ||Sigma||_1 and the fabrication complexity Phi.
+//
+// For small spaces the check is exhaustive over every permutation of the
+// base words; for larger spaces a random sample of arrangements is compared
+// instead. Used by the property tests and by bench/ablation_arrangement.
+#pragma once
+
+#include <cstddef>
+
+#include "codes/code_space.h"
+#include "device/tech_params.h"
+#include "util/rng.h"
+
+namespace nwdec::decoder {
+
+/// Costs of one arrangement of a fixed word set.
+struct arrangement_costs {
+  std::size_t fabrication_complexity = 0;  ///< Phi
+  std::size_t variability_sigma_units = 0;  ///< ||Sigma||_1 / sigma_T^2
+};
+
+/// Evaluates Phi and ||Sigma||_1 for the pattern sequence `sequence`
+/// (already full-length words) over `nanowires` nanowires, cycling when
+/// needed.
+arrangement_costs evaluate_arrangement(
+    const std::vector<codes::code_word>& sequence, std::size_t nanowires,
+    const device::technology& tech);
+
+/// Outcome of comparing a reference arrangement against alternatives.
+///
+/// Note on Phi: the paper's Proposition 5 argues over the transition rows
+/// of S, but the *last* row's step count phi_{N-1} equals the number of
+/// distinct dose values in the final word, which depends on which word the
+/// arrangement ends with (e.g. the reflected ternary word 1111 needs a
+/// single dose). Gray arrangements therefore minimize Phi among
+/// arrangements ending in the same word; `best_other_phi_same_last`
+/// captures that like-for-like minimum, while `best_other` is the global
+/// minimum including the last-word effect. ||Sigma||_1 has no such caveat:
+/// the last row of nu is all-ones for every arrangement.
+struct optimality_report {
+  std::size_t arrangements_tested = 0;
+  arrangement_costs reference;  ///< costs of the reference arrangement
+  arrangement_costs best_other; ///< minima over the tested alternatives
+  /// Minimal Phi among tested arrangements that end with the same word as
+  /// the reference (SIZE_MAX when none was tested).
+  std::size_t best_other_phi_same_last = 0;
+  bool reference_minimizes_phi = false;        ///< vs best_other_phi_same_last
+  bool reference_minimizes_phi_globally = false;  ///< vs best_other
+  bool reference_minimizes_sigma = false;
+};
+
+/// Exhaustively permutes `base_words` (reflecting each arrangement when
+/// `reflect` is set), evaluates all arrangements over `nanowires`
+/// nanowires, and reports whether `reference_sequence` attains the minima.
+/// base_words.size() must be <= 8 (8! = 40320 arrangements).
+optimality_report compare_exhaustive(
+    const std::vector<codes::code_word>& base_words, bool reflect,
+    const std::vector<codes::code_word>& reference_sequence,
+    std::size_t nanowires, const device::technology& tech);
+
+/// Same comparison against `samples` uniformly random permutations; for
+/// spaces too large to exhaust.
+optimality_report compare_sampled(
+    const std::vector<codes::code_word>& base_words, bool reflect,
+    const std::vector<codes::code_word>& reference_sequence,
+    std::size_t nanowires, const device::technology& tech,
+    std::size_t samples, rng& random);
+
+}  // namespace nwdec::decoder

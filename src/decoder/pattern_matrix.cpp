@@ -1,0 +1,35 @@
+#include "decoder/pattern_matrix.h"
+
+#include "util/error.h"
+
+namespace nwdec::decoder {
+
+matrix<codes::digit> pattern_matrix(const codes::code& code,
+                                    std::size_t nanowire_count) {
+  NWDEC_EXPECTS(nanowire_count >= 1, "a half cave holds at least 1 nanowire");
+  return pattern_matrix(code.pattern_sequence(nanowire_count));
+}
+
+matrix<codes::digit> pattern_matrix(
+    const std::vector<codes::code_word>& sequence) {
+  NWDEC_EXPECTS(!sequence.empty(), "pattern matrix needs at least one row");
+  const std::size_t regions = sequence.front().length();
+  const unsigned radix = sequence.front().radix();
+  matrix<codes::digit> pattern(sequence.size(), regions);
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    NWDEC_EXPECTS(sequence[i].length() == regions &&
+                      sequence[i].radix() == radix,
+                  "all pattern rows must share radix and length");
+    for (std::size_t j = 0; j < regions; ++j) {
+      pattern(i, j) = sequence[i].at(j);
+    }
+  }
+  return pattern;
+}
+
+codes::code_word pattern_row(const matrix<codes::digit>& pattern,
+                             unsigned radix, std::size_t row) {
+  return codes::code_word(radix, pattern.row(row));
+}
+
+}  // namespace nwdec::decoder

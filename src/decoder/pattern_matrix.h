@@ -1,0 +1,33 @@
+// The pattern matrix P (Definition 1): one row per nanowire in a half
+// cave, one column per doping region, entries in {0, ..., n-1} naming the
+// nominal V_T level of that region.
+//
+// Row i is the code word assigned to nanowire i in *definition order*: row
+// 0 is the first spacer the MSPT flow defines (and therefore the one that
+// accumulates every subsequent doping dose), row N-1 the last. When the
+// half cave holds more nanowires than the code space, the arranged code
+// repeats cyclically (one period per contact group).
+#pragma once
+
+#include <cstddef>
+
+#include "codes/code_space.h"
+#include "util/matrix.h"
+
+namespace nwdec::decoder {
+
+/// Builds P for `nanowire_count` nanowires from the arranged code.
+matrix<codes::digit> pattern_matrix(const codes::code& code,
+                                    std::size_t nanowire_count);
+
+/// Builds P from an explicit word sequence (row i = sequence[i]); all
+/// words must share radix and length. Used by tests and the arrangement
+/// optimality studies.
+matrix<codes::digit> pattern_matrix(
+    const std::vector<codes::code_word>& sequence);
+
+/// Extracts row `i` of a pattern matrix back into a code word.
+codes::code_word pattern_row(const matrix<codes::digit>& pattern,
+                             unsigned radix, std::size_t row);
+
+}  // namespace nwdec::decoder

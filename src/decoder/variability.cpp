@@ -1,0 +1,52 @@
+#include "decoder/variability.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace nwdec::decoder {
+
+matrix<std::size_t> dose_count_matrix(const matrix<double>& step) {
+  NWDEC_EXPECTS(!step.empty(), "dose counts of an empty step matrix");
+  const std::size_t rows = step.rows();
+  const std::size_t cols = step.cols();
+  matrix<std::size_t> counts(rows, cols);
+  for (std::size_t j = 0; j < cols; ++j) {
+    std::size_t suffix = 0;
+    for (std::size_t i = rows; i-- > 0;) {
+      if (step(i, j) != 0.0) ++suffix;
+      counts(i, j) = suffix;
+    }
+  }
+  return counts;
+}
+
+matrix<double> variability_matrix(const matrix<std::size_t>& dose_counts,
+                                  double sigma_vt) {
+  NWDEC_EXPECTS(sigma_vt >= 0.0, "sigma_vt cannot be negative");
+  const double var = sigma_vt * sigma_vt;
+  return dose_counts.map<double>(
+      [var](std::size_t nu) { return var * static_cast<double>(nu); });
+}
+
+std::size_t variability_norm_sigma_units(
+    const matrix<std::size_t>& dose_counts) {
+  return dose_counts.sum();
+}
+
+double average_variability_sigma_units(
+    const matrix<std::size_t>& dose_counts) {
+  NWDEC_EXPECTS(!dose_counts.empty(), "average variability of empty matrix");
+  return static_cast<double>(dose_counts.sum()) /
+         static_cast<double>(dose_counts.size());
+}
+
+matrix<double> stddev_matrix(const matrix<std::size_t>& dose_counts,
+                             double sigma_vt) {
+  NWDEC_EXPECTS(sigma_vt >= 0.0, "sigma_vt cannot be negative");
+  return dose_counts.map<double>([sigma_vt](std::size_t nu) {
+    return sigma_vt * std::sqrt(static_cast<double>(nu));
+  });
+}
+
+}  // namespace nwdec::decoder

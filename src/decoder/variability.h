@@ -1,0 +1,42 @@
+// Decoder variability (Definition 5).
+//
+// Region (i, j) receives one dose for every non-zero S[k][j] with k >= i;
+// doses are stochastically independent, so variances add:
+//
+//   nu[i][j]    = #{ k >= i : S[k][j] != 0 }
+//   Sigma[i][j] = sigma_T^2 * nu[i][j]        [V^2]
+//
+// ||Sigma||_1 (the entrywise 1-norm) is the paper's reliability cost
+// function; Propositions 4-5 show Gray arrangements minimize it together
+// with Phi because nu grows exactly with the digit transitions between
+// successive pattern rows.
+#pragma once
+
+#include <cstddef>
+
+#include "util/matrix.h"
+
+namespace nwdec::decoder {
+
+/// nu: how many doses each region accumulates.
+matrix<std::size_t> dose_count_matrix(const matrix<double>& step);
+
+/// Sigma = sigma_vt^2 * nu, in V^2.
+matrix<double> variability_matrix(const matrix<std::size_t>& dose_counts,
+                                  double sigma_vt);
+
+/// ||Sigma||_1 in units of sigma_T^2, i.e. simply the sum of nu. This is
+/// the form the paper reports (Examples 4-5: 22 sigma^2 vs 18 sigma^2).
+std::size_t variability_norm_sigma_units(
+    const matrix<std::size_t>& dose_counts);
+
+/// Average variability ||Sigma||_1 / (N*M) in units of sigma_T^2.
+double average_variability_sigma_units(
+    const matrix<std::size_t>& dose_counts);
+
+/// Per-region standard deviation matrix sqrt(Sigma) in volts; the inputs
+/// the yield analysis consumes.
+matrix<double> stddev_matrix(const matrix<std::size_t>& dose_counts,
+                             double sigma_vt);
+
+}  // namespace nwdec::decoder

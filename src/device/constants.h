@@ -1,0 +1,31 @@
+// Physical constants used by the threshold-voltage model (SI units except
+// where noted). Values follow the 2019 SI redefinition; silicon parameters
+// are the room-temperature textbook values from Sze & Ng, "Physics of
+// Semiconductor Devices" (the paper's reference [14]).
+#pragma once
+
+namespace nwdec::device {
+
+/// Elementary charge [C].
+inline constexpr double elementary_charge = 1.602176634e-19;
+
+/// Boltzmann constant [J/K].
+inline constexpr double boltzmann = 1.380649e-23;
+
+/// Vacuum permittivity [F/m].
+inline constexpr double vacuum_permittivity = 8.8541878128e-12;
+
+/// Relative permittivity of silicon.
+inline constexpr double silicon_relative_permittivity = 11.7;
+
+/// Relative permittivity of SiO2.
+inline constexpr double oxide_relative_permittivity = 3.9;
+
+/// Intrinsic carrier concentration of silicon at 300 K [cm^-3].
+inline constexpr double silicon_intrinsic_cm3 = 1.0e10;
+
+/// Silicon band gap at 300 K [eV]; the n+ poly gate Fermi level sits at the
+/// conduction band edge, half a gap above midgap.
+inline constexpr double silicon_band_gap_ev = 1.12;
+
+}  // namespace nwdec::device

@@ -1,0 +1,34 @@
+#include "device/doping_map.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace nwdec::device {
+
+dose_table physical_dose_table(unsigned radix, const technology& tech) {
+  const vt_levels levels(radix, tech);
+  const vt_model model(tech);
+  dose_table table;
+  table.reserve(radix);
+  for (unsigned v = 0; v < radix; ++v) {
+    table.push_back(model.doping_for_vt(levels.level(static_cast<codes::digit>(v))));
+  }
+  return validated_dose_table(std::move(table));
+}
+
+dose_table validated_dose_table(dose_table table) {
+  NWDEC_EXPECTS(table.size() >= 2, "a dose table needs at least two levels");
+  for (std::size_t v = 0; v < table.size(); ++v) {
+    NWDEC_EXPECTS(std::isfinite(table[v]) && table[v] > 0.0,
+                  "dose table entries must be positive and finite");
+    if (v > 0) {
+      NWDEC_EXPECTS(table[v] > table[v - 1],
+                    "dose table must be strictly increasing (h is a "
+                    "monotonic bijection)");
+    }
+  }
+  return table;
+}
+
+}  // namespace nwdec::device

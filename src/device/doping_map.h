@@ -1,0 +1,31 @@
+// The bijection h of Proposition 1: digit value -> final doping level.
+//
+// h composes the level placement g (vt_levels) with the inverse device
+// model f (vt_model): h(v) = N_A(V_T(v)). The decoder library consumes the
+// mapping as a plain per-digit dose table so that tests can substitute the
+// literal tables from the paper's worked examples.
+#pragma once
+
+#include <vector>
+
+#include "codes/word.h"
+#include "device/tech_params.h"
+#include "device/vt_levels.h"
+#include "device/vt_model.h"
+
+namespace nwdec::device {
+
+/// Digit -> doping-level table (index = digit value, entry in cm^-3, all
+/// entries positive and strictly increasing).
+using dose_table = std::vector<double>;
+
+/// Builds the physical dose table for an n-valued decoder: entry v is the
+/// body doping realizing the v-th nominal V_T level.
+dose_table physical_dose_table(unsigned radix, const technology& tech);
+
+/// Validates an externally supplied table (used by tests running the
+/// paper's example tables): entries must be positive, finite and strictly
+/// increasing. Returns the table unchanged.
+dose_table validated_dose_table(dose_table table);
+
+}  // namespace nwdec::device

@@ -1,0 +1,31 @@
+#include "device/tech_params.h"
+
+namespace nwdec::device {
+
+void technology::validate() const {
+  NWDEC_EXPECTS(litho_pitch_nm > 0.0, "lithography pitch must be positive");
+  NWDEC_EXPECTS(nanowire_pitch_nm > 0.0, "nanowire pitch must be positive");
+  NWDEC_EXPECTS(nanowire_pitch_nm <= litho_pitch_nm,
+                "nanowires are sub-lithographic by definition");
+  NWDEC_EXPECTS(contact_min_width_factor > 0.0,
+                "contact width factor must be positive");
+  NWDEC_EXPECTS(boundary_band_nm >= 0.0,
+                "boundary band cannot be negative");
+  NWDEC_EXPECTS(cave_wall_overhead_nm >= 0.0,
+                "cave overhead cannot be negative");
+  NWDEC_EXPECTS(contact_depth_nm >= 0.0, "contact depth cannot be negative");
+  NWDEC_EXPECTS(supply_voltage > 0.0, "supply voltage must be positive");
+  NWDEC_EXPECTS(sigma_vt >= 0.0, "sigma_vt cannot be negative");
+  NWDEC_EXPECTS(window_fraction > 0.0 && window_fraction <= 1.0,
+                "window fraction must be in (0, 1]");
+  NWDEC_EXPECTS(gate_oxide_nm > 0.0, "oxide thickness must be positive");
+  NWDEC_EXPECTS(temperature_k > 0.0, "temperature must be positive");
+}
+
+technology paper_technology() {
+  technology tech;
+  tech.validate();
+  return tech;
+}
+
+}  // namespace nwdec::device

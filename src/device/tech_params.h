@@ -1,0 +1,62 @@
+// The technology parameter set of the simulation platform (Sec. 6.1).
+//
+// Defaults reproduce the paper's platform: lithography pitch P_L = 32 nm,
+// nanowire pitch P_N = 10 nm, threshold voltages distributed in [0, 1] V,
+// per-dose variability sigma_T = 50 mV, minimum contact-group width
+// 1.5 * P_L, raw crossbar capacity 16 kB. Parameters the paper delegates to
+// its references (addressability window, contact-boundary uncertainty) are
+// explicit knobs here, with the defaults documented in DESIGN.md.
+#pragma once
+
+#include <cstddef>
+
+#include "util/error.h"
+
+namespace nwdec::device {
+
+/// All technology-level inputs of the decoder and crossbar models.
+struct technology {
+  // --- geometry -----------------------------------------------------------
+  /// Lithography (meso) pitch P_L [nm].
+  double litho_pitch_nm = 32.0;
+  /// Nanowire (sub-litho) pitch P_N [nm]; set by the MSPT spacer thickness.
+  double nanowire_pitch_nm = 10.0;
+  /// Minimum contact-group width as a multiple of P_L (layout rule).
+  double contact_min_width_factor = 1.5;
+  /// Width of the contact-boundary uncertainty band w_b [nm]: a group edge
+  /// lands anywhere within +- w_b/2 of its drawn position, so a nanowire
+  /// is double-contacted (and discarded) with probability equal to the
+  /// overlap of its footprint with the band. The default loses 1.4
+  /// nanowires per internal edge in expectation, which calibrates the
+  /// Fig. 7 code-length trends to the paper's reported ratios (DESIGN.md).
+  double boundary_band_nm = 14.0;
+  /// Lithographic overhead per cave (sacrificial wall + clearance) [nm].
+  double cave_wall_overhead_nm = 64.0;
+  /// Depth of the mesowire contact landing at the decoder end [nm].
+  double contact_depth_nm = 48.0;
+
+  // --- electrical ----------------------------------------------------------
+  /// Supply voltage [V]; V_T levels are placed strictly inside [0, V_dd].
+  double supply_voltage = 1.0;
+  /// Standard deviation of V_T contributed by one doping operation [V].
+  double sigma_vt = 0.050;
+  /// Addressability window half-width as a fraction of the V_T level
+  /// spacing; a doping region works when its realized V_T stays within
+  /// +- window_fraction * spacing of the nominal level.
+  double window_fraction = 0.5;
+
+  // --- device --------------------------------------------------------------
+  /// Gate oxide thickness [nm] of the decoder transistors.
+  double gate_oxide_nm = 5.0;
+  /// Temperature [K].
+  double temperature_k = 300.0;
+
+  /// Throws invalid_argument_error when any field is out of its physical
+  /// range (non-positive pitch, negative sigma, ...).
+  void validate() const;
+};
+
+/// The platform of Sec. 6.1 (all defaults above).
+technology paper_technology();
+
+}  // namespace nwdec::device

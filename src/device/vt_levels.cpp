@@ -1,0 +1,33 @@
+#include "device/vt_levels.h"
+
+#include "util/error.h"
+
+namespace nwdec::device {
+
+vt_levels::vt_levels(unsigned radix, const technology& tech) : radix_(radix) {
+  NWDEC_EXPECTS(radix >= 2, "need at least two threshold levels");
+  tech.validate();
+  spacing_ = tech.supply_voltage / static_cast<double>(radix);
+  window_half_width_ = tech.window_fraction * spacing_;
+  levels_.reserve(radix);
+  for (unsigned v = 0; v < radix; ++v) {
+    levels_.push_back(spacing_ * (static_cast<double>(v) + 0.5));
+  }
+}
+
+double vt_levels::level(codes::digit v) const {
+  NWDEC_EXPECTS(v < radix_, "digit value exceeds the number of levels");
+  return levels_[v];
+}
+
+double vt_levels::drive_voltage(codes::digit a) const {
+  return level(a) + 0.5 * spacing_;
+}
+
+unsigned vt_levels::conducting_levels(double gate) const {
+  unsigned count = 0;
+  while (count < radix_ && levels_[count] < gate) ++count;
+  return count;
+}
+
+}  // namespace nwdec::device

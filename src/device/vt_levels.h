@@ -1,0 +1,64 @@
+// Threshold-voltage level placement: the discrete ordering "g" of
+// Proposition 1, mapping digit values {0, ..., n-1} to nominal V_T levels
+// inside [0, V_dd] (Sec. 6.1 distributes them within 0..1 V).
+//
+// The supply range is split into n equal bands and each level sits at its
+// band midpoint, V_T(v) = V_dd (2v+1)/(2n): binary logic uses
+// {0.25, 0.75} V and ternary {1/6, 1/2, 5/6} V. This uses the full 0..1 V
+// range the paper allots and maximizes the guard band between levels. The
+// level spacing (V_dd / n) also fixes the two operating margins:
+//   * the addressing drive: address digit a applies V_A = V_T(a) + spacing/2
+//     so regions with level <= a conduct and regions with level > a do not;
+//   * the addressability window: a region works when its realized V_T stays
+//     within +- window_fraction * spacing of the nominal level.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "codes/word.h"
+#include "device/tech_params.h"
+
+namespace nwdec::device {
+
+/// Nominal V_T levels for an n-valued decoder under a given technology.
+class vt_levels {
+ public:
+  /// Places `radix` band-midpoint levels inside [0, V_dd].
+  vt_levels(unsigned radix, const technology& tech);
+
+  /// Number of logic values n.
+  unsigned radix() const { return radix_; }
+
+  /// Nominal threshold voltage [V] of digit value `v`; v < radix.
+  double level(codes::digit v) const;
+
+  /// All levels, indexed by digit value.
+  const std::vector<double>& levels() const { return levels_; }
+
+  /// Distance between adjacent levels [V]: V_dd / radix.
+  double spacing() const { return spacing_; }
+
+  /// Half-width [V] of the addressability window around each level
+  /// (window_fraction * spacing).
+  double window_half_width() const { return window_half_width_; }
+
+  /// Gate voltage [V] applied on a mesowire to *drive* digit value `a`:
+  /// V_T(a) + spacing/2, i.e. just above the a-th level so that exactly the
+  /// regions with level <= a conduct.
+  double drive_voltage(codes::digit a) const;
+
+  /// The digit value whose region still conducts under gate voltage
+  /// `gate` [V]: the largest v with level(v) < gate, or radix when even
+  /// level 0 blocks... returned as the count of conducting levels, i.e. a
+  /// region with threshold level t conducts iff t < conducting_levels(gate).
+  unsigned conducting_levels(double gate) const;
+
+ private:
+  unsigned radix_;
+  std::vector<double> levels_;
+  double spacing_;
+  double window_half_width_;
+};
+
+}  // namespace nwdec::device

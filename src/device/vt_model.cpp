@@ -1,0 +1,51 @@
+#include "device/vt_model.h"
+
+#include <cmath>
+
+#include "device/constants.h"
+#include "util/error.h"
+
+namespace nwdec::device {
+
+vt_model::vt_model(const technology& tech) {
+  tech.validate();
+  thermal_voltage_ =
+      boltzmann * tech.temperature_k / elementary_charge;
+  c_ox_ = oxide_relative_permittivity * vacuum_permittivity /
+          (tech.gate_oxide_nm * 1e-9);
+}
+
+double vt_model::threshold_voltage(double doping_cm3) const {
+  NWDEC_EXPECTS(doping_cm3 >= min_doping_cm3 && doping_cm3 <= max_doping_cm3,
+                "body doping outside the model range");
+  const double doping_m3 = doping_cm3 * 1e6;
+  const double psi_b =
+      thermal_voltage_ * std::log(doping_cm3 / silicon_intrinsic_cm3);
+  const double flat_band = -0.5 * silicon_band_gap_ev - psi_b;
+  const double eps_si = silicon_relative_permittivity * vacuum_permittivity;
+  const double depletion_charge =
+      std::sqrt(2.0 * elementary_charge * eps_si * doping_m3 * 2.0 * psi_b);
+  return flat_band + 2.0 * psi_b + depletion_charge / c_ox_;
+}
+
+double vt_model::doping_for_vt(double vt) const {
+  const double vt_lo = threshold_voltage(min_doping_cm3);
+  const double vt_hi = threshold_voltage(max_doping_cm3);
+  NWDEC_EXPECTS(vt >= vt_lo && vt <= vt_hi,
+                "threshold voltage outside the representable range");
+  // Bisection on log10(N_A); V_T is strictly increasing in N_A.
+  double lo = std::log10(min_doping_cm3);
+  double hi = std::log10(max_doping_cm3);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (threshold_voltage(std::pow(10.0, mid)) < vt) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-13) break;
+  }
+  return std::pow(10.0, 0.5 * (lo + hi));
+}
+
+}  // namespace nwdec::device

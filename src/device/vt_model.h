@@ -1,0 +1,50 @@
+// Threshold-voltage <-> doping mapping: the "monotonic non-linear function
+// f" of Proposition 1, instantiated with the long-channel MOS equations
+// from Sze & Ng (the paper's reference [14]).
+//
+// The decoder transistor is modelled as an n-channel MOSFET with an n+
+// poly-Si gate whose body doping (net acceptor concentration N_A) is set by
+// the implantation steps:
+//
+//   V_T(N_A) = V_FB + 2 psi_B + sqrt(2 q eps_Si N_A 2 psi_B) / C_ox
+//   psi_B    = (kT/q) ln(N_A / n_i)
+//   V_FB     = -E_g/2q - psi_B          (n+ poly gate over p body)
+//
+// V_T is strictly increasing in N_A, so the inverse N_A(V_T) exists and is
+// computed by bisection on log N_A. Only monotonicity and curvature matter
+// for the paper's conclusions (they make the dose set {h(v2)-h(v1)}
+// pairwise distinct, which drives the fabrication-complexity results).
+#pragma once
+
+#include "device/tech_params.h"
+
+namespace nwdec::device {
+
+/// Long-channel MOS threshold-voltage model over body doping.
+class vt_model {
+ public:
+  /// Builds the model from oxide thickness and temperature in `tech`.
+  explicit vt_model(const technology& tech);
+
+  /// Threshold voltage [V] for a body doping of `doping_cm3` [cm^-3];
+  /// doping must lie inside [min_doping_cm3(), max_doping_cm3()].
+  double threshold_voltage(double doping_cm3) const;
+
+  /// Inverse mapping: the body doping [cm^-3] realizing `vt` [V]. Throws
+  /// invalid_argument_error when vt is outside the representable range.
+  double doping_for_vt(double vt) const;
+
+  /// Gate oxide capacitance per area [F/m^2].
+  double oxide_capacitance() const { return c_ox_; }
+
+  /// Smallest / largest doping the model accepts [cm^-3]. The range is
+  /// wide enough to cover V_T in [-0.3 V, +3 V].
+  static constexpr double min_doping_cm3 = 1.0e14;
+  static constexpr double max_doping_cm3 = 1.0e20;
+
+ private:
+  double thermal_voltage_;  ///< kT/q [V]
+  double c_ox_;             ///< oxide capacitance [F/m^2]
+};
+
+}  // namespace nwdec::device

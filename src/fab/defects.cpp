@@ -1,0 +1,46 @@
+#include "fab/defects.h"
+
+namespace nwdec::fab {
+
+void defect_params::validate() const {
+  NWDEC_EXPECTS(broken_probability >= 0.0 && broken_probability <= 1.0,
+                "broken probability must be in [0, 1]");
+  NWDEC_EXPECTS(bridge_probability >= 0.0 && bridge_probability <= 1.0,
+                "bridge probability must be in [0, 1]");
+}
+
+bool defect_map::disables(std::size_t nanowire) const {
+  NWDEC_EXPECTS(nanowire < broken.size(), "nanowire index out of range");
+  if (broken[nanowire]) return true;
+  if (nanowire < bridged_to_next.size() && bridged_to_next[nanowire]) {
+    return true;
+  }
+  if (nanowire > 0 && bridged_to_next[nanowire - 1]) return true;
+  return false;
+}
+
+std::size_t defect_map::usable_count() const {
+  std::size_t usable = 0;
+  for (std::size_t i = 0; i < broken.size(); ++i) {
+    if (!disables(i)) ++usable;
+  }
+  return usable;
+}
+
+defect_map sample_defects(std::size_t nanowires, const defect_params& params,
+                          rng& random) {
+  NWDEC_EXPECTS(nanowires >= 1, "need at least one nanowire");
+  params.validate();
+  defect_map map;
+  map.broken.resize(nanowires);
+  map.bridged_to_next.resize(nanowires == 0 ? 0 : nanowires - 1);
+  for (std::size_t i = 0; i < nanowires; ++i) {
+    map.broken[i] = random.bernoulli(params.broken_probability);
+  }
+  for (std::size_t i = 0; i + 1 < nanowires; ++i) {
+    map.bridged_to_next[i] = random.bernoulli(params.bridge_probability);
+  }
+  return map;
+}
+
+}  // namespace nwdec::fab

@@ -1,0 +1,46 @@
+// Structural fabrication defects (extension study).
+//
+// The paper neglects broken nanowires ("yield close to unit" for the MSPT
+// arrays) and bridged neighbors, and simulates only decoder variability.
+// This module injects those neglected mechanisms so the ablation benches
+// can check how far that assumption carries: a broken nanowire answers no
+// address; a bridged pair conducts together and is discarded like a
+// double-contacted boundary nanowire.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace nwdec::fab {
+
+/// Defect injection rates per nanowire.
+struct defect_params {
+  /// Probability that a nanowire is mechanically broken / discontinuous.
+  double broken_probability = 0.0;
+  /// Probability that a nanowire is shorted to its next neighbor (spacer
+  /// oxide failure).
+  double bridge_probability = 0.0;
+
+  /// Throws invalid_argument_error when a probability is outside [0, 1].
+  void validate() const;
+};
+
+/// Sampled structural defects of one half cave.
+struct defect_map {
+  std::vector<bool> broken;          ///< per nanowire
+  std::vector<bool> bridged_to_next; ///< entry i: short between i and i+1
+
+  /// True when nanowire i cannot be used (broken, or in a bridged pair).
+  bool disables(std::size_t nanowire) const;
+  /// Number of usable nanowires.
+  std::size_t usable_count() const;
+};
+
+/// Samples a defect map for `nanowires` nanowires.
+defect_map sample_defects(std::size_t nanowires, const defect_params& params,
+                          rng& random);
+
+}  // namespace nwdec::fab

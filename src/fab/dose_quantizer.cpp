@@ -1,0 +1,118 @@
+#include "fab/dose_quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "decoder/doping_profile.h"
+#include "device/vt_model.h"
+#include "util/error.h"
+
+namespace nwdec::fab {
+
+namespace {
+
+// Greedy single-linkage clustering of one step's doses: sort, then start a
+// new cluster whenever the next dose is more than `tol` away (relative)
+// from the running cluster mean. Doses of opposite sign never merge (they
+// are different implant species).
+std::vector<double> cluster_means(std::vector<double> doses, double tol) {
+  std::sort(doses.begin(), doses.end());
+  std::vector<double> means;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const double dose : doses) {
+    const double mean = count == 0 ? dose : sum / static_cast<double>(count);
+    const bool same_species = count == 0 || (mean > 0) == (dose > 0);
+    const double scale = std::max(std::abs(mean), std::abs(dose));
+    if (count > 0 && same_species &&
+        std::abs(dose - mean) <= tol * scale) {
+      sum += dose;
+      ++count;
+    } else {
+      if (count > 0) means.push_back(sum / static_cast<double>(count));
+      sum = dose;
+      count = 1;
+    }
+  }
+  if (count > 0) means.push_back(sum / static_cast<double>(count));
+  return means;
+}
+
+double nearest(const std::vector<double>& menu, double dose) {
+  double best = menu.front();
+  for (const double candidate : menu) {
+    if (std::abs(candidate - dose) < std::abs(best - dose)) best = candidate;
+  }
+  return best;
+}
+
+}  // namespace
+
+quantization_result quantize_doses(const decoder::decoder_design& design,
+                                   double relative_tolerance) {
+  NWDEC_EXPECTS(relative_tolerance >= 0.0 && relative_tolerance < 1.0,
+                "relative tolerance must be in [0, 1)");
+
+  const matrix<double>& step = design.step_doping();
+  quantization_result result;
+  result.original_steps = design.fabrication_complexity();
+  result.flow.spacer_count = step.rows();
+  result.flow.region_count = step.cols();
+
+  matrix<double> quantized_step(step.rows(), step.cols(), 0.0);
+  for (std::size_t i = 0; i < step.rows(); ++i) {
+    std::vector<double> doses;
+    for (std::size_t j = 0; j < step.cols(); ++j) {
+      if (step(i, j) != 0.0) doses.push_back(step(i, j));
+    }
+    if (doses.empty()) continue;
+    const std::vector<double> menu =
+        cluster_means(doses, relative_tolerance);
+
+    // One op per menu entry, regions assigned to their nearest dose.
+    std::vector<implant_op> ops(menu.size());
+    for (std::size_t m = 0; m < menu.size(); ++m) {
+      ops[m].after_spacer = i;
+      ops[m].dose = menu[m];
+    }
+    for (std::size_t j = 0; j < step.cols(); ++j) {
+      if (step(i, j) == 0.0) continue;
+      const double q = nearest(menu, step(i, j));
+      quantized_step(i, j) = q;
+      for (implant_op& op : ops) {
+        if (op.dose == q) {
+          op.regions.push_back(j);
+          break;
+        }
+      }
+    }
+    for (implant_op& op : ops) {
+      if (!op.regions.empty()) result.flow.ops.push_back(std::move(op));
+    }
+  }
+  result.quantized_steps = result.flow.lithography_step_count();
+  NWDEC_ENSURES(result.quantized_steps <= result.original_steps,
+                "merging doses can only reduce the step count");
+
+  // Deterministic V_T error: re-accumulate the quantized doses and map the
+  // realized doping through the device model.
+  const matrix<double> realized = decoder::accumulate_doping(quantized_step);
+  const device::vt_model model(design.tech());
+  result.vt_error = matrix<double>(step.rows(), step.cols(), 0.0);
+  for (std::size_t i = 0; i < step.rows(); ++i) {
+    for (std::size_t j = 0; j < step.cols(); ++j) {
+      const double nominal =
+          design.levels().level(design.pattern()(i, j));
+      const double doping =
+          std::clamp(realized(i, j), device::vt_model::min_doping_cm3,
+                     device::vt_model::max_doping_cm3);
+      const double error = model.threshold_voltage(doping) - nominal;
+      result.vt_error(i, j) = error;
+      result.worst_vt_error =
+          std::max(result.worst_vt_error, std::abs(error));
+    }
+  }
+  return result;
+}
+
+}  // namespace nwdec::fab

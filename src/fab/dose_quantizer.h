@@ -1,0 +1,37 @@
+// Dose quantization / mask sharing (extension study).
+//
+// The fabrication-complexity metric Phi counts *distinct* doses per
+// patterning step because equal doses share one mask and one implant. A
+// real implanter cannot hit arbitrary dose values anyway, so nearby doses
+// can be deliberately collapsed onto a shared value: each collapse saves a
+// lithography pass and introduces a deterministic doping error, which the
+// device model converts into a per-region V_T shift that eats into the
+// addressability margin. This module implements the collapse and
+// quantifies both sides of the trade -- the knob between the paper's Phi
+// and the decoder's yield.
+#pragma once
+
+#include "decoder/decoder_design.h"
+#include "fab/process_flow.h"
+#include "util/matrix.h"
+
+namespace nwdec::fab {
+
+/// Outcome of quantizing a decoder's implant doses.
+struct quantization_result {
+  process_flow flow;               ///< ops with merged (averaged) doses
+  std::size_t original_steps = 0;  ///< Phi before merging
+  std::size_t quantized_steps = 0; ///< lithography passes after merging
+  matrix<double> vt_error;         ///< deterministic V_T shift per region [V]
+  double worst_vt_error = 0.0;     ///< max |vt_error|
+};
+
+/// Collapses doses within each patterning step whose relative difference
+/// is at most `relative_tolerance` onto their mean (within a step only --
+/// different spacer iterations are separate lithography events). A
+/// tolerance of 0 reproduces the exact flow. Requires
+/// 0 <= relative_tolerance < 1.
+quantization_result quantize_doses(const decoder::decoder_design& design,
+                                   double relative_tolerance);
+
+}  // namespace nwdec::fab

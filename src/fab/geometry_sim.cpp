@@ -1,0 +1,125 @@
+#include "fab/geometry_sim.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace nwdec::fab {
+
+void spacer_geometry_params::validate() const {
+  NWDEC_EXPECTS(poly_thickness_nm > 0.0, "poly thickness must be positive");
+  NWDEC_EXPECTS(oxide_thickness_nm > 0.0, "oxide thickness must be positive");
+  NWDEC_EXPECTS(deposition_sigma_nm >= 0.0,
+                "deposition sigma cannot be negative");
+  NWDEC_EXPECTS(etch_bias_nm >= 0.0, "etch bias cannot be negative");
+  NWDEC_EXPECTS(etch_bias_nm < poly_thickness_nm,
+                "etch bias consumes the whole spacer");
+  NWDEC_EXPECTS(min_width_nm >= 0.0, "minimum width cannot be negative");
+  NWDEC_EXPECTS(bridge_width_nm >= 0.0, "bridge width cannot be negative");
+  NWDEC_EXPECTS(vt_shift_mv_per_nm >= 0.0,
+                "V_T sensitivity cannot be negative");
+}
+
+double realized_geometry::pitch_error_rms_nm(double target_pitch_nm) const {
+  if (centerlines_nm.size() < 2) return 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i + 1 < centerlines_nm.size(); ++i) {
+    const double pitch = centerlines_nm[i + 1] - centerlines_nm[i];
+    const double err = pitch - target_pitch_nm;
+    sum_sq += err * err;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(centerlines_nm.size() - 1));
+}
+
+double realized_geometry::broken_fraction() const {
+  if (broken.empty()) return 0.0;
+  std::size_t count = 0;
+  for (const bool b : broken) count += b ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(broken.size());
+}
+
+double realized_geometry::bridged_fraction() const {
+  if (bridged_to_next.empty()) return 0.0;
+  std::size_t count = 0;
+  for (const bool b : bridged_to_next) count += b ? 1 : 0;
+  return static_cast<double>(count) /
+         static_cast<double>(bridged_to_next.size());
+}
+
+realized_geometry simulate_spacer_geometry(
+    std::size_t nanowires, const spacer_geometry_params& params,
+    rng& random) {
+  NWDEC_EXPECTS(nanowires >= 1, "need at least one spacer");
+  params.validate();
+
+  realized_geometry out;
+  out.poly_widths_nm.reserve(nanowires);
+  out.oxide_widths_nm.reserve(nanowires - 1);
+  out.centerlines_nm.reserve(nanowires);
+  out.broken.reserve(nanowires);
+  out.bridged_to_next.reserve(nanowires - 1);
+  out.vt_offsets_v.reserve(nanowires);
+
+  // The sidewall position advances by each deposited-and-etched layer;
+  // every layer carries its own deposition error.
+  double sidewall_nm = 0.0;
+  for (std::size_t i = 0; i < nanowires; ++i) {
+    const double poly_width =
+        std::max(0.0, params.poly_thickness_nm +
+                          random.gaussian(0.0, params.deposition_sigma_nm) -
+                          params.etch_bias_nm);
+    out.poly_widths_nm.push_back(poly_width);
+    out.centerlines_nm.push_back(sidewall_nm + 0.5 * poly_width);
+    out.broken.push_back(poly_width < params.min_width_nm);
+    out.vt_offsets_v.push_back((poly_width - params.poly_thickness_nm) *
+                               params.vt_shift_mv_per_nm * 1e-3);
+    sidewall_nm += poly_width;
+
+    if (i + 1 < nanowires) {
+      const double oxide_width =
+          std::max(0.0, params.oxide_thickness_nm +
+                            random.gaussian(0.0, params.deposition_sigma_nm) -
+                            params.etch_bias_nm);
+      out.oxide_widths_nm.push_back(oxide_width);
+      out.bridged_to_next.push_back(oxide_width < params.bridge_width_nm);
+      sidewall_nm += oxide_width;
+    }
+  }
+  return out;
+}
+
+defect_params estimate_defect_rates(const spacer_geometry_params& params,
+                                    std::size_t nanowires,
+                                    std::size_t trials, rng& random) {
+  NWDEC_EXPECTS(trials >= 1, "need at least one trial");
+  running_stats broken;
+  running_stats bridged;
+  for (std::size_t t = 0; t < trials; ++t) {
+    rng stream = random.fork();
+    const realized_geometry geometry =
+        simulate_spacer_geometry(nanowires, params, stream);
+    broken.add(geometry.broken_fraction());
+    bridged.add(geometry.bridged_fraction());
+  }
+  defect_params rates;
+  rates.broken_probability = std::min(1.0, broken.mean());
+  rates.bridge_probability = std::min(1.0, bridged.mean());
+  return rates;
+}
+
+double vt_offset_sigma(const spacer_geometry_params& params,
+                       std::size_t nanowires, std::size_t trials,
+                       rng& random) {
+  NWDEC_EXPECTS(trials >= 1, "need at least one trial");
+  running_stats offsets;
+  for (std::size_t t = 0; t < trials; ++t) {
+    rng stream = random.fork();
+    const realized_geometry geometry =
+        simulate_spacer_geometry(nanowires, params, stream);
+    for (const double v : geometry.vt_offsets_v) offsets.add(v);
+  }
+  return offsets.stddev();
+}
+
+}  // namespace nwdec::fab

@@ -1,0 +1,74 @@
+// Geometric MSPT simulation (extension study).
+//
+// The decoder analysis treats the nanowire array as perfectly regular; the
+// real MSPT array (Sec. 3.1, Fig. 3) is built by alternating conformal
+// depositions and anisotropic etches, so every spacer width carries the
+// deposition-thickness error of its own step and the etch bias. This
+// module simulates the sidewall stack geometrically and derives the
+// consequences the electrical model cares about:
+//   * spacers thinner than a minimum width break (discontinuous wires),
+//   * oxide gaps thinner than a bridge threshold short neighbors,
+//   * width deviation shifts the threshold voltage (narrow-body effect),
+//   * the realized pitch wanders, stressing the contact-group bands.
+// estimate_defect_rates() converts the geometry statistics into the
+// defect_params consumed by the Monte-Carlo yield simulator, closing the
+// loop from nanometer process noise to array yield.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fab/defects.h"
+#include "util/rng.h"
+
+namespace nwdec::fab {
+
+/// Process targets and noise of the spacer loop.
+struct spacer_geometry_params {
+  double poly_thickness_nm = 5.0;    ///< target poly-Si spacer width
+  double oxide_thickness_nm = 5.0;   ///< target SiO2 spacer width
+  double deposition_sigma_nm = 0.15; ///< 1-sigma thickness error per layer
+  double etch_bias_nm = 0.0;         ///< systematic width loss per etch
+  double min_width_nm = 2.0;         ///< thinner poly spacers break
+  double bridge_width_nm = 1.5;      ///< thinner oxide gaps short neighbors
+  double vt_shift_mv_per_nm = 10.0;  ///< V_T sensitivity to width deviation
+
+  /// Throws invalid_argument_error on non-physical values.
+  void validate() const;
+};
+
+/// One simulated cave flank (half cave) of spacers.
+struct realized_geometry {
+  std::vector<double> poly_widths_nm;   ///< per nanowire
+  std::vector<double> oxide_widths_nm;  ///< per inter-wire gap (N-1)
+  std::vector<double> centerlines_nm;   ///< nanowire center positions
+  std::vector<bool> broken;             ///< poly width under the minimum
+  std::vector<bool> bridged_to_next;    ///< oxide gap under the threshold
+  std::vector<double> vt_offsets_v;     ///< width-induced V_T shift [V]
+
+  /// RMS deviation of the realized pitch from its target.
+  double pitch_error_rms_nm(double target_pitch_nm) const;
+  /// Fraction of broken nanowires.
+  double broken_fraction() const;
+  /// Fraction of bridged gaps.
+  double bridged_fraction() const;
+};
+
+/// Simulates the spacer loop for one half cave of `nanowires` spacers.
+realized_geometry simulate_spacer_geometry(std::size_t nanowires,
+                                           const spacer_geometry_params& params,
+                                           rng& random);
+
+/// Monte-Carlo estimate of structural defect rates implied by the
+/// geometry parameters, in the form yield::monte_carlo_yield consumes.
+defect_params estimate_defect_rates(const spacer_geometry_params& params,
+                                    std::size_t nanowires,
+                                    std::size_t trials, rng& random);
+
+/// Standard deviation of the width-induced V_T offsets [V]; compares the
+/// geometric V_T noise channel against the doping channel sigma_T.
+double vt_offset_sigma(const spacer_geometry_params& params,
+                       std::size_t nanowires, std::size_t trials,
+                       rng& random);
+
+}  // namespace nwdec::fab

@@ -1,0 +1,44 @@
+#include "fab/process_flow.h"
+
+#include <cmath>
+
+#include "decoder/complexity.h"
+#include "util/error.h"
+
+namespace nwdec::fab {
+
+process_flow build_process_flow(const decoder::decoder_design& design) {
+  const matrix<double>& step = design.step_doping();
+  process_flow flow;
+  flow.spacer_count = step.rows();
+  flow.region_count = step.cols();
+
+  for (std::size_t i = 0; i < step.rows(); ++i) {
+    std::vector<implant_op> step_ops;
+    for (std::size_t j = 0; j < step.cols(); ++j) {
+      const double dose = step(i, j);
+      if (dose == 0.0) continue;
+      bool merged = false;
+      for (implant_op& op : step_ops) {
+        const double scale = std::max(std::abs(op.dose), std::abs(dose));
+        if (std::abs(op.dose - dose) <=
+            decoder::default_dose_tolerance * scale) {
+          op.regions.push_back(j);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        step_ops.push_back(implant_op{i, dose, {j}});
+      }
+    }
+    for (implant_op& op : step_ops) flow.ops.push_back(std::move(op));
+  }
+
+  NWDEC_ENSURES(flow.lithography_step_count() ==
+                    design.fabrication_complexity(),
+                "process flow step count must equal Phi");
+  return flow;
+}
+
+}  // namespace nwdec::fab

@@ -1,0 +1,42 @@
+// MSPT process-flow construction (Sec. 3.1-3.2, Figs. 2 and 4).
+//
+// The decoder-aware MSPT flow alternates spacer definition with
+// lithography/implantation: after spacer i is etched, each *distinct* dose
+// in row i of the step doping matrix S becomes one mask + implant pass over
+// the regions (columns) that need it -- and the implant reaches spacers
+// 0..i simultaneously, which is exactly the cumulative-dose constraint of
+// Proposition 2. The flow's lithography-step count is therefore an
+// independent recomputation of the fabrication complexity Phi.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "decoder/decoder_design.h"
+
+namespace nwdec::fab {
+
+/// One lithography + implantation pass.
+struct implant_op {
+  std::size_t after_spacer = 0;      ///< executed after this spacer's etch
+  double dose = 0.0;                 ///< signed dose (cm^-3); sign = species
+  std::vector<std::size_t> regions;  ///< doping-region columns it opens
+};
+
+/// The full decoder-aware MSPT flow for one half cave.
+struct process_flow {
+  std::size_t spacer_count = 0;  ///< N nanowires = N spacer iterations
+  std::size_t region_count = 0;  ///< M doping regions along each nanowire
+  std::vector<implant_op> ops;   ///< in execution order
+
+  /// Number of additional lithography/doping steps; equals the decoder's
+  /// fabrication complexity Phi by construction.
+  std::size_t lithography_step_count() const { return ops.size(); }
+};
+
+/// Derives the flow from an analyzed decoder design, grouping each step's
+/// equal doses into a single mask/implant pass (tolerance
+/// decoder::default_dose_tolerance, as in the Phi computation).
+process_flow build_process_flow(const decoder::decoder_design& design);
+
+}  // namespace nwdec::fab

@@ -1,0 +1,68 @@
+#include "fab/process_sim.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace nwdec::fab {
+
+process_simulator::process_simulator(const decoder::decoder_design& design,
+                                     noise_mode mode,
+                                     double dose_noise_fraction)
+    : design_(design),
+      flow_(build_process_flow(design)),
+      mode_(mode),
+      dose_noise_fraction_(dose_noise_fraction),
+      model_(design.tech()) {
+  NWDEC_EXPECTS(dose_noise_fraction >= 0.0,
+                "dose noise fraction cannot be negative");
+}
+
+fab_result process_simulator::run(rng& random) const {
+  const std::size_t spacers = flow_.spacer_count;
+  const std::size_t regions = flow_.region_count;
+  const double sigma_vt = design_.tech().sigma_vt;
+
+  fab_result result;
+  result.realized_doping = matrix<double>(spacers, regions, 0.0);
+  result.doses_received = matrix<std::size_t>(spacers, regions, 0);
+  matrix<double> vt_noise(spacers, regions, 0.0);
+
+  for (const implant_op& op : flow_.ops) {
+    double dose = op.dose;
+    if (mode_ == noise_mode::dose_domain) {
+      dose *= random.gaussian(1.0, dose_noise_fraction_);
+    }
+    // The implant after spacer `after_spacer` reaches that spacer and every
+    // spacer defined before it (Proposition 2's cumulative constraint).
+    for (std::size_t i = 0; i <= op.after_spacer; ++i) {
+      for (const std::size_t j : op.regions) {
+        result.realized_doping(i, j) += dose;
+        result.doses_received(i, j) += 1;
+        if (mode_ == noise_mode::vt_domain) {
+          vt_noise(i, j) += random.gaussian(0.0, sigma_vt);
+        }
+      }
+    }
+  }
+
+  result.realized_vt = matrix<double>(spacers, regions, 0.0);
+  const device::vt_levels& levels = design_.levels();
+  for (std::size_t i = 0; i < spacers; ++i) {
+    for (std::size_t j = 0; j < regions; ++j) {
+      if (mode_ == noise_mode::vt_domain) {
+        const double nominal = levels.level(design_.pattern()(i, j));
+        result.realized_vt(i, j) = nominal + vt_noise(i, j);
+      } else {
+        const double doping =
+            std::clamp(result.realized_doping(i, j),
+                       device::vt_model::min_doping_cm3,
+                       device::vt_model::max_doping_cm3);
+        result.realized_vt(i, j) = model_.threshold_voltage(doping);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace nwdec::fab

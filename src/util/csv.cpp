@@ -1,0 +1,39 @@
+#include "util/csv.h"
+
+#include "util/error.h"
+
+namespace nwdec {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+csv_writer::csv_writer(const std::string& path,
+                       const std::vector<std::string>& header)
+    : out_(path) {
+  if (!out_) throw error("cannot open CSV output file: " + path);
+  write_row(header);
+}
+
+void csv_writer::add_row(const std::vector<std::string>& cells) {
+  write_row(cells);
+}
+
+void csv_writer::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace nwdec

@@ -1,0 +1,32 @@
+// Minimal CSV emitter; the bench binaries can dump every figure's series to
+// a file for external plotting (`--csv <path>`).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nwdec {
+
+/// Writes rows of cells as RFC-4180-ish CSV (quotes cells containing commas,
+/// quotes or newlines; doubles embedded quotes).
+class csv_writer {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// nwdec::error when the file cannot be opened.
+  csv_writer(const std::string& path, const std::vector<std::string>& header);
+
+  /// Emits one data row; width does not have to match the header (ragged
+  /// series are allowed for surface data).
+  void add_row(const std::vector<std::string>& cells);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+};
+
+/// Escapes a single CSV cell (exposed for tests).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace nwdec

@@ -1,0 +1,32 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace nwdec::detail {
+
+namespace {
+
+std::string format_failure(const char* kind, const char* condition,
+                           const char* file, int line,
+                           const std::string& message) {
+  std::ostringstream os;
+  os << kind << " violated: " << message << " [" << condition << "] at "
+     << file << ":" << line;
+  return os.str();
+}
+
+}  // namespace
+
+void throw_expects_failure(const char* condition, const char* file, int line,
+                           const std::string& message) {
+  throw invalid_argument_error(
+      format_failure("precondition", condition, file, line, message));
+}
+
+void throw_ensures_failure(const char* condition, const char* file, int line,
+                           const std::string& message) {
+  throw logic_invariant_error(
+      format_failure("invariant", condition, file, line, message));
+}
+
+}  // namespace nwdec::detail

@@ -1,0 +1,66 @@
+// Error handling primitives shared by every nwdec library.
+//
+// The library follows a simple contract discipline:
+//   * NWDEC_EXPECTS(cond, msg)  -- precondition on public API arguments;
+//     violation throws nwdec::invalid_argument_error.
+//   * NWDEC_ENSURES(cond, msg)  -- postcondition / internal invariant;
+//     violation throws nwdec::logic_invariant_error (a bug in nwdec itself).
+// Both are always on: the checks guard physical-design code where a silent
+// out-of-range index produces plausible-looking but wrong statistics.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nwdec {
+
+/// Base class for every exception thrown by nwdec.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed an argument that violates a documented precondition.
+class invalid_argument_error : public error {
+ public:
+  explicit invalid_argument_error(const std::string& what) : error(what) {}
+};
+
+/// An internal invariant of the library failed; indicates a bug in nwdec.
+class logic_invariant_error : public error {
+ public:
+  explicit logic_invariant_error(const std::string& what) : error(what) {}
+};
+
+/// A requested object (code word, design point, ...) does not exist.
+class not_found_error : public error {
+ public:
+  explicit not_found_error(const std::string& what) : error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_expects_failure(const char* condition, const char* file,
+                                        int line, const std::string& message);
+[[noreturn]] void throw_ensures_failure(const char* condition, const char* file,
+                                        int line, const std::string& message);
+
+}  // namespace detail
+
+}  // namespace nwdec
+
+#define NWDEC_EXPECTS(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::nwdec::detail::throw_expects_failure(#cond, __FILE__, __LINE__,      \
+                                             (msg));                         \
+    }                                                                        \
+  } while (false)
+
+#define NWDEC_ENSURES(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::nwdec::detail::throw_ensures_failure(#cond, __FILE__, __LINE__,      \
+                                             (msg));                         \
+    }                                                                        \
+  } while (false)

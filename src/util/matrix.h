@@ -1,0 +1,134 @@
+// Dense row-major matrix used throughout nwdec for the pattern matrix P,
+// doping matrices D and S, and the variability matrices nu and Sigma.
+//
+// The matrix is deliberately small and value-semantic: decoder instances are
+// a few hundred elements, so there is no need for expression templates or
+// views; clarity and bounds safety win.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nwdec {
+
+/// Dense row-major matrix of arithmetic type T with bounds-checked access.
+template <typename T>
+class matrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  matrix() = default;
+
+  /// Creates a rows x cols matrix with every element set to `fill`.
+  matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Creates a matrix from nested initializer lists; all rows must have the
+  /// same length. Example: matrix<int> m{{1, 2}, {3, 4}};
+  matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ == 0 ? 0 : init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      NWDEC_EXPECTS(row.size() == cols_,
+                    "all rows of a matrix initializer must have equal length");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  /// Number of rows.
+  std::size_t rows() const { return rows_; }
+  /// Number of columns.
+  std::size_t cols() const { return cols_; }
+  /// Total number of elements.
+  std::size_t size() const { return data_.size(); }
+  /// True when the matrix holds no elements.
+  bool empty() const { return data_.empty(); }
+
+  /// Bounds-checked element access.
+  T& operator()(std::size_t row, std::size_t col) {
+    NWDEC_EXPECTS(row < rows_ && col < cols_, "matrix index out of range");
+    return data_[row * cols_ + col];
+  }
+
+  /// Bounds-checked element access (const).
+  const T& operator()(std::size_t row, std::size_t col) const {
+    NWDEC_EXPECTS(row < rows_ && col < cols_, "matrix index out of range");
+    return data_[row * cols_ + col];
+  }
+
+  /// Copies row `row` into a vector.
+  std::vector<T> row(std::size_t row) const {
+    NWDEC_EXPECTS(row < rows_, "matrix row index out of range");
+    return std::vector<T>(data_.begin() + static_cast<std::ptrdiff_t>(row * cols_),
+                          data_.begin() + static_cast<std::ptrdiff_t>((row + 1) * cols_));
+  }
+
+  /// Copies column `col` into a vector.
+  std::vector<T> col(std::size_t col) const {
+    NWDEC_EXPECTS(col < cols_, "matrix column index out of range");
+    std::vector<T> out(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) out[i] = data_[i * cols_ + col];
+    return out;
+  }
+
+  /// Flat contiguous storage (row-major), mainly for tests and serialization.
+  const std::vector<T>& data() const { return data_; }
+
+  /// Sum of all elements ("entrywise 1-norm" for non-negative matrices,
+  /// which is how the paper defines ||Sigma||_1).
+  T sum() const { return std::accumulate(data_.begin(), data_.end(), T{}); }
+
+  /// Largest element; matrix must be non-empty.
+  T max() const {
+    NWDEC_EXPECTS(!data_.empty(), "max() of an empty matrix");
+    return *std::max_element(data_.begin(), data_.end());
+  }
+
+  /// Smallest element; matrix must be non-empty.
+  T min() const {
+    NWDEC_EXPECTS(!data_.empty(), "min() of an empty matrix");
+    return *std::min_element(data_.begin(), data_.end());
+  }
+
+  /// Elementwise transform into a (possibly different-typed) matrix.
+  template <typename U, typename F>
+  matrix<U> map(F&& f) const {
+    matrix<U> out(rows_, cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j)
+        out(i, j) = std::invoke(f, (*this)(i, j));
+    return out;
+  }
+
+  friend bool operator==(const matrix& a, const matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Prints a matrix row per line, elements space-separated; used by tests and
+/// example programs for small decoder matrices.
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const matrix<T>& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (j != 0) os << ' ';
+      os << m(i, j);
+    }
+    os << '\n';
+  }
+  return os;
+}
+
+}  // namespace nwdec

@@ -1,0 +1,71 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace nwdec {
+
+void running_stats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double running_stats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const { return std::sqrt(variance()); }
+
+double running_stats::stderr_mean() const {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double gaussian_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double gaussian_window_probability(double mean, double sigma, double lo,
+                                   double hi) {
+  NWDEC_EXPECTS(lo <= hi, "gaussian window requires lo <= hi");
+  NWDEC_EXPECTS(sigma >= 0.0, "gaussian sigma must be non-negative");
+  if (sigma == 0.0) return (mean >= lo && mean <= hi) ? 1.0 : 0.0;
+  return gaussian_cdf((hi - mean) / sigma) - gaussian_cdf((lo - mean) / sigma);
+}
+
+double gaussian_symmetric_window_probability(double sigma, double half_width) {
+  NWDEC_EXPECTS(half_width >= 0.0, "window half-width must be non-negative");
+  NWDEC_EXPECTS(sigma >= 0.0, "gaussian sigma must be non-negative");
+  if (sigma == 0.0) return 1.0;
+  return std::erf(half_width / (sigma * std::sqrt(2.0)));
+}
+
+interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  NWDEC_EXPECTS(trials > 0, "wilson interval requires at least one trial");
+  NWDEC_EXPECTS(successes <= trials, "successes cannot exceed trials");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+double percent_change(double a, double b) {
+  if (b == 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return 100.0 * (a - b) / b;
+}
+
+}  // namespace nwdec

@@ -1,0 +1,64 @@
+// Statistical helpers: running moments, Gaussian window probabilities, and
+// binomial confidence intervals for the Monte-Carlo yield estimates.
+#pragma once
+
+#include <cstddef>
+
+namespace nwdec {
+
+/// Accumulates mean and variance in a single pass (Welford's algorithm);
+/// numerically stable for the long Monte-Carlo runs in the yield simulator.
+class running_stats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations so far.
+  std::size_t count() const { return count_; }
+  /// Sample mean; 0 when empty.
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+  /// Square root of variance().
+  double stddev() const;
+  /// Standard error of the mean; 0 with fewer than two observations.
+  double stderr_mean() const;
+  /// Smallest observation seen; +inf when empty.
+  double min() const { return min_; }
+  /// Largest observation seen; -inf when empty.
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Standard normal cumulative distribution function.
+double gaussian_cdf(double z);
+
+/// Probability that a Gaussian(mean, sigma) sample falls inside
+/// [lo, hi]. Degenerate sigma == 0 returns 1 when mean is inside, else 0.
+double gaussian_window_probability(double mean, double sigma, double lo,
+                                   double hi);
+
+/// Probability that a Gaussian(0, sigma) sample has |x| <= half_width.
+/// Equivalent to erf(half_width / (sigma * sqrt(2))).
+double gaussian_symmetric_window_probability(double sigma, double half_width);
+
+/// Wilson score interval for a binomial proportion: successes k out of n at
+/// (approximately) the given z-score confidence. Returns {low, high}.
+struct interval {
+  double low;
+  double high;
+};
+interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z = 1.96);
+
+/// Relative difference (a - b) / b, in percent. Used by the experiment
+/// reports when comparing measured values against the paper's numbers.
+double percent_change(double a, double b);
+
+}  // namespace nwdec

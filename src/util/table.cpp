@@ -1,0 +1,71 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace nwdec {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  NWDEC_EXPECTS(!headers_.empty(), "a table needs at least one column");
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  NWDEC_EXPECTS(cells.size() == headers_.size(),
+                "row width must match the number of headers");
+  rows_.push_back(std::move(cells));
+}
+
+void text_table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto rule = [&os, &widths] {
+    os << '+';
+    for (const std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  const auto line = [&os, &widths](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left
+         << cells[c] << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void text_table::print(std::ostream& os, const std::string& title) const {
+  os << title << '\n';
+  print(os);
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_fixed(100.0 * fraction, decimals) + "%";
+}
+
+std::string format_count(std::size_t value) { return std::to_string(value); }
+
+}  // namespace nwdec

@@ -1,0 +1,48 @@
+// ASCII table rendering for the benchmark harnesses and examples.
+//
+// Every figure/table reproduction prints its series through this class so
+// the output is uniform: a header row, aligned columns, and an optional
+// title. Cells are strings; format_* helpers convert numbers consistently.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nwdec {
+
+/// Column-aligned ASCII table builder.
+class text_table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit text_table(std::vector<std::string> headers);
+
+  /// Appends one row; it must have exactly as many cells as there are
+  /// headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with +---+ rules and | separators.
+  void print(std::ostream& os) const;
+
+  /// Renders with a title line above the table.
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with a fixed number of decimals.
+std::string format_fixed(double value, int decimals);
+
+/// Formats a value as a percentage with the given decimals, e.g. "42.0%".
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Formats an integer count.
+std::string format_count(std::size_t value);
+
+}  // namespace nwdec

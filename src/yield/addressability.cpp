@@ -1,0 +1,45 @@
+#include "yield/addressability.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace nwdec::yield {
+
+double region_ok_probability(double sigma, double window_half_width,
+                             codes::digit value) {
+  if (value == 0) {
+    // One-sided: P(V_T < nominal + w).
+    if (sigma == 0.0) return 1.0;
+    return gaussian_cdf(window_half_width / sigma);
+  }
+  return gaussian_symmetric_window_probability(sigma, window_half_width);
+}
+
+double nanowire_addressable_probability(const decoder::decoder_design& design,
+                                        std::size_t row) {
+  NWDEC_EXPECTS(row < design.nanowire_count(), "nanowire index out of range");
+  const double sigma_vt = design.tech().sigma_vt;
+  const double window = design.levels().window_half_width();
+  double probability = 1.0;
+  for (std::size_t j = 0; j < design.region_count(); ++j) {
+    const double sigma =
+        sigma_vt *
+        std::sqrt(static_cast<double>(design.dose_counts()(row, j)));
+    probability *=
+        region_ok_probability(sigma, window, design.pattern()(row, j));
+  }
+  return probability;
+}
+
+std::vector<double> addressability_profile(
+    const decoder::decoder_design& design) {
+  std::vector<double> out(design.nanowire_count());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = nanowire_addressable_probability(design, i);
+  }
+  return out;
+}
+
+}  // namespace nwdec::yield

@@ -1,0 +1,45 @@
+// Per-region and per-nanowire addressability probabilities (Sec. 6.1).
+//
+// A doping region works when its realized V_T stays within the
+// addressability window around the nominal level; with the default window
+// fraction of 1/2 the window is exactly the guard band that makes the
+// threshold-conduction decode provably correct:
+//   * upper side: the region still conducts at its own drive voltage
+//     (V_T < nominal + spacing/2), and
+//   * lower side: it still blocks the next drive level down
+//     (V_T > nominal - spacing/2).
+// Region (i, j) accumulated nu[i][j] independent doses, so its V_T is
+// Gaussian with sigma = sigma_T * sqrt(nu[i][j]); a nanowire is addressable
+// when all M regions hold, giving the product formula implemented here.
+//
+// Digit-0 regions are special: no address ever drives *below* level 0, so
+// such a region has no blocking duty and only the upper (conduction) bound
+// applies -- its window is one-sided. This keeps the window criterion an
+// exact sufficient condition for correct decode while not over-penalizing
+// the high-variability regions (every reflected binary word is half
+// zeros).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "decoder/decoder_design.h"
+
+namespace nwdec::yield {
+
+/// Probability that a region with the given V_T standard deviation stays
+/// inside its addressability window: two-sided (+- window_half_width) for
+/// digit values >= 1, upper-sided only for digit value 0 (see header).
+double region_ok_probability(double sigma, double window_half_width,
+                             codes::digit value);
+
+/// Probability that nanowire `row` of the design is addressable: product
+/// of its regions' window probabilities.
+double nanowire_addressable_probability(const decoder::decoder_design& design,
+                                        std::size_t row);
+
+/// The per-nanowire probabilities for the whole half cave.
+std::vector<double> addressability_profile(
+    const decoder::decoder_design& design);
+
+}  // namespace nwdec::yield

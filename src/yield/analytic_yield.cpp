@@ -1,0 +1,37 @@
+#include "yield/analytic_yield.h"
+
+#include "util/error.h"
+#include "yield/addressability.h"
+
+namespace nwdec::yield {
+
+yield_result analytic_yield(const decoder::decoder_design& design,
+                            const crossbar::contact_group_plan& plan) {
+  NWDEC_EXPECTS(plan.nanowire_count == design.nanowire_count(),
+                "plan and design must describe the same half cave");
+  NWDEC_EXPECTS(plan.code_space == design.code().size(),
+                "plan must be built for the design's code space");
+
+  yield_result result;
+  result.per_nanowire = addressability_profile(design);
+  result.expected_discarded = plan.expected_discarded();
+
+  double variability_sum = 0.0;
+  double yield_sum = 0.0;
+  for (std::size_t i = 0; i < result.per_nanowire.size(); ++i) {
+    variability_sum += result.per_nanowire[i];
+    result.per_nanowire[i] *= 1.0 - plan.discard_probability(i);
+    yield_sum += result.per_nanowire[i];
+  }
+  const double n = static_cast<double>(design.nanowire_count());
+  result.mean_addressability = variability_sum / n;
+  result.nanowire_yield = yield_sum / n;
+  result.crosspoint_yield = result.nanowire_yield * result.nanowire_yield;
+  return result;
+}
+
+double effective_bits(const yield_result& result, std::size_t raw_bits) {
+  return result.crosspoint_yield * static_cast<double>(raw_bits);
+}
+
+}  // namespace nwdec::yield

@@ -1,0 +1,40 @@
+// Closed-form half-cave yield (Sec. 6.1): expected fraction of addressable
+// nanowires, combining the variability model (addressability.h) with the
+// contact-group losses (boundary bands and beyond-code-space positions).
+//
+// The crossbar-level figures follow: a crosspoint works when both its row
+// and its column nanowire are addressable, so the crosspoint yield is Y^2
+// and the effective density D_EFF = D_RAW * Y^2 (Sec. 6.1).
+#pragma once
+
+#include <vector>
+
+#include "crossbar/contact_groups.h"
+#include "decoder/decoder_design.h"
+
+namespace nwdec::yield {
+
+/// Analytic yield of one half cave and the derived crossbar figures.
+struct yield_result {
+  double nanowire_yield = 0.0;    ///< Y: E[addressable] / N
+  double crosspoint_yield = 0.0;  ///< Y^2
+  /// Mean variability-only addressability over all nanowires (what the
+  /// yield would be with a perfect contact plan).
+  double mean_addressability = 0.0;
+  /// Expected nanowires discarded by the contact-group plan (boundary
+  /// bands are probabilistic, excess positions certain).
+  double expected_discarded = 0.0;
+  /// Per-nanowire P(addressable), contact losses folded in.
+  std::vector<double> per_nanowire;
+};
+
+/// Computes the analytic yield of the design under a contact-group plan.
+/// The plan must cover the same number of nanowires as the design.
+yield_result analytic_yield(const decoder::decoder_design& design,
+                            const crossbar::contact_group_plan& plan);
+
+/// Effective working crosspoints of a crossbar with `raw_bits` raw
+/// crosspoints whose row and column half caves both yield `result`.
+double effective_bits(const yield_result& result, std::size_t raw_bits);
+
+}  // namespace nwdec::yield

@@ -1,0 +1,115 @@
+#include "yield/monte_carlo_yield.h"
+
+#include <cmath>
+#include <vector>
+
+#include "decoder/addressing.h"
+#include "decoder/pattern_matrix.h"
+#include "fab/process_sim.h"
+#include "util/error.h"
+
+namespace nwdec::yield {
+
+namespace {
+
+// Realized threshold voltages of nanowire `row` as a flat vector.
+std::vector<double> vt_row(const matrix<double>& realized_vt,
+                           std::size_t row) {
+  return realized_vt.row(row);
+}
+
+bool window_ok(const decoder::decoder_design& design,
+               const matrix<double>& realized_vt, std::size_t row) {
+  const double window = design.levels().window_half_width();
+  for (std::size_t j = 0; j < design.region_count(); ++j) {
+    const codes::digit value = design.pattern()(row, j);
+    const double nominal = design.levels().level(value);
+    const double delta = realized_vt(row, j) - nominal;
+    // Digit-0 regions have no blocking duty: only the upper bound applies.
+    if (delta >= window) return false;
+    if (value != 0 && delta <= -window) return false;
+  }
+  return true;
+}
+
+bool operational_ok(const decoder::decoder_design& design,
+                    const crossbar::contact_group_plan& plan,
+                    const matrix<double>& realized_vt, std::size_t row,
+                    const std::vector<std::vector<std::size_t>>& members) {
+  // Drive this nanowire's own address and require that it conducts while
+  // every other nanowire reachable through the same contact group blocks.
+  const codes::code_word address =
+      decoder::pattern_row(design.pattern(), design.code().radix, row);
+  const std::vector<double> drive =
+      decoder::drive_pattern(address, design.levels());
+  if (!decoder::conducts(vt_row(realized_vt, row), drive)) return false;
+  for (const std::size_t other : members[plan.group_of(row)]) {
+    if (other == row) continue;
+    if (decoder::conducts(vt_row(realized_vt, other), drive)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+mc_yield_result monte_carlo_yield(
+    const decoder::decoder_design& design,
+    const crossbar::contact_group_plan& plan, mc_mode mode,
+    std::size_t trials, rng& random,
+    const std::optional<fab::defect_params>& defects) {
+  NWDEC_EXPECTS(trials >= 1, "need at least one Monte-Carlo trial");
+  NWDEC_EXPECTS(plan.nanowire_count == design.nanowire_count(),
+                "plan and design must describe the same half cave");
+
+  const std::size_t n = design.nanowire_count();
+  const fab::process_simulator simulator(design);
+
+  // Contact-group membership: double-contacted boundary nanowires still
+  // *conduct*, so they stay in the member lists as potential impostors
+  // even when they are not counted addressable themselves.
+  std::vector<std::vector<std::size_t>> members(plan.group_count);
+  std::vector<double> discard_probability(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    members[plan.group_of(i)].push_back(i);
+    discard_probability[i] = plan.discard_probability(i);
+  }
+
+  running_stats per_trial_yield;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    rng stream = random.fork();
+    const fab::fab_result fabbed = simulator.run(stream);
+
+    std::optional<fab::defect_map> defect_map;
+    if (defects.has_value()) {
+      defect_map = fab::sample_defects(n, *defects, stream);
+    }
+
+    std::size_t good = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // This die's contact edges clip this nanowire with the plan's
+      // probability (misalignment is sampled per fabricated cave).
+      if (discard_probability[i] > 0.0 &&
+          stream.bernoulli(discard_probability[i])) {
+        continue;
+      }
+      if (defect_map.has_value() && defect_map->disables(i)) continue;
+      const bool ok =
+          mode == mc_mode::window
+              ? window_ok(design, fabbed.realized_vt, i)
+              : operational_ok(design, plan, fabbed.realized_vt, i, members);
+      if (ok) ++good;
+    }
+    per_trial_yield.add(static_cast<double>(good) / static_cast<double>(n));
+  }
+
+  mc_yield_result result;
+  result.trials = trials;
+  result.nanowire_yield = per_trial_yield.mean();
+  result.crosspoint_yield = result.nanowire_yield * result.nanowire_yield;
+  const double margin = 1.96 * per_trial_yield.stderr_mean();
+  result.ci = interval{result.nanowire_yield - margin,
+                       result.nanowire_yield + margin};
+  return result;
+}
+
+}  // namespace nwdec::yield

@@ -1,0 +1,51 @@
+// Monte-Carlo yield: fabricate virtual half caves (fab::process_simulator)
+// and count how many nanowires actually decode.
+//
+// Two addressability criteria are available:
+//   * window: a nanowire works when every region's realized V_T lies in the
+//     addressability window. This is the criterion the analytic model
+//     integrates, so window-mode Monte Carlo must agree with
+//     analytic_yield() within statistical error (the tests enforce it).
+//   * operational: a nanowire works when driving its own address makes it
+//     -- and nothing else in its contact group -- conduct, evaluated on
+//     realized voltages. This is the real decode experiment; the window
+//     criterion is sufficient but not necessary, so operational yield is
+//     >= window yield (typically by a few percent).
+// Optionally a structural defect map (fab/defects.h) is sampled per trial.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "crossbar/contact_groups.h"
+#include "decoder/decoder_design.h"
+#include "fab/defects.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace nwdec::yield {
+
+/// Which addressability criterion the Monte Carlo applies.
+enum class mc_mode {
+  window,
+  operational,
+};
+
+/// Monte-Carlo estimate of the half-cave yield.
+struct mc_yield_result {
+  double nanowire_yield = 0.0;   ///< mean over trials
+  double crosspoint_yield = 0.0; ///< nanowire_yield^2
+  interval ci{0.0, 0.0};         ///< ~95% CI on nanowire_yield
+  std::size_t trials = 0;
+};
+
+/// Runs `trials` independent fabrications of the half cave and counts
+/// addressable nanowires under the chosen criterion. `defects`, when
+/// given, injects broken/bridged nanowires per trial.
+mc_yield_result monte_carlo_yield(
+    const decoder::decoder_design& design,
+    const crossbar::contact_group_plan& plan, mc_mode mode,
+    std::size_t trials, rng& random,
+    const std::optional<fab::defect_params>& defects = std::nullopt);
+
+}  // namespace nwdec::yield

@@ -1,0 +1,87 @@
+#include "codes/arranged_hot_code.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codes/arrangement.h"
+#include "codes/gray_code.h"
+#include "codes/hot_code.h"
+#include "codes/metrics.h"
+#include "util/error.h"
+
+namespace nwdec::codes {
+namespace {
+
+class RevolvingDoorTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(RevolvingDoorTest, CyclicSwapDistanceAndCompleteness) {
+  const auto [total, chosen] = GetParam();
+  const std::vector<code_word> words = revolving_door_words(total, chosen);
+
+  // One word per combination.
+  std::size_t expected = 1;
+  for (std::size_t j = 1; j <= chosen; ++j) {
+    expected = expected * (total - chosen + j) / j;
+  }
+  EXPECT_EQ(words.size(), expected);
+  EXPECT_TRUE(all_distinct(words));
+
+  for (const code_word& w : words) {
+    EXPECT_EQ(w.value_counts()[1], chosen);
+  }
+  // Every adjacent pair (and the wrap) swaps exactly one 0 with one 1.
+  if (words.size() > 1) {
+    EXPECT_TRUE(is_gray_sequence(words, 2, /*cyclic=*/true));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combinations, RevolvingDoorTest,
+    ::testing::Values(std::make_pair(std::size_t{4}, std::size_t{2}),
+                      std::make_pair(std::size_t{5}, std::size_t{2}),
+                      std::make_pair(std::size_t{6}, std::size_t{3}),
+                      std::make_pair(std::size_t{8}, std::size_t{4}),
+                      std::make_pair(std::size_t{10}, std::size_t{5}),
+                      std::make_pair(std::size_t{6}, std::size_t{1}),
+                      std::make_pair(std::size_t{6}, std::size_t{6})),
+    [](const ::testing::TestParamInfo<RevolvingDoorTest::ParamType>& info) {
+      return "c" + std::to_string(info.param.first) + "_" +
+             std::to_string(info.param.second);
+    });
+
+TEST(ArrangedHotCodeTest, BinaryIsPermutationOfHotCode) {
+  const std::vector<code_word> arranged = arranged_hot_code_words(2, 4);
+  std::vector<code_word> sorted = arranged;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, hot_code_words(2, 4));
+  EXPECT_TRUE(is_gray_sequence(arranged, 2, /*cyclic=*/true));
+}
+
+TEST(ArrangedHotCodeTest, TernarySpaceGetsTwoTransitionArrangement) {
+  // The paper reports an exhaustive search confirming Gray-fashion
+  // arrangements exist for hot spaces up to ~100 words; (3,2) has 90.
+  const std::vector<code_word> arranged = arranged_hot_code_words(3, 2);
+  ASSERT_EQ(arranged.size(), 90u);
+  std::vector<code_word> sorted = arranged;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, hot_code_words(3, 2));
+  EXPECT_TRUE(is_gray_sequence(arranged, 2, /*cyclic=*/false));
+}
+
+TEST(ArrangedHotCodeTest, ArrangementHalvesTransitionsVsLexOrder) {
+  const std::vector<code_word> lex = hot_code_words(2, 3);
+  const std::vector<code_word> arranged = arranged_hot_code_words(2, 3);
+  EXPECT_LT(total_transitions(arranged, false),
+            total_transitions(lex, false));
+  EXPECT_EQ(total_transitions(arranged, false), 2 * (lex.size() - 1));
+}
+
+TEST(RevolvingDoorTest2, InvalidParametersThrow) {
+  EXPECT_THROW(revolving_door_words(0, 0), invalid_argument_error);
+  EXPECT_THROW(revolving_door_words(3, 4), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::codes

@@ -1,0 +1,128 @@
+#include "codes/arrangement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codes/gray_code.h"
+#include "codes/hot_code.h"
+#include "codes/tree_code.h"
+#include "util/error.h"
+
+namespace nwdec::codes {
+namespace {
+
+std::vector<code_word> words_of(unsigned radix,
+                                std::initializer_list<const char*> texts) {
+  std::vector<code_word> out;
+  for (const char* t : texts) out.push_back(parse_word(radix, t));
+  return out;
+}
+
+TEST(TransitionStatsTest, TotalAndPerDigitCounts) {
+  const auto seq = words_of(2, {"00", "01", "11", "10"});
+  EXPECT_EQ(total_transitions(seq, /*cyclic=*/false), 3u);
+  EXPECT_EQ(total_transitions(seq, /*cyclic=*/true), 4u);
+  EXPECT_EQ(per_digit_transitions(seq, false),
+            (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(per_digit_transitions(seq, true),
+            (std::vector<std::size_t>{2, 2}));
+}
+
+TEST(TransitionStatsTest, DegenerateSequences) {
+  const auto one = words_of(2, {"01"});
+  EXPECT_EQ(total_transitions(one, true), 0u);
+  EXPECT_EQ(per_digit_transitions(one, true),
+            (std::vector<std::size_t>{0, 0}));
+  EXPECT_THROW(per_digit_transitions({}, false), invalid_argument_error);
+}
+
+TEST(ExactArrangementTest, RecoversGrayOrderCost) {
+  // All 8 binary words of length 3: the optimal open path has 7 unit
+  // transitions (a Gray path).
+  const std::vector<code_word> words = tree_code_words(2, 3);
+  const arrangement_result result = exact_min_arrangement(words, false);
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.transitions, 7u);
+  EXPECT_TRUE(is_gray_sequence(result.sequence, 1, false));
+  // It is a permutation of the input.
+  std::vector<code_word> sorted = result.sequence;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, words);
+}
+
+TEST(ExactArrangementTest, CyclicCostsOneMore) {
+  const std::vector<code_word> words = tree_code_words(2, 3);
+  const arrangement_result result = exact_min_arrangement(words, true);
+  EXPECT_EQ(result.transitions, 8u);
+  EXPECT_TRUE(is_gray_sequence(result.sequence, 1, true));
+}
+
+TEST(ExactArrangementTest, SizeLimitEnforced) {
+  const std::vector<code_word> words = tree_code_words(2, 5);  // 32 words
+  EXPECT_THROW(exact_min_arrangement(words, false), invalid_argument_error);
+}
+
+TEST(FixedCostArrangementTest, FindsTwoTransitionPathThroughHotCode) {
+  const std::vector<code_word> words = hot_code_words(2, 2);  // C(4,2) = 6
+  const auto result = fixed_cost_arrangement(words, 2, /*cyclic=*/false);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->transitions, 2u * (words.size() - 1));
+  EXPECT_TRUE(is_gray_sequence(result->sequence, 2, false));
+}
+
+TEST(FixedCostArrangementTest, ImpossibleCostReturnsNullopt) {
+  // Hot-code words always differ in >= 2 digits, so per_step = 1 fails.
+  const std::vector<code_word> words = hot_code_words(2, 2);
+  EXPECT_FALSE(fixed_cost_arrangement(words, 1, false).has_value());
+}
+
+TEST(GreedyArrangementTest, NeverWorseThanInputOrder) {
+  const std::vector<code_word> words = tree_code_words(2, 4);
+  const arrangement_result greedy = greedy_arrangement(words);
+  EXPECT_LE(greedy.transitions, total_transitions(words, false));
+  std::vector<code_word> sorted = greedy.sequence;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, words);
+}
+
+TEST(GreedyArrangementTest, StartIndexRespected) {
+  const std::vector<code_word> words = tree_code_words(2, 3);
+  const arrangement_result result = greedy_arrangement(words, 5);
+  EXPECT_EQ(result.sequence.front(), words[5]);
+}
+
+TEST(TwoOptTest, ImprovesABadSequence) {
+  // Interleave the two halves of a Gray code to create long jumps.
+  const std::vector<code_word> gray = gray_code_words(2, 4);
+  std::vector<code_word> shuffled;
+  for (std::size_t i = 0; i < 8; ++i) {
+    shuffled.push_back(gray[i]);
+    shuffled.push_back(gray[15 - i]);
+  }
+  const std::size_t before = total_transitions(shuffled, false);
+  const arrangement_result improved = two_opt_improve(shuffled, false);
+  EXPECT_LT(improved.transitions, before);
+  EXPECT_EQ(improved.transitions, total_transitions(improved.sequence, false));
+}
+
+TEST(TwoOptTest, GrayCodeIsAlreadyLocallyOptimal) {
+  const std::vector<code_word> gray = gray_code_words(2, 3);
+  const arrangement_result improved = two_opt_improve(gray, false);
+  EXPECT_EQ(improved.transitions, 7u);
+}
+
+TEST(ExactArrangementTest, MatchesGreedyPlusTwoOptOnSmallSpaces) {
+  // On tiny spaces the heuristics should land on (or near) the optimum;
+  // the exact solver provides the reference.
+  const std::vector<code_word> words = tree_code_words(3, 2);  // 9 words
+  const arrangement_result exact = exact_min_arrangement(words, false);
+  arrangement_result heur = greedy_arrangement(words);
+  heur = two_opt_improve(std::move(heur.sequence), false);
+  EXPECT_EQ(exact.transitions, 8u);  // Gray path through 9 words
+  EXPECT_LE(exact.transitions, heur.transitions);
+  EXPECT_LE(heur.transitions, exact.transitions + 2);
+}
+
+}  // namespace
+}  // namespace nwdec::codes

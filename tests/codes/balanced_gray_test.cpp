@@ -1,0 +1,144 @@
+#include "codes/balanced_gray.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "codes/arrangement.h"
+#include "codes/gray_code.h"
+#include "codes/tree_code.h"
+
+namespace nwdec::codes {
+namespace {
+
+TEST(BalancedTargetsTest, BinaryTargetsAreEvenAndSumToSpace) {
+  for (std::size_t m = 2; m <= 6; ++m) {
+    const std::vector<std::size_t> targets = balanced_transition_targets(2, m);
+    ASSERT_EQ(targets.size(), m);
+    const std::size_t total =
+        std::accumulate(targets.begin(), targets.end(), std::size_t{0});
+    EXPECT_EQ(total, std::size_t{1} << m) << "m=" << m;
+    for (const std::size_t t : targets) {
+      EXPECT_EQ(t % 2, 0u) << "m=" << m;
+    }
+    const auto [lo, hi] = std::minmax_element(targets.begin(), targets.end());
+    EXPECT_LE(*hi - *lo, 2u) << "m=" << m;
+  }
+}
+
+TEST(BalancedTargetsTest, KnownSmallCases) {
+  // 2^4 = 16 transitions over 4 bits balance perfectly to 4 each.
+  EXPECT_EQ(balanced_transition_targets(2, 4),
+            (std::vector<std::size_t>{4, 4, 4, 4}));
+  // 2^5 = 32 over 5 bits: four bits toggle 6 times, one toggles 8.
+  const std::vector<std::size_t> m5 = balanced_transition_targets(2, 5);
+  EXPECT_EQ(std::count(m5.begin(), m5.end(), 8u), 1);
+  EXPECT_EQ(std::count(m5.begin(), m5.end(), 6u), 4);
+}
+
+class BalancedGrayTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BalancedGrayTest, BinaryCodeIsBalancedCyclicGray) {
+  const std::size_t m = GetParam();
+  const std::vector<code_word> words = balanced_gray_code_words(2, m);
+  ASSERT_EQ(words.size(), std::size_t{1} << m);
+
+  // Cyclic Gray property.
+  EXPECT_TRUE(is_gray_sequence(words, 1, /*cyclic=*/true));
+
+  // Covers the whole space.
+  std::vector<code_word> sorted = words;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<code_word> tree = tree_code_words(2, m);
+  EXPECT_EQ(sorted, tree);
+
+  // Per-digit transition spread <= 2 (Bhat-Savage balance).
+  const std::vector<std::size_t> counts =
+      per_digit_transitions(words, /*cyclic=*/true);
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LE(*hi - *lo, 2u) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, BalancedGrayTest,
+                         ::testing::Values(std::size_t{2}, std::size_t{3},
+                                           std::size_t{4}, std::size_t{5},
+                                           std::size_t{6}),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "m" + std::to_string(i.param);
+                         });
+
+TEST(BalancedGrayNaryTest, TernaryIsGrayAndMuchBetterBalancedThanStandard) {
+  const std::vector<code_word> balanced = balanced_gray_code_words(3, 3);
+  ASSERT_EQ(balanced.size(), 27u);
+  EXPECT_TRUE(is_gray_sequence(balanced, 1, /*cyclic=*/false));
+
+  const std::vector<std::size_t> counts =
+      per_digit_transitions(balanced, /*cyclic=*/true);
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+
+  const std::vector<std::size_t> standard_counts =
+      per_digit_transitions(gray_code_words(3, 3), /*cyclic=*/true);
+  const auto [slo, shi] =
+      std::minmax_element(standard_counts.begin(), standard_counts.end());
+
+  EXPECT_LT(*hi - *lo, *shi - *slo);
+  EXPECT_LE(*hi - *lo, 2u);
+}
+
+TEST(ConstrainedPrefixTest, PaperExampleShapeIsFeasible) {
+  // Sec. 2.3's BGC statement: every digit changes at most twice. For a
+  // ternary 4-digit prefix like 0000 => 0001 => 0002 => 0012 (4 words)
+  // such sequences exist comfortably.
+  const auto prefix = constrained_gray_prefix(3, 4, 4, 2);
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->size(), 4u);
+  EXPECT_TRUE(is_gray_sequence(*prefix, 1, /*cyclic=*/false));
+  const std::vector<std::size_t> counts =
+      per_digit_transitions(*prefix, /*cyclic=*/false);
+  for (const std::size_t c : counts) EXPECT_LE(c, 2u);
+}
+
+TEST(ConstrainedPrefixTest, BudgetBoundIsTight) {
+  // count - 1 steps need count - 1 changes; with max_changes * m below
+  // that no sequence exists.
+  EXPECT_FALSE(constrained_gray_prefix(2, 3, 8, 1).has_value());  // 7 > 3
+  const auto feasible = constrained_gray_prefix(2, 3, 7, 3);
+  ASSERT_TRUE(feasible.has_value());
+  const std::vector<std::size_t> counts =
+      per_digit_transitions(*feasible, false);
+  for (const std::size_t c : counts) EXPECT_LE(c, 3u);
+}
+
+TEST(ConstrainedPrefixTest, ParityObstructionIsDetected) {
+  // 7 binary words with every bit changing at most twice would use each
+  // bit an even number of times over 6 steps, XOR-ing back to the start
+  // word -- a repeat. The search must prove this infeasible, not just
+  // satisfy the counting bound (6 <= 2 * 3).
+  EXPECT_FALSE(constrained_gray_prefix(2, 3, 7, 2).has_value());
+}
+
+TEST(ConstrainedPrefixTest, WordsAreDistinct) {
+  const auto prefix = constrained_gray_prefix(2, 4, 12, 3);
+  ASSERT_TRUE(prefix.has_value());
+  std::vector<code_word> sorted = *prefix;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(ConstrainedPrefixTest, InvalidRequestsThrow) {
+  EXPECT_THROW(constrained_gray_prefix(2, 3, 9, 8), invalid_argument_error);
+  EXPECT_THROW(constrained_gray_prefix(2, 3, 0, 2), invalid_argument_error);
+}
+
+TEST(BalancedGrayTest, StandardGrayIsUnbalancedForComparison) {
+  // Sanity: the reflected Gray code concentrates transitions in the last
+  // digit (2^(m-1) of them), so BGC is a real improvement, not a no-op.
+  const std::vector<std::size_t> counts =
+      per_digit_transitions(gray_code_words(2, 4), /*cyclic=*/true);
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GE(*hi - *lo, 6u);
+}
+
+}  // namespace
+}  // namespace nwdec::codes

@@ -1,0 +1,132 @@
+#include "codes/factory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "codes/arrangement.h"
+#include "codes/gray_code.h"
+#include "codes/metrics.h"
+#include "util/error.h"
+
+namespace nwdec::codes {
+namespace {
+
+TEST(FactoryTest, TreeFamilySizesAndShape) {
+  const code tc = make_code(code_type::tree, 2, 8);
+  EXPECT_EQ(tc.size(), 16u);  // 2^(8/2)
+  EXPECT_EQ(tc.length, 8u);
+  EXPECT_TRUE(tc.reflected);
+
+  const code gc3 = make_code(code_type::gray, 3, 8);
+  EXPECT_EQ(gc3.size(), 81u);  // 3^4
+}
+
+TEST(FactoryTest, HotFamilySizes) {
+  EXPECT_EQ(make_code(code_type::hot, 2, 4).size(), 6u);
+  EXPECT_EQ(make_code(code_type::hot, 2, 6).size(), 20u);
+  EXPECT_EQ(make_code(code_type::hot, 2, 8).size(), 70u);
+  EXPECT_EQ(make_code(code_type::arranged_hot, 2, 8).size(), 70u);
+  EXPECT_EQ(make_code(code_type::hot, 3, 6).size(), 90u);
+}
+
+TEST(FactoryTest, IncompatibleShapesThrow) {
+  EXPECT_THROW(make_code(code_type::tree, 2, 7), invalid_argument_error);
+  EXPECT_THROW(make_code(code_type::hot, 3, 8), invalid_argument_error);
+  EXPECT_THROW(make_code(code_type::gray, 1, 8), invalid_argument_error);
+}
+
+TEST(FactoryTest, GrayFamilyKeepsTwoTransitionSteps) {
+  // One free-digit change plus its mirrored complement change.
+  EXPECT_TRUE(is_gray_sequence(make_code(code_type::gray, 2, 8).words, 2,
+                               /*cyclic=*/true));
+  EXPECT_TRUE(is_gray_sequence(make_code(code_type::balanced_gray, 2, 8).words,
+                               2, /*cyclic=*/true));
+  EXPECT_TRUE(is_gray_sequence(make_code(code_type::gray, 3, 6).words, 2,
+                               /*cyclic=*/false));
+}
+
+TEST(FactoryTest, ArrangedHotKeepsTwoTransitionSteps) {
+  EXPECT_TRUE(is_gray_sequence(make_code(code_type::arranged_hot, 2, 6).words,
+                               2, /*cyclic=*/true));
+}
+
+TEST(FactoryTest, GrayAndTreeShareTheSpace) {
+  std::vector<code_word> tree = make_code(code_type::tree, 3, 6).words;
+  std::vector<code_word> gray = make_code(code_type::gray, 3, 6).words;
+  std::sort(tree.begin(), tree.end());
+  std::sort(gray.begin(), gray.end());
+  EXPECT_EQ(tree, gray);
+}
+
+TEST(FactoryTest, PatternSequenceCycles) {
+  const code hc = make_code(code_type::hot, 2, 4);  // 6 words
+  const std::vector<code_word> seq = hc.pattern_sequence(14);
+  ASSERT_EQ(seq.size(), 14u);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i], hc.words[i % 6]) << i;
+  }
+}
+
+// Every factory code must pass full validation: distinct antichain words of
+// the declared shape. Parameterized across the whole experiment grid.
+class FactoryGridTest
+    : public ::testing::TestWithParam<
+          std::tuple<code_type, unsigned, std::size_t>> {};
+
+TEST_P(FactoryGridTest, ProducesValidCodes) {
+  const auto [type, radix, length] = GetParam();
+  const code c = make_code(type, radix, length);
+  EXPECT_NO_THROW(validate_code(c));
+  EXPECT_EQ(c.type, type);
+  EXPECT_EQ(c.radix, radix);
+  EXPECT_EQ(c.length, length);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TreeFamily, FactoryGridTest,
+    ::testing::Combine(::testing::Values(code_type::tree, code_type::gray),
+                       ::testing::Values(2u, 3u),
+                       ::testing::Values(std::size_t{4}, std::size_t{6},
+                                         std::size_t{8}, std::size_t{10})),
+    [](const auto& info) {
+      return code_type_name(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_M" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// The balanced-gray search is exponential in the space size; the ternary
+// M = 10 space (243 words) takes minutes, and no experiment uses it, so
+// the balanced grid stops at M = 8 for radix 3.
+INSTANTIATE_TEST_SUITE_P(
+    BalancedFamily, FactoryGridTest,
+    ::testing::Values(
+        std::make_tuple(code_type::balanced_gray, 2u, std::size_t{4}),
+        std::make_tuple(code_type::balanced_gray, 2u, std::size_t{6}),
+        std::make_tuple(code_type::balanced_gray, 2u, std::size_t{8}),
+        std::make_tuple(code_type::balanced_gray, 2u, std::size_t{10}),
+        std::make_tuple(code_type::balanced_gray, 3u, std::size_t{4}),
+        std::make_tuple(code_type::balanced_gray, 3u, std::size_t{6}),
+        std::make_tuple(code_type::balanced_gray, 3u, std::size_t{8})),
+    [](const auto& info) {
+      return code_type_name(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_M" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    HotFamily, FactoryGridTest,
+    ::testing::Combine(::testing::Values(code_type::hot,
+                                         code_type::arranged_hot),
+                       ::testing::Values(2u),
+                       ::testing::Values(std::size_t{4}, std::size_t{6},
+                                         std::size_t{8}, std::size_t{10})),
+    [](const auto& info) {
+      return code_type_name(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_M" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace nwdec::codes

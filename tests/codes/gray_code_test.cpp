@@ -1,0 +1,84 @@
+#include "codes/gray_code.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "codes/metrics.h"
+#include "codes/tree_code.h"
+
+namespace nwdec::codes {
+namespace {
+
+TEST(GrayCodeTest, BinaryReflectedSequence) {
+  const std::vector<code_word> words = gray_code_words(2, 3);
+  ASSERT_EQ(words.size(), 8u);
+  const char* expected[] = {"000", "001", "011", "010",
+                            "110", "111", "101", "100"};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(words[i].to_string(), expected[i]) << "index " << i;
+  }
+}
+
+TEST(GrayCodeTest, TernaryAdjacentWordsDifferInOneDigit) {
+  const std::vector<code_word> words = gray_code_words(3, 3);
+  ASSERT_EQ(words.size(), 27u);
+  EXPECT_TRUE(is_gray_sequence(words, 1, /*cyclic=*/false));
+}
+
+TEST(GrayCodeTest, EvenRadixIsCyclic) {
+  // For even radix the reflected construction closes the cycle.
+  EXPECT_TRUE(is_gray_sequence(gray_code_words(2, 4), 1, /*cyclic=*/true));
+  EXPECT_TRUE(is_gray_sequence(gray_code_words(4, 2), 1, /*cyclic=*/true));
+}
+
+TEST(GrayCodeTest, AdjacentDigitChangesAreUnitSteps) {
+  // The reflected n-ary construction changes the moving digit by +-1; this
+  // matters for fabrication because unit steps use adjacent dose values.
+  const std::vector<code_word> words = gray_code_words(3, 4);
+  for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+    int delta_sum = 0;
+    for (std::size_t j = 0; j < words[i].length(); ++j) {
+      delta_sum += std::abs(static_cast<int>(words[i].at(j)) -
+                            static_cast<int>(words[i + 1].at(j)));
+    }
+    EXPECT_EQ(delta_sum, 1) << "step " << i;
+  }
+}
+
+class GraySpaceTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {};
+
+TEST_P(GraySpaceTest, IsAPermutationOfTheTreeSpace) {
+  const auto [radix, length] = GetParam();
+  std::vector<code_word> gray = gray_code_words(radix, length);
+  std::vector<code_word> tree = tree_code_words(radix, length);
+  EXPECT_TRUE(is_gray_sequence(gray, 1, /*cyclic=*/false));
+  std::sort(gray.begin(), gray.end());
+  std::sort(tree.begin(), tree.end());
+  EXPECT_EQ(gray, tree);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRadixLength, GraySpaceTest,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}, std::size_t{4},
+                                         std::size_t{5})),
+    [](const ::testing::TestParamInfo<GraySpaceTest::ParamType>& info) {
+      return "radix" + std::to_string(std::get<0>(info.param)) + "_len" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(GrayCodeTest, IsGraySequenceDetectsViolations) {
+  std::vector<code_word> words = {parse_word(2, "00"), parse_word(2, "01"),
+                                  parse_word(2, "10")};
+  EXPECT_FALSE(is_gray_sequence(words, 1, /*cyclic=*/false));
+  words[2] = parse_word(2, "11");
+  EXPECT_TRUE(is_gray_sequence(words, 1, /*cyclic=*/false));
+  EXPECT_FALSE(is_gray_sequence(words, 1, /*cyclic=*/true));
+}
+
+}  // namespace
+}  // namespace nwdec::codes

@@ -1,0 +1,75 @@
+#include "codes/hot_code.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "codes/metrics.h"
+#include "util/error.h"
+
+namespace nwdec::codes {
+namespace {
+
+TEST(HotCodeSizeTest, BinomialAndMultinomialSizes) {
+  EXPECT_EQ(hot_code_space_size(2, 1), 2u);    // C(2,1)
+  EXPECT_EQ(hot_code_space_size(2, 2), 6u);    // C(4,2)
+  EXPECT_EQ(hot_code_space_size(2, 3), 20u);   // C(6,3)
+  EXPECT_EQ(hot_code_space_size(2, 4), 70u);   // C(8,4)
+  EXPECT_EQ(hot_code_space_size(2, 5), 252u);  // C(10,5)
+  EXPECT_EQ(hot_code_space_size(3, 2), 90u);   // 6!/(2!2!2!)
+  EXPECT_EQ(hot_code_space_size(3, 1), 6u);    // 3!
+}
+
+TEST(HotCodeTest, PaperExampleWords) {
+  // Sec. 2.3: 001122 and 012120 belong to the (M,k) = (6,2), n = 3 space;
+  // 000121 does not.
+  EXPECT_TRUE(is_hot_word(parse_word(3, "001122"), 2));
+  EXPECT_TRUE(is_hot_word(parse_word(3, "012120"), 2));
+  EXPECT_FALSE(is_hot_word(parse_word(3, "000121"), 2));
+}
+
+class HotSpaceTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {};
+
+TEST_P(HotSpaceTest, EnumerationIsCompleteDistinctAndValid) {
+  const auto [radix, k] = GetParam();
+  const std::vector<code_word> words = hot_code_words(radix, k);
+  EXPECT_EQ(words.size(), hot_code_space_size(radix, k));
+  EXPECT_TRUE(all_distinct(words));
+  for (const code_word& w : words) {
+    EXPECT_TRUE(is_hot_word(w, k)) << w.to_string();
+    EXPECT_EQ(w.length(), k * radix);
+  }
+  // Lexicographic order.
+  EXPECT_TRUE(std::is_sorted(words.begin(), words.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spaces, HotSpaceTest,
+    ::testing::Values(std::make_tuple(2u, std::size_t{2}),
+                      std::make_tuple(2u, std::size_t{3}),
+                      std::make_tuple(2u, std::size_t{4}),
+                      std::make_tuple(2u, std::size_t{5}),
+                      std::make_tuple(3u, std::size_t{1}),
+                      std::make_tuple(3u, std::size_t{2}),
+                      std::make_tuple(4u, std::size_t{1})),
+    [](const ::testing::TestParamInfo<HotSpaceTest::ParamType>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(HotCodeTest, HotWordsFormAnAntichain) {
+  // Constant digit sum means no word can cover another: unique
+  // addressability without reflection.
+  EXPECT_TRUE(is_antichain(hot_code_words(2, 3)));
+  EXPECT_TRUE(is_antichain(hot_code_words(3, 2)));
+}
+
+TEST(HotCodeTest, InvalidParametersThrow) {
+  EXPECT_THROW(hot_code_words(1, 2), invalid_argument_error);
+  EXPECT_THROW(hot_code_words(2, 0), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::codes

@@ -1,0 +1,142 @@
+#include "codes/indexing.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "codes/arranged_hot_code.h"
+#include "codes/gray_code.h"
+#include "codes/hot_code.h"
+#include "codes/tree_code.h"
+#include "util/error.h"
+
+namespace nwdec::codes {
+namespace {
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 5), 252u);
+  EXPECT_EQ(binomial(4, 7), 0u);
+  EXPECT_EQ(binomial(52, 26), 495918532948104u);
+}
+
+TEST(TreeRankTest, InverseOfTreeCodeWord) {
+  for (const unsigned radix : {2u, 3u, 4u}) {
+    const std::size_t m = 3;
+    const std::vector<code_word> words = tree_code_words(radix, m);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      EXPECT_EQ(tree_rank(words[i]), i) << radix;
+      EXPECT_EQ(tree_code_word(radix, m, i), words[i]);
+    }
+  }
+}
+
+class GrayIndexTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {};
+
+TEST_P(GrayIndexTest, RankUnrankMatchTheGeneratedSequence) {
+  const auto [radix, m] = GetParam();
+  const std::vector<code_word> words = gray_code_words(radix, m);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(gray_unrank(radix, m, i), words[i]) << "index " << i;
+    EXPECT_EQ(gray_rank(words[i]), i) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spaces, GrayIndexTest,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}, std::size_t{4})),
+    [](const ::testing::TestParamInfo<GrayIndexTest::ParamType>& info) {
+      return "radix" + std::to_string(std::get<0>(info.param)) + "_m" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(GrayIndexTest2, OutOfRangeIndexThrows) {
+  EXPECT_THROW(gray_unrank(2, 3, 8), invalid_argument_error);
+  EXPECT_NO_THROW(gray_unrank(2, 3, 7));
+}
+
+class DoorIndexTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(DoorIndexTest, RankUnrankMatchTheGeneratedSequence) {
+  const auto [total, chosen] = GetParam();
+  const std::vector<code_word> words = revolving_door_words(total, chosen);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(revolving_door_unrank(total, chosen, i), words[i]) << i;
+    EXPECT_EQ(revolving_door_rank(words[i]), i) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spaces, DoorIndexTest,
+    ::testing::Values(std::make_pair(std::size_t{4}, std::size_t{2}),
+                      std::make_pair(std::size_t{6}, std::size_t{3}),
+                      std::make_pair(std::size_t{8}, std::size_t{4}),
+                      std::make_pair(std::size_t{10}, std::size_t{5}),
+                      std::make_pair(std::size_t{7}, std::size_t{2})),
+    [](const ::testing::TestParamInfo<DoorIndexTest::ParamType>& info) {
+      return "c" + std::to_string(info.param.first) + "_" +
+             std::to_string(info.param.second);
+    });
+
+TEST(DoorIndexTest2, Validation) {
+  EXPECT_THROW(revolving_door_unrank(4, 2, 6), invalid_argument_error);
+  EXPECT_THROW(revolving_door_rank(parse_word(3, "012")),
+               invalid_argument_error);
+}
+
+class HotLexIndexTest
+    : public ::testing::TestWithParam<std::pair<unsigned, std::size_t>> {};
+
+TEST_P(HotLexIndexTest, RankUnrankMatchTheGeneratedSequence) {
+  const auto [radix, k] = GetParam();
+  const std::vector<code_word> words = hot_code_words(radix, k);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(hot_lex_unrank(radix, k, i), words[i]) << i;
+    EXPECT_EQ(hot_lex_rank(words[i]), i) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spaces, HotLexIndexTest,
+    ::testing::Values(std::make_pair(2u, std::size_t{2}),
+                      std::make_pair(2u, std::size_t{4}),
+                      std::make_pair(3u, std::size_t{2}),
+                      std::make_pair(4u, std::size_t{1})),
+    [](const ::testing::TestParamInfo<HotLexIndexTest::ParamType>& info) {
+      return "n" + std::to_string(info.param.first) + "_k" +
+             std::to_string(info.param.second);
+    });
+
+TEST(HotLexIndexTest2, LargeSpaceSpotChecks) {
+  // C(12,6)-style space (binary k = 6, 924 words): spot-check without
+  // materializing.
+  for (const std::size_t index : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{500}, std::size_t{923}}) {
+    const code_word w = hot_lex_unrank(2, 6, index);
+    EXPECT_TRUE(is_hot_word(w, 6));
+    EXPECT_EQ(hot_lex_rank(w), index);
+  }
+  EXPECT_THROW(hot_lex_unrank(2, 6, 924), invalid_argument_error);
+}
+
+TEST(IndexingTest, ReflectedWordsKeepTheirRank) {
+  // The decoder's full-length words are base words + complements; ranking
+  // operates on the base half.
+  const std::vector<code_word> gray = gray_code_words(3, 3);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{13}, std::size_t{26}}) {
+    const code_word full = gray[i].reflected();
+    const code_word base(3, std::vector<digit>(full.digits().begin(),
+                                               full.digits().begin() + 3));
+    EXPECT_EQ(gray_rank(base), i);
+  }
+}
+
+}  // namespace
+}  // namespace nwdec::codes

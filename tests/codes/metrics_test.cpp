@@ -1,0 +1,84 @@
+#include "codes/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "codes/gray_code.h"
+#include "codes/tree_code.h"
+#include "util/error.h"
+
+namespace nwdec::codes {
+namespace {
+
+TEST(TransitionAnalysisTest, GrayCodeStats) {
+  const std::vector<code_word> gray = gray_code_words(2, 3);
+  const transition_stats stats = analyze_transitions(gray, /*cyclic=*/true);
+  EXPECT_EQ(stats.total, 8u);
+  EXPECT_DOUBLE_EQ(stats.mean_per_step, 1.0);
+  EXPECT_EQ(stats.max_per_step, 1u);
+  // Reflected binary Gray: bit 0 toggles twice, bit 2 toggles 4 times...
+  EXPECT_EQ(stats.per_digit, (std::vector<std::size_t>{2, 2, 4}));
+  EXPECT_EQ(stats.digit_spread, 2u);
+}
+
+TEST(TransitionAnalysisTest, TreeCodeHasCarryBursts) {
+  const std::vector<code_word> tree = tree_code_words(2, 3);
+  const transition_stats stats = analyze_transitions(tree, /*cyclic=*/false);
+  EXPECT_EQ(stats.max_per_step, 3u);  // 011 -> 100
+  EXPECT_GT(stats.mean_per_step, 1.0);
+}
+
+TEST(AntichainTest, PlainTreeCodeIsNotAnAntichain) {
+  EXPECT_FALSE(is_antichain(tree_code_words(2, 3)));
+}
+
+TEST(AntichainTest, ReflectedTreeCodeIsAnAntichain) {
+  EXPECT_TRUE(is_antichain(reflect_words(tree_code_words(2, 3))));
+  EXPECT_TRUE(is_antichain(reflect_words(tree_code_words(3, 2))));
+}
+
+TEST(AntichainTest, SingleWordIsAnAntichain) {
+  EXPECT_TRUE(is_antichain({parse_word(2, "0101")}));
+}
+
+TEST(DistinctTest, DetectsDuplicates) {
+  EXPECT_TRUE(all_distinct(tree_code_words(2, 3)));
+  std::vector<code_word> dup = {parse_word(2, "01"), parse_word(2, "01")};
+  EXPECT_FALSE(all_distinct(dup));
+}
+
+TEST(ValidateCodeTest, AcceptsFactoryCodes) {
+  EXPECT_NO_THROW(validate_code(make_code(code_type::gray, 2, 8)));
+  EXPECT_NO_THROW(validate_code(make_code(code_type::hot, 2, 6)));
+}
+
+TEST(ValidateCodeTest, RejectsNonAntichain) {
+  code bad;
+  bad.type = code_type::tree;
+  bad.radix = 2;
+  bad.length = 3;
+  bad.words = tree_code_words(2, 3);  // unreflected: 000 <= 001
+  EXPECT_THROW(validate_code(bad), logic_invariant_error);
+}
+
+TEST(ValidateCodeTest, RejectsShapeMismatch) {
+  code bad;
+  bad.type = code_type::tree;
+  bad.radix = 2;
+  bad.length = 4;  // declared length does not match the words
+  bad.words = reflect_words(tree_code_words(2, 3));
+  EXPECT_THROW(validate_code(bad), logic_invariant_error);
+}
+
+TEST(CodeTypeNamesTest, RoundTrip) {
+  for (const code_type t :
+       {code_type::tree, code_type::gray, code_type::balanced_gray,
+        code_type::hot, code_type::arranged_hot}) {
+    EXPECT_EQ(parse_code_type(code_type_name(t)), t);
+  }
+  EXPECT_EQ(parse_code_type("bgc"), code_type::balanced_gray);
+  EXPECT_THROW(parse_code_type("XYZ"), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::codes

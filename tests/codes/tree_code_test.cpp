@@ -1,0 +1,57 @@
+#include "codes/tree_code.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/metrics.h"
+#include "util/error.h"
+
+namespace nwdec::codes {
+namespace {
+
+TEST(TreeCodeTest, TernaryCountingOrder) {
+  // Sec. 2.3: for n = 3 and M = 4 the codes are 0000, 0001, 0002, 0010, ...
+  const std::vector<code_word> words = tree_code_words(3, 4);
+  ASSERT_EQ(words.size(), 81u);
+  EXPECT_EQ(words[0].to_string(), "0000");
+  EXPECT_EQ(words[1].to_string(), "0001");
+  EXPECT_EQ(words[2].to_string(), "0002");
+  EXPECT_EQ(words[3].to_string(), "0010");
+  EXPECT_EQ(words.back().to_string(), "2222");
+}
+
+TEST(TreeCodeTest, BinarySpaceIsComplete) {
+  const std::vector<code_word> words = tree_code_words(2, 3);
+  ASSERT_EQ(words.size(), 8u);
+  EXPECT_TRUE(all_distinct(words));
+  for (std::size_t i = 0; i < 8; ++i) {
+    // Word i is the binary encoding of i.
+    std::size_t value = 0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      value = value * 2 + words[i].at(j);
+    }
+    EXPECT_EQ(value, i);
+  }
+}
+
+TEST(TreeCodeTest, SingleWordLookupAgreesWithEnumeration) {
+  const std::vector<code_word> words = tree_code_words(4, 3);
+  for (const std::size_t idx : {std::size_t{0}, std::size_t{17}, std::size_t{63}}) {
+    EXPECT_EQ(tree_code_word(4, 3, idx), words[idx]);
+  }
+}
+
+TEST(TreeCodeTest, IndexOutOfRangeThrows) {
+  EXPECT_THROW(tree_code_word(2, 3, 8), invalid_argument_error);
+  EXPECT_THROW(tree_code_words(1, 3), invalid_argument_error);
+  EXPECT_THROW(tree_code_words(2, 0), invalid_argument_error);
+}
+
+TEST(TreeCodeTest, ConsecutiveWordsMayDifferInManyDigits) {
+  // The carry 0111 -> 1000 changes every digit: the tree arrangement is
+  // exactly what the Gray code improves on.
+  const std::vector<code_word> words = tree_code_words(2, 4);
+  EXPECT_EQ(words[7].transitions_to(words[8]), 4u);
+}
+
+}  // namespace
+}  // namespace nwdec::codes

@@ -1,0 +1,103 @@
+#include "codes/word.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace nwdec::codes {
+namespace {
+
+TEST(CodeWordTest, ZeroConstruction) {
+  const code_word w(3, 4);
+  EXPECT_EQ(w.radix(), 3u);
+  EXPECT_EQ(w.length(), 4u);
+  EXPECT_EQ(w.to_string(), "0000");
+}
+
+TEST(CodeWordTest, DigitValidation) {
+  EXPECT_THROW(code_word(2, {0, 2}), invalid_argument_error);
+  EXPECT_THROW(code_word(1, 3), invalid_argument_error);
+  code_word w(3, 2);
+  EXPECT_THROW(w.set(0, 3), invalid_argument_error);
+  EXPECT_THROW(w.set(2, 0), invalid_argument_error);
+  EXPECT_THROW(w.at(2), invalid_argument_error);
+}
+
+TEST(CodeWordTest, ParseRoundTrip) {
+  const code_word w = parse_word(3, "0121");
+  EXPECT_EQ(w.to_string(), "0121");
+  EXPECT_EQ(w.at(0), 0);
+  EXPECT_EQ(w.at(1), 1);
+  EXPECT_EQ(w.at(2), 2);
+  EXPECT_EQ(w.at(3), 1);
+}
+
+TEST(CodeWordTest, TransitionsCountDifferingDigits) {
+  const code_word a = parse_word(3, "0000");
+  const code_word b = parse_word(3, "0012");
+  EXPECT_EQ(a.transitions_to(b), 2u);
+  EXPECT_EQ(b.transitions_to(a), 2u);
+  EXPECT_EQ(a.transitions_to(a), 0u);
+}
+
+TEST(CodeWordTest, TransitionsRequireSameShape) {
+  const code_word a = parse_word(2, "01");
+  const code_word b = parse_word(2, "011");
+  EXPECT_THROW(a.transitions_to(b), invalid_argument_error);
+  const code_word c = parse_word(3, "01");
+  EXPECT_THROW(a.transitions_to(c), invalid_argument_error);
+}
+
+TEST(CodeWordTest, ComplementMatchesPaperExample) {
+  // Sec. 2.3: the complement of 0010 in the (n=3, M=4) space is
+  // 2222 - 0010 = 2212.
+  const code_word w = parse_word(3, "0010");
+  EXPECT_EQ(w.complement().to_string(), "2212");
+}
+
+TEST(CodeWordTest, ReflectionMatchesPaperExamples) {
+  // Sec. 2.3: 0010 -> 00102212, 0000 -> 00002222, 0001 -> 00012221.
+  EXPECT_EQ(parse_word(3, "0010").reflected().to_string(), "00102212");
+  EXPECT_EQ(parse_word(3, "0000").reflected().to_string(), "00002222");
+  EXPECT_EQ(parse_word(3, "0001").reflected().to_string(), "00012221");
+}
+
+TEST(CodeWordTest, ComplementIsInvolution) {
+  const code_word w = parse_word(4, "0312");
+  EXPECT_EQ(w.complement().complement(), w);
+}
+
+TEST(CodeWordTest, ReflectedWordHasConstantDigitSum) {
+  // Every reflected word sums to length * (radix-1) / ... : each digit pair
+  // (v, top - v) sums to top, so the reflected sum is free_length * top.
+  for (const char* text : {"0000", "0121", "2222", "1001"}) {
+    const code_word w = parse_word(3, text).reflected();
+    EXPECT_EQ(w.digit_sum(), 4u * 2u) << text;
+  }
+}
+
+TEST(CodeWordTest, ComponentwiseLe) {
+  const code_word lo = parse_word(3, "0102");
+  const code_word hi = parse_word(3, "0112");
+  EXPECT_TRUE(lo.componentwise_le(hi));
+  EXPECT_FALSE(hi.componentwise_le(lo));
+  EXPECT_TRUE(lo.componentwise_le(lo));
+  const code_word crossing = parse_word(3, "1002");
+  EXPECT_FALSE(crossing.componentwise_le(lo));
+  EXPECT_FALSE(lo.componentwise_le(crossing));
+}
+
+TEST(CodeWordTest, ValueCounts) {
+  const code_word w = parse_word(3, "011222");
+  const std::vector<std::size_t> counts = w.value_counts();
+  EXPECT_EQ(counts, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(w.digit_sum(), 8u);
+}
+
+TEST(CodeWordTest, OrderingIsLexicographic) {
+  EXPECT_LT(parse_word(2, "01"), parse_word(2, "10"));
+  EXPECT_LT(parse_word(2, "00"), parse_word(2, "01"));
+}
+
+}  // namespace
+}  // namespace nwdec::codes

@@ -1,0 +1,80 @@
+#include "core/design_explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace nwdec::core {
+namespace {
+
+design_explorer make_explorer() {
+  return design_explorer(crossbar::crossbar_spec{},
+                         device::paper_technology());
+}
+
+TEST(DesignExplorerTest, EvaluationIsInternallyConsistent) {
+  const design_explorer explorer = make_explorer();
+  const design_evaluation e =
+      explorer.evaluate({codes::code_type::gray, 2, 8});
+  EXPECT_EQ(e.code_space, 16u);
+  EXPECT_EQ(e.fabrication_steps, 40u);  // 2N for binary, N = 20
+  EXPECT_NEAR(e.crosspoint_yield, e.nanowire_yield * e.nanowire_yield, 1e-12);
+  EXPECT_NEAR(e.effective_bits, e.crosspoint_yield * 131072.0, 1e-6);
+  EXPECT_NEAR(e.bit_area_nm2, e.total_area_nm2 / e.effective_bits, 1e-9);
+  EXPECT_FALSE(e.has_monte_carlo);
+}
+
+TEST(DesignExplorerTest, LabelsAreReadable) {
+  EXPECT_EQ((design_point{codes::code_type::balanced_gray, 2, 10}).label(),
+            "BGC-10");
+  EXPECT_EQ((design_point{codes::code_type::gray, 3, 8}).label(), "GC3-8");
+}
+
+TEST(DesignExplorerTest, MonteCarloAttachmentIsSane) {
+  const design_explorer explorer = make_explorer();
+  const design_evaluation e =
+      explorer.evaluate({codes::code_type::balanced_gray, 2, 8}, 60, 9);
+  ASSERT_TRUE(e.has_monte_carlo);
+  EXPECT_GT(e.mc_nanowire_yield, 0.0);
+  EXPECT_LE(e.mc_ci_low, e.mc_nanowire_yield);
+  EXPECT_GE(e.mc_ci_high, e.mc_nanowire_yield);
+  // Operational Monte Carlo should not fall far below the analytic model.
+  EXPECT_GT(e.mc_nanowire_yield, e.nanowire_yield - 0.05);
+}
+
+TEST(DesignExplorerTest, SweepPreservesOrder) {
+  const design_explorer explorer = make_explorer();
+  const std::vector<design_point> grid = {
+      {codes::code_type::tree, 2, 6},
+      {codes::code_type::hot, 2, 6},
+  };
+  const std::vector<design_evaluation> results = explorer.sweep(grid);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].point.type, codes::code_type::tree);
+  EXPECT_EQ(results[1].point.type, codes::code_type::hot);
+}
+
+TEST(DesignExplorerTest, BestBitAreaPicksTheMinimum) {
+  const design_explorer explorer = make_explorer();
+  const std::vector<design_evaluation> results = explorer.sweep({
+      {codes::code_type::tree, 2, 6},
+      {codes::code_type::balanced_gray, 2, 10},
+      {codes::code_type::tree, 2, 8},
+  });
+  const design_evaluation& best = design_explorer::best_bit_area(results);
+  EXPECT_EQ(best.point.type, codes::code_type::balanced_gray);
+  EXPECT_THROW(design_explorer::best_bit_area({}), invalid_argument_error);
+}
+
+TEST(DesignExplorerTest, DeterministicAcrossCalls) {
+  const design_explorer explorer = make_explorer();
+  const design_evaluation a =
+      explorer.evaluate({codes::code_type::arranged_hot, 2, 6}, 30, 4);
+  const design_evaluation b =
+      explorer.evaluate({codes::code_type::arranged_hot, 2, 6}, 30, 4);
+  EXPECT_DOUBLE_EQ(a.nanowire_yield, b.nanowire_yield);
+  EXPECT_DOUBLE_EQ(a.mc_nanowire_yield, b.mc_nanowire_yield);
+}
+
+}  // namespace
+}  // namespace nwdec::core

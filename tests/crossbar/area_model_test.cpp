@@ -1,0 +1,53 @@
+#include "crossbar/area_model.h"
+
+#include <gtest/gtest.h>
+
+#include "device/tech_params.h"
+#include "util/error.h"
+
+namespace nwdec::crossbar {
+namespace {
+
+TEST(AreaModelTest, BreakdownSumsToTotal) {
+  const crossbar_spec spec;
+  const device::technology tech = device::paper_technology();
+  const layer_geometry geo = derive_layer_geometry(spec, tech, 8);
+  const area_breakdown area = estimate_area(geo, tech);
+  EXPECT_NEAR(area.array_core_nm2 + area.cave_overhead_nm2 + area.decoder_nm2,
+              area.total_nm2, 1e-6);
+  EXPECT_GT(area.array_core_nm2, 0.0);
+  EXPECT_GT(area.cave_overhead_nm2, 0.0);
+  EXPECT_GT(area.decoder_nm2, 0.0);
+}
+
+TEST(AreaModelTest, CoreAreaIsNanowirePitchSquare) {
+  const crossbar_spec spec;
+  const device::technology tech = device::paper_technology();
+  const layer_geometry geo = derive_layer_geometry(spec, tech, 8);
+  const area_breakdown area = estimate_area(geo, tech);
+  EXPECT_DOUBLE_EQ(area.array_core_nm2, 3630.0 * 3630.0);
+}
+
+TEST(AreaModelTest, BitAreaScalesInverselyWithYield) {
+  const crossbar_spec spec;
+  const device::technology tech = device::paper_technology();
+  const area_breakdown area =
+      estimate_area(derive_layer_geometry(spec, tech, 8), tech);
+  const double full = bit_area_nm2(area, static_cast<double>(spec.raw_bits));
+  const double half =
+      bit_area_nm2(area, 0.5 * static_cast<double>(spec.raw_bits));
+  EXPECT_NEAR(half, 2.0 * full, 1e-9);
+  // Perfect yield still cannot beat the raw pitch-limited bit area.
+  EXPECT_GT(full, tech.nanowire_pitch_nm * tech.nanowire_pitch_nm);
+}
+
+TEST(AreaModelTest, ZeroEffectiveBitsRejected) {
+  const crossbar_spec spec;
+  const device::technology tech = device::paper_technology();
+  const area_breakdown area =
+      estimate_area(derive_layer_geometry(spec, tech, 8), tech);
+  EXPECT_THROW(bit_area_nm2(area, 0.0), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::crossbar

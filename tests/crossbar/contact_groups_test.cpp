@@ -1,0 +1,109 @@
+#include "crossbar/contact_groups.h"
+
+#include <gtest/gtest.h>
+
+#include "device/tech_params.h"
+#include "util/error.h"
+
+namespace nwdec::crossbar {
+namespace {
+
+TEST(ContactGroupsTest, LayoutRuleMinimumSize) {
+  // 1.5 * 32 nm / 10 nm = 4.8 -> at least 5 nanowires per group.
+  const contact_group_plan plan =
+      plan_contact_groups(20, 16, device::paper_technology());
+  EXPECT_EQ(plan.min_group_size, 5u);
+}
+
+TEST(ContactGroupsTest, GroupCountMinimized) {
+  const device::technology tech = device::paper_technology();
+  // Omega = 16, N = 20: one full group of 16 plus one group of 4.
+  const contact_group_plan plan = plan_contact_groups(20, 16, tech);
+  EXPECT_EQ(plan.group_size, 16u);
+  EXPECT_EQ(plan.group_count, 2u);
+  EXPECT_EQ(plan.boundary_count(), 1u);
+  // Omega = 32 >= N: a single group, no boundaries, no losses.
+  const contact_group_plan single = plan_contact_groups(20, 32, tech);
+  EXPECT_EQ(single.group_count, 1u);
+  EXPECT_TRUE(single.boundary_risks.empty());
+  EXPECT_TRUE(single.excess_nanowires.empty());
+}
+
+TEST(ContactGroupsTest, BoundaryBandRisksNearestNanowires) {
+  device::technology tech = device::paper_technology();
+  tech.boundary_band_nm = 10.0;
+  const contact_group_plan plan = plan_contact_groups(20, 8, tech);
+  EXPECT_EQ(plan.group_count, 3u);
+  // Edges at 80 nm and 160 nm; the band covers 5 nm into each neighbor:
+  // half a footprint each.
+  ASSERT_EQ(plan.boundary_risks.size(), 4u);
+  EXPECT_DOUBLE_EQ(plan.discard_probability(7), 0.5);
+  EXPECT_DOUBLE_EQ(plan.discard_probability(8), 0.5);
+  EXPECT_DOUBLE_EQ(plan.discard_probability(15), 0.5);
+  EXPECT_DOUBLE_EQ(plan.discard_probability(16), 0.5);
+  EXPECT_DOUBLE_EQ(plan.discard_probability(9), 0.0);
+  EXPECT_NEAR(plan.expected_discarded(), 2.0, 1e-12);
+}
+
+TEST(ContactGroupsTest, DefaultBandLosesMostOfTwoNanowiresPerEdge) {
+  // Default w_b = 14 nm: 7 nm into each neighbor -> probability 0.7 each,
+  // 1.4 expected per edge.
+  const contact_group_plan plan =
+      plan_contact_groups(20, 8, device::paper_technology());
+  EXPECT_DOUBLE_EQ(plan.discard_probability(7), 0.7);
+  EXPECT_DOUBLE_EQ(plan.discard_probability(8), 0.7);
+  EXPECT_NEAR(plan.expected_discarded(), 2 * 1.4, 1e-12);
+}
+
+TEST(ContactGroupsTest, WideBandFullyDiscardsTheNearestNanowires) {
+  device::technology tech = device::paper_technology();
+  tech.boundary_band_nm = 30.0;  // covers one full nanowire on each side
+  const contact_group_plan plan = plan_contact_groups(20, 8, tech);
+  EXPECT_DOUBLE_EQ(plan.discard_probability(7), 1.0);
+  EXPECT_DOUBLE_EQ(plan.discard_probability(8), 1.0);
+  EXPECT_DOUBLE_EQ(plan.discard_probability(6), 0.5);
+  EXPECT_DOUBLE_EQ(plan.discard_probability(9), 0.5);
+}
+
+TEST(ContactGroupsTest, ZeroBandDiscardsNothing) {
+  device::technology tech = device::paper_technology();
+  tech.boundary_band_nm = 0.0;
+  const contact_group_plan plan = plan_contact_groups(20, 8, tech);
+  EXPECT_TRUE(plan.boundary_risks.empty());
+  EXPECT_DOUBLE_EQ(plan.expected_discarded(), 0.0);
+}
+
+TEST(ContactGroupsTest, GroupOfMapsIndices) {
+  const contact_group_plan plan =
+      plan_contact_groups(20, 8, device::paper_technology());
+  EXPECT_EQ(plan.group_of(0), 0u);
+  EXPECT_EQ(plan.group_of(7), 0u);
+  EXPECT_EQ(plan.group_of(8), 1u);
+  EXPECT_EQ(plan.group_of(19), 2u);
+  EXPECT_THROW(plan.group_of(20), invalid_argument_error);
+  EXPECT_THROW(plan.discard_probability(20), invalid_argument_error);
+}
+
+TEST(ContactGroupsTest, TinyCodeSpaceCreatesExcess) {
+  // Omega = 3 < minimum group size 5: groups hold 5 nanowires but only 3
+  // distinct addresses exist; positions 3, 4 of each group are excess.
+  const contact_group_plan plan =
+      plan_contact_groups(10, 3, device::paper_technology());
+  EXPECT_EQ(plan.group_size, 5u);
+  EXPECT_EQ(plan.excess_nanowires, (std::vector<std::size_t>{3, 4, 8, 9}));
+  EXPECT_DOUBLE_EQ(plan.discard_probability(3), 1.0);
+  EXPECT_DOUBLE_EQ(plan.discard_probability(2), 0.0);
+  // Expected discards count excess once even when it also sits in a band.
+  EXPECT_GE(plan.expected_discarded(), 4.0);
+  EXPECT_LE(plan.expected_discarded(), 6.0);
+}
+
+TEST(ContactGroupsTest, InvalidInputsThrow) {
+  EXPECT_THROW(plan_contact_groups(0, 8, device::paper_technology()),
+               invalid_argument_error);
+  EXPECT_THROW(plan_contact_groups(20, 0, device::paper_technology()),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::crossbar

@@ -1,0 +1,70 @@
+#include "crossbar/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/tech_params.h"
+#include "util/error.h"
+
+namespace nwdec::crossbar {
+namespace {
+
+TEST(GeometryTest, PaperPlatformSizes) {
+  const crossbar_spec spec;  // 16 kB, N = 20
+  EXPECT_EQ(spec.raw_bits, 131072u);
+  const layer_geometry geo =
+      derive_layer_geometry(spec, device::paper_technology(), 8);
+  // ceil(sqrt(131072)) = 363 nanowires per side.
+  EXPECT_EQ(geo.nanowire_count, 363u);
+  // 40 nanowires per cave -> 10 caves.
+  EXPECT_EQ(geo.cave_count, 10u);
+  EXPECT_EQ(geo.half_cave_count, 20u);
+}
+
+TEST(GeometryTest, WidthsAddUp) {
+  const crossbar_spec spec;
+  const device::technology tech = device::paper_technology();
+  const layer_geometry geo = derive_layer_geometry(spec, tech, 10);
+  EXPECT_DOUBLE_EQ(geo.array_width_nm, 363 * 10.0 + 10 * 64.0);
+  EXPECT_DOUBLE_EQ(geo.decoder_length_nm, 10 * 32.0 + 48.0);
+  EXPECT_DOUBLE_EQ(geo.side_nm, geo.array_width_nm + geo.decoder_length_nm);
+  EXPECT_DOUBLE_EQ(geo.total_area_nm2, geo.side_nm * geo.side_nm);
+}
+
+TEST(GeometryTest, LongerCodesCostDecoderArea) {
+  const crossbar_spec spec;
+  const device::technology tech = device::paper_technology();
+  const layer_geometry short_code = derive_layer_geometry(spec, tech, 6);
+  const layer_geometry long_code = derive_layer_geometry(spec, tech, 10);
+  EXPECT_GT(long_code.total_area_nm2, short_code.total_area_nm2);
+  EXPECT_DOUBLE_EQ(long_code.decoder_length_nm - short_code.decoder_length_nm,
+                   4 * 32.0);
+}
+
+TEST(GeometryTest, SmallerMemoryFewerCaves) {
+  crossbar_spec spec;
+  spec.raw_bits = 16 * 1024;  // 16 kbit
+  const layer_geometry geo =
+      derive_layer_geometry(spec, device::paper_technology(), 8);
+  EXPECT_EQ(geo.nanowire_count, 128u);
+  EXPECT_EQ(geo.cave_count, 4u);
+}
+
+TEST(GeometryTest, InvalidSpecThrows) {
+  crossbar_spec spec;
+  spec.raw_bits = 0;
+  EXPECT_THROW(spec.validate(), invalid_argument_error);
+  spec.raw_bits = 1024;
+  spec.nanowires_per_half_cave = 0;
+  EXPECT_THROW(
+      derive_layer_geometry(spec, device::paper_technology(), 8),
+      invalid_argument_error);
+  spec.nanowires_per_half_cave = 20;
+  EXPECT_THROW(
+      derive_layer_geometry(spec, device::paper_technology(), 0),
+      invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::crossbar

@@ -1,0 +1,86 @@
+#include "crossbar/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "util/error.h"
+
+namespace nwdec::crossbar {
+namespace {
+
+crossbar_memory make_memory(std::vector<bool> row_ok,
+                            std::vector<bool> col_ok) {
+  const codes::code rows = codes::make_code(codes::code_type::gray, 2, 6);
+  const codes::code cols = codes::make_code(codes::code_type::hot, 2, 4);
+  std::vector<codes::code_word> row_words(rows.words.begin(),
+                                          rows.words.begin() + 8);
+  return crossbar_memory(decoder::address_table(row_words),
+                         decoder::address_table(cols.words),
+                         std::move(row_ok), std::move(col_ok));
+}
+
+TEST(CrossbarMemoryTest, WriteReadRoundTrip) {
+  crossbar_memory memory =
+      make_memory(std::vector<bool>(8, true), std::vector<bool>(6, true));
+  const codes::code rows = codes::make_code(codes::code_type::gray, 2, 6);
+  const codes::code cols = codes::make_code(codes::code_type::hot, 2, 4);
+
+  EXPECT_TRUE(memory.write(rows.words[2], cols.words[3], true));
+  const auto bit = memory.read(rows.words[2], cols.words[3]);
+  ASSERT_TRUE(bit.has_value());
+  EXPECT_TRUE(*bit);
+  // A different cell stays 0.
+  const auto other = memory.read(rows.words[1], cols.words[3]);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_FALSE(*other);
+}
+
+TEST(CrossbarMemoryTest, DefectiveLinesRejectAccess) {
+  std::vector<bool> row_ok(8, true);
+  row_ok[2] = false;
+  crossbar_memory memory =
+      make_memory(row_ok, std::vector<bool>(6, true));
+  const codes::code rows = codes::make_code(codes::code_type::gray, 2, 6);
+  const codes::code cols = codes::make_code(codes::code_type::hot, 2, 4);
+
+  EXPECT_FALSE(memory.write(rows.words[2], cols.words[0], true));
+  EXPECT_FALSE(memory.read(rows.words[2], cols.words[0]).has_value());
+  // Other rows still work.
+  EXPECT_TRUE(memory.write(rows.words[3], cols.words[0], true));
+}
+
+TEST(CrossbarMemoryTest, UsableFractionIsProductOfLineYields) {
+  std::vector<bool> row_ok(8, true);
+  row_ok[0] = row_ok[1] = false;  // 6/8 rows
+  std::vector<bool> col_ok(6, true);
+  col_ok[5] = false;  // 5/6 cols
+  crossbar_memory memory = make_memory(row_ok, col_ok);
+  EXPECT_NEAR(memory.usable_fraction(), (6.0 / 8.0) * (5.0 / 6.0), 1e-12);
+}
+
+TEST(CrossbarMemoryTest, ForeignAddressIsRejected) {
+  crossbar_memory memory =
+      make_memory(std::vector<bool>(8, true), std::vector<bool>(6, true));
+  const codes::code cols = codes::make_code(codes::code_type::hot, 2, 4);
+  // The all-high address over-drives (several rows conduct): rejected.
+  EXPECT_FALSE(memory.write(codes::parse_word(2, "111111"), cols.words[0],
+                            true));
+  // The all-low address drives nothing: rejected.
+  EXPECT_FALSE(
+      memory.read(codes::parse_word(2, "000000"), cols.words[0]).has_value());
+}
+
+TEST(CrossbarMemoryTest, MaskSizeMismatchThrows) {
+  const codes::code rows = codes::make_code(codes::code_type::gray, 2, 6);
+  const codes::code cols = codes::make_code(codes::code_type::hot, 2, 4);
+  std::vector<codes::code_word> row_words(rows.words.begin(),
+                                          rows.words.begin() + 8);
+  EXPECT_THROW(crossbar_memory(decoder::address_table(row_words),
+                               decoder::address_table(cols.words),
+                               std::vector<bool>(7, true),
+                               std::vector<bool>(6, true)),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::crossbar

@@ -1,0 +1,85 @@
+#include "crossbar/remap.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "util/error.h"
+
+namespace nwdec::crossbar {
+namespace {
+
+struct fixture {
+  codes::code code = codes::make_code(codes::code_type::hot, 2, 6);  // 20
+  std::vector<codes::code_word> words{code.words.begin(),
+                                      code.words.begin() + 10};
+
+  remap_controller make(std::vector<bool> row_ok, std::vector<bool> col_ok) {
+    crossbar_memory memory(decoder::address_table{words},
+                           decoder::address_table{words}, std::move(row_ok),
+                           std::move(col_ok));
+    return remap_controller(std::move(memory), words, words);
+  }
+};
+
+TEST(RemapTest, FullyUsableMemoryKeepsItsDimensions) {
+  fixture f;
+  remap_controller controller =
+      f.make(std::vector<bool>(10, true), std::vector<bool>(10, true));
+  EXPECT_EQ(controller.rows(), 10u);
+  EXPECT_EQ(controller.cols(), 10u);
+  EXPECT_EQ(controller.capacity_bits(), 100u);
+}
+
+TEST(RemapTest, DeadLinesDisappearFromTheLogicalSpace) {
+  fixture f;
+  std::vector<bool> row_ok(10, true);
+  row_ok[0] = row_ok[4] = row_ok[9] = false;
+  std::vector<bool> col_ok(10, true);
+  col_ok[3] = false;
+  remap_controller controller = f.make(row_ok, col_ok);
+  EXPECT_EQ(controller.rows(), 7u);
+  EXPECT_EQ(controller.cols(), 9u);
+  // Physical mapping skips the dead lines in order.
+  EXPECT_EQ(controller.physical_row(0), 1u);
+  EXPECT_EQ(controller.physical_row(3), 5u);
+  EXPECT_EQ(controller.physical_col(3), 4u);
+}
+
+TEST(RemapTest, EveryLogicalCellIsWritable) {
+  fixture f;
+  std::vector<bool> row_ok(10, true);
+  row_ok[2] = false;
+  std::vector<bool> col_ok(10, true);
+  col_ok[7] = col_ok[8] = false;
+  remap_controller controller = f.make(row_ok, col_ok);
+
+  for (std::size_t r = 0; r < controller.rows(); ++r) {
+    for (std::size_t c = 0; c < controller.cols(); ++c) {
+      const bool value = (r * 31 + c) % 3 == 0;
+      EXPECT_TRUE(controller.write(r, c, value)) << r << "," << c;
+      const auto read = controller.read(r, c);
+      ASSERT_TRUE(read.has_value()) << r << "," << c;
+      EXPECT_EQ(*read, value) << r << "," << c;
+    }
+  }
+}
+
+TEST(RemapTest, OutOfRangeLogicalCoordinatesThrow) {
+  fixture f;
+  remap_controller controller =
+      f.make(std::vector<bool>(10, true), std::vector<bool>(10, true));
+  EXPECT_THROW(controller.write(10, 0, true), invalid_argument_error);
+  EXPECT_THROW(controller.read(0, 10), invalid_argument_error);
+  EXPECT_THROW(controller.physical_row(10), invalid_argument_error);
+}
+
+TEST(RemapTest, AllLinesDeadGivesEmptyLogicalSpace) {
+  fixture f;
+  remap_controller controller =
+      f.make(std::vector<bool>(10, false), std::vector<bool>(10, true));
+  EXPECT_EQ(controller.rows(), 0u);
+  EXPECT_EQ(controller.capacity_bits(), 0u);
+}
+
+}  // namespace
+}  // namespace nwdec::crossbar

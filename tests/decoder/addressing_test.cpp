@@ -1,0 +1,135 @@
+#include "decoder/addressing.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "codes/factory.h"
+#include "codes/tree_code.h"
+#include "decoder/pattern_matrix.h"
+#include "device/tech_params.h"
+#include "util/error.h"
+
+namespace nwdec::decoder {
+namespace {
+
+using codes::parse_word;
+
+TEST(ConductionTest, DigitRuleIsComponentwiseLe) {
+  EXPECT_TRUE(conducts(parse_word(3, "0102"), parse_word(3, "0112")));
+  EXPECT_FALSE(conducts(parse_word(3, "0120"), parse_word(3, "0110")));
+  EXPECT_TRUE(conducts(parse_word(3, "0000"), parse_word(3, "2222")));
+}
+
+TEST(ConductionTest, VoltageRuleRequiresEveryRegionOn) {
+  const std::vector<double> vt = {0.3, 0.6};
+  EXPECT_TRUE(conducts(vt, {0.5, 0.9}));
+  EXPECT_FALSE(conducts(vt, {0.5, 0.6}));  // gate == threshold blocks
+  EXPECT_FALSE(conducts(vt, {0.2, 0.9}));
+  EXPECT_THROW(conducts(vt, {0.5}), invalid_argument_error);
+}
+
+TEST(ConductionTest, DriveVoltagesImplementTheDigitRule) {
+  // Nominal thresholds + drive pattern must reproduce the digit rule for
+  // every pattern/address pair of a small space.
+  const device::vt_levels levels(3, device::paper_technology());
+  const codes::code gc = codes::make_code(codes::code_type::gray, 3, 4);
+  for (const codes::code_word& pattern : gc.words) {
+    std::vector<double> realized;
+    for (std::size_t j = 0; j < pattern.length(); ++j) {
+      realized.push_back(levels.level(pattern.at(j)));
+    }
+    for (const codes::code_word& address : gc.words) {
+      EXPECT_EQ(conducts(realized, drive_pattern(address, levels)),
+                conducts(pattern, address))
+          << pattern.to_string() << " @ " << address.to_string();
+    }
+  }
+}
+
+TEST(ConductionTest, DrivePatternChecksRadix) {
+  const device::vt_levels levels(2, device::paper_technology());
+  EXPECT_THROW(drive_pattern(parse_word(3, "012"), levels),
+               invalid_argument_error);
+}
+
+TEST(AddressedRowsTest, FindsExactlyTheSelectedNanowire) {
+  const codes::code gc = codes::make_code(codes::code_type::gray, 2, 6);
+  const matrix<codes::digit> p = pattern_matrix(gc, gc.size());
+  for (std::size_t i = 0; i < gc.size(); ++i) {
+    const std::vector<std::size_t> rows =
+        addressed_rows(p, 2, gc.words[i]);
+    ASSERT_EQ(rows.size(), 1u) << i;
+    EXPECT_EQ(rows[0], i);
+  }
+}
+
+TEST(AddressedRowsTest, CyclicReuseAddressesOnePerPeriod) {
+  // With N = 2 * Omega the same address selects one nanowire per period --
+  // which is why contact groups must separate the periods.
+  const codes::code hc = codes::make_code(codes::code_type::hot, 2, 4);
+  const matrix<codes::digit> p = pattern_matrix(hc, 2 * hc.size());
+  const std::vector<std::size_t> rows = addressed_rows(p, 2, hc.words[3]);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0] % hc.size(), 3u);
+  EXPECT_EQ(rows[1] % hc.size(), 3u);
+}
+
+class UniqueAddressabilityTest
+    : public ::testing::TestWithParam<std::tuple<codes::code_type, unsigned,
+                                                 std::size_t>> {};
+
+TEST_P(UniqueAddressabilityTest, EveryFactoryCodeIsUniquelyAddressable) {
+  const auto [type, radix, length] = GetParam();
+  const codes::code c = codes::make_code(type, radix, length);
+  EXPECT_TRUE(uniquely_addressable(c.words));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UniqueAddressabilityTest,
+    ::testing::Values(
+        std::make_tuple(codes::code_type::tree, 2u, std::size_t{8}),
+        std::make_tuple(codes::code_type::gray, 2u, std::size_t{8}),
+        std::make_tuple(codes::code_type::balanced_gray, 2u, std::size_t{8}),
+        std::make_tuple(codes::code_type::hot, 2u, std::size_t{8}),
+        std::make_tuple(codes::code_type::arranged_hot, 2u, std::size_t{8}),
+        std::make_tuple(codes::code_type::gray, 3u, std::size_t{6}),
+        std::make_tuple(codes::code_type::hot, 3u, std::size_t{6})),
+    [](const auto& info) {
+      return codes::code_type_name(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_M" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(UniqueAddressabilityTest, UnreflectedTreeCodeFails) {
+  // 000 conducts under every address: not uniquely addressable.
+  EXPECT_FALSE(uniquely_addressable(codes::tree_code_words(2, 3)));
+}
+
+TEST(AddressTableTest, SelectRoundTrip) {
+  const codes::code ahc = codes::make_code(codes::code_type::arranged_hot, 2, 6);
+  const address_table table(ahc.words);
+  EXPECT_EQ(table.size(), 20u);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto selected = table.select(table.address_of(i));
+    ASSERT_TRUE(selected.has_value());
+    EXPECT_EQ(*selected, i);
+  }
+}
+
+TEST(AddressTableTest, ForeignAddressSelectsNothing) {
+  const codes::code hc = codes::make_code(codes::code_type::hot, 2, 4);
+  std::vector<codes::code_word> half(hc.words.begin(), hc.words.begin() + 3);
+  const address_table table(half);
+  // An address from the removed half must not select anything.
+  EXPECT_FALSE(table.select(hc.words[5]).has_value());
+}
+
+TEST(AddressTableTest, NonAntichainInputRejected) {
+  EXPECT_THROW(address_table(codes::tree_code_words(2, 3)),
+               invalid_argument_error);
+  EXPECT_THROW(address_table({}), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::decoder

@@ -1,0 +1,100 @@
+#include "decoder/complexity.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "codes/factory.h"
+#include "decoder/decoder_design.h"
+#include "util/error.h"
+
+namespace nwdec::decoder {
+namespace {
+
+TEST(ComplexityTest, CountsDistinctNonZeroDoses) {
+  const matrix<double> s{{0, -5, 0, 2}, {-2, 7, 5, -7}, {4, 2, 4, 9}};
+  EXPECT_EQ(step_complexity(s, 0), 2u);
+  EXPECT_EQ(step_complexity(s, 1), 4u);
+  EXPECT_EQ(step_complexity(s, 2), 3u);
+  EXPECT_EQ(fabrication_complexity(s), 9u);
+}
+
+TEST(ComplexityTest, AllZeroRowNeedsNoStep) {
+  const matrix<double> s{{0, 0, 0}};
+  EXPECT_EQ(step_complexity(s, 0), 0u);
+  EXPECT_EQ(fabrication_complexity(s), 0u);
+}
+
+TEST(ComplexityTest, OppositeSignsAreDistinctDoses) {
+  // +d and -d use different dopant species, hence different steps.
+  const matrix<double> s{{1.5, -1.5}};
+  EXPECT_EQ(step_complexity(s, 0), 2u);
+}
+
+TEST(ComplexityTest, ToleranceMergesNearlyEqualDoses) {
+  const matrix<double> s{{1.0, 1.0 + 1e-12, 2.0}};
+  EXPECT_EQ(step_complexity(s, 0, 1e-9), 2u);
+  EXPECT_EQ(step_complexity(s, 0, 0.0), 3u);
+}
+
+TEST(ComplexityTest, RowIndexValidated) {
+  const matrix<double> s{{1.0}};
+  EXPECT_THROW(step_complexity(s, 1), invalid_argument_error);
+  EXPECT_THROW(step_complexity(s, 0, -1.0), invalid_argument_error);
+}
+
+// Binary reflected codes pay exactly 2 lithography/doping steps per
+// nanowire regardless of the arrangement: every base transition appears
+// with its mirrored opposite, and the final direct patterning uses the two
+// level doses. This is the flat binary line of Fig. 5.
+class BinaryPhiTest
+    : public ::testing::TestWithParam<std::tuple<codes::code_type,
+                                                 std::size_t>> {};
+
+TEST_P(BinaryPhiTest, PhiIsTwiceTheNanowireCount) {
+  const auto [type, nanowires] = GetParam();
+  const codes::code c = codes::make_code(type, 2, 8);
+  const decoder_design design(c, nanowires, device::paper_technology());
+  EXPECT_EQ(design.fabrication_complexity(), 2 * nanowires);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodesAndSizes, BinaryPhiTest,
+    ::testing::Combine(::testing::Values(codes::code_type::tree,
+                                         codes::code_type::gray,
+                                         codes::code_type::balanced_gray),
+                       ::testing::Values(std::size_t{4}, std::size_t{10},
+                                         std::size_t{16})),
+    [](const auto& info) {
+      return codes::code_type_name(std::get<0>(info.param)) + "_N" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ComplexityTest, TernaryGrayCancelsTheOverhead) {
+  // Fig. 5 (N = 10, two free digits, M = 4): ternary TC costs 24 steps
+  // (the multi-digit carries need extra distinct doses) while the Gray
+  // arrangement is back at the binary floor of 2N = 20 -- the paper's 17%.
+  const device::technology tech = device::paper_technology();
+  const std::size_t n = 10;
+  const decoder_design tree(codes::make_code(codes::code_type::tree, 3, 4), n,
+                            tech);
+  const decoder_design gray(codes::make_code(codes::code_type::gray, 3, 4), n,
+                            tech);
+  EXPECT_EQ(gray.fabrication_complexity(), 2 * n);
+  EXPECT_EQ(tree.fabrication_complexity(), 24u);
+}
+
+TEST(ComplexityTest, LongerTernaryGrayStaysNearTheBinaryFloor) {
+  // With more free digits the Gray code's transition rows still cost 2;
+  // only the final direct-patterning row may add one extra dose when the
+  // closing word holds three distinct values.
+  const device::technology tech = device::paper_technology();
+  const std::size_t n = 10;
+  const decoder_design gray(codes::make_code(codes::code_type::gray, 3, 8), n,
+                            tech);
+  EXPECT_GE(gray.fabrication_complexity(), 2 * n);
+  EXPECT_LE(gray.fabrication_complexity(), 2 * n + 1);
+}
+
+}  // namespace
+}  // namespace nwdec::decoder

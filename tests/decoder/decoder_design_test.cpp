@@ -1,0 +1,101 @@
+#include "decoder/decoder_design.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "decoder/complexity.h"
+#include "decoder/doping_profile.h"
+#include "decoder/variability.h"
+#include "util/error.h"
+
+namespace nwdec::decoder {
+namespace {
+
+TEST(DecoderDesignTest, PipelineIsInternallyConsistent) {
+  const codes::code gc = codes::make_code(codes::code_type::gray, 2, 8);
+  const decoder_design design(gc, 12, device::paper_technology());
+
+  EXPECT_EQ(design.nanowire_count(), 12u);
+  EXPECT_EQ(design.region_count(), 8u);
+
+  // D = h(P) elementwise.
+  for (std::size_t i = 0; i < design.nanowire_count(); ++i) {
+    for (std::size_t j = 0; j < design.region_count(); ++j) {
+      EXPECT_DOUBLE_EQ(design.final_doping()(i, j),
+                       design.doses()[design.pattern()(i, j)]);
+    }
+  }
+  // S accumulates back to D.
+  EXPECT_EQ(accumulate_doping(design.step_doping()), design.final_doping());
+  // Phi and nu agree with the free functions.
+  EXPECT_EQ(design.fabrication_complexity(),
+            fabrication_complexity(design.step_doping()));
+  EXPECT_EQ(design.dose_counts(), dose_count_matrix(design.step_doping()));
+}
+
+TEST(DecoderDesignTest, VariabilityAccessorsAgree) {
+  const codes::code tc = codes::make_code(codes::code_type::tree, 2, 6);
+  const decoder_design design(tc, 10, device::paper_technology());
+
+  const matrix<double> sigma = design.variability();
+  const matrix<double> sd = design.region_stddev();
+  const double sigma_vt = design.tech().sigma_vt;
+  for (std::size_t i = 0; i < design.nanowire_count(); ++i) {
+    for (std::size_t j = 0; j < design.region_count(); ++j) {
+      const double nu = static_cast<double>(design.dose_counts()(i, j));
+      EXPECT_NEAR(sigma(i, j), sigma_vt * sigma_vt * nu, 1e-15);
+      EXPECT_NEAR(sd(i, j) * sd(i, j), sigma(i, j), 1e-12);
+    }
+  }
+  EXPECT_EQ(design.variability_norm_sigma_units(),
+            design.dose_counts().sum());
+  EXPECT_DOUBLE_EQ(
+      design.average_variability_sigma_units(),
+      static_cast<double>(design.dose_counts().sum()) /
+          static_cast<double>(design.dose_counts().size()));
+}
+
+TEST(DecoderDesignTest, CustomDoseTableIsUsed) {
+  const codes::code gc = codes::make_code(codes::code_type::gray, 3, 4);
+  const decoder_design design(gc, 5, device::paper_technology(),
+                              {2.0, 4.0, 9.0});
+  EXPECT_EQ(design.doses(), (device::dose_table{2.0, 4.0, 9.0}));
+  EXPECT_DOUBLE_EQ(design.final_doping()(0, 0),
+                   design.doses()[design.pattern()(0, 0)]);
+}
+
+TEST(DecoderDesignTest, ShortDoseTableRejected) {
+  const codes::code gc = codes::make_code(codes::code_type::gray, 3, 4);
+  EXPECT_THROW(
+      decoder_design(gc, 5, device::paper_technology(), {2.0, 4.0}),
+      invalid_argument_error);
+}
+
+TEST(DecoderDesignTest, PaperHeadline17PercentStepReduction) {
+  // Sec. 6.2 / Fig. 5: ternary TC needs 24 steps for N = 10 while GC needs
+  // 20 -- the paper's 17% fabrication-cost reduction, exactly.
+  const device::technology tech = device::paper_technology();
+  const decoder_design tree(codes::make_code(codes::code_type::tree, 3, 4),
+                            10, tech);
+  const decoder_design gray(codes::make_code(codes::code_type::gray, 3, 4),
+                            10, tech);
+  const double reduction =
+      1.0 - static_cast<double>(gray.fabrication_complexity()) /
+                static_cast<double>(tree.fabrication_complexity());
+  EXPECT_NEAR(reduction, 1.0 - 20.0 / 24.0, 1e-12);
+}
+
+TEST(DecoderDesignTest, LongerCodesReduceAverageVariability) {
+  // Sec. 6.2: "longer codes have less digit transitions and help reduce
+  // the average variability".
+  const device::technology tech = device::paper_technology();
+  const decoder_design short_code(
+      codes::make_code(codes::code_type::gray, 2, 8), 20, tech);
+  const decoder_design long_code(
+      codes::make_code(codes::code_type::gray, 2, 10), 20, tech);
+  EXPECT_LT(long_code.average_variability_sigma_units(),
+            short_code.average_variability_sigma_units());
+}
+
+}  // namespace
+}  // namespace nwdec::decoder

@@ -1,0 +1,81 @@
+#include "decoder/doping_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "decoder/pattern_matrix.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace nwdec::decoder {
+namespace {
+
+TEST(DopingProfileTest, FinalDopingLooksUpDigits) {
+  const matrix<codes::digit> p{{0, 1}, {1, 0}};
+  const matrix<double> d = final_doping(p, {10.0, 20.0});
+  EXPECT_EQ(d, (matrix<double>{{10, 20}, {20, 10}}));
+}
+
+TEST(DopingProfileTest, MissingDoseEntryThrows) {
+  const matrix<codes::digit> p{{0, 2}};
+  EXPECT_THROW(final_doping(p, {10.0, 20.0}), invalid_argument_error);
+}
+
+TEST(DopingProfileTest, StepAccumulateRoundTripOnRandomMatrices) {
+  rng random(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rows = 1 + random.index(12);
+    const std::size_t cols = 1 + random.index(12);
+    matrix<double> d(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        d(i, j) = random.uniform(1.0, 10.0);
+      }
+    }
+    const matrix<double> round_trip = accumulate_doping(step_doping(d));
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        EXPECT_NEAR(round_trip(i, j), d(i, j), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(DopingProfileTest, Proposition2HoldsForFactoryCodes) {
+  // D[i][j] = sum_{k>=i} S[k][j] for a real decoder configuration.
+  const codes::code gc = codes::make_code(codes::code_type::gray, 3, 6);
+  const matrix<codes::digit> p = pattern_matrix(gc, 12);
+  const matrix<double> d = final_doping(p, {1.0, 3.0, 8.0});
+  const matrix<double> s = step_doping(d);
+  for (std::size_t j = 0; j < d.cols(); ++j) {
+    for (std::size_t i = 0; i < d.rows(); ++i) {
+      double sum = 0.0;
+      for (std::size_t k = i; k < d.rows(); ++k) sum += s(k, j);
+      EXPECT_NEAR(sum, d(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(DopingProfileTest, LastStepEqualsLastNanowireProfile) {
+  // S[N-1] = D[N-1]: the last nanowire is patterned directly.
+  const matrix<double> d{{5, 7}, {1, 2}, {3, 4}};
+  const matrix<double> s = step_doping(d);
+  EXPECT_DOUBLE_EQ(s(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(2, 1), 4.0);
+}
+
+TEST(DopingProfileTest, EqualNeighborsYieldZeroStep) {
+  // No digit transition between successive nanowires -> zero dose.
+  const matrix<double> d{{5, 7}, {5, 2}};
+  const matrix<double> s = step_doping(d);
+  EXPECT_DOUBLE_EQ(s(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), 5.0);
+}
+
+TEST(DopingProfileTest, EmptyMatricesRejected) {
+  EXPECT_THROW(step_doping(matrix<double>{}), invalid_argument_error);
+  EXPECT_THROW(accumulate_doping(matrix<double>{}), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::decoder

@@ -1,0 +1,83 @@
+#include "decoder/margins.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codes/factory.h"
+#include "device/tech_params.h"
+#include "util/error.h"
+
+namespace nwdec::decoder {
+namespace {
+
+decoder_design make_design(codes::code_type type) {
+  return decoder_design(codes::make_code(type, 2, 8), 20,
+                        device::paper_technology());
+}
+
+TEST(MarginsTest, FormulaMatchesDoseCounts) {
+  const decoder_design design = make_design(codes::code_type::gray);
+  const margin_analysis analysis = analyze_margins(design);
+  const double window = design.levels().window_half_width();
+  for (std::size_t i = 0; i < design.nanowire_count(); ++i) {
+    for (std::size_t j = 0; j < design.region_count(); ++j) {
+      const double expected =
+          window / (0.050 *
+                    std::sqrt(static_cast<double>(design.dose_counts()(i, j))));
+      EXPECT_NEAR(analysis.sigma_margins(i, j), expected, 1e-12);
+    }
+  }
+}
+
+TEST(MarginsTest, CriticalRegionIsTheGlobalMinimum) {
+  const decoder_design design = make_design(codes::code_type::tree);
+  const margin_analysis analysis = analyze_margins(design);
+  EXPECT_DOUBLE_EQ(analysis.sigma_margins(analysis.critical_nanowire,
+                                          analysis.critical_region),
+                   analysis.worst_margin);
+  EXPECT_DOUBLE_EQ(analysis.sigma_margins.min(), analysis.worst_margin);
+  // The earliest-defined nanowire accumulates the most doses.
+  EXPECT_EQ(analysis.critical_nanowire, 0u);
+}
+
+TEST(MarginsTest, PerNanowireWorstIsRowMinimum) {
+  const decoder_design design = make_design(codes::code_type::balanced_gray);
+  const margin_analysis analysis = analyze_margins(design);
+  for (std::size_t i = 0; i < design.nanowire_count(); ++i) {
+    double row_min = analysis.sigma_margins(i, 0);
+    for (std::size_t j = 1; j < design.region_count(); ++j) {
+      row_min = std::min(row_min, analysis.sigma_margins(i, j));
+    }
+    EXPECT_DOUBLE_EQ(analysis.per_nanowire_worst[i], row_min);
+  }
+}
+
+TEST(MarginsTest, BalancedGrayLiftsTheWorstMargin) {
+  // Flattening the variability raises the floor: the design story of the
+  // BGC in one number.
+  const margin_analysis tree = analyze_margins(make_design(codes::code_type::tree));
+  const margin_analysis bgc =
+      analyze_margins(make_design(codes::code_type::balanced_gray));
+  EXPECT_GT(bgc.worst_margin, tree.worst_margin);
+  EXPECT_LT(bgc.regions_below(2.0), tree.regions_below(2.0) + 1);
+}
+
+TEST(MarginsTest, LastNanowireHasTheFullWindowMargin) {
+  const decoder_design design = make_design(codes::code_type::gray);
+  const margin_analysis analysis = analyze_margins(design);
+  const double single_dose_margin =
+      design.levels().window_half_width() / design.tech().sigma_vt;
+  EXPECT_NEAR(analysis.per_nanowire_worst.back(), single_dose_margin, 1e-12);
+}
+
+TEST(MarginsTest, NoiselessProcessRejected) {
+  device::technology tech = device::paper_technology();
+  tech.sigma_vt = 0.0;
+  const decoder_design design(codes::make_code(codes::code_type::gray, 2, 6),
+                              5, tech);
+  EXPECT_THROW(analyze_margins(design), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::decoder

@@ -1,0 +1,119 @@
+// Empirical checks of Propositions 4-5: Gray arrangements minimize both
+// ||Sigma||_1 and Phi over *all* arrangements of the same code space.
+#include "decoder/optimality.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "codes/gray_code.h"
+#include "codes/tree_code.h"
+#include "decoder/decoder_design.h"
+
+namespace nwdec::decoder {
+namespace {
+
+TEST(OptimalityTest, Binary2DigitExhaustive) {
+  // 4 base words -> 24 arrangements, all evaluated.
+  const device::technology tech = device::paper_technology();
+  const auto base = codes::tree_code_words(2, 2);
+  const auto gray = codes::reflect_words(codes::gray_code_words(2, 2));
+
+  const optimality_report report =
+      compare_exhaustive(base, /*reflect=*/true, gray, /*nanowires=*/4, tech);
+  EXPECT_EQ(report.arrangements_tested, 24u);
+  EXPECT_TRUE(report.reference_minimizes_phi);
+  EXPECT_TRUE(report.reference_minimizes_sigma);
+}
+
+TEST(OptimalityTest, Ternary1DigitExhaustive) {
+  const device::technology tech = device::paper_technology();
+  const auto base = codes::tree_code_words(3, 1);
+  const auto gray = codes::reflect_words(codes::gray_code_words(3, 1));
+
+  const optimality_report report =
+      compare_exhaustive(base, true, gray, 3, tech);
+  EXPECT_EQ(report.arrangements_tested, 6u);
+  EXPECT_TRUE(report.reference_minimizes_phi);
+  EXPECT_TRUE(report.reference_minimizes_sigma);
+}
+
+TEST(OptimalityTest, LastWordEffectOnPhiIsRealForOddRadix) {
+  // An arrangement ending at the self-complementary word 1 (reflected: 11,
+  // a single dose) beats the Gray ending at 2 by exactly one step. This is
+  // the documented caveat to Proposition 5: Gray minimizes the transition
+  // part of Phi; the closing row depends only on which word comes last.
+  const device::technology tech = device::paper_technology();
+  const auto base = codes::tree_code_words(3, 1);
+  const auto gray = codes::reflect_words(codes::gray_code_words(3, 1));
+
+  const optimality_report report =
+      compare_exhaustive(base, true, gray, 3, tech);
+  EXPECT_FALSE(report.reference_minimizes_phi_globally);
+  EXPECT_EQ(report.best_other.fabrication_complexity + 1,
+            report.reference.fabrication_complexity);
+}
+
+TEST(OptimalityTest, Binary3DigitExhaustive) {
+  // 8 base words -> 40320 arrangements; the Gray path stays optimal.
+  const device::technology tech = device::paper_technology();
+  const auto base = codes::tree_code_words(2, 3);
+  const auto gray = codes::reflect_words(codes::gray_code_words(2, 3));
+
+  const optimality_report report =
+      compare_exhaustive(base, true, gray, 8, tech);
+  EXPECT_EQ(report.arrangements_tested, 40320u);
+  EXPECT_TRUE(report.reference_minimizes_phi);
+  EXPECT_TRUE(report.reference_minimizes_sigma);
+}
+
+TEST(OptimalityTest, SampledTernaryTwoDigit) {
+  // 9 base words: sample 2000 random arrangements instead of 9!.
+  const device::technology tech = device::paper_technology();
+  const auto base = codes::tree_code_words(3, 2);
+  const auto gray = codes::reflect_words(codes::gray_code_words(3, 2));
+
+  rng random(7);
+  const optimality_report report =
+      compare_sampled(base, true, gray, 9, tech, 2000, random);
+  EXPECT_EQ(report.arrangements_tested, 2000u);
+  EXPECT_TRUE(report.reference_minimizes_phi);
+  EXPECT_TRUE(report.reference_minimizes_sigma);
+}
+
+TEST(OptimalityTest, ArrangedHotBeatsSampledHotArrangements) {
+  // Sec. 5.2: the Gray-fashion arrangement of a hot code is optimal among
+  // arrangements of the same space.
+  const device::technology tech = device::paper_technology();
+  const auto hot = codes::make_code(codes::code_type::hot, 2, 4).words;
+  const auto arranged =
+      codes::make_code(codes::code_type::arranged_hot, 2, 4).words;
+
+  rng random(11);
+  const optimality_report report = compare_sampled(
+      hot, /*reflect=*/false, arranged, hot.size(), tech, 1000, random);
+  EXPECT_TRUE(report.reference_minimizes_phi);
+  EXPECT_TRUE(report.reference_minimizes_sigma);
+}
+
+TEST(OptimalityTest, EvaluateArrangementMatchesDecoderDesign) {
+  const device::technology tech = device::paper_technology();
+  const codes::code gc = codes::make_code(codes::code_type::gray, 2, 6);
+  const arrangement_costs costs =
+      evaluate_arrangement(gc.words, 12, tech);
+
+  const decoder_design design(gc, 12, tech);
+  EXPECT_EQ(costs.fabrication_complexity, design.fabrication_complexity());
+  EXPECT_EQ(costs.variability_sigma_units,
+            design.variability_norm_sigma_units());
+}
+
+TEST(OptimalityTest, ExhaustiveSizeLimitEnforced) {
+  const device::technology tech = device::paper_technology();
+  const auto base = codes::tree_code_words(2, 4);  // 16 words
+  const auto gray = codes::reflect_words(codes::gray_code_words(2, 4));
+  EXPECT_THROW(compare_exhaustive(base, true, gray, 16, tech),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::decoder

@@ -1,0 +1,114 @@
+// Exact reproduction of the worked Examples 1-6 of the paper (Sec. 4-5):
+// the matrices P, D, S, the per-step complexities phi_i and Phi, and the
+// variability matrix Sigma for both the tree-code sequence and its
+// Gray-code replacement.
+#include <gtest/gtest.h>
+
+#include "codes/word.h"
+#include "decoder/complexity.h"
+#include "decoder/doping_profile.h"
+#include "decoder/pattern_matrix.h"
+#include "decoder/variability.h"
+#include "device/doping_map.h"
+
+namespace nwdec::decoder {
+namespace {
+
+using codes::parse_word;
+
+// Example 1: n = 3, N = 3, M = 4; digits 0/1/2 correspond to doping levels
+// 2, 4, 9 (x 1e18 cm^-3). Units cancel throughout, so the tests carry the
+// mantissas directly.
+const device::dose_table kDoses = {2.0, 4.0, 9.0};
+
+matrix<codes::digit> example1_pattern() {
+  return pattern_matrix({parse_word(3, "0121"), parse_word(3, "0220"),
+                         parse_word(3, "1012")});
+}
+
+matrix<codes::digit> example5_pattern() {
+  return pattern_matrix({parse_word(3, "0121"), parse_word(3, "0220"),
+                         parse_word(3, "1210")});
+}
+
+TEST(PaperExamples, Example1FinalDopingMatrix) {
+  const matrix<double> d = final_doping(example1_pattern(), kDoses);
+  const matrix<double> expected{{2, 4, 9, 4}, {2, 9, 9, 2}, {4, 2, 4, 9}};
+  EXPECT_EQ(d, expected);
+}
+
+TEST(PaperExamples, Example2StepDopingMatrix) {
+  const matrix<double> s =
+      step_doping(final_doping(example1_pattern(), kDoses));
+  const matrix<double> expected{{0, -5, 0, 2}, {-2, 7, 5, -7}, {4, 2, 4, 9}};
+  EXPECT_EQ(s, expected);
+}
+
+TEST(PaperExamples, Example2SuffixSumProperty) {
+  // Proposition 2: D[i][j] = sum_{k >= i} S[k][j].
+  const matrix<double> d = final_doping(example1_pattern(), kDoses);
+  EXPECT_EQ(accumulate_doping(step_doping(d)), d);
+}
+
+TEST(PaperExamples, Example3FabricationComplexity) {
+  const matrix<double> s =
+      step_doping(final_doping(example1_pattern(), kDoses));
+  // phi_1 = 2, phi_2 = 4, phi_3 = 3 (the paper indexes steps from 1).
+  EXPECT_EQ(per_step_complexity(s),
+            (std::vector<std::size_t>{2, 4, 3}));
+  EXPECT_EQ(fabrication_complexity(s), 9u);
+}
+
+TEST(PaperExamples, Example4VariabilityMatrix) {
+  const matrix<double> s =
+      step_doping(final_doping(example1_pattern(), kDoses));
+  const matrix<std::size_t> nu = dose_count_matrix(s);
+  const matrix<std::size_t> expected{{2, 3, 2, 3}, {2, 2, 2, 2}, {1, 1, 1, 1}};
+  EXPECT_EQ(nu, expected);
+  EXPECT_EQ(variability_norm_sigma_units(nu), 22u);
+
+  // Sigma itself carries sigma_T^2: check one entry with sigma_T = 50 mV.
+  const matrix<double> sigma = variability_matrix(nu, 0.050);
+  EXPECT_DOUBLE_EQ(sigma(0, 1), 3 * 0.0025);
+}
+
+TEST(PaperExamples, Example5GrayArrangementReducesVariability) {
+  const matrix<double> s =
+      step_doping(final_doping(example5_pattern(), kDoses));
+  const matrix<double> expected_s{
+      {0, -5, 0, 2}, {-2, 0, 5, 0}, {4, 9, 4, 2}};
+  EXPECT_EQ(s, expected_s);
+
+  const matrix<std::size_t> nu = dose_count_matrix(s);
+  const matrix<std::size_t> expected_nu{
+      {2, 2, 2, 2}, {2, 1, 2, 1}, {1, 1, 1, 1}};
+  EXPECT_EQ(nu, expected_nu);
+  // ||Sigma||_1 drops from 22 sigma^2 to 18 sigma^2.
+  EXPECT_EQ(variability_norm_sigma_units(nu), 18u);
+}
+
+TEST(PaperExamples, Example6GrayArrangementReducesComplexity) {
+  const matrix<double> s =
+      step_doping(final_doping(example5_pattern(), kDoses));
+  EXPECT_EQ(per_step_complexity(s), (std::vector<std::size_t>{2, 2, 3}));
+  EXPECT_EQ(fabrication_complexity(s), 7u);
+}
+
+TEST(PaperExamples, ThresholdVoltageMatrixOfExample1) {
+  // Example 1 also lists V: digits 0/1/2 at V_T = 0.1/0.3/0.5 V, i.e.
+  // V = (2 P + 1) * 0.1 V. Verify the pattern digits map consistently.
+  const matrix<codes::digit> p = example1_pattern();
+  const matrix<double> v =
+      p.map<double>([](codes::digit d) { return 0.1 * (2.0 * d + 1.0); });
+  const matrix<double> expected =
+      matrix<double>{{1, 3, 5, 3}, {1, 5, 5, 1}, {3, 1, 3, 5}}.map<double>(
+          [](double x) { return 0.1 * x; });
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(v(i, j), expected(i, j), 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nwdec::decoder

@@ -1,0 +1,54 @@
+#include "decoder/pattern_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "util/error.h"
+
+namespace nwdec::decoder {
+namespace {
+
+TEST(PatternMatrixTest, RowsFollowTheArrangedCode) {
+  const codes::code gc = codes::make_code(codes::code_type::gray, 2, 6);
+  const matrix<codes::digit> p = pattern_matrix(gc, 5);
+  ASSERT_EQ(p.rows(), 5u);
+  ASSERT_EQ(p.cols(), 6u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(p(i, j), gc.words[i].at(j));
+    }
+  }
+}
+
+TEST(PatternMatrixTest, CyclesWhenHalfCaveExceedsCodeSpace) {
+  const codes::code hc = codes::make_code(codes::code_type::hot, 2, 4);  // 6
+  const matrix<codes::digit> p = pattern_matrix(hc, 15);
+  ASSERT_EQ(p.rows(), 15u);
+  for (std::size_t i = 0; i < 15; ++i) {
+    EXPECT_EQ(pattern_row(p, 2, i), hc.words[i % 6]) << i;
+  }
+}
+
+TEST(PatternMatrixTest, ExplicitSequenceShapeChecks) {
+  EXPECT_THROW(pattern_matrix(std::vector<codes::code_word>{}),
+               invalid_argument_error);
+  const std::vector<codes::code_word> ragged = {codes::parse_word(2, "01"),
+                                                codes::parse_word(2, "011")};
+  EXPECT_THROW(pattern_matrix(ragged), invalid_argument_error);
+}
+
+TEST(PatternMatrixTest, ZeroNanowiresRejected) {
+  const codes::code gc = codes::make_code(codes::code_type::gray, 2, 6);
+  EXPECT_THROW(pattern_matrix(gc, 0), invalid_argument_error);
+}
+
+TEST(PatternMatrixTest, PatternRowRoundTrip) {
+  const codes::code gc = codes::make_code(codes::code_type::gray, 3, 4);
+  const matrix<codes::digit> p = pattern_matrix(gc, 7);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(pattern_row(p, 3, i), gc.words[i % gc.size()]);
+  }
+}
+
+}  // namespace
+}  // namespace nwdec::decoder

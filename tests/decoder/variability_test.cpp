@@ -1,0 +1,99 @@
+#include "decoder/variability.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "decoder/decoder_design.h"
+#include "decoder/doping_profile.h"
+#include "decoder/pattern_matrix.h"
+#include "util/error.h"
+
+namespace nwdec::decoder {
+namespace {
+
+TEST(VariabilityTest, CountsNonZeroSuffix) {
+  const matrix<double> s{{0, 1}, {2, 0}, {3, 4}};
+  const matrix<std::size_t> nu = dose_count_matrix(s);
+  EXPECT_EQ(nu, (matrix<std::size_t>{{2, 2}, {2, 1}, {1, 1}}));
+}
+
+TEST(VariabilityTest, NuIsMonotoneAlongTheNanowireAxis) {
+  // Earlier-defined nanowires accumulate at least as many doses.
+  const codes::code tc = codes::make_code(codes::code_type::tree, 2, 8);
+  const matrix<codes::digit> p = pattern_matrix(tc, 20);
+  const matrix<double> s = step_doping(final_doping(p, {1.0, 2.0}));
+  const matrix<std::size_t> nu = dose_count_matrix(s);
+  for (std::size_t j = 0; j < nu.cols(); ++j) {
+    for (std::size_t i = 0; i + 1 < nu.rows(); ++i) {
+      EXPECT_GE(nu(i, j), nu(i + 1, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(VariabilityTest, LastNanowireHasExactlyOneDoseEverywhere) {
+  const codes::code gc = codes::make_code(codes::code_type::gray, 2, 6);
+  const matrix<codes::digit> p = pattern_matrix(gc, 8);
+  const matrix<double> s = step_doping(final_doping(p, {1.0, 2.0}));
+  const matrix<std::size_t> nu = dose_count_matrix(s);
+  for (std::size_t j = 0; j < nu.cols(); ++j) {
+    EXPECT_EQ(nu(nu.rows() - 1, j), 1u);
+  }
+}
+
+TEST(VariabilityTest, SigmaScalesWithSigmaVtSquared) {
+  const matrix<std::size_t> nu{{2, 3}, {1, 1}};
+  const matrix<double> sigma = variability_matrix(nu, 0.1);
+  EXPECT_DOUBLE_EQ(sigma(0, 0), 0.02);
+  EXPECT_DOUBLE_EQ(sigma(0, 1), 0.03);
+  EXPECT_DOUBLE_EQ(sigma(1, 0), 0.01);
+  EXPECT_THROW(variability_matrix(nu, -0.1), invalid_argument_error);
+}
+
+TEST(VariabilityTest, NormAndAverage) {
+  const matrix<std::size_t> nu{{2, 3}, {1, 2}};
+  EXPECT_EQ(variability_norm_sigma_units(nu), 8u);
+  EXPECT_DOUBLE_EQ(average_variability_sigma_units(nu), 2.0);
+}
+
+TEST(VariabilityTest, StddevIsSqrtOfVariance) {
+  const matrix<std::size_t> nu{{4, 9}};
+  const matrix<double> sd = stddev_matrix(nu, 0.05);
+  EXPECT_DOUBLE_EQ(sd(0, 0), 0.10);
+  EXPECT_DOUBLE_EQ(sd(0, 1), 0.15);
+}
+
+TEST(VariabilityTest, GrayBeatsTreeOnTheSameSpace) {
+  // Proposition 4 consequence at experiment scale: N = 20, binary M = 8.
+  const device::technology tech = device::paper_technology();
+  const decoder_design tree(codes::make_code(codes::code_type::tree, 2, 8),
+                            20, tech);
+  const decoder_design gray(codes::make_code(codes::code_type::gray, 2, 8),
+                            20, tech);
+  EXPECT_LT(gray.variability_norm_sigma_units(),
+            tree.variability_norm_sigma_units());
+}
+
+TEST(VariabilityTest, BalancedGrayFlattensTheDigitProfile) {
+  // BGC does not reduce ||Sigma||_1 below GC (same transition total) but
+  // spreads it: the worst digit column of nu is strictly lower.
+  const device::technology tech = device::paper_technology();
+  const decoder_design gray(codes::make_code(codes::code_type::gray, 2, 8),
+                            20, tech);
+  const decoder_design balanced(
+      codes::make_code(codes::code_type::balanced_gray, 2, 8), 20, tech);
+
+  const auto worst_column_sum = [](const matrix<std::size_t>& nu) {
+    std::size_t worst = 0;
+    for (std::size_t j = 0; j < nu.cols(); ++j) {
+      std::size_t sum = 0;
+      for (std::size_t i = 0; i < nu.rows(); ++i) sum += nu(i, j);
+      worst = std::max(worst, sum);
+    }
+    return worst;
+  };
+  EXPECT_LT(worst_column_sum(balanced.dose_counts()),
+            worst_column_sum(gray.dose_counts()));
+}
+
+}  // namespace
+}  // namespace nwdec::decoder

@@ -1,0 +1,56 @@
+#include "device/doping_map.h"
+
+#include <gtest/gtest.h>
+
+#include "device/tech_params.h"
+#include "device/vt_levels.h"
+#include "device/vt_model.h"
+#include "util/error.h"
+
+namespace nwdec::device {
+namespace {
+
+TEST(DopingMapTest, PhysicalTableIsStrictlyIncreasing) {
+  for (unsigned radix = 2; radix <= 4; ++radix) {
+    const dose_table table = physical_dose_table(radix, paper_technology());
+    ASSERT_EQ(table.size(), radix);
+    for (std::size_t v = 1; v < table.size(); ++v) {
+      EXPECT_GT(table[v], table[v - 1]) << "radix " << radix;
+    }
+  }
+}
+
+TEST(DopingMapTest, TableRealizesTheNominalLevels) {
+  const technology tech = paper_technology();
+  const unsigned radix = 3;
+  const dose_table table = physical_dose_table(radix, tech);
+  const vt_levels levels(radix, tech);
+  const vt_model model(tech);
+  for (unsigned v = 0; v < radix; ++v) {
+    EXPECT_NEAR(model.threshold_voltage(table[v]),
+                levels.level(static_cast<codes::digit>(v)), 1e-9);
+  }
+}
+
+TEST(DopingMapTest, HigherLogicNeedsDenserDoping) {
+  // More levels inside the same voltage range compress the dose spacing:
+  // the top quaternary level needs more doping than the top binary level.
+  const dose_table binary = physical_dose_table(2, paper_technology());
+  const dose_table quaternary = physical_dose_table(4, paper_technology());
+  EXPECT_GT(quaternary.back(), binary.back());
+}
+
+TEST(DopingMapTest, ValidationAcceptsPaperExampleTable) {
+  // Example 1 uses doping levels 2, 4, 9 (x 1e18 cm^-3).
+  EXPECT_NO_THROW(validated_dose_table({2e18, 4e18, 9e18}));
+}
+
+TEST(DopingMapTest, ValidationRejectsBadTables) {
+  EXPECT_THROW(validated_dose_table({1e18}), invalid_argument_error);
+  EXPECT_THROW(validated_dose_table({2e18, 2e18}), invalid_argument_error);
+  EXPECT_THROW(validated_dose_table({4e18, 2e18}), invalid_argument_error);
+  EXPECT_THROW(validated_dose_table({-1e18, 2e18}), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::device

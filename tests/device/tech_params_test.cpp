@@ -1,0 +1,47 @@
+#include "device/tech_params.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace nwdec::device {
+namespace {
+
+TEST(TechnologyTest, PaperDefaults) {
+  const technology tech = paper_technology();
+  EXPECT_DOUBLE_EQ(tech.litho_pitch_nm, 32.0);
+  EXPECT_DOUBLE_EQ(tech.nanowire_pitch_nm, 10.0);
+  EXPECT_DOUBLE_EQ(tech.sigma_vt, 0.050);
+  EXPECT_DOUBLE_EQ(tech.supply_voltage, 1.0);
+  EXPECT_DOUBLE_EQ(tech.contact_min_width_factor, 1.5);
+  EXPECT_NO_THROW(tech.validate());
+}
+
+TEST(TechnologyTest, ValidationRejectsNonPhysicalValues) {
+  technology tech = paper_technology();
+  tech.nanowire_pitch_nm = -1.0;
+  EXPECT_THROW(tech.validate(), invalid_argument_error);
+
+  tech = paper_technology();
+  tech.nanowire_pitch_nm = 64.0;  // larger than the litho pitch
+  EXPECT_THROW(tech.validate(), invalid_argument_error);
+
+  tech = paper_technology();
+  tech.sigma_vt = -0.01;
+  EXPECT_THROW(tech.validate(), invalid_argument_error);
+
+  tech = paper_technology();
+  tech.window_fraction = 0.0;
+  EXPECT_THROW(tech.validate(), invalid_argument_error);
+
+  tech = paper_technology();
+  tech.window_fraction = 1.5;
+  EXPECT_THROW(tech.validate(), invalid_argument_error);
+
+  tech = paper_technology();
+  tech.supply_voltage = 0.0;
+  EXPECT_THROW(tech.validate(), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::device

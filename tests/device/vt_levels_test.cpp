@@ -1,0 +1,75 @@
+#include "device/vt_levels.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace nwdec::device {
+namespace {
+
+TEST(VtLevelsTest, BinaryPlacementUsesBandMidpoints) {
+  const vt_levels levels(2, paper_technology());
+  EXPECT_EQ(levels.radix(), 2u);
+  EXPECT_NEAR(levels.level(0), 0.25, 1e-12);
+  EXPECT_NEAR(levels.level(1), 0.75, 1e-12);
+  EXPECT_NEAR(levels.spacing(), 0.5, 1e-12);
+}
+
+TEST(VtLevelsTest, TopDriveVoltageEqualsSupply) {
+  // Driving the highest digit uses exactly V_dd: the levels exploit the
+  // full 0..1 V range of Sec. 6.1.
+  for (unsigned radix = 2; radix <= 4; ++radix) {
+    const vt_levels levels(radix, paper_technology());
+    EXPECT_NEAR(levels.drive_voltage(static_cast<codes::digit>(radix - 1)),
+                1.0, 1e-12);
+  }
+}
+
+TEST(VtLevelsTest, AllLevelsInsideSupplyRange) {
+  for (unsigned radix = 2; radix <= 6; ++radix) {
+    const vt_levels levels(radix, paper_technology());
+    for (unsigned v = 0; v < radix; ++v) {
+      EXPECT_GT(levels.level(static_cast<codes::digit>(v)), 0.0);
+      EXPECT_LT(levels.level(static_cast<codes::digit>(v)), 1.0);
+    }
+  }
+}
+
+TEST(VtLevelsTest, WindowScalesWithFraction) {
+  technology tech = paper_technology();
+  tech.window_fraction = 0.4;
+  const vt_levels levels(3, tech);
+  EXPECT_NEAR(levels.window_half_width(), 0.4 / 3.0, 1e-12);
+}
+
+TEST(VtLevelsTest, DriveVoltageSitsBetweenLevels) {
+  const vt_levels levels(3, paper_technology());
+  for (unsigned a = 0; a < 3; ++a) {
+    const double drive = levels.drive_voltage(static_cast<codes::digit>(a));
+    EXPECT_GT(drive, levels.level(static_cast<codes::digit>(a)));
+    if (a + 1 < 3) {
+      EXPECT_LT(drive, levels.level(static_cast<codes::digit>(a + 1)));
+    }
+  }
+}
+
+TEST(VtLevelsTest, ConductingLevelsMatchesDriveSemantics) {
+  const vt_levels levels(4, paper_technology());
+  for (unsigned a = 0; a < 4; ++a) {
+    // Driving digit a turns on exactly the levels <= a.
+    EXPECT_EQ(levels.conducting_levels(
+                  levels.drive_voltage(static_cast<codes::digit>(a))),
+              a + 1);
+  }
+  EXPECT_EQ(levels.conducting_levels(0.0), 0u);
+  EXPECT_EQ(levels.conducting_levels(10.0), 4u);
+}
+
+TEST(VtLevelsTest, InvalidInputsThrow) {
+  EXPECT_THROW(vt_levels(1, paper_technology()), invalid_argument_error);
+  const vt_levels levels(2, paper_technology());
+  EXPECT_THROW(levels.level(2), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::device

@@ -1,0 +1,81 @@
+#include "device/vt_model.h"
+
+#include <gtest/gtest.h>
+
+#include "device/tech_params.h"
+#include "util/error.h"
+
+namespace nwdec::device {
+namespace {
+
+class VtModelTest : public ::testing::Test {
+ protected:
+  technology tech_ = paper_technology();
+  vt_model model_{tech_};
+};
+
+TEST_F(VtModelTest, ThresholdIsStrictlyIncreasingInDoping) {
+  double previous = model_.threshold_voltage(vt_model::min_doping_cm3);
+  for (double doping = 1e15; doping <= 1e19; doping *= 2.0) {
+    const double vt = model_.threshold_voltage(doping);
+    EXPECT_GT(vt, previous) << "doping " << doping;
+    previous = vt;
+  }
+}
+
+TEST_F(VtModelTest, TypicalValuesAreInTheExpectedRange) {
+  // Long-channel NMOS with 5 nm oxide: V_T around a few hundred mV for
+  // 1e17..1e18 cm^-3 body doping (Sze & Ng, ch. 6).
+  const double vt_low = model_.threshold_voltage(1e17);
+  const double vt_high = model_.threshold_voltage(1e18);
+  EXPECT_GT(vt_low, -0.1);
+  EXPECT_LT(vt_low, 0.4);
+  EXPECT_GT(vt_high, 0.4);
+  EXPECT_LT(vt_high, 1.2);
+}
+
+TEST_F(VtModelTest, InverseRoundTripsForward) {
+  for (const double vt : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const double doping = model_.doping_for_vt(vt);
+    EXPECT_NEAR(model_.threshold_voltage(doping), vt, 1e-9) << vt;
+  }
+}
+
+TEST_F(VtModelTest, ForwardRoundTripsInverse) {
+  for (const double doping : {1e16, 1e17, 5e17, 1e18, 5e18}) {
+    const double vt = model_.threshold_voltage(doping);
+    EXPECT_NEAR(model_.doping_for_vt(vt) / doping, 1.0, 1e-6) << doping;
+  }
+}
+
+TEST_F(VtModelTest, OutOfRangeInputsThrow) {
+  EXPECT_THROW(model_.threshold_voltage(1e13), invalid_argument_error);
+  EXPECT_THROW(model_.threshold_voltage(1e21), invalid_argument_error);
+  EXPECT_THROW(model_.doping_for_vt(-5.0), invalid_argument_error);
+  EXPECT_THROW(model_.doping_for_vt(50.0), invalid_argument_error);
+}
+
+TEST_F(VtModelTest, MappingIsNonLinear) {
+  // The paper's fabrication-complexity results rely on h being non-linear:
+  // equal V_T spacings must produce distinct doping increments.
+  const double d1 = model_.doping_for_vt(0.2);
+  const double d2 = model_.doping_for_vt(0.4);
+  const double d3 = model_.doping_for_vt(0.6);
+  const double first_increment = d2 - d1;
+  const double second_increment = d3 - d2;
+  EXPECT_GT(std::abs(second_increment - first_increment),
+            0.05 * std::abs(first_increment));
+}
+
+TEST_F(VtModelTest, ThinnerOxideLowersBodyEffect) {
+  technology thin = tech_;
+  thin.gate_oxide_nm = 2.0;
+  const vt_model thin_model(thin);
+  // Same doping, thinner oxide -> larger C_ox -> smaller depletion term.
+  EXPECT_LT(thin_model.threshold_voltage(1e18),
+            model_.threshold_voltage(1e18));
+  EXPECT_GT(thin_model.oxide_capacitance(), model_.oxide_capacitance());
+}
+
+}  // namespace
+}  // namespace nwdec::device

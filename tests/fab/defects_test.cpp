@@ -1,0 +1,65 @@
+#include "fab/defects.h"
+
+#include <gtest/gtest.h>
+
+namespace nwdec::fab {
+namespace {
+
+TEST(DefectsTest, ZeroRatesYieldCleanMap) {
+  rng random(1);
+  const defect_map map = sample_defects(50, defect_params{}, random);
+  EXPECT_EQ(map.usable_count(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_FALSE(map.disables(i));
+}
+
+TEST(DefectsTest, BrokenRateOneKillsEverything) {
+  rng random(1);
+  const defect_map map =
+      sample_defects(20, defect_params{1.0, 0.0}, random);
+  EXPECT_EQ(map.usable_count(), 0u);
+}
+
+TEST(DefectsTest, BridgeDisablesBothNeighbors) {
+  rng random(1);
+  defect_map map = sample_defects(5, defect_params{}, random);
+  map.bridged_to_next[2] = true;  // short between nanowires 2 and 3
+  EXPECT_FALSE(map.disables(1));
+  EXPECT_TRUE(map.disables(2));
+  EXPECT_TRUE(map.disables(3));
+  EXPECT_FALSE(map.disables(4));
+  EXPECT_EQ(map.usable_count(), 3u);
+}
+
+TEST(DefectsTest, RatesApproximateFrequencies) {
+  rng random(33);
+  std::size_t broken = 0;
+  const std::size_t trials = 200;
+  const std::size_t n = 100;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const defect_map map =
+        sample_defects(n, defect_params{0.1, 0.0}, random);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (map.broken[i]) ++broken;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(broken) / (trials * n), 0.1, 0.01);
+}
+
+TEST(DefectsTest, InvalidRatesRejected) {
+  rng random(1);
+  EXPECT_THROW(sample_defects(10, defect_params{-0.1, 0.0}, random),
+               invalid_argument_error);
+  EXPECT_THROW(sample_defects(10, defect_params{0.0, 1.5}, random),
+               invalid_argument_error);
+  EXPECT_THROW(sample_defects(0, defect_params{}, random),
+               invalid_argument_error);
+}
+
+TEST(DefectsTest, OutOfRangeIndexThrows) {
+  rng random(1);
+  const defect_map map = sample_defects(5, defect_params{}, random);
+  EXPECT_THROW(map.disables(5), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::fab

@@ -1,0 +1,95 @@
+#include "fab/dose_quantizer.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "device/tech_params.h"
+#include "util/error.h"
+
+namespace nwdec::fab {
+namespace {
+
+decoder::decoder_design make_design(unsigned radix = 3,
+                                    std::size_t length = 4,
+                                    std::size_t n = 10) {
+  return decoder::decoder_design(
+      codes::make_code(codes::code_type::tree, radix, length), n,
+      device::paper_technology());
+}
+
+TEST(DoseQuantizerTest, ZeroToleranceReproducesTheExactFlow) {
+  const decoder::decoder_design design = make_design();
+  const quantization_result result = quantize_doses(design, 0.0);
+  EXPECT_EQ(result.quantized_steps, result.original_steps);
+  EXPECT_EQ(result.original_steps, design.fabrication_complexity());
+  EXPECT_NEAR(result.worst_vt_error, 0.0, 1e-9);
+}
+
+TEST(DoseQuantizerTest, CoarseToleranceSavesSteps) {
+  const decoder::decoder_design design = make_design();
+  const quantization_result exact = quantize_doses(design, 0.0);
+  const quantization_result coarse = quantize_doses(design, 0.5);
+  EXPECT_LT(coarse.quantized_steps, exact.quantized_steps);
+  EXPECT_GT(coarse.worst_vt_error, 0.0);
+}
+
+TEST(DoseQuantizerTest, ErrorGrowsMonotonicallyWithTolerance) {
+  const decoder::decoder_design design = make_design();
+  double previous_error = -1.0;
+  std::size_t previous_steps = SIZE_MAX;
+  for (const double tol : {0.0, 0.1, 0.3, 0.6}) {
+    const quantization_result result = quantize_doses(design, tol);
+    EXPECT_GE(result.worst_vt_error, previous_error - 1e-12) << tol;
+    EXPECT_LE(result.quantized_steps, previous_steps) << tol;
+    previous_error = result.worst_vt_error;
+    previous_steps = result.quantized_steps;
+  }
+}
+
+TEST(DoseQuantizerTest, OppositeSpeciesNeverMerge) {
+  // Binary Gray codes produce +d and -d doses in the same step; even a
+  // huge tolerance must not merge p-type with n-type implants.
+  const decoder::decoder_design design(
+      codes::make_code(codes::code_type::gray, 2, 8), 10,
+      device::paper_technology());
+  const quantization_result result = quantize_doses(design, 0.9);
+  for (const implant_op& op : result.flow.ops) {
+    EXPECT_NE(op.dose, 0.0);
+  }
+  // Every transition step needs at least its two species.
+  EXPECT_GE(result.quantized_steps, 2 * (design.nanowire_count() - 1));
+}
+
+TEST(DoseQuantizerTest, QuantizedOpsStillCoverEveryDopedRegion) {
+  const decoder::decoder_design design = make_design(3, 4, 8);
+  const quantization_result result = quantize_doses(design, 0.3);
+
+  matrix<std::size_t> covered(design.nanowire_count(),
+                              design.region_count(), 0);
+  for (const implant_op& op : result.flow.ops) {
+    for (const std::size_t j : op.regions) ++covered(op.after_spacer, j);
+  }
+  const matrix<double>& step = design.step_doping();
+  for (std::size_t i = 0; i < step.rows(); ++i) {
+    for (std::size_t j = 0; j < step.cols(); ++j) {
+      EXPECT_EQ(covered(i, j), step(i, j) != 0.0 ? 1u : 0u) << i << "," << j;
+    }
+  }
+}
+
+TEST(DoseQuantizerTest, ErrorStaysWellInsideTheWindowForModestTolerance) {
+  // A 5% dose tolerance must not consume a meaningful part of the margin.
+  const decoder::decoder_design design = make_design();
+  const quantization_result result = quantize_doses(design, 0.05);
+  EXPECT_LT(result.worst_vt_error,
+            0.5 * design.levels().window_half_width());
+}
+
+TEST(DoseQuantizerTest, InvalidToleranceRejected) {
+  const decoder::decoder_design design = make_design();
+  EXPECT_THROW(quantize_doses(design, -0.1), invalid_argument_error);
+  EXPECT_THROW(quantize_doses(design, 1.0), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::fab

@@ -1,0 +1,94 @@
+#include "fab/geometry_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace nwdec::fab {
+namespace {
+
+TEST(GeometrySimTest, NoiselessProcessIsPerfectlyRegular) {
+  spacer_geometry_params params;
+  params.deposition_sigma_nm = 0.0;
+  rng random(1);
+  const realized_geometry geo = simulate_spacer_geometry(10, params, random);
+  ASSERT_EQ(geo.poly_widths_nm.size(), 10u);
+  ASSERT_EQ(geo.oxide_widths_nm.size(), 9u);
+  for (const double w : geo.poly_widths_nm) EXPECT_DOUBLE_EQ(w, 5.0);
+  for (const double w : geo.oxide_widths_nm) EXPECT_DOUBLE_EQ(w, 5.0);
+  EXPECT_DOUBLE_EQ(geo.pitch_error_rms_nm(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(geo.broken_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(geo.bridged_fraction(), 0.0);
+  for (const double v : geo.vt_offsets_v) EXPECT_DOUBLE_EQ(v, 0.0);
+  // Centerlines advance by the 10 nm pitch.
+  EXPECT_DOUBLE_EQ(geo.centerlines_nm[0], 2.5);
+  EXPECT_DOUBLE_EQ(geo.centerlines_nm[1], 12.5);
+}
+
+TEST(GeometrySimTest, EtchBiasNarrowsEverySpacer) {
+  spacer_geometry_params params;
+  params.deposition_sigma_nm = 0.0;
+  params.etch_bias_nm = 1.0;
+  rng random(1);
+  const realized_geometry geo = simulate_spacer_geometry(5, params, random);
+  for (const double w : geo.poly_widths_nm) EXPECT_DOUBLE_EQ(w, 4.0);
+  // Bias also shifts V_T via the width sensitivity (10 mV/nm default).
+  for (const double v : geo.vt_offsets_v) EXPECT_NEAR(v, -0.010, 1e-12);
+}
+
+TEST(GeometrySimTest, WidthSpreadMatchesDepositionSigma) {
+  spacer_geometry_params params;
+  params.deposition_sigma_nm = 0.3;
+  rng random(7);
+  running_stats widths;
+  for (int trial = 0; trial < 200; ++trial) {
+    rng stream = random.fork();
+    const realized_geometry geo =
+        simulate_spacer_geometry(20, params, stream);
+    for (const double w : geo.poly_widths_nm) widths.add(w);
+  }
+  EXPECT_NEAR(widths.mean(), 5.0, 0.02);
+  EXPECT_NEAR(widths.stddev(), 0.3, 0.02);
+}
+
+TEST(GeometrySimTest, DefectRatesGrowWithNoise) {
+  rng random(3);
+  spacer_geometry_params tight;
+  tight.deposition_sigma_nm = 0.2;
+  spacer_geometry_params loose;
+  loose.deposition_sigma_nm = 1.5;
+
+  const defect_params low = estimate_defect_rates(tight, 20, 150, random);
+  const defect_params high = estimate_defect_rates(loose, 20, 150, random);
+  EXPECT_LT(low.broken_probability, 1e-3);
+  EXPECT_GT(high.broken_probability, low.broken_probability);
+  EXPECT_GT(high.bridge_probability, 0.001);
+  EXPECT_NO_THROW(low.validate());
+  EXPECT_NO_THROW(high.validate());
+}
+
+TEST(GeometrySimTest, VtOffsetSigmaTracksSensitivity) {
+  rng random(9);
+  spacer_geometry_params params;
+  params.deposition_sigma_nm = 0.5;
+  params.vt_shift_mv_per_nm = 10.0;
+  // V_T offset sigma = width sigma * sensitivity = 0.5 nm * 10 mV/nm.
+  const double sigma = vt_offset_sigma(params, 20, 200, random);
+  EXPECT_NEAR(sigma, 0.005, 0.0008);
+}
+
+TEST(GeometrySimTest, InvalidParametersRejected) {
+  rng random(1);
+  spacer_geometry_params params;
+  params.etch_bias_nm = 10.0;  // consumes the whole 5 nm spacer
+  EXPECT_THROW(simulate_spacer_geometry(5, params, random),
+               invalid_argument_error);
+  spacer_geometry_params negative;
+  negative.deposition_sigma_nm = -0.1;
+  EXPECT_THROW(negative.validate(), invalid_argument_error);
+  EXPECT_THROW(simulate_spacer_geometry(0, spacer_geometry_params{}, random),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::fab

@@ -1,0 +1,81 @@
+#include "fab/process_flow.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codes/factory.h"
+#include "device/tech_params.h"
+
+namespace nwdec::fab {
+namespace {
+
+decoder::decoder_design make_design(codes::code_type type, unsigned radix,
+                                    std::size_t length, std::size_t n) {
+  return decoder::decoder_design(codes::make_code(type, radix, length), n,
+                                 device::paper_technology());
+}
+
+TEST(ProcessFlowTest, StepCountEqualsPhi) {
+  for (const codes::code_type type :
+       {codes::code_type::tree, codes::code_type::gray,
+        codes::code_type::hot}) {
+    const decoder::decoder_design design = make_design(type, 2, 8, 12);
+    const process_flow flow = build_process_flow(design);
+    EXPECT_EQ(flow.lithography_step_count(), design.fabrication_complexity())
+        << codes::code_type_name(type);
+  }
+}
+
+TEST(ProcessFlowTest, TernaryCrossCheck) {
+  // Independent recount of the Fig. 5 values through the flow builder.
+  const decoder::decoder_design tree = make_design(codes::code_type::tree, 3, 4, 10);
+  const decoder::decoder_design gray = make_design(codes::code_type::gray, 3, 4, 10);
+  EXPECT_EQ(build_process_flow(tree).lithography_step_count(), 24u);
+  EXPECT_EQ(build_process_flow(gray).lithography_step_count(), 20u);
+}
+
+TEST(ProcessFlowTest, OpsAreOrderedBySpacer) {
+  const decoder::decoder_design design =
+      make_design(codes::code_type::gray, 2, 8, 10);
+  const process_flow flow = build_process_flow(design);
+  EXPECT_TRUE(std::is_sorted(flow.ops.begin(), flow.ops.end(),
+                             [](const implant_op& a, const implant_op& b) {
+                               return a.after_spacer < b.after_spacer;
+                             }));
+  EXPECT_EQ(flow.spacer_count, 10u);
+  EXPECT_EQ(flow.region_count, 8u);
+}
+
+TEST(ProcessFlowTest, OpsReconstructTheStepMatrix) {
+  const decoder::decoder_design design =
+      make_design(codes::code_type::balanced_gray, 2, 6, 9);
+  const process_flow flow = build_process_flow(design);
+
+  matrix<double> rebuilt(flow.spacer_count, flow.region_count, 0.0);
+  for (const implant_op& op : flow.ops) {
+    for (const std::size_t j : op.regions) {
+      rebuilt(op.after_spacer, j) += op.dose;
+    }
+  }
+  const matrix<double>& step = design.step_doping();
+  for (std::size_t i = 0; i < step.rows(); ++i) {
+    for (std::size_t j = 0; j < step.cols(); ++j) {
+      EXPECT_NEAR(rebuilt(i, j), step(i, j), 1e-9 * std::abs(step(i, j)))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(ProcessFlowTest, EveryOpCarriesANonZeroDose) {
+  const decoder::decoder_design design =
+      make_design(codes::code_type::hot, 2, 6, 20);
+  const process_flow flow = build_process_flow(design);
+  for (const implant_op& op : flow.ops) {
+    EXPECT_NE(op.dose, 0.0);
+    EXPECT_FALSE(op.regions.empty());
+  }
+}
+
+}  // namespace
+}  // namespace nwdec::fab

@@ -1,0 +1,111 @@
+#include "fab/process_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "device/tech_params.h"
+#include "util/stats.h"
+
+namespace nwdec::fab {
+namespace {
+
+decoder::decoder_design make_design(std::size_t n = 12) {
+  return decoder::decoder_design(
+      codes::make_code(codes::code_type::gray, 2, 8), n,
+      device::paper_technology());
+}
+
+TEST(ProcessSimTest, DopingAccumulatesExactlyToD) {
+  // In vt_domain mode the doses are applied exactly, so the realized
+  // doping must reproduce the final doping matrix D (Proposition 2 closed
+  // through the simulator rather than algebra).
+  const decoder::decoder_design design = make_design();
+  const process_simulator sim(design);
+  rng random(3);
+  const fab_result result = sim.run(random);
+  const matrix<double>& d = design.final_doping();
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    for (std::size_t j = 0; j < d.cols(); ++j) {
+      EXPECT_NEAR(result.realized_doping(i, j), d(i, j),
+                  1e-9 * std::abs(d(i, j)));
+    }
+  }
+}
+
+TEST(ProcessSimTest, DoseCountsMatchNu) {
+  // The number of implants each region receives equals nu exactly.
+  const decoder::decoder_design design = make_design();
+  const process_simulator sim(design);
+  rng random(3);
+  const fab_result result = sim.run(random);
+  EXPECT_EQ(result.doses_received, design.dose_counts());
+}
+
+TEST(ProcessSimTest, VtNoiseVarianceMatchesSigmaMatrix) {
+  // Fabricate many half caves and verify the per-region V_T standard
+  // deviation approaches sigma_T * sqrt(nu): Definition 5 closed through
+  // the simulator.
+  const decoder::decoder_design design = make_design(8);
+  const process_simulator sim(design);
+  rng random(7);
+
+  const std::size_t trials = 400;
+  std::vector<running_stats> stats(design.nanowire_count() *
+                                   design.region_count());
+  for (std::size_t t = 0; t < trials; ++t) {
+    rng stream = random.fork();
+    const fab_result result = sim.run(stream);
+    for (std::size_t i = 0; i < design.nanowire_count(); ++i) {
+      for (std::size_t j = 0; j < design.region_count(); ++j) {
+        stats[i * design.region_count() + j].add(result.realized_vt(i, j));
+      }
+    }
+  }
+
+  const matrix<double> expected_sd = design.region_stddev();
+  for (std::size_t i = 0; i < design.nanowire_count(); ++i) {
+    for (std::size_t j = 0; j < design.region_count(); ++j) {
+      const running_stats& s = stats[i * design.region_count() + j];
+      const double nominal =
+          design.levels().level(design.pattern()(i, j));
+      // Mean is the nominal level; spread ~ sigma_T sqrt(nu) within ~10%.
+      EXPECT_NEAR(s.mean(), nominal, 0.02) << i << "," << j;
+      EXPECT_NEAR(s.stddev(), expected_sd(i, j), 0.15 * expected_sd(i, j))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(ProcessSimTest, DeterministicGivenSeed) {
+  const decoder::decoder_design design = make_design();
+  const process_simulator sim(design);
+  rng a(42);
+  rng b(42);
+  const fab_result ra = sim.run(a);
+  const fab_result rb = sim.run(b);
+  EXPECT_EQ(ra.realized_vt, rb.realized_vt);
+}
+
+TEST(ProcessSimTest, DoseDomainModeProducesFiniteVt) {
+  const decoder::decoder_design design = make_design(6);
+  const process_simulator sim(design, noise_mode::dose_domain, 0.05);
+  rng random(11);
+  const fab_result result = sim.run(random);
+  for (std::size_t i = 0; i < design.nanowire_count(); ++i) {
+    for (std::size_t j = 0; j < design.region_count(); ++j) {
+      EXPECT_TRUE(std::isfinite(result.realized_vt(i, j)));
+      // Dose-domain noise must still land in a plausible V_T band.
+      EXPECT_GT(result.realized_vt(i, j), -1.0);
+      EXPECT_LT(result.realized_vt(i, j), 12.0);
+    }
+  }
+}
+
+TEST(ProcessSimTest, NegativeNoiseFractionRejected) {
+  const decoder::decoder_design design = make_design(6);
+  EXPECT_THROW(process_simulator(design, noise_mode::dose_domain, -0.1),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::fab

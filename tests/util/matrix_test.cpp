@@ -1,0 +1,93 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace nwdec {
+namespace {
+
+TEST(MatrixTest, DefaultConstructedIsEmpty) {
+  const matrix<int> m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, SizedConstructionFills) {
+  const matrix<double> m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 1.5);
+}
+
+TEST(MatrixTest, InitializerListLayout) {
+  const matrix<int> m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(0, 2), 3);
+  EXPECT_EQ(m(1, 0), 4);
+  EXPECT_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW((matrix<int>{{1, 2}, {3}}), invalid_argument_error);
+}
+
+TEST(MatrixTest, OutOfRangeAccessThrows) {
+  matrix<int> m(2, 2);
+  EXPECT_THROW(m(2, 0), invalid_argument_error);
+  EXPECT_THROW(m(0, 2), invalid_argument_error);
+  const matrix<int>& cm = m;
+  EXPECT_THROW(cm(2, 0), invalid_argument_error);
+}
+
+TEST(MatrixTest, RowAndColumnExtraction) {
+  const matrix<int> m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row(1), (std::vector<int>{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (std::vector<int>{3, 6}));
+  EXPECT_THROW(m.row(2), invalid_argument_error);
+  EXPECT_THROW(m.col(3), invalid_argument_error);
+}
+
+TEST(MatrixTest, SumMinMax) {
+  const matrix<int> m{{1, -2}, {3, 4}};
+  EXPECT_EQ(m.sum(), 6);
+  EXPECT_EQ(m.min(), -2);
+  EXPECT_EQ(m.max(), 4);
+}
+
+TEST(MatrixTest, MinMaxOfEmptyThrows) {
+  const matrix<int> m;
+  EXPECT_THROW(m.min(), invalid_argument_error);
+  EXPECT_THROW(m.max(), invalid_argument_error);
+}
+
+TEST(MatrixTest, MapTransformsElementwiseAcrossTypes) {
+  const matrix<int> m{{1, 2}, {3, 4}};
+  const matrix<double> halves =
+      m.map<double>([](int v) { return v / 2.0; });
+  EXPECT_DOUBLE_EQ(halves(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(halves(1, 0), 1.5);
+}
+
+TEST(MatrixTest, EqualityComparesShapeAndContent) {
+  const matrix<int> a{{1, 2}, {3, 4}};
+  const matrix<int> b{{1, 2}, {3, 4}};
+  const matrix<int> c{{1, 2, 3, 4}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(MatrixTest, StreamOutputIsRowPerLine) {
+  const matrix<int> m{{1, 2}, {3, 4}};
+  std::ostringstream os;
+  os << m;
+  EXPECT_EQ(os.str(), "1 2\n3 4\n");
+}
+
+}  // namespace
+}  // namespace nwdec

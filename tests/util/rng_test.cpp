@@ -1,0 +1,91 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace nwdec {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  rng a(123);
+  rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  rng a(1);
+  rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+  EXPECT_THROW(r.uniform(1.0, 1.0), invalid_argument_error);
+}
+
+TEST(RngTest, IndexStaysInRange) {
+  rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.index(17), 17u);
+  }
+  EXPECT_THROW(r.index(0), invalid_argument_error);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyCorrect) {
+  rng r(99);
+  running_stats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.gaussian(2.0, 0.5));
+  EXPECT_NEAR(s.mean(), 2.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianZeroSigmaIsDegenerate) {
+  rng r(1);
+  EXPECT_DOUBLE_EQ(r.gaussian(1.25, 0.0), 1.25);
+  EXPECT_THROW(r.gaussian(0.0, -1.0), invalid_argument_error);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  rng r(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+  EXPECT_THROW(r.bernoulli(1.5), invalid_argument_error);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  rng parent1(11);
+  rng parent2(11);
+  rng child1 = parent1.fork();
+  rng child2 = parent2.fork();
+  // Forking is deterministic given the parent state...
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(child1.uniform(), child2.uniform());
+  }
+  // ...and the child stream differs from the parent stream.
+  rng parent3(11);
+  rng child3 = parent3.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent3.uniform() == child3.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace nwdec

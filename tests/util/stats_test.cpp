@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace nwdec {
+namespace {
+
+TEST(RunningStatsTest, EmptyStats) {
+  const running_stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  running_stats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset: 32 / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleObservationHasZeroVariance) {
+  running_stats s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputationOnRandomData) {
+  rng random(42);
+  running_stats s;
+  double sum = 0.0;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = random.gaussian(1.0, 2.0);
+    xs.push_back(x);
+    sum += x;
+    s.add(x);
+  }
+  const double mean = sum / 1000.0;
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-10);
+  EXPECT_NEAR(s.variance(), ss / 999.0, 1e-8);
+}
+
+TEST(GaussianTest, CdfReferencePoints) {
+  EXPECT_NEAR(gaussian_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(gaussian_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(gaussian_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(GaussianTest, WindowProbabilityCentered) {
+  // P(|X| < sigma) = erf(1/sqrt(2)) ~ 0.6827.
+  EXPECT_NEAR(gaussian_window_probability(0.0, 1.0, -1.0, 1.0), 0.682689,
+              1e-5);
+  EXPECT_NEAR(gaussian_symmetric_window_probability(1.0, 1.0), 0.682689,
+              1e-5);
+}
+
+TEST(GaussianTest, WindowProbabilityOffCenter) {
+  // Window entirely above the mean.
+  const double p = gaussian_window_probability(0.0, 1.0, 1.0, 2.0);
+  EXPECT_NEAR(p, gaussian_cdf(2.0) - gaussian_cdf(1.0), 1e-12);
+}
+
+TEST(GaussianTest, ZeroSigmaIsDeterministic) {
+  EXPECT_DOUBLE_EQ(gaussian_window_probability(0.5, 0.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(gaussian_window_probability(1.5, 0.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(gaussian_symmetric_window_probability(0.0, 0.1), 1.0);
+}
+
+TEST(GaussianTest, InvalidWindowThrows) {
+  EXPECT_THROW(gaussian_window_probability(0.0, 1.0, 1.0, -1.0),
+               invalid_argument_error);
+  EXPECT_THROW(gaussian_symmetric_window_probability(-1.0, 0.1),
+               invalid_argument_error);
+}
+
+TEST(WilsonTest, CoversObservedProportion) {
+  const interval ci = wilson_interval(80, 100);
+  EXPECT_LT(ci.low, 0.8);
+  EXPECT_GT(ci.high, 0.8);
+  EXPECT_GT(ci.low, 0.70);
+  EXPECT_LT(ci.high, 0.88);
+}
+
+TEST(WilsonTest, ExtremesStayInUnitInterval) {
+  const interval none = wilson_interval(0, 50);
+  EXPECT_GE(none.low, 0.0);
+  EXPECT_GT(none.high, 0.0);
+  const interval all = wilson_interval(50, 50);
+  EXPECT_LT(all.low, 1.0);
+  EXPECT_LE(all.high, 1.0);
+}
+
+TEST(WilsonTest, InvalidInputsThrow) {
+  EXPECT_THROW(wilson_interval(1, 0), invalid_argument_error);
+  EXPECT_THROW(wilson_interval(5, 4), invalid_argument_error);
+}
+
+TEST(PercentChangeTest, SignedChange) {
+  EXPECT_DOUBLE_EQ(percent_change(120.0, 100.0), 20.0);
+  EXPECT_DOUBLE_EQ(percent_change(80.0, 100.0), -20.0);
+  EXPECT_TRUE(std::isnan(percent_change(1.0, 0.0)));
+}
+
+}  // namespace
+}  // namespace nwdec

@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace nwdec {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  text_table t({"code", "yield"});
+  t.add_row({"TC", "40%"});
+  t.add_row({"BGC", "57%"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string expected =
+      "+------+-------+\n"
+      "| code | yield |\n"
+      "+------+-------+\n"
+      "| TC   | 40%   |\n"
+      "| BGC  | 57%   |\n"
+      "+------+-------+\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TextTableTest, TitleIsPrintedAboveTable) {
+  text_table t({"a"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os, "Figure 7");
+  EXPECT_EQ(os.str().rfind("Figure 7\n", 0), 0u);
+}
+
+TEST(TextTableTest, RowWidthMismatchThrows) {
+  text_table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), invalid_argument_error);
+}
+
+TEST(TextTableTest, EmptyHeaderListThrows) {
+  EXPECT_THROW(text_table({}), invalid_argument_error);
+}
+
+TEST(TextTableTest, RowCountTracksRows) {
+  text_table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  t.add_row({"y"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(FormatTest, FixedDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, PercentFromFraction) {
+  EXPECT_EQ(format_percent(0.42), "42.0%");
+  EXPECT_EQ(format_percent(0.1234, 2), "12.34%");
+}
+
+TEST(FormatTest, Count) { EXPECT_EQ(format_count(12345), "12345"); }
+
+}  // namespace
+}  // namespace nwdec

@@ -1,0 +1,90 @@
+#include "yield/addressability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codes/factory.h"
+#include "device/tech_params.h"
+#include "util/stats.h"
+
+namespace nwdec::yield {
+namespace {
+
+TEST(RegionProbabilityTest, TwoSidedMatchesErf) {
+  // sigma = window: erf(1/sqrt(2)) ~ 0.6827 for non-zero digits.
+  EXPECT_NEAR(region_ok_probability(0.1, 0.1, 1), 0.682689, 1e-5);
+}
+
+TEST(RegionProbabilityTest, DigitZeroIsOneSided) {
+  // Digit 0 has no blocking duty: P(V < nominal + w) = Phi(w / sigma).
+  EXPECT_NEAR(region_ok_probability(0.1, 0.1, 0), gaussian_cdf(1.0), 1e-12);
+  EXPECT_GT(region_ok_probability(0.1, 0.1, 0),
+            region_ok_probability(0.1, 0.1, 1));
+}
+
+TEST(RegionProbabilityTest, ZeroSigmaIsCertain) {
+  EXPECT_DOUBLE_EQ(region_ok_probability(0.0, 0.1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(region_ok_probability(0.0, 0.1, 1), 1.0);
+}
+
+TEST(AddressabilityTest, LastNanowireIsTheMostReliable) {
+  const decoder::decoder_design design(
+      codes::make_code(codes::code_type::tree, 2, 8), 16,
+      device::paper_technology());
+  const std::vector<double> profile = addressability_profile(design);
+  ASSERT_EQ(profile.size(), 16u);
+  // nu rises toward earlier-defined nanowires, so probability falls.
+  EXPECT_GT(profile.back(), profile.front());
+  for (const double p : profile) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(AddressabilityTest, ProductFormula) {
+  const decoder::decoder_design design(
+      codes::make_code(codes::code_type::gray, 2, 6), 5,
+      device::paper_technology());
+  const double window = design.levels().window_half_width();
+  for (std::size_t i = 0; i < design.nanowire_count(); ++i) {
+    double expected = 1.0;
+    for (std::size_t j = 0; j < design.region_count(); ++j) {
+      const double sigma =
+          design.tech().sigma_vt *
+          std::sqrt(static_cast<double>(design.dose_counts()(i, j)));
+      expected *= region_ok_probability(sigma, window,
+                                        design.pattern()(i, j));
+    }
+    EXPECT_NEAR(nanowire_addressable_probability(design, i), expected, 1e-12);
+  }
+}
+
+TEST(AddressabilityTest, GrayProfileDominatesTree) {
+  // Same space, fewer transitions: every Gray nanowire is at least as
+  // addressable as the tree nanowire in the same definition slot on
+  // average (compare means; single positions can cross).
+  const device::technology tech = device::paper_technology();
+  const decoder::decoder_design tree(
+      codes::make_code(codes::code_type::tree, 2, 8), 16, tech);
+  const decoder::decoder_design gray(
+      codes::make_code(codes::code_type::gray, 2, 8), 16, tech);
+  double tree_mean = 0.0;
+  double gray_mean = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    tree_mean += nanowire_addressable_probability(tree, i);
+    gray_mean += nanowire_addressable_probability(gray, i);
+  }
+  EXPECT_GT(gray_mean, tree_mean);
+}
+
+TEST(AddressabilityTest, IndexValidation) {
+  const decoder::decoder_design design(
+      codes::make_code(codes::code_type::gray, 2, 6), 5,
+      device::paper_technology());
+  EXPECT_THROW(nanowire_addressable_probability(design, 5),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::yield

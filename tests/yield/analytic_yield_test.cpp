@@ -1,0 +1,95 @@
+#include "yield/analytic_yield.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/factory.h"
+#include "crossbar/contact_groups.h"
+#include "device/tech_params.h"
+#include "yield/addressability.h"
+
+namespace nwdec::yield {
+namespace {
+
+struct fixture {
+  device::technology tech = device::paper_technology();
+  codes::code code = codes::make_code(codes::code_type::gray, 2, 8);
+  decoder::decoder_design design{code, 20, tech};
+  crossbar::contact_group_plan plan =
+      crossbar::plan_contact_groups(20, code.size(), tech);
+};
+
+TEST(AnalyticYieldTest, YieldIsMeanOfContactWeightedProbabilities) {
+  fixture f;
+  const yield_result result = analytic_yield(f.design, f.plan);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    expected += nanowire_addressable_probability(f.design, i) *
+                (1.0 - f.plan.discard_probability(i));
+  }
+  expected /= 20.0;
+  EXPECT_NEAR(result.nanowire_yield, expected, 1e-12);
+  EXPECT_NEAR(result.crosspoint_yield,
+              result.nanowire_yield * result.nanowire_yield, 1e-12);
+}
+
+TEST(AnalyticYieldTest, BoundaryRisksScaleTheProfile) {
+  fixture f;
+  const yield_result result = analytic_yield(f.design, f.plan);
+  EXPECT_NEAR(result.expected_discarded, f.plan.expected_discarded(), 1e-12);
+  for (const auto& risk : f.plan.boundary_risks) {
+    EXPECT_NEAR(result.per_nanowire[risk.nanowire],
+                nanowire_addressable_probability(f.design, risk.nanowire) *
+                    (1.0 - risk.probability),
+                1e-12);
+  }
+  // Contact losses make the yield strictly lower than variability alone.
+  EXPECT_LT(result.nanowire_yield, result.mean_addressability);
+}
+
+TEST(AnalyticYieldTest, NoVariabilityNoBoundaryIsPerfect) {
+  device::technology tech = device::paper_technology();
+  tech.sigma_vt = 0.0;
+  tech.boundary_band_nm = 0.0;
+  const codes::code code = codes::make_code(codes::code_type::tree, 2, 8);
+  const decoder::decoder_design design(code, 16, tech);
+  const auto plan = crossbar::plan_contact_groups(16, code.size(), tech);
+  const yield_result result = analytic_yield(design, plan);
+  EXPECT_DOUBLE_EQ(result.nanowire_yield, 1.0);
+  EXPECT_DOUBLE_EQ(result.crosspoint_yield, 1.0);
+}
+
+TEST(AnalyticYieldTest, EffectiveBitsScalesWithRawBits) {
+  fixture f;
+  const yield_result result = analytic_yield(f.design, f.plan);
+  EXPECT_NEAR(effective_bits(result, 131072),
+              result.crosspoint_yield * 131072.0, 1e-6);
+  EXPECT_NEAR(effective_bits(result, 0), 0.0, 1e-12);
+}
+
+TEST(AnalyticYieldTest, MismatchedPlanRejected) {
+  fixture f;
+  const auto wrong_size =
+      crossbar::plan_contact_groups(10, f.code.size(), f.tech);
+  EXPECT_THROW(analytic_yield(f.design, wrong_size), invalid_argument_error);
+  const auto wrong_space = crossbar::plan_contact_groups(20, 99, f.tech);
+  EXPECT_THROW(analytic_yield(f.design, wrong_space), invalid_argument_error);
+}
+
+TEST(AnalyticYieldTest, BalancedGrayBeatsGrayBeatsTree) {
+  // The Fig. 7 ordering at M = 8, N = 20.
+  const device::technology tech = device::paper_technology();
+  double previous = 0.0;
+  for (const codes::code_type type :
+       {codes::code_type::tree, codes::code_type::gray,
+        codes::code_type::balanced_gray}) {
+    const codes::code code = codes::make_code(type, 2, 8);
+    const decoder::decoder_design design(code, 20, tech);
+    const auto plan = crossbar::plan_contact_groups(20, code.size(), tech);
+    const double y = analytic_yield(design, plan).nanowire_yield;
+    EXPECT_GE(y, previous) << codes::code_type_name(type);
+    previous = y;
+  }
+}
+
+}  // namespace
+}  // namespace nwdec::yield
