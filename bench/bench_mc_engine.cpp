@@ -1,0 +1,200 @@
+// Microbenchmark of the Monte-Carlo yield engine: the allocating scalar
+// reference loop vs the zero-allocation trial_context engine at equal trial
+// counts. Engine runs must be bit-identical across thread counts; the
+// reference samples the same distribution through the op-by-op walk, so
+// its agreement is statistical (overlapping CIs). Reports trials/sec for
+//   * the scalar reference (the seed implementation),
+//   * the engine on one thread (the zero-allocation speedup),
+//   * the engine on --threads workers (the sharding speedup),
+// and writes a JSON record for the bench trajectory / CI artifact.
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.h"
+#include "codes/factory.h"
+#include "crossbar/contact_groups.h"
+#include "decoder/decoder_design.h"
+#include "device/tech_params.h"
+#include "util/cli.h"
+#include "yield/monte_carlo_yield.h"
+#include "yield/yield_sweep.h"
+
+namespace {
+
+using namespace nwdec;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool identical(const yield::mc_yield_result& a,
+               const yield::mc_yield_result& b) {
+  return a.nanowire_yield == b.nanowire_yield &&
+         a.crosspoint_yield == b.crosspoint_yield && a.ci.low == b.ci.low &&
+         a.ci.high == b.ci.high && a.trials == b.trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_parser cli("bench_mc_engine",
+                 "Monte-Carlo yield engine: scalar reference vs "
+                 "zero-allocation multithreaded engine");
+  cli.add_string("code", "GC", "code family (TC/GC/BGC/HC/AHC)");
+  cli.add_int("length", 8, "full code length M");
+  cli.add_int("nanowires", 20, "nanowires per half cave (N)");
+  cli.add_int("trials", 4000, "Monte-Carlo trials per measurement");
+  cli.add_int("threads", 0, "engine worker threads (0 = hardware)");
+  cli.add_int("seed", 2009, "base seed");
+  cli.add_string("mode", "operational", "criterion: window | operational");
+  cli.add_string("json", "BENCH_mc_engine.json", "JSON output path ('' = off)");
+  cli.add_flag("quick", "smoke mode: few trials, for CI");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t trials = cli.get_flag("quick")
+                                 ? 300
+                                 : static_cast<std::size_t>(
+                                       cli.get_int("trials"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  std::size_t threads = static_cast<std::size_t>(cli.get_int("threads"));
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const yield::mc_mode mode = cli.get_string("mode") == "window"
+                                  ? yield::mc_mode::window
+                                  : yield::mc_mode::operational;
+
+  const device::technology tech = device::paper_technology();
+  const codes::code code =
+      codes::make_code(codes::parse_code_type(cli.get_string("code")), 2,
+                       static_cast<std::size_t>(cli.get_int("length")));
+  const std::size_t nanowires =
+      static_cast<std::size_t>(cli.get_int("nanowires"));
+  const decoder::decoder_design design(code, nanowires, tech);
+  const auto plan =
+      crossbar::plan_contact_groups(nanowires, code.size(), tech);
+
+  bench::banner("MC engine",
+                "zero-allocation multithreaded Monte-Carlo yield");
+  std::cout << "design: " << codes::code_type_name(code.type) << " M=" <<
+      code.length << ", N=" << nanowires << ", mode="
+            << (mode == yield::mc_mode::window ? "window" : "operational")
+            << ", trials=" << trials << "\n\n";
+
+  // Scalar reference (the seed implementation, counter-based streams).
+  rng reference_rng(seed);
+  auto start = std::chrono::steady_clock::now();
+  const yield::mc_yield_result reference = yield::monte_carlo_yield_reference(
+      design, plan, mode, trials, reference_rng);
+  const double reference_seconds = seconds_since(start);
+
+  // Engine, one worker: isolates the zero-allocation speedup.
+  yield::mc_options options;
+  options.mode = mode;
+  options.trials = trials;
+  options.threads = 1;
+  rng engine1_rng(seed);
+  start = std::chrono::steady_clock::now();
+  const yield::mc_yield_result engine1 =
+      yield::monte_carlo_yield(design, plan, options, engine1_rng);
+  const double engine1_seconds = seconds_since(start);
+
+  // Engine, sharded across workers.
+  options.threads = threads;
+  rng engine_t_rng(seed);
+  start = std::chrono::steady_clock::now();
+  const yield::mc_yield_result engine_t =
+      yield::monte_carlo_yield(design, plan, options, engine_t_rng);
+  const double engine_t_seconds = seconds_since(start);
+
+  // Engine runs share per-trial streams, so any thread count must agree to
+  // the bit; the scalar reference samples the op-by-op walk, so agreement
+  // with it is statistical (both 95% CIs must overlap).
+  const bool bit_identical = identical(engine1, engine_t);
+  const bool reference_agrees = engine1.ci.low <= reference.ci.high &&
+                                reference.ci.low <= engine1.ci.high;
+  const double reference_rate = trials / reference_seconds;
+  const double engine1_rate = trials / engine1_seconds;
+  const double engine_t_rate = trials / engine_t_seconds;
+  const double speedup = engine1_rate / reference_rate;
+  const double scaling = engine_t_rate / engine1_rate;
+
+  text_table table({"variant", "seconds", "trials/sec", "vs reference"});
+  table.add_row({"scalar reference", format_fixed(reference_seconds, 4),
+                 format_fixed(reference_rate, 0), "1.0x"});
+  table.add_row({"engine, 1 thread", format_fixed(engine1_seconds, 4),
+                 format_fixed(engine1_rate, 0),
+                 format_fixed(speedup, 1) + "x"});
+  table.add_row({"engine, " + std::to_string(threads) + " threads",
+                 format_fixed(engine_t_seconds, 4),
+                 format_fixed(engine_t_rate, 0),
+                 format_fixed(engine_t_rate / reference_rate, 1) + "x"});
+  table.print(std::cout);
+
+  std::cout << "\nengine yield "
+            << format_fixed(100.0 * engine1.nanowire_yield, 2) << "% ["
+            << format_fixed(100.0 * engine1.ci.low, 2) << ", "
+            << format_fixed(100.0 * engine1.ci.high, 2) << "]; reference "
+            << format_fixed(100.0 * reference.nanowire_yield, 2) << "% ["
+            << format_fixed(100.0 * reference.ci.low, 2) << ", "
+            << format_fixed(100.0 * reference.ci.high, 2) << "]\n"
+            << "thread counts "
+            << (bit_identical ? "bit-identical" : "DIVERGED (BUG)")
+            << "; reference CIs "
+            << (reference_agrees ? "overlap" : "DO NOT OVERLAP (BUG)")
+            << "\n";
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out.precision(12);
+    out << "{\n"
+        << "  \"bench\": \"mc_engine\",\n"
+        << "  \"code\": \"" << codes::code_type_name(code.type) << "\",\n"
+        << "  \"length\": " << code.length << ",\n"
+        << "  \"nanowires\": " << nanowires << ",\n"
+        << "  \"mode\": \""
+        << (mode == yield::mc_mode::window ? "window" : "operational")
+        << "\",\n"
+        << "  \"trials\": " << trials << ",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"reference_trials_per_second\": " << reference_rate << ",\n"
+        << "  \"engine1_trials_per_second\": " << engine1_rate << ",\n"
+        << "  \"engineT_trials_per_second\": " << engine_t_rate << ",\n"
+        << "  \"single_thread_speedup\": " << speedup << ",\n"
+        << "  \"thread_scaling\": " << scaling << ",\n"
+        << "  \"nanowire_yield\": " << engine1.nanowire_yield << ",\n"
+        << "  \"reference_nanowire_yield\": " << reference.nanowire_yield
+        << ",\n"
+        << "  \"bit_identical_across_threads\": "
+        << (bit_identical ? "true" : "false") << ",\n"
+        << "  \"reference_cis_overlap\": "
+        << (reference_agrees ? "true" : "false") << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  // Exercise the batched sweep API on a small sigma grid so the bench
+  // trajectory records the amortized path too.
+  std::vector<yield::sweep_point> grid;
+  for (const double sigma : {0.03, 0.05, 0.07}) {
+    grid.push_back({sigma, std::max<std::size_t>(trials / 4, 50),
+                    std::nullopt});
+  }
+  const yield::sweep_report sweep =
+      yield::yield_sweep(design, plan, mode, grid, threads, seed);
+  std::cout << "\nyield_sweep over sigma {0.03, 0.05, 0.07} V:\n";
+  for (const yield::sweep_entry& entry : sweep.entries) {
+    std::cout << "  sigma=" << format_fixed(entry.point.sigma_vt, 3)
+              << "  Y=" << format_percent(entry.result.nanowire_yield)
+              << "  (" << format_fixed(entry.trials_per_second, 0)
+              << " trials/sec)\n";
+  }
+
+  return bit_identical && reference_agrees ? 0 : 1;
+}

@@ -93,6 +93,25 @@ void bm_operational_mc_trial(benchmark::State& state) {
 }
 BENCHMARK(bm_operational_mc_trial);
 
+void bm_engine_trial_kernel(benchmark::State& state) {
+  // The zero-allocation trial kernel alone: context and scratch amortized,
+  // one fabricate-and-count per iteration.
+  const device::technology tech = device::paper_technology();
+  const codes::code code = codes::make_code(codes::code_type::gray, 2, 8);
+  const decoder::decoder_design design(code, 20, tech);
+  const auto plan = crossbar::plan_contact_groups(20, code.size(), tech);
+  const yield::trial_context context(design, plan);
+  yield::trial_scratch scratch;
+  rng random(1);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    rng stream = random.fork_stream(trial++);
+    benchmark::DoNotOptimize(context.run_trial(
+        stream, scratch, yield::mc_mode::operational, nullptr));
+  }
+}
+BENCHMARK(bm_engine_trial_kernel);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -41,9 +41,26 @@ std::vector<code_word> gray_code_words(unsigned radix,
                                        std::size_t free_length) {
   NWDEC_EXPECTS(radix >= 2, "gray code radix must be at least 2");
   NWDEC_EXPECTS(free_length >= 1, "gray code needs at least one digit");
+  std::vector<code_word> out;
+  if (radix == 2) {
+    // Binary path: gray_encode(i) read MSB-first is exactly the reflected
+    // sequence the recursion below would build, without the recursion.
+    NWDEC_EXPECTS(free_length < 64, "binary gray code length must fit 64 bits");
+    const std::uint64_t count = std::uint64_t{1} << free_length;
+    out.reserve(count);
+    std::vector<digit> digits(free_length);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t gray = gray_encode(i);
+      for (std::size_t bit = 0; bit < free_length; ++bit) {
+        digits[bit] =
+            static_cast<digit>((gray >> (free_length - 1 - bit)) & 1u);
+      }
+      out.emplace_back(radix, digits);
+    }
+    return out;
+  }
   std::vector<std::vector<digit>> raw;
   build(radix, free_length, raw);
-  std::vector<code_word> out;
   out.reserve(raw.size());
   for (auto& digits : raw) out.emplace_back(radix, std::move(digits));
   return out;

@@ -8,11 +8,31 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "codes/word.h"
 
 namespace nwdec::codes {
+
+/// Index -> binary reflected Gray codeword, shift-xor form: bit-twiddled
+/// equivalent of walking the radix-2 reflected construction. gray_encode(i)
+/// read MSB-first over m bits is the i-th word of gray_code_words(2, m).
+constexpr std::uint64_t gray_encode(std::uint64_t index) {
+  return index ^ (index >> 1);
+}
+
+/// Inverse of gray_encode: recovers the rank of a binary Gray codeword by
+/// folding the running xor down with halving shifts (O(log bits)).
+constexpr std::uint64_t gray_decode(std::uint64_t gray) {
+  gray ^= gray >> 32;
+  gray ^= gray >> 16;
+  gray ^= gray >> 8;
+  gray ^= gray >> 4;
+  gray ^= gray >> 2;
+  gray ^= gray >> 1;
+  return gray;
+}
 
 /// All n^free_length words in n-ary reflected Gray order. Successive words
 /// (including none across the wrap for odd radix; for even radix the wrap

@@ -85,6 +85,18 @@ class code_word {
   std::vector<digit> digits_;
 };
 
+/// Span form of code_word::componentwise_le for flat digit buffers (e.g.
+/// rows of the pattern matrix): true when a[j] <= b[j] for all j < length.
+/// The callers have already validated radix and length agreement, so this
+/// is the unchecked inner-loop form the yield engine and addressed_rows use.
+inline bool componentwise_le(const digit* a, const digit* b,
+                             std::size_t length) {
+  for (std::size_t j = 0; j < length; ++j) {
+    if (a[j] > b[j]) return false;
+  }
+  return true;
+}
+
 /// Parses a word from a digit string like "0121" with the given radix;
 /// provided for tests and examples.
 code_word parse_word(unsigned radix, const std::string& text);

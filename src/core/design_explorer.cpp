@@ -49,8 +49,15 @@ design_evaluation design_explorer::evaluate(const design_point& point,
 
   if (mc_trials > 0) {
     rng random(seed);
-    const yield::mc_yield_result mc = yield::monte_carlo_yield(
-        design, plan, yield::mc_mode::operational, mc_trials, random);
+    // All available cores; the engine's counter-based trial streams make
+    // the result independent of the thread count, so the evaluation stays
+    // reproducible from the seed alone.
+    yield::mc_options options;
+    options.mode = yield::mc_mode::operational;
+    options.trials = mc_trials;
+    options.threads = 0;
+    const yield::mc_yield_result mc =
+        yield::monte_carlo_yield(design, plan, options, random);
     out.has_monte_carlo = true;
     out.mc_nanowire_yield = mc.nanowire_yield;
     out.mc_ci_low = mc.ci.low;

@@ -23,14 +23,20 @@ bool conducts(const std::vector<double>& realized_vt,
 
 std::vector<double> drive_pattern(const codes::code_word& w,
                                   const device::vt_levels& levels) {
+  std::vector<double> out;
+  drive_pattern_into(w, levels, out);
+  return out;
+}
+
+void drive_pattern_into(const codes::code_word& w,
+                        const device::vt_levels& levels,
+                        std::vector<double>& out) {
   NWDEC_EXPECTS(w.radix() == levels.radix(),
                 "address radix must match the level count");
-  std::vector<double> out;
-  out.reserve(w.length());
+  out.resize(w.length());
   for (std::size_t j = 0; j < w.length(); ++j) {
-    out.push_back(levels.drive_voltage(w.at(j)));
+    out[j] = levels.drive_voltage(w.at(j));
   }
-  return out;
 }
 
 std::vector<std::size_t> addressed_rows(const matrix<codes::digit>& pattern,
@@ -38,10 +44,17 @@ std::vector<std::size_t> addressed_rows(const matrix<codes::digit>& pattern,
                                         const codes::code_word& address) {
   NWDEC_EXPECTS(pattern.cols() == address.length(),
                 "address length must match the region count");
+  NWDEC_EXPECTS(address.radix() == radix,
+                "address radix must match the pattern radix");
+  // Compare row digits in place against the flat pattern buffer; building a
+  // code_word per row would allocate O(rows) times per call.
+  const std::size_t regions = pattern.cols();
+  const codes::digit* address_digits = address.digits().data();
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < pattern.rows(); ++i) {
-    const codes::code_word row(radix, pattern.row(i));
-    if (conducts(row, address)) out.push_back(i);
+    if (codes::componentwise_le(pattern.row_ptr(i), address_digits, regions)) {
+      out.push_back(i);
+    }
   }
   return out;
 }

@@ -36,9 +36,27 @@ bool conducts(const codes::code_word& pattern, const codes::code_word& address);
 bool conducts(const std::vector<double>& realized_vt,
               const std::vector<double>& gate_voltages);
 
+/// Span form of the voltage rule for flat buffers (a realized-Vt matrix row
+/// against a precomputed drive-table row). Unchecked: the caller guarantees
+/// both spans hold `regions` entries. The Monte-Carlo yield engine's
+/// allocation-free inner loop (trial_context::operational_ok) calls this.
+inline bool conducts(const double* realized_vt, const double* gate_voltages,
+                     std::size_t regions) {
+  for (std::size_t j = 0; j < regions; ++j) {
+    if (gate_voltages[j] <= realized_vt[j]) return false;
+  }
+  return true;
+}
+
 /// Mesowire voltages driving the address of word w.
 std::vector<double> drive_pattern(const codes::code_word& w,
                                   const device::vt_levels& levels);
+
+/// Buffer-reuse form of drive_pattern: writes the w.length() drive voltages
+/// into `out` (resized as needed, reusing capacity).
+void drive_pattern_into(const codes::code_word& w,
+                        const device::vt_levels& levels,
+                        std::vector<double>& out);
 
 /// Indices of the pattern rows that conduct under the address of `address`
 /// (nominal rule).

@@ -29,18 +29,23 @@ std::size_t defect_map::usable_count() const {
 
 defect_map sample_defects(std::size_t nanowires, const defect_params& params,
                           rng& random) {
+  defect_map map;
+  sample_defects_into(nanowires, params, random, map);
+  return map;
+}
+
+void sample_defects_into(std::size_t nanowires, const defect_params& params,
+                         rng& random, defect_map& out) {
   NWDEC_EXPECTS(nanowires >= 1, "need at least one nanowire");
   params.validate();
-  defect_map map;
-  map.broken.resize(nanowires);
-  map.bridged_to_next.resize(nanowires == 0 ? 0 : nanowires - 1);
+  out.broken.assign(nanowires, false);
+  out.bridged_to_next.assign(nanowires - 1, false);
   for (std::size_t i = 0; i < nanowires; ++i) {
-    map.broken[i] = random.bernoulli(params.broken_probability);
+    out.broken[i] = random.bernoulli(params.broken_probability);
   }
   for (std::size_t i = 0; i + 1 < nanowires; ++i) {
-    map.bridged_to_next[i] = random.bernoulli(params.bridge_probability);
+    out.bridged_to_next[i] = random.bernoulli(params.bridge_probability);
   }
-  return map;
 }
 
 }  // namespace nwdec::fab

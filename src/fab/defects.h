@@ -43,4 +43,10 @@ struct defect_map {
 defect_map sample_defects(std::size_t nanowires, const defect_params& params,
                           rng& random);
 
+/// Buffer-reuse form of sample_defects: writes into `out`, recycling its
+/// vectors (no heap allocation once `out` has reached full size). Identical
+/// draw order and results to sample_defects.
+void sample_defects_into(std::size_t nanowires, const defect_params& params,
+                         rng& random, defect_map& out);
+
 }  // namespace nwdec::fab

@@ -16,17 +16,32 @@ process_simulator::process_simulator(const decoder::decoder_design& design,
       model_(design.tech()) {
   NWDEC_EXPECTS(dose_noise_fraction >= 0.0,
                 "dose noise fraction cannot be negative");
+  nominal_vt_ = matrix<double>(flow_.spacer_count, flow_.region_count, 0.0);
+  const device::vt_levels& levels = design_.levels();
+  for (std::size_t i = 0; i < flow_.spacer_count; ++i) {
+    for (std::size_t j = 0; j < flow_.region_count; ++j) {
+      nominal_vt_(i, j) = levels.level(design_.pattern()(i, j));
+    }
+  }
 }
 
 fab_result process_simulator::run(rng& random) const {
+  fab_result result;
+  run_into(random, result);
+  return result;
+}
+
+void process_simulator::run_into(rng& random, fab_result& result) const {
   const std::size_t spacers = flow_.spacer_count;
   const std::size_t regions = flow_.region_count;
   const double sigma_vt = design_.tech().sigma_vt;
 
-  fab_result result;
-  result.realized_doping = matrix<double>(spacers, regions, 0.0);
-  result.doses_received = matrix<std::size_t>(spacers, regions, 0);
-  matrix<double> vt_noise(spacers, regions, 0.0);
+  result.realized_doping.assign(spacers, regions, 0.0);
+  result.doses_received.assign(spacers, regions, 0);
+  // In vt_domain mode the noise accumulates directly into realized_vt and
+  // the nominal level is added afterwards; same draw order and (by IEEE
+  // addition commutativity) the same values as a separate noise matrix.
+  result.realized_vt.assign(spacers, regions, 0.0);
 
   for (const implant_op& op : flow_.ops) {
     double dose = op.dose;
@@ -36,33 +51,66 @@ fab_result process_simulator::run(rng& random) const {
     // The implant after spacer `after_spacer` reaches that spacer and every
     // spacer defined before it (Proposition 2's cumulative constraint).
     for (std::size_t i = 0; i <= op.after_spacer; ++i) {
+      double* doping_row = result.realized_doping.row_ptr(i);
+      std::size_t* doses_row = result.doses_received.row_ptr(i);
+      double* vt_row = result.realized_vt.row_ptr(i);
       for (const std::size_t j : op.regions) {
-        result.realized_doping(i, j) += dose;
-        result.doses_received(i, j) += 1;
+        doping_row[j] += dose;
+        doses_row[j] += 1;
         if (mode_ == noise_mode::vt_domain) {
-          vt_noise(i, j) += random.gaussian(0.0, sigma_vt);
+          vt_row[j] += random.gaussian(0.0, sigma_vt);
         }
       }
     }
   }
 
-  result.realized_vt = matrix<double>(spacers, regions, 0.0);
-  const device::vt_levels& levels = design_.levels();
   for (std::size_t i = 0; i < spacers; ++i) {
+    double* vt_row = result.realized_vt.row_ptr(i);
+    const double* nominal_row = nominal_vt_.row_ptr(i);
+    const double* doping_row = result.realized_doping.row_ptr(i);
     for (std::size_t j = 0; j < regions; ++j) {
       if (mode_ == noise_mode::vt_domain) {
-        const double nominal = levels.level(design_.pattern()(i, j));
-        result.realized_vt(i, j) = nominal + vt_noise(i, j);
+        vt_row[j] += nominal_row[j];
       } else {
         const double doping =
-            std::clamp(result.realized_doping(i, j),
-                       device::vt_model::min_doping_cm3,
+            std::clamp(doping_row[j], device::vt_model::min_doping_cm3,
                        device::vt_model::max_doping_cm3);
-        result.realized_vt(i, j) = model_.threshold_voltage(doping);
+        vt_row[j] = model_.threshold_voltage(doping);
       }
     }
   }
-  return result;
+}
+
+void process_simulator::realize_vt_into(rng& random,
+                                        matrix<double>& realized_vt,
+                                        double sigma_vt) const {
+  NWDEC_EXPECTS(mode_ == noise_mode::vt_domain,
+                "the V_T-only fast path is defined for vt_domain noise");
+  NWDEC_EXPECTS(sigma_vt >= 0.0, "sigma_vt cannot be negative");
+  const std::size_t spacers = flow_.spacer_count;
+  const std::size_t regions = flow_.region_count;
+  realized_vt.assign(spacers, regions, 0.0);
+
+  for (const implant_op& op : flow_.ops) {
+    for (std::size_t i = 0; i <= op.after_spacer; ++i) {
+      double* vt_row = realized_vt.row_ptr(i);
+      for (const std::size_t j : op.regions) {
+        vt_row[j] += random.gaussian(0.0, sigma_vt);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < spacers; ++i) {
+    double* vt_row = realized_vt.row_ptr(i);
+    const double* nominal_row = nominal_vt_.row_ptr(i);
+    for (std::size_t j = 0; j < regions; ++j) {
+      vt_row[j] += nominal_row[j];
+    }
+  }
+}
+
+void process_simulator::realize_vt_into(rng& random,
+                                        matrix<double>& realized_vt) const {
+  realize_vt_into(random, realized_vt, design_.tech().sigma_vt);
 }
 
 }  // namespace nwdec::fab

@@ -51,6 +51,25 @@ class process_simulator {
   /// Runs one fabrication of the half cave.
   fab_result run(rng& random) const;
 
+  /// Buffer-reuse form of run(): writes into `out`, recycling its matrices
+  /// (no heap allocation once `out` has reached full size). Identical draw
+  /// order and bit-identical results to run().
+  void run_into(rng& random, fab_result& out) const;
+
+  /// V_T-only variant (vt_domain only): realizes just the V_T matrix,
+  /// skipping the doping and dose-count outputs, with `sigma_vt` overriding
+  /// the technology's value. Gaussian draw order matches run() exactly, so
+  /// the realized V_T is bit-identical to run()'s at the technology sigma.
+  /// Note the Monte-Carlo engine does NOT go through this walk: its hot
+  /// loop collapses each region's nu doses into one deviate
+  /// (yield/trial_context.h); this overload serves callers that need the
+  /// op-resolved V_T realization without the other outputs.
+  void realize_vt_into(rng& random, matrix<double>& realized_vt,
+                       double sigma_vt) const;
+
+  /// Same, at the design technology's sigma_vt.
+  void realize_vt_into(rng& random, matrix<double>& realized_vt) const;
+
   /// The flow being executed.
   const process_flow& flow() const { return flow_; }
 
@@ -60,6 +79,7 @@ class process_simulator {
   noise_mode mode_;
   double dose_noise_fraction_;
   device::vt_model model_;
+  matrix<double> nominal_vt_;  ///< per-region nominal V_T, precomputed once
 };
 
 }  // namespace nwdec::fab

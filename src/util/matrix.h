@@ -42,6 +42,15 @@ class matrix {
     }
   }
 
+  /// Reshapes to rows x cols with every element set to `fill`, reusing the
+  /// existing storage when its capacity suffices. This is the allocation-free
+  /// reset the Monte-Carlo hot path uses to recycle per-trial matrices.
+  void assign(std::size_t rows, std::size_t cols, T fill = T{}) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   /// Number of rows.
   std::size_t rows() const { return rows_; }
   /// Number of columns.
@@ -80,6 +89,14 @@ class matrix {
 
   /// Flat contiguous storage (row-major), mainly for tests and serialization.
   const std::vector<T>& data() const { return data_; }
+
+  /// Unchecked pointer to the start of row `row` (row-major, `cols()`
+  /// contiguous elements). The fast path for inner loops that have already
+  /// validated their bounds; everything else should use operator().
+  const T* row_ptr(std::size_t row) const { return data_.data() + row * cols_; }
+
+  /// Unchecked mutable pointer to the start of row `row`.
+  T* row_ptr(std::size_t row) { return data_.data() + row * cols_; }
 
   /// Sum of all elements ("entrywise 1-norm" for non-negative matrices,
   /// which is how the paper defines ||Sigma||_1).

@@ -3,6 +3,20 @@
 // Every stochastic component in nwdec takes an explicit `rng&` so that whole
 // experiments are reproducible from a single seed, and so that independent
 // streams can be forked for parallel or per-trial use without correlation.
+//
+// Two forking schemes are provided:
+//   * fork() draws the child seed from the parent's stream. It is
+//     deterministic only for a fixed fork order, so it suits sequential
+//     code that forks exactly once per consumer.
+//   * from_counter(key, counter) / fork_stream(counter) derive the child
+//     seed purely from (key, counter) with a splitmix64 finalizer. The
+//     parent's state is never read or advanced, so stream `i` is the same
+//     no matter which thread asks for it or in what order -- this is the
+//     contract the multithreaded Monte-Carlo engine relies on to shard
+//     trials across workers while staying bit-identical to a serial run:
+//     trial i always consumes stream from_counter(run_key, i), where
+//     run_key is drawn once from the caller's rng (so successive engine
+//     invocations on one rng stay decorrelated).
 #pragma once
 
 #include <cstdint>
@@ -18,7 +32,8 @@ class rng {
  public:
   /// Creates a generator from a 64-bit seed. The same seed always produces
   /// the same stream on every platform (mt19937_64 is fully specified).
-  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : seed_(seed), engine_(seed) {}
 
   /// Uniform double in [0, 1).
   double uniform() {
@@ -44,23 +59,67 @@ class rng {
     return std::normal_distribution<double>(mean, sigma)(engine_);
   }
 
+  /// Fills `out[0..count)` with standard-normal deviates drawn from one
+  /// distribution instance, so the polar method's cached second deviate is
+  /// used instead of discarded -- about half the underlying uniform draws
+  /// of `count` separate gaussian() calls. The resulting stream therefore
+  /// differs from repeated gaussian(0, 1) calls; batch consumers (the
+  /// Monte-Carlo trial kernel) define their draw order in terms of this
+  /// call.
+  void standard_normal_fill(double* out, std::size_t count) {
+    std::normal_distribution<double> normal(0.0, 1.0);
+    for (std::size_t k = 0; k < count; ++k) out[k] = normal(engine_);
+  }
+
   /// Bernoulli trial with success probability p in [0, 1].
   bool bernoulli(double p) {
     NWDEC_EXPECTS(p >= 0.0 && p <= 1.0, "bernoulli p must be in [0, 1]");
     return std::bernoulli_distribution(p)(engine_);
   }
 
-  /// Forks an independent child stream; used to give each Monte-Carlo trial
-  /// its own generator so trial results do not depend on evaluation order.
+  /// Forks an independent child stream by drawing the child seed from this
+  /// stream. Deterministic for a fixed fork order only; parallel code must
+  /// use the counter-based scheme below instead.
   rng fork() {
     const std::uint64_t child_seed = engine_() ^ 0xd1b54a32d192ed03ULL;
     return rng(child_seed);
   }
 
+  /// Counter-based forking: an independent stream derived purely from
+  /// (key, counter) via a splitmix64 finalizer. Distinct counters under one
+  /// key give uncorrelated streams, and the mapping involves no generator
+  /// state, so results are bit-identical regardless of thread count or
+  /// evaluation order.
+  static rng from_counter(std::uint64_t key, std::uint64_t counter) {
+    return rng(mix(key + 0x9e3779b97f4a7c15ULL * (counter + 1)));
+  }
+
+  /// from_counter keyed by this generator's construction seed; does not
+  /// read or advance the stream.
+  rng fork_stream(std::uint64_t counter) const {
+    return from_counter(seed_, counter);
+  }
+
+  /// The seed this generator was constructed from (key for fork_stream).
+  std::uint64_t seed() const { return seed_; }
+
   /// Access to the raw engine for std::shuffle and similar algorithms.
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  /// splitmix64 finalizer: bijective avalanche mixing of a 64-bit value
+  /// (Steele, Lea & Flood); the standard seed-derivation function for
+  /// counter-based stream families.
+  static std::uint64_t mix(std::uint64_t z) {
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z;
+  }
+
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -1,6 +1,7 @@
 #include "yield/monte_carlo_yield.h"
 
-#include <cmath>
+#include <algorithm>
+#include <thread>
 #include <vector>
 
 #include "decoder/addressing.h"
@@ -12,14 +13,111 @@ namespace nwdec::yield {
 
 namespace {
 
-// Realized threshold voltages of nanowire `row` as a flat vector.
+// Assembles the summary statistics from the per-trial good counts, reduced
+// sequentially in trial order so the result is independent of which thread
+// produced which slot.
+mc_yield_result reduce_trials(const std::vector<std::uint32_t>& good,
+                              std::size_t nanowires) {
+  running_stats per_trial_yield;
+  for (const std::uint32_t g : good) {
+    per_trial_yield.add(static_cast<double>(g) /
+                        static_cast<double>(nanowires));
+  }
+  mc_yield_result result;
+  result.trials = good.size();
+  result.nanowire_yield = per_trial_yield.mean();
+  result.crosspoint_yield = result.nanowire_yield * result.nanowire_yield;
+  const double margin = 1.96 * per_trial_yield.stderr_mean();
+  result.ci = interval{result.nanowire_yield - margin,
+                       result.nanowire_yield + margin};
+  return result;
+}
+
+std::size_t resolve_thread_count(std::size_t requested, std::size_t trials) {
+  std::size_t threads = requested;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::min(threads, trials);
+}
+
+}  // namespace
+
+mc_yield_result monte_carlo_yield(const trial_context& context,
+                                  const mc_options& options,
+                                  std::uint64_t run_key) {
+  NWDEC_EXPECTS(options.trials >= 1, "need at least one Monte-Carlo trial");
+  if (options.defects.has_value()) options.defects->validate();
+  const double sigma_vt =
+      options.sigma_vt.value_or(context.design().tech().sigma_vt);
+  NWDEC_EXPECTS(sigma_vt >= 0.0, "sigma_vt cannot be negative");
+  const fab::defect_params* defects =
+      options.defects.has_value() ? &*options.defects : nullptr;
+
+  // Slot i belongs to trial i alone; workers share nothing else mutable.
+  std::vector<std::uint32_t> good(options.trials, 0);
+  const auto run_shard = [&](std::size_t begin, std::size_t end) {
+    trial_scratch scratch;
+    for (std::size_t trial = begin; trial < end; ++trial) {
+      rng stream = rng::from_counter(run_key, trial);
+      good[trial] = static_cast<std::uint32_t>(context.run_trial(
+          stream, scratch, options.mode, sigma_vt, defects));
+    }
+  };
+
+  const std::size_t threads =
+      resolve_thread_count(options.threads, options.trials);
+  if (threads <= 1) {
+    run_shard(0, options.trials);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const std::size_t chunk = (options.trials + threads - 1) / threads;
+    for (std::size_t t = 0; t < threads; ++t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = std::min(options.trials, begin + chunk);
+      if (begin >= end) break;
+      workers.emplace_back(run_shard, begin, end);
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  return reduce_trials(good, context.nanowire_count());
+}
+
+mc_yield_result monte_carlo_yield(const decoder::decoder_design& design,
+                                  const crossbar::contact_group_plan& plan,
+                                  const mc_options& options, rng& random) {
+  const trial_context context(design, plan);
+  const std::uint64_t run_key = random.engine()();
+  return monte_carlo_yield(context, options, run_key);
+}
+
+mc_yield_result monte_carlo_yield(
+    const decoder::decoder_design& design,
+    const crossbar::contact_group_plan& plan, mc_mode mode,
+    std::size_t trials, rng& random,
+    const std::optional<fab::defect_params>& defects) {
+  mc_options options;
+  options.mode = mode;
+  options.trials = trials;
+  options.threads = 1;
+  options.defects = defects;
+  return monte_carlo_yield(design, plan, options, random);
+}
+
+// ---------------------------------------------------------------------------
+// Allocating scalar reference: the seed implementation, kept verbatim except
+// that each trial consumes the same counter-based stream as the engine.
+
+namespace {
+
 std::vector<double> vt_row(const matrix<double>& realized_vt,
                            std::size_t row) {
   return realized_vt.row(row);
 }
 
-bool window_ok(const decoder::decoder_design& design,
-               const matrix<double>& realized_vt, std::size_t row) {
+bool reference_window_ok(const decoder::decoder_design& design,
+                         const matrix<double>& realized_vt, std::size_t row) {
   const double window = design.levels().window_half_width();
   for (std::size_t j = 0; j < design.region_count(); ++j) {
     const codes::digit value = design.pattern()(row, j);
@@ -32,10 +130,11 @@ bool window_ok(const decoder::decoder_design& design,
   return true;
 }
 
-bool operational_ok(const decoder::decoder_design& design,
-                    const crossbar::contact_group_plan& plan,
-                    const matrix<double>& realized_vt, std::size_t row,
-                    const std::vector<std::vector<std::size_t>>& members) {
+bool reference_operational_ok(
+    const decoder::decoder_design& design,
+    const crossbar::contact_group_plan& plan,
+    const matrix<double>& realized_vt, std::size_t row,
+    const std::vector<std::vector<std::size_t>>& members) {
   // Drive this nanowire's own address and require that it conducts while
   // every other nanowire reachable through the same contact group blocks.
   const codes::code_word address =
@@ -52,7 +151,7 @@ bool operational_ok(const decoder::decoder_design& design,
 
 }  // namespace
 
-mc_yield_result monte_carlo_yield(
+mc_yield_result monte_carlo_yield_reference(
     const decoder::decoder_design& design,
     const crossbar::contact_group_plan& plan, mc_mode mode,
     std::size_t trials, rng& random,
@@ -63,10 +162,8 @@ mc_yield_result monte_carlo_yield(
 
   const std::size_t n = design.nanowire_count();
   const fab::process_simulator simulator(design);
+  const std::uint64_t run_key = random.engine()();
 
-  // Contact-group membership: double-contacted boundary nanowires still
-  // *conduct*, so they stay in the member lists as potential impostors
-  // even when they are not counted addressable themselves.
   std::vector<std::vector<std::size_t>> members(plan.group_count);
   std::vector<double> discard_probability(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -74,9 +171,9 @@ mc_yield_result monte_carlo_yield(
     discard_probability[i] = plan.discard_probability(i);
   }
 
-  running_stats per_trial_yield;
+  std::vector<std::uint32_t> good_counts(trials, 0);
   for (std::size_t trial = 0; trial < trials; ++trial) {
-    rng stream = random.fork();
+    rng stream = rng::from_counter(run_key, trial);
     const fab::fab_result fabbed = simulator.run(stream);
 
     std::optional<fab::defect_map> defect_map;
@@ -86,30 +183,20 @@ mc_yield_result monte_carlo_yield(
 
     std::size_t good = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      // This die's contact edges clip this nanowire with the plan's
-      // probability (misalignment is sampled per fabricated cave).
       if (discard_probability[i] > 0.0 &&
           stream.bernoulli(discard_probability[i])) {
         continue;
       }
       if (defect_map.has_value() && defect_map->disables(i)) continue;
-      const bool ok =
-          mode == mc_mode::window
-              ? window_ok(design, fabbed.realized_vt, i)
-              : operational_ok(design, plan, fabbed.realized_vt, i, members);
+      const bool ok = mode == mc_mode::window
+                          ? reference_window_ok(design, fabbed.realized_vt, i)
+                          : reference_operational_ok(
+                                design, plan, fabbed.realized_vt, i, members);
       if (ok) ++good;
     }
-    per_trial_yield.add(static_cast<double>(good) / static_cast<double>(n));
+    good_counts[trial] = static_cast<std::uint32_t>(good);
   }
-
-  mc_yield_result result;
-  result.trials = trials;
-  result.nanowire_yield = per_trial_yield.mean();
-  result.crosspoint_yield = result.nanowire_yield * result.nanowire_yield;
-  const double margin = 1.96 * per_trial_yield.stderr_mean();
-  result.ci = interval{result.nanowire_yield - margin,
-                       result.nanowire_yield + margin};
-  return result;
+  return reduce_trials(good_counts, n);
 }
 
 }  // namespace nwdec::yield

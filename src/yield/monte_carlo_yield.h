@@ -1,7 +1,7 @@
 // Monte-Carlo yield: fabricate virtual half caves (fab::process_simulator)
 // and count how many nanowires actually decode.
 //
-// Two addressability criteria are available:
+// Two addressability criteria are available (yield/trial_context.h):
 //   * window: a nanowire works when every region's realized V_T lies in the
 //     addressability window. This is the criterion the analytic model
 //     integrates, so window-mode Monte Carlo must agree with
@@ -12,9 +12,22 @@
 //     criterion is sufficient but not necessary, so operational yield is
 //     >= window yield (typically by a few percent).
 // Optionally a structural defect map (fab/defects.h) is sampled per trial.
+//
+// Engine architecture: trials are sharded in contiguous blocks across
+// std::thread workers. Worker state is a trial_context (immutable,
+// precomputed per-design tables, shared) plus a per-thread trial_scratch
+// (reusable buffers), so the hot loop performs no heap allocation. Trial i
+// always consumes the counter-based stream rng::from_counter(run_key, i)
+// and writes its result into slot i of a preallocated array; the final
+// statistics are reduced sequentially in trial order. Results are therefore
+// bit-identical for any thread count. The allocating scalar reference
+// (monte_carlo_yield_reference) samples the identical distribution through
+// the op-by-op process walk, so agreement with it is statistical, not
+// bitwise; it is kept for validation and benchmarking.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 
 #include "crossbar/contact_groups.h"
@@ -22,14 +35,9 @@
 #include "fab/defects.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "yield/trial_context.h"
 
 namespace nwdec::yield {
-
-/// Which addressability criterion the Monte Carlo applies.
-enum class mc_mode {
-  window,
-  operational,
-};
 
 /// Monte-Carlo estimate of the half-cave yield.
 struct mc_yield_result {
@@ -39,10 +47,48 @@ struct mc_yield_result {
   std::size_t trials = 0;
 };
 
-/// Runs `trials` independent fabrications of the half cave and counts
-/// addressable nanowires under the chosen criterion. `defects`, when
-/// given, injects broken/bridged nanowires per trial.
+/// Options for the Monte-Carlo engine.
+struct mc_options {
+  mc_mode mode = mc_mode::window;
+  std::size_t trials = 0;
+  /// Worker threads; 0 means std::thread::hardware_concurrency(). Results
+  /// are bit-identical regardless of the value.
+  std::size_t threads = 1;
+  /// Structural defect injection, sampled per trial when set.
+  std::optional<fab::defect_params> defects;
+  /// Process sigma override in volts; the design technology's sigma_vt
+  /// when unset (yield_sweep uses this to scan sigma on one context).
+  std::optional<double> sigma_vt;
+};
+
+/// Runs `options.trials` independent fabrications of the half cave and
+/// counts addressable nanowires under the chosen criterion. Draws one
+/// 64-bit run key from `random` and shards trials across workers; see the
+/// header comment for the determinism contract.
+mc_yield_result monte_carlo_yield(const decoder::decoder_design& design,
+                                  const crossbar::contact_group_plan& plan,
+                                  const mc_options& options, rng& random);
+
+/// Engine core on a prebuilt context: the amortized path yield_sweep uses
+/// to run many grid points without re-deriving the per-design tables.
+/// `run_key` seeds the per-trial counter-based streams.
+mc_yield_result monte_carlo_yield(const trial_context& context,
+                                  const mc_options& options,
+                                  std::uint64_t run_key);
+
+/// Single-threaded convenience wrapper kept source-compatible with the
+/// original API; forwards to the engine with one worker.
 mc_yield_result monte_carlo_yield(
+    const decoder::decoder_design& design,
+    const crossbar::contact_group_plan& plan, mc_mode mode,
+    std::size_t trials, rng& random,
+    const std::optional<fab::defect_params>& defects = std::nullopt);
+
+/// The original allocating scalar loop, preserved as the validation
+/// baseline: it samples the same realized-V_T distribution through the
+/// op-by-op process walk (different draws, so agreement with the engine is
+/// statistical), and bench_mc_engine measures the speedup against it.
+mc_yield_result monte_carlo_yield_reference(
     const decoder::decoder_design& design,
     const crossbar::contact_group_plan& plan, mc_mode mode,
     std::size_t trials, rng& random,

@@ -1,0 +1,136 @@
+#include "yield/trial_context.h"
+
+#include <cmath>
+
+#include "decoder/addressing.h"
+#include "util/error.h"
+
+namespace nwdec::yield {
+
+trial_context::trial_context(const decoder::decoder_design& design,
+                             const crossbar::contact_group_plan& plan)
+    : design_(design),
+      plan_(plan),
+      nanowires_(design.nanowire_count()),
+      regions_(design.region_count()),
+      window_half_width_(design.levels().window_half_width()) {
+  NWDEC_EXPECTS(plan.nanowire_count == design.nanowire_count(),
+                "plan and design must describe the same half cave");
+
+  const matrix<codes::digit>& pattern = design_.pattern();
+  const matrix<std::size_t>& dose_counts = design_.dose_counts();
+  const device::vt_levels& levels = design_.levels();
+  drive_table_.resize(nanowires_ * regions_);
+  nominal_vt_.resize(nanowires_ * regions_);
+  noise_scale_.resize(nanowires_ * regions_);
+  for (std::size_t i = 0; i < nanowires_; ++i) {
+    const codes::digit* row = pattern.row_ptr(i);
+    const std::size_t* nu_row = dose_counts.row_ptr(i);
+    for (std::size_t j = 0; j < regions_; ++j) {
+      nominal_vt_[i * regions_ + j] = levels.level(row[j]);
+      drive_table_[i * regions_ + j] = levels.drive_voltage(row[j]);
+      noise_scale_[i * regions_ + j] =
+          std::sqrt(static_cast<double>(nu_row[j]));
+    }
+  }
+
+  // Contact-group membership as one flat offsets+indices layout.
+  // Double-contacted boundary nanowires still *conduct*, so they stay in
+  // the member lists as potential impostors even when they are not counted
+  // addressable themselves.
+  discard_probability_.resize(nanowires_);
+  group_of_.resize(nanowires_);
+  std::vector<std::size_t> counts(plan.group_count, 0);
+  for (std::size_t i = 0; i < nanowires_; ++i) {
+    discard_probability_[i] = plan.discard_probability(i);
+    group_of_[i] = plan.group_of(i);
+    ++counts[group_of_[i]];
+  }
+  member_offsets_.assign(plan.group_count + 1, 0);
+  for (std::size_t g = 0; g < plan.group_count; ++g) {
+    member_offsets_[g + 1] = member_offsets_[g] + counts[g];
+  }
+  members_.resize(nanowires_);
+  std::vector<std::size_t> cursor(member_offsets_.begin(),
+                                  member_offsets_.end() - 1);
+  for (std::size_t i = 0; i < nanowires_; ++i) {
+    members_[cursor[group_of_[i]]++] = i;
+  }
+}
+
+bool trial_context::window_ok(const double* vt_row, std::size_t row) const {
+  const double* nominal_row = nominal_vt_.data() + row * regions_;
+  const codes::digit* pattern_row = design_.pattern().row_ptr(row);
+  for (std::size_t j = 0; j < regions_; ++j) {
+    const double delta = vt_row[j] - nominal_row[j];
+    // Digit-0 regions have no blocking duty: only the upper bound applies.
+    if (delta >= window_half_width_) return false;
+    if (pattern_row[j] != 0 && delta <= -window_half_width_) return false;
+  }
+  return true;
+}
+
+bool trial_context::operational_ok(const matrix<double>& realized_vt,
+                                   std::size_t row) const {
+  // Drive this nanowire's own address and require that it conducts while
+  // every other nanowire reachable through the same contact group blocks.
+  const double* drive = drive_table_.data() + row * regions_;
+  if (!decoder::conducts(realized_vt.row_ptr(row), drive, regions_)) {
+    return false;
+  }
+  const std::size_t group = group_of_[row];
+  for (std::size_t k = member_offsets_[group]; k < member_offsets_[group + 1];
+       ++k) {
+    const std::size_t other = members_[k];
+    if (other == row) continue;
+    if (decoder::conducts(realized_vt.row_ptr(other), drive, regions_)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t trial_context::run_trial(rng& stream, trial_scratch& scratch,
+                                     mc_mode mode, double sigma_vt,
+                                     const fab::defect_params* defects) const {
+  // Realize V_T in two flat passes: N*M standard normals, then a fused
+  // nominal + sigma * sqrt(nu) * z transform in place (see header: exactly
+  // the distribution the op-by-op process walk samples).
+  if (scratch.realized_vt.rows() != nanowires_ ||
+      scratch.realized_vt.cols() != regions_) {
+    scratch.realized_vt.assign(nanowires_, regions_);
+  }
+  double* vt = scratch.realized_vt.row_ptr(0);
+  const std::size_t cells = nanowires_ * regions_;
+  stream.standard_normal_fill(vt, cells);
+  for (std::size_t k = 0; k < cells; ++k) {
+    vt[k] = nominal_vt_[k] + sigma_vt * noise_scale_[k] * vt[k];
+  }
+  if (defects != nullptr) {
+    fab::sample_defects_into(nanowires_, *defects, stream, scratch.defects);
+  }
+
+  std::size_t good = 0;
+  for (std::size_t i = 0; i < nanowires_; ++i) {
+    // This die's contact edges clip this nanowire with the plan's
+    // probability (misalignment is sampled per fabricated cave).
+    if (discard_probability_[i] > 0.0 &&
+        stream.bernoulli(discard_probability_[i])) {
+      continue;
+    }
+    if (defects != nullptr && scratch.defects.disables(i)) continue;
+    const bool ok = mode == mc_mode::window
+                        ? window_ok(scratch.realized_vt.row_ptr(i), i)
+                        : operational_ok(scratch.realized_vt, i);
+    if (ok) ++good;
+  }
+  return good;
+}
+
+std::size_t trial_context::run_trial(rng& stream, trial_scratch& scratch,
+                                     mc_mode mode,
+                                     const fab::defect_params* defects) const {
+  return run_trial(stream, scratch, mode, design_.tech().sigma_vt, defects);
+}
+
+}  // namespace nwdec::yield

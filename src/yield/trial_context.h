@@ -1,0 +1,103 @@
+// Per-design invariants and per-thread scratch for the Monte-Carlo yield
+// engine.
+//
+// One Monte-Carlo trial fabricates a virtual half cave and asks, nanowire
+// by nanowire, whether it decodes. The legacy loop re-derived per-address
+// state inside the trial: a code_word per row, a fresh drive-voltage vector
+// per address, and a copied V_T row per conductance check -- and it walked
+// the whole MSPT flow op by op, drawing one Gaussian per dose received.
+// trial_context hoists everything that depends only on the *design* out of
+// the trial:
+//   * a flat row-major drive-voltage table (row i = the mesowire voltages
+//     driving nanowire i's own address),
+//   * a flat nominal-V_T table (the window criterion's reference levels),
+//   * a flat noise-scale table sqrt(nu(i,j)) from the dose-count matrix:
+//     region (i,j) receives nu(i,j) independent N(0, sigma) dose
+//     perturbations (Definition 5), whose sum is exactly
+//     N(0, sigma * sqrt(nu(i,j))) -- so one deviate per region realizes
+//     the same V_T distribution the op-by-op walk samples,
+//   * contact-group member lists in one flat offsets+indices layout,
+//   * per-nanowire discard probabilities.
+// run_trial then touches only these tables plus a caller-owned
+// trial_scratch, so the inner loop performs no heap allocation and is safe
+// to run from many threads at once (the context is immutable after
+// construction; each worker owns its scratch).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "codes/word.h"
+#include "crossbar/contact_groups.h"
+#include "decoder/decoder_design.h"
+#include "fab/defects.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace nwdec::yield {
+
+/// Which addressability criterion the Monte Carlo applies.
+enum class mc_mode {
+  window,
+  operational,
+};
+
+/// Reusable per-thread buffers for run_trial; allocation-free after the
+/// first trial warms them to full size.
+struct trial_scratch {
+  matrix<double> realized_vt;
+  fab::defect_map defects;
+};
+
+/// Immutable precomputed view of one (design, contact plan) pair, shared by
+/// every trial worker. Holds references to `design` and `plan`; both must
+/// outlive the context.
+class trial_context {
+ public:
+  trial_context(const decoder::decoder_design& design,
+                const crossbar::contact_group_plan& plan);
+
+  /// The analyzed design the context was built from.
+  const decoder::decoder_design& design() const { return design_; }
+  /// N, nanowires per half cave.
+  std::size_t nanowire_count() const { return nanowires_; }
+
+  /// Fabricates one virtual cave from `stream` and counts addressable
+  /// nanowires under `mode` at process sigma `sigma_vt`, optionally
+  /// sampling structural defects (`defects` may be null). Draw order is
+  /// fixed: one standard_normal_fill of N*M deviates (row-major), the
+  /// defect map, then one Bernoulli per at-risk nanowire -- deterministic
+  /// in `stream` alone, so trial results are bit-identical no matter which
+  /// thread runs them. The realized V_T is distributed exactly as the
+  /// op-by-op process_simulator walk (see the header comment), but the
+  /// streams differ, so agreement with the scalar reference is statistical,
+  /// not bitwise.
+  std::size_t run_trial(rng& stream, trial_scratch& scratch, mc_mode mode,
+                        double sigma_vt,
+                        const fab::defect_params* defects) const;
+
+  /// Same, at the design technology's sigma_vt.
+  std::size_t run_trial(rng& stream, trial_scratch& scratch, mc_mode mode,
+                        const fab::defect_params* defects) const;
+
+ private:
+  bool window_ok(const double* vt_row, std::size_t row) const;
+  bool operational_ok(const matrix<double>& realized_vt,
+                      std::size_t row) const;
+
+  const decoder::decoder_design& design_;
+  const crossbar::contact_group_plan& plan_;
+  std::size_t nanowires_ = 0;
+  std::size_t regions_ = 0;
+  double window_half_width_ = 0.0;
+
+  std::vector<double> drive_table_;    ///< N x M, row i = drive of address i
+  std::vector<double> nominal_vt_;     ///< N x M nominal levels
+  std::vector<double> noise_scale_;    ///< N x M, sqrt(nu(i,j))
+  std::vector<double> discard_probability_;  ///< per nanowire
+  std::vector<std::size_t> group_of_;        ///< per nanowire
+  std::vector<std::size_t> member_offsets_;  ///< group g: [offsets[g], offsets[g+1])
+  std::vector<std::size_t> members_;         ///< member indices, grouped
+};
+
+}  // namespace nwdec::yield

@@ -1,0 +1,85 @@
+#include "yield/yield_sweep.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "yield/trial_context.h"
+
+namespace nwdec::yield {
+
+sweep_report yield_sweep(const decoder::decoder_design& design,
+                         const crossbar::contact_group_plan& plan,
+                         mc_mode mode, const std::vector<sweep_point>& grid,
+                         std::size_t threads, std::uint64_t seed) {
+  NWDEC_EXPECTS(!grid.empty(), "a yield sweep needs at least one grid point");
+
+  const trial_context context(design, plan);
+  rng key_stream(seed);
+
+  sweep_report report;
+  report.mode = mode;
+  report.threads = threads;
+  report.nanowires = design.nanowire_count();
+  report.seed = seed;
+  report.entries.reserve(grid.size());
+
+  for (const sweep_point& point : grid) {
+    mc_options options;
+    options.mode = mode;
+    options.trials = point.trials;
+    options.threads = threads;
+    options.defects = point.defects;
+    options.sigma_vt = point.sigma_vt;
+    const std::uint64_t run_key = key_stream.engine()();
+
+    const auto started = std::chrono::steady_clock::now();
+    sweep_entry entry;
+    entry.point = point;
+    entry.result = monte_carlo_yield(context, options, run_key);
+    const auto finished = std::chrono::steady_clock::now();
+    entry.seconds =
+        std::chrono::duration<double>(finished - started).count();
+    entry.trials_per_second =
+        entry.seconds > 0.0
+            ? static_cast<double>(point.trials) / entry.seconds
+            : 0.0;
+    report.entries.push_back(entry);
+  }
+  return report;
+}
+
+std::string to_json(const sweep_report& report) {
+  std::ostringstream out;
+  out.precision(12);
+  out << "{\n"
+      << "  \"bench\": \"yield_sweep\",\n"
+      << "  \"mode\": \""
+      << (report.mode == mc_mode::window ? "window" : "operational")
+      << "\",\n"
+      << "  \"threads\": " << report.threads << ",\n"
+      << "  \"nanowires\": " << report.nanowires << ",\n"
+      << "  \"seed\": " << report.seed << ",\n"
+      << "  \"points\": [\n";
+  for (std::size_t k = 0; k < report.entries.size(); ++k) {
+    const sweep_entry& entry = report.entries[k];
+    const fab::defect_params defects =
+        entry.point.defects.value_or(fab::defect_params{});
+    out << "    {\"sigma_vt\": " << entry.point.sigma_vt
+        << ", \"trials\": " << entry.point.trials
+        << ", \"broken_probability\": " << defects.broken_probability
+        << ", \"bridge_probability\": " << defects.bridge_probability
+        << ", \"nanowire_yield\": " << entry.result.nanowire_yield
+        << ", \"crosspoint_yield\": " << entry.result.crosspoint_yield
+        << ", \"ci_low\": " << entry.result.ci.low
+        << ", \"ci_high\": " << entry.result.ci.high
+        << ", \"seconds\": " << entry.seconds
+        << ", \"trials_per_second\": " << entry.trials_per_second << "}"
+        << (k + 1 < report.entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace nwdec::yield

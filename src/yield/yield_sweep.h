@@ -1,0 +1,63 @@
+// Batched Monte-Carlo yield sweeps.
+//
+// A yield trajectory (Figs. 6-8 style studies, or the addressability-limit
+// scans of Chee & Ling) evaluates one decoder design over a grid of
+// (sigma, trials, defect) points. Building the engine's trial_context per
+// point would re-derive the drive-voltage and nominal-V_T tables each
+// time; yield_sweep builds the context once and runs every grid point
+// through it, timing each point and emitting a JSON document for the bench
+// trajectory (bench/bench_mc_engine.cpp and CI artifacts).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crossbar/contact_groups.h"
+#include "decoder/decoder_design.h"
+#include "fab/defects.h"
+#include "yield/monte_carlo_yield.h"
+
+namespace nwdec::yield {
+
+/// One grid point of a sweep.
+struct sweep_point {
+  double sigma_vt = 0.05;      ///< process sigma in volts
+  std::size_t trials = 1000;   ///< Monte-Carlo trials at this point
+  std::optional<fab::defect_params> defects;  ///< structural defects, if any
+};
+
+/// Result of one grid point, with wall-clock throughput.
+struct sweep_entry {
+  sweep_point point;
+  mc_yield_result result;
+  double seconds = 0.0;
+  double trials_per_second = 0.0;
+};
+
+/// A completed sweep: the grid results plus the run configuration needed to
+/// reproduce them.
+struct sweep_report {
+  mc_mode mode = mc_mode::window;
+  std::size_t threads = 1;
+  std::size_t nanowires = 0;
+  std::uint64_t seed = 0;
+  std::vector<sweep_entry> entries;
+};
+
+/// Runs every grid point over one shared trial_context. Point k draws its
+/// run key from an rng seeded with `seed` (sequentially, so points are
+/// decorrelated but the whole sweep is reproducible from the seed and
+/// bit-identical for any `threads`).
+sweep_report yield_sweep(const decoder::decoder_design& design,
+                         const crossbar::contact_group_plan& plan,
+                         mc_mode mode, const std::vector<sweep_point>& grid,
+                         std::size_t threads, std::uint64_t seed);
+
+/// Serializes a report as a JSON document (stable key order, one object per
+/// grid point) for the bench trajectory files.
+std::string to_json(const sweep_report& report);
+
+}  // namespace nwdec::yield

@@ -71,6 +71,37 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param));
     });
 
+TEST(GrayCodeTest, EncodeDecodeRoundTrip) {
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    EXPECT_EQ(gray_decode(gray_encode(i)), i);
+  }
+  // Successive encodings differ in exactly one bit.
+  for (std::uint64_t i = 0; i + 1 < 4096; ++i) {
+    const std::uint64_t diff = gray_encode(i) ^ gray_encode(i + 1);
+    EXPECT_EQ(diff & (diff - 1), 0u) << "index " << i;
+    EXPECT_NE(diff, 0u) << "index " << i;
+  }
+  // Full-width values survive the shift-xor fold.
+  EXPECT_EQ(gray_decode(gray_encode(~std::uint64_t{0})), ~std::uint64_t{0});
+}
+
+TEST(GrayCodeTest, EncodeMatchesReflectedWordSequence) {
+  // gray_encode(i) read MSB-first is word i of the radix-2 reflected
+  // construction -- the identity the binary fast path in gray_code_words
+  // rests on.
+  const std::size_t length = 6;
+  const std::vector<code_word> words = gray_code_words(2, length);
+  ASSERT_EQ(words.size(), std::size_t{1} << length);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    std::uint64_t value = 0;
+    for (std::size_t j = 0; j < length; ++j) {
+      value = (value << 1) | words[i].at(j);
+    }
+    EXPECT_EQ(value, gray_encode(i)) << "index " << i;
+    EXPECT_EQ(gray_decode(value), i) << "index " << i;
+  }
+}
+
 TEST(GrayCodeTest, IsGraySequenceDetectsViolations) {
   std::vector<code_word> words = {parse_word(2, "00"), parse_word(2, "01"),
                                   parse_word(2, "10")};

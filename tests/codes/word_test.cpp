@@ -99,5 +99,16 @@ TEST(CodeWordTest, OrderingIsLexicographic) {
   EXPECT_LT(parse_word(2, "00"), parse_word(2, "01"));
 }
 
+TEST(CodeWordTest, SpanComponentwiseLeMatchesWordForm) {
+  const code_word a = parse_word(3, "0102");
+  const code_word b = parse_word(3, "0112");
+  const code_word c = parse_word(3, "0100");
+  EXPECT_EQ(componentwise_le(a.digits().data(), b.digits().data(), 4),
+            a.componentwise_le(b));
+  EXPECT_EQ(componentwise_le(a.digits().data(), c.digits().data(), 4),
+            a.componentwise_le(c));
+  EXPECT_TRUE(componentwise_le(a.digits().data(), a.digits().data(), 4));
+}
+
 }  // namespace
 }  // namespace nwdec::codes

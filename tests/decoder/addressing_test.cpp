@@ -53,6 +53,35 @@ TEST(ConductionTest, DrivePatternChecksRadix) {
                invalid_argument_error);
 }
 
+TEST(ConductionTest, SpanFormMatchesVectorForm) {
+  const std::vector<double> vt = {0.3, 0.6, 0.1};
+  const std::vector<std::vector<double>> gates = {
+      {0.5, 0.9, 0.2}, {0.5, 0.6, 0.2}, {0.2, 0.9, 0.2}, {0.5, 0.9, 0.1}};
+  for (const auto& gate : gates) {
+    EXPECT_EQ(conducts(vt.data(), gate.data(), vt.size()),
+              conducts(vt, gate));
+  }
+}
+
+TEST(ConductionTest, DrivePatternIntoReusesTheBuffer) {
+  const device::vt_levels levels(3, device::paper_technology());
+  std::vector<double> buffer;
+  drive_pattern_into(parse_word(3, "012"), levels, buffer);
+  EXPECT_EQ(buffer, drive_pattern(parse_word(3, "012"), levels));
+  // A second call reshapes in place (shorter word, same storage).
+  drive_pattern_into(parse_word(3, "20"), levels, buffer);
+  EXPECT_EQ(buffer, drive_pattern(parse_word(3, "20"), levels));
+  EXPECT_THROW(drive_pattern_into(parse_word(2, "01"), levels, buffer),
+               invalid_argument_error);
+}
+
+TEST(AddressedRowsTest, RejectsMismatchedRadix) {
+  const codes::code gc = codes::make_code(codes::code_type::gray, 2, 6);
+  const matrix<codes::digit> p = pattern_matrix(gc, gc.size());
+  EXPECT_THROW(addressed_rows(p, 2, parse_word(3, "000000")),
+               invalid_argument_error);
+}
+
 TEST(AddressedRowsTest, FindsExactlyTheSelectedNanowire) {
   const codes::code gc = codes::make_code(codes::code_type::gray, 2, 6);
   const matrix<codes::digit> p = pattern_matrix(gc, gc.size());

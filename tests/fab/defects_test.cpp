@@ -55,6 +55,21 @@ TEST(DefectsTest, InvalidRatesRejected) {
                invalid_argument_error);
 }
 
+TEST(DefectsTest, SampleIntoMatchesAllocatingForm) {
+  rng fresh(13);
+  const defect_map expected = sample_defects(40, defect_params{0.2, 0.1}, fresh);
+  rng reused(13);
+  defect_map out;
+  sample_defects_into(40, defect_params{0.2, 0.1}, reused, out);
+  EXPECT_EQ(out.broken, expected.broken);
+  EXPECT_EQ(out.bridged_to_next, expected.bridged_to_next);
+
+  // Reuse with a smaller cave must shrink the buffers.
+  sample_defects_into(10, defect_params{0.2, 0.1}, reused, out);
+  EXPECT_EQ(out.broken.size(), 10u);
+  EXPECT_EQ(out.bridged_to_next.size(), 9u);
+}
+
 TEST(DefectsTest, OutOfRangeIndexThrows) {
   rng random(1);
   const defect_map map = sample_defects(5, defect_params{}, random);

@@ -101,6 +101,57 @@ TEST(ProcessSimTest, DoseDomainModeProducesFiniteVt) {
   }
 }
 
+TEST(ProcessSimTest, RunIntoReusesBuffersBitIdentically) {
+  const decoder::decoder_design design = make_design();
+  const process_simulator sim(design);
+  rng fresh(21);
+  const fab_result expected = sim.run(fresh);
+
+  rng reused(21);
+  fab_result out;
+  sim.run_into(reused, out);
+  EXPECT_EQ(out.realized_vt, expected.realized_vt);
+  EXPECT_EQ(out.realized_doping, expected.realized_doping);
+  EXPECT_EQ(out.doses_received, expected.doses_received);
+
+  // Second run into the same result object recycles the matrices and must
+  // still match a fresh run drawn from the same stream position.
+  const fab_result expected2 = sim.run(fresh);
+  sim.run_into(reused, out);
+  EXPECT_EQ(out.realized_vt, expected2.realized_vt);
+}
+
+TEST(ProcessSimTest, RealizeVtMatchesFullRun) {
+  const decoder::decoder_design design = make_design();
+  const process_simulator sim(design);
+  rng full(33);
+  const fab_result expected = sim.run(full);
+  rng vt_only(33);
+  matrix<double> realized_vt;
+  sim.realize_vt_into(vt_only, realized_vt);
+  EXPECT_EQ(realized_vt, expected.realized_vt);
+}
+
+TEST(ProcessSimTest, RealizeVtSigmaOverrideScalesNoise) {
+  const decoder::decoder_design design = make_design(6);
+  const process_simulator sim(design);
+  // sigma = 0 must realize exactly the nominal levels.
+  rng random(4);
+  matrix<double> realized_vt;
+  sim.realize_vt_into(random, realized_vt, 0.0);
+  for (std::size_t i = 0; i < design.nanowire_count(); ++i) {
+    for (std::size_t j = 0; j < design.region_count(); ++j) {
+      EXPECT_DOUBLE_EQ(realized_vt(i, j),
+                       design.levels().level(design.pattern()(i, j)));
+    }
+  }
+  EXPECT_THROW(sim.realize_vt_into(random, realized_vt, -0.01),
+               invalid_argument_error);
+  const process_simulator dose_sim(design, noise_mode::dose_domain);
+  EXPECT_THROW(dose_sim.realize_vt_into(random, realized_vt),
+               invalid_argument_error);
+}
+
 TEST(ProcessSimTest, NegativeNoiseFractionRejected) {
   const decoder::decoder_design design = make_design(6);
   EXPECT_THROW(process_simulator(design, noise_mode::dose_domain, -0.1),

@@ -89,7 +89,9 @@ TEST(PipelineTest, FabricatedCaveDecodesThroughTheMemory) {
       EXPECT_EQ(wrote, usable[i] && usable[j]);
       const auto read = memory.read(words[i], words[j]);
       EXPECT_EQ(read.has_value(), usable[i] && usable[j]);
-      if (read.has_value()) EXPECT_EQ(*read, value);
+      if (read.has_value()) {
+        EXPECT_EQ(*read, value);
+      }
     }
   }
 }

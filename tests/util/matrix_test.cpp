@@ -89,5 +89,31 @@ TEST(MatrixTest, StreamOutputIsRowPerLine) {
   EXPECT_EQ(os.str(), "1 2\n3 4\n");
 }
 
+TEST(MatrixTest, AssignReshapesAndRefills) {
+  matrix<double> m(2, 3, 1.0);
+  m.assign(3, 2, 7.0);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), 7.0);
+    }
+  }
+  // Shrinking reuses capacity and resets every element.
+  m(0, 0) = -1.0;
+  m.assign(1, 2, 0.0);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RowPtrAliasesRowMajorStorage) {
+  matrix<int> m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row_ptr(1)[0], 4);
+  EXPECT_EQ(m.row_ptr(1)[2], 6);
+  m.row_ptr(0)[1] = 9;
+  EXPECT_EQ(m(0, 1), 9);
+  EXPECT_EQ(m.row_ptr(0), m.data().data());
+}
+
 }  // namespace
 }  // namespace nwdec

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "util/error.h"
 #include "util/stats.h"
 
@@ -85,6 +87,59 @@ TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
     if (parent3.uniform() == child3.uniform()) ++equal;
   }
   EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, CounterForkIsPureInKeyAndCounter) {
+  // from_counter must not read or advance any generator state: the same
+  // (key, counter) pair gives the same stream no matter when or where it
+  // is asked for -- the contract the multithreaded Monte Carlo relies on.
+  rng a = rng::from_counter(123, 5);
+  rng parent(123);
+  parent.uniform();  // perturb the parent; must not matter
+  rng b = parent.seed() == 123 ? rng::from_counter(parent.seed(), 5) : rng(0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, CounterForkStreamsAreDecorrelated) {
+  // Adjacent counters (the common sharding pattern) must give unrelated
+  // streams.
+  rng a = rng::from_counter(99, 0);
+  rng b = rng::from_counter(99, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ForkStreamIsKeyedByConstructionSeed) {
+  const rng parent(77);
+  rng child = parent.fork_stream(3);
+  rng expected = rng::from_counter(77, 3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(child.uniform(), expected.uniform());
+  }
+}
+
+TEST(RngTest, StandardNormalFillHasCorrectMoments) {
+  rng r(2024);
+  std::vector<double> buffer(20000);
+  r.standard_normal_fill(buffer.data(), buffer.size());
+  running_stats s;
+  for (const double x : buffer) s.add(x);
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, StandardNormalFillIsDeterministic) {
+  rng a(5);
+  rng b(5);
+  std::vector<double> fa(64), fb(64);
+  a.standard_normal_fill(fa.data(), fa.size());
+  b.standard_normal_fill(fb.data(), fb.size());
+  EXPECT_EQ(fa, fb);
 }
 
 }  // namespace

@@ -1,0 +1,243 @@
+// Determinism and correctness of the zero-allocation Monte-Carlo engine:
+// bit-identical results across thread counts, agreement with the legacy
+// scalar reference, and the batched yield_sweep API.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "codes/factory.h"
+#include "crossbar/contact_groups.h"
+#include "device/tech_params.h"
+#include "util/error.h"
+#include "yield/analytic_yield.h"
+#include "yield/monte_carlo_yield.h"
+#include "yield/yield_sweep.h"
+
+namespace nwdec::yield {
+namespace {
+
+struct fixture {
+  device::technology tech = device::paper_technology();
+  codes::code code = codes::make_code(codes::code_type::gray, 2, 8);
+  decoder::decoder_design design{code, 20, tech};
+  crossbar::contact_group_plan plan =
+      crossbar::plan_contact_groups(20, code.size(), tech);
+};
+
+void expect_bit_identical(const mc_yield_result& a, const mc_yield_result& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.nanowire_yield, b.nanowire_yield);
+  EXPECT_EQ(a.crosspoint_yield, b.crosspoint_yield);
+  EXPECT_EQ(a.ci.low, b.ci.low);
+  EXPECT_EQ(a.ci.high, b.ci.high);
+}
+
+TEST(McEngineTest, BitIdenticalAcrossThreadCounts) {
+  // Same seed + same trial count must give the same bits for 1, 2, and 8
+  // workers, in both criteria, with every stochastic channel active
+  // (process noise, boundary discards, structural defects).
+  fixture f;
+  for (const mc_mode mode : {mc_mode::window, mc_mode::operational}) {
+    mc_options options;
+    options.mode = mode;
+    options.trials = 200;
+    options.defects = fab::defect_params{0.05, 0.02};
+
+    options.threads = 1;
+    rng r1(42);
+    const mc_yield_result one = monte_carlo_yield(f.design, f.plan, options, r1);
+    options.threads = 2;
+    rng r2(42);
+    const mc_yield_result two = monte_carlo_yield(f.design, f.plan, options, r2);
+    options.threads = 8;
+    rng r8(42);
+    const mc_yield_result eight =
+        monte_carlo_yield(f.design, f.plan, options, r8);
+
+    expect_bit_identical(one, two);
+    expect_bit_identical(one, eight);
+  }
+}
+
+TEST(McEngineTest, LegacySignatureForwardsToEngine) {
+  fixture f;
+  rng legacy_rng(7);
+  const mc_yield_result legacy = monte_carlo_yield(
+      f.design, f.plan, mc_mode::operational, 100, legacy_rng);
+  mc_options options;
+  options.mode = mc_mode::operational;
+  options.trials = 100;
+  options.threads = 1;
+  rng engine_rng(7);
+  const mc_yield_result engine =
+      monte_carlo_yield(f.design, f.plan, options, engine_rng);
+  expect_bit_identical(legacy, engine);
+}
+
+TEST(McEngineTest, AgreesWithScalarReference) {
+  // The engine collapses each region's nu accumulated doses into one
+  // N(0, sigma*sqrt(nu)) deviate; the reference walks the flow op by op.
+  // The distributions are identical, so the estimates must agree within
+  // statistical error.
+  fixture f;
+  for (const mc_mode mode : {mc_mode::window, mc_mode::operational}) {
+    rng engine_rng(17);
+    mc_options options;
+    options.mode = mode;
+    options.trials = 800;
+    options.threads = 2;
+    const mc_yield_result engine =
+        monte_carlo_yield(f.design, f.plan, options, engine_rng);
+    rng reference_rng(18);
+    const mc_yield_result reference = monte_carlo_yield_reference(
+        f.design, f.plan, mode, 800, reference_rng);
+    EXPECT_NEAR(engine.nanowire_yield, reference.nanowire_yield, 0.025)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(McEngineTest, ReferenceAgreesWithDefectsToo) {
+  fixture f;
+  const std::optional<fab::defect_params> defects(
+      fab::defect_params{0.10, 0.03});
+  rng engine_rng(29);
+  mc_options options;
+  options.mode = mc_mode::window;
+  options.trials = 800;
+  options.threads = 4;
+  options.defects = defects;
+  const mc_yield_result engine =
+      monte_carlo_yield(f.design, f.plan, options, engine_rng);
+  rng reference_rng(31);
+  const mc_yield_result reference = monte_carlo_yield_reference(
+      f.design, f.plan, mc_mode::window, 800, reference_rng, defects);
+  EXPECT_NEAR(engine.nanowire_yield, reference.nanowire_yield, 0.03);
+}
+
+TEST(McEngineTest, MultithreadedWindowModeMatchesAnalyticModel) {
+  // The cross-validation the legacy test runs single-threaded must hold on
+  // the sharded path as well.
+  fixture f;
+  const yield_result analytic = analytic_yield(f.design, f.plan);
+  mc_options options;
+  options.mode = mc_mode::window;
+  options.trials = 600;
+  options.threads = 4;
+  rng random(123);
+  const mc_yield_result mc =
+      monte_carlo_yield(f.design, f.plan, options, random);
+  EXPECT_NEAR(mc.nanowire_yield, analytic.nanowire_yield, 0.02);
+}
+
+TEST(McEngineTest, SigmaOverrideDefaultsToTechnologySigma) {
+  fixture f;
+  mc_options options;
+  options.mode = mc_mode::operational;
+  options.trials = 120;
+  rng r1(3);
+  const mc_yield_result implicit =
+      monte_carlo_yield(f.design, f.plan, options, r1);
+  options.sigma_vt = f.tech.sigma_vt;
+  rng r2(3);
+  const mc_yield_result explicit_sigma =
+      monte_carlo_yield(f.design, f.plan, options, r2);
+  expect_bit_identical(implicit, explicit_sigma);
+}
+
+TEST(McEngineTest, PrebuiltContextMatchesConvenienceOverload) {
+  fixture f;
+  mc_options options;
+  options.mode = mc_mode::operational;
+  options.trials = 150;
+  rng random(9);
+  const std::uint64_t run_key = random.engine()();
+  const trial_context context(f.design, f.plan);
+  const mc_yield_result from_context =
+      monte_carlo_yield(context, options, run_key);
+  rng again(9);
+  const mc_yield_result from_design =
+      monte_carlo_yield(f.design, f.plan, options, again);
+  expect_bit_identical(from_context, from_design);
+}
+
+TEST(McEngineTest, InvalidOptionsRejected) {
+  fixture f;
+  rng random(1);
+  mc_options options;
+  options.trials = 0;
+  EXPECT_THROW(monte_carlo_yield(f.design, f.plan, options, random),
+               invalid_argument_error);
+  options.trials = 10;
+  options.sigma_vt = -0.1;
+  EXPECT_THROW(monte_carlo_yield(f.design, f.plan, options, random),
+               invalid_argument_error);
+}
+
+TEST(YieldSweepTest, ReproducibleAndMonotoneInSigma) {
+  fixture f;
+  const std::vector<sweep_point> grid = {
+      {0.02, 300, std::nullopt}, {0.05, 300, std::nullopt},
+      {0.09, 300, std::nullopt}};
+  const sweep_report a =
+      yield_sweep(f.design, f.plan, mc_mode::window, grid, 2, 2009);
+  const sweep_report b =
+      yield_sweep(f.design, f.plan, mc_mode::window, grid, 8, 2009);
+  ASSERT_EQ(a.entries.size(), 3u);
+  ASSERT_EQ(b.entries.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    expect_bit_identical(a.entries[k].result, b.entries[k].result);
+  }
+  EXPECT_GT(a.entries[0].result.nanowire_yield,
+            a.entries[2].result.nanowire_yield);
+}
+
+TEST(YieldSweepTest, MatchesPointwiseEngineRuns) {
+  fixture f;
+  const std::vector<sweep_point> grid = {
+      {0.04, 150, std::nullopt},
+      {0.06, 200, fab::defect_params{0.05, 0.0}}};
+  const sweep_report report =
+      yield_sweep(f.design, f.plan, mc_mode::operational, grid, 1, 77);
+
+  const trial_context context(f.design, f.plan);
+  rng key_stream(77);
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    mc_options options;
+    options.mode = mc_mode::operational;
+    options.trials = grid[k].trials;
+    options.threads = 1;
+    options.defects = grid[k].defects;
+    options.sigma_vt = grid[k].sigma_vt;
+    const std::uint64_t run_key = key_stream.engine()();
+    const mc_yield_result expected =
+        monte_carlo_yield(context, options, run_key);
+    expect_bit_identical(report.entries[k].result, expected);
+  }
+}
+
+TEST(YieldSweepTest, JsonRecordsEveryGridPoint) {
+  fixture f;
+  const std::vector<sweep_point> grid = {{0.03, 50, std::nullopt},
+                                         {0.05, 50, std::nullopt}};
+  const sweep_report report =
+      yield_sweep(f.design, f.plan, mc_mode::operational, grid, 1, 5);
+  const std::string json = to_json(report);
+  EXPECT_NE(json.find("\"bench\": \"yield_sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"operational\""), std::string::npos);
+  std::size_t points = 0;
+  for (std::size_t pos = json.find("\"sigma_vt\""); pos != std::string::npos;
+       pos = json.find("\"sigma_vt\"", pos + 1)) {
+    ++points;
+  }
+  EXPECT_EQ(points, 2u);
+}
+
+TEST(YieldSweepTest, EmptyGridRejected) {
+  fixture f;
+  EXPECT_THROW(
+      yield_sweep(f.design, f.plan, mc_mode::window, {}, 1, 1),
+      invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::yield
