@@ -15,12 +15,12 @@
 
 #include "bench_util.h"
 #include "codes/factory.h"
+#include "core/sweep_engine.h"
 #include "crossbar/contact_groups.h"
 #include "decoder/decoder_design.h"
 #include "device/tech_params.h"
 #include "util/cli.h"
 #include "yield/monte_carlo_yield.h"
-#include "yield/yield_sweep.h"
 
 namespace {
 
@@ -179,20 +179,28 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << json_path << "\n";
   }
 
-  // Exercise the batched sweep API on a small sigma grid so the bench
-  // trajectory records the amortized path too.
-  std::vector<yield::sweep_point> grid;
-  for (const double sigma : {0.03, 0.05, 0.07}) {
-    grid.push_back({sigma, std::max<std::size_t>(trials / 4, 50),
-                    std::nullopt});
-  }
-  const yield::sweep_report sweep =
-      yield::yield_sweep(design, plan, mode, grid, threads, seed);
-  std::cout << "\nyield_sweep over sigma {0.03, 0.05, 0.07} V:\n";
-  for (const yield::sweep_entry& entry : sweep.entries) {
-    std::cout << "  sigma=" << format_fixed(entry.point.sigma_vt, 3)
-              << "  Y=" << format_percent(entry.result.nanowire_yield)
-              << "  (" << format_fixed(entry.trials_per_second, 0)
+  // Exercise the unified design-space engine on a small sigma grid so the
+  // bench trajectory records the amortized path too: one cached design and
+  // context serve all three points.
+  crossbar::crossbar_spec sweep_spec;
+  sweep_spec.nanowires_per_half_cave = nanowires;
+  const core::sweep_engine engine(sweep_spec, tech);
+  core::sweep_axes axes;
+  axes.designs = {{code.type, code.radix, code.length}};
+  axes.sigmas_vt = {0.03, 0.05, 0.07};
+  axes.mc_trials = std::max<std::size_t>(trials / 4, 50);
+  core::sweep_engine_options sweep_options;
+  sweep_options.threads = threads;
+  sweep_options.seed = seed;
+  sweep_options.mode = mode;
+  const core::sweep_engine_report sweep = engine.run(axes, sweep_options);
+  std::cout << "\nsweep_engine over sigma {0.03, 0.05, 0.07} V:\n";
+  for (const core::sweep_engine_entry& entry : sweep.entries) {
+    std::cout << "  sigma=" << format_fixed(entry.request.sigma_vt, 3)
+              << "  analytic Y="
+              << format_percent(entry.evaluation.nanowire_yield)
+              << "  MC Y=" << format_percent(entry.evaluation.mc_nanowire_yield)
+              << "  (" << format_fixed(entry.mc_trials_per_second, 0)
               << " trials/sec)\n";
   }
 

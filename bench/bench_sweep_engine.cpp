@@ -1,0 +1,308 @@
+// Microbenchmark of the unified design-space engine: the pre-refactor
+// per-point exploration loop (rebuild code, decoder matrices, contact plan,
+// and Monte-Carlo context for every grid point, evaluate sequentially) vs
+// core::sweep_engine (keyed caches + design points sharded across workers).
+//
+// Two grids:
+//   * the paper's Figs. 7/8 grid (17 distinct designs -- caching saves the
+//     shared contact plans, and a second warm-cache pass shows the
+//     sweep-service steady state where nothing is rebuilt at all);
+//   * a (code x sigma) ablation grid, where the pre-refactor layer could
+//     only scan sigma by rebuilding every design per point (the old
+//     ablation_sigma loop) while the engine builds each design once.
+//
+// Correctness gates: the engine's analytic figures must equal the legacy
+// loop's to the bit, and the engine must be bit-identical across runs.
+// Reports points/sec per variant and writes a JSON record for the bench
+// trajectory / CI artifact.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.h"
+#include "codes/factory.h"
+#include "core/experiments.h"
+#include "core/sweep_engine.h"
+#include "crossbar/area_model.h"
+#include "crossbar/contact_groups.h"
+#include "decoder/decoder_design.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "yield/analytic_yield.h"
+#include "yield/monte_carlo_yield.h"
+
+namespace {
+
+using namespace nwdec;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// The pre-refactor evaluation path: everything rebuilt per point, nothing
+// shared between points (the seed design_explorer::evaluate body).
+core::design_evaluation legacy_evaluate(const crossbar::crossbar_spec& spec,
+                                        const device::technology& tech,
+                                        const core::design_point& point,
+                                        std::size_t mc_trials,
+                                        std::uint64_t seed) {
+  const codes::code code =
+      codes::make_code(point.type, point.radix, point.length);
+  const decoder::decoder_design design(code, spec.nanowires_per_half_cave,
+                                       tech);
+  const crossbar::contact_group_plan plan = crossbar::plan_contact_groups(
+      design.nanowire_count(), code.size(), tech);
+  const yield::yield_result yields = yield::analytic_yield(design, plan);
+  const crossbar::layer_geometry geometry = crossbar::derive_layer_geometry(
+      spec, tech, point.length, plan.group_count);
+  const crossbar::area_breakdown area =
+      crossbar::estimate_area(geometry, tech);
+
+  core::design_evaluation out;
+  out.point = point;
+  out.code_space = code.size();
+  out.fabrication_steps = design.fabrication_complexity();
+  out.average_variability = design.average_variability_sigma_units();
+  out.contact_groups = plan.group_count;
+  out.expected_discarded = yields.expected_discarded;
+  out.nanowire_yield = yields.nanowire_yield;
+  out.crosspoint_yield = yields.crosspoint_yield;
+  out.effective_bits = yield::effective_bits(yields, spec.raw_bits);
+  out.total_area_nm2 = area.total_nm2;
+  out.bit_area_nm2 = crossbar::bit_area_nm2(area, out.effective_bits);
+
+  if (mc_trials > 0) {
+    rng random(seed);
+    yield::mc_options options;
+    options.mode = yield::mc_mode::operational;
+    options.trials = mc_trials;
+    options.threads = 1;
+    const yield::mc_yield_result mc =
+        yield::monte_carlo_yield(design, plan, options, random);
+    out.has_monte_carlo = true;
+    out.mc_nanowire_yield = mc.nanowire_yield;
+    out.mc_ci_low = mc.ci.low;
+    out.mc_ci_high = mc.ci.high;
+  }
+  return out;
+}
+
+bool analytics_match(const core::design_evaluation& a,
+                     const core::design_evaluation& b) {
+  return a.nanowire_yield == b.nanowire_yield &&
+         a.crosspoint_yield == b.crosspoint_yield &&
+         a.bit_area_nm2 == b.bit_area_nm2 &&
+         a.effective_bits == b.effective_bits &&
+         a.fabrication_steps == b.fabrication_steps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_parser cli("bench_sweep_engine",
+                 "design-space sweeps: legacy per-point loop vs the cached "
+                 "multithreaded engine");
+  cli.add_int("trials", 400, "Monte-Carlo trials per design point");
+  cli.add_int("threads", 0, "engine worker threads (0 = hardware)");
+  cli.add_int("seed", 2009, "base seed");
+  cli.add_string("json", "BENCH_sweep_engine.json",
+                 "JSON output path ('' = off)");
+  cli.add_flag("quick", "smoke mode: few trials, for CI");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t trials = cli.get_flag("quick")
+                                 ? 60
+                                 : static_cast<std::size_t>(
+                                       cli.get_int("trials"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  std::size_t threads = static_cast<std::size_t>(cli.get_int("threads"));
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  const crossbar::crossbar_spec spec;
+  const device::technology tech = device::paper_technology();
+
+  bench::banner("Sweep engine",
+                "unified design-space engine vs per-point rebuild");
+
+  // ------------------------------------------------ Figs. 7/8 design grid
+  const std::vector<core::design_point> grid = core::yield_grid();
+  std::cout << "grid A: Figs. 7/8 (" << grid.size()
+            << " design points), trials/point = " << trials << "\n\n";
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<core::design_evaluation> legacy;
+  legacy.reserve(grid.size());
+  for (const core::design_point& point : grid) {
+    legacy.push_back(legacy_evaluate(spec, tech, point, trials, seed));
+  }
+  const double legacy_seconds = seconds_since(start);
+
+  const core::sweep_engine engine(spec, tech);
+  core::sweep_axes axes;
+  axes.designs = grid;
+  axes.mc_trials = trials;
+  core::sweep_engine_options options;
+  options.seed = seed;
+
+  options.threads = 1;
+  start = std::chrono::steady_clock::now();
+  const core::sweep_engine_report cold = engine.run(axes, options);
+  const double cold_seconds = seconds_since(start);
+
+  // Second pass over the same engine: the sweep-service steady state --
+  // every design, plan, and trial context served from cache.
+  start = std::chrono::steady_clock::now();
+  const core::sweep_engine_report warm = engine.run(axes, options);
+  const double warm_seconds = seconds_since(start);
+
+  options.threads = threads;
+  start = std::chrono::steady_clock::now();
+  const core::sweep_engine_report sharded = engine.run(axes, options);
+  const double sharded_seconds = seconds_since(start);
+
+  bool analytics_identical = true;
+  bool bit_identical = true;
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    analytics_identical =
+        analytics_identical &&
+        analytics_match(legacy[k], cold.entries[k].evaluation);
+    const core::design_evaluation& a = cold.entries[k].evaluation;
+    for (const core::design_evaluation& b :
+         {warm.entries[k].evaluation, sharded.entries[k].evaluation}) {
+      bit_identical = bit_identical && analytics_match(a, b) &&
+                      a.mc_nanowire_yield == b.mc_nanowire_yield &&
+                      a.mc_ci_low == b.mc_ci_low &&
+                      a.mc_ci_high == b.mc_ci_high;
+    }
+  }
+
+  const double grid_points = static_cast<double>(grid.size());
+  text_table table_a({"variant", "seconds", "points/sec", "vs legacy"});
+  const auto add_variant = [&](const std::string& name, double seconds) {
+    table_a.add_row({name, format_fixed(seconds, 4),
+                     format_fixed(grid_points / seconds, 1),
+                     format_fixed(legacy_seconds / seconds, 2) + "x"});
+  };
+  add_variant("legacy per-point sweep", legacy_seconds);
+  add_variant("engine, cold cache", cold_seconds);
+  add_variant("engine, warm cache", warm_seconds);
+  add_variant("engine, " + std::to_string(threads) + " workers (warm)",
+              sharded_seconds);
+  table_a.print(std::cout);
+  std::cout << "\nanalytic figures "
+            << (analytics_identical ? "identical to legacy"
+                                    : "DIVERGED FROM LEGACY (BUG)")
+            << "; engine runs "
+            << (bit_identical ? "bit-identical" : "DIVERGED (BUG)") << "\n";
+
+  // ------------------------------------------ (code x sigma) ablation grid
+  // The pre-refactor layer could only scan sigma by retuning the technology
+  // and rebuilding every design per point (the old ablation_sigma loop);
+  // the engine applies sigma as an override on one cached design.
+  const std::vector<double> sigmas = {0.025, 0.04, 0.05, 0.065, 0.08, 0.1};
+  const std::vector<core::design_point> families = {
+      {codes::code_type::tree, 2, 8},
+      {codes::code_type::gray, 2, 8},
+      {codes::code_type::balanced_gray, 2, 8},
+      {codes::code_type::hot, 2, 8},
+      {codes::code_type::arranged_hot, 2, 8}};
+  std::cout << "\ngrid B: (code x sigma), " << families.size() << " x "
+            << sigmas.size() << " points, trials/point = " << trials
+            << "\n\n";
+
+  start = std::chrono::steady_clock::now();
+  std::vector<core::design_evaluation> legacy_sigma;
+  for (const double sigma : sigmas) {
+    device::technology point_tech = tech;
+    point_tech.sigma_vt = sigma;
+    for (const core::design_point& point : families) {
+      legacy_sigma.push_back(
+          legacy_evaluate(spec, point_tech, point, trials, seed));
+    }
+  }
+  const double legacy_sigma_seconds = seconds_since(start);
+
+  const core::sweep_engine sigma_engine(spec, tech);
+  std::vector<core::sweep_request> sigma_grid;
+  for (const double sigma : sigmas) {
+    for (const core::design_point& point : families) {
+      core::sweep_request request;
+      request.design = point;
+      request.sigma_vt = sigma;
+      request.mc_trials = trials;
+      sigma_grid.push_back(request);
+    }
+  }
+  options.threads = threads;
+  start = std::chrono::steady_clock::now();
+  const core::sweep_engine_report sigma_report =
+      sigma_engine.run(sigma_grid, options);
+  const double engine_sigma_seconds = seconds_since(start);
+
+  bool sigma_analytics_identical = true;
+  for (std::size_t k = 0; k < sigma_grid.size(); ++k) {
+    sigma_analytics_identical =
+        sigma_analytics_identical &&
+        analytics_match(legacy_sigma[k], sigma_report.entries[k].evaluation);
+  }
+
+  const double sigma_points = static_cast<double>(sigma_grid.size());
+  text_table table_b({"variant", "seconds", "points/sec", "vs legacy"});
+  table_b.add_row({"legacy rebuild per sigma",
+                   format_fixed(legacy_sigma_seconds, 4),
+                   format_fixed(sigma_points / legacy_sigma_seconds, 1),
+                   "1.0x"});
+  table_b.add_row({"engine, cached designs",
+                   format_fixed(engine_sigma_seconds, 4),
+                   format_fixed(sigma_points / engine_sigma_seconds, 1),
+                   format_fixed(legacy_sigma_seconds / engine_sigma_seconds,
+                                2) +
+                       "x"});
+  table_b.print(std::cout);
+  std::cout << "\nanalytic figures "
+            << (sigma_analytics_identical ? "identical to legacy"
+                                          : "DIVERGED FROM LEGACY (BUG)")
+            << "; cache: " << sigma_report.cache.designs_built
+            << " designs built for " << sigma_grid.size() << " points ("
+            << sigma_report.cache.design_reuses << " served from cache)\n";
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    json_writer json;
+    json.begin_object()
+        .field("bench", "sweep_engine")
+        .field("trials", trials)
+        .field("seed", seed)
+        .field("threads", threads)
+        .field("figs78_points", grid.size())
+        .field("legacy_points_per_second", grid_points / legacy_seconds)
+        .field("engine_cold_points_per_second", grid_points / cold_seconds)
+        .field("engine_warm_points_per_second", grid_points / warm_seconds)
+        .field("engine_sharded_points_per_second",
+               grid_points / sharded_seconds)
+        .field("warm_cache_speedup", legacy_seconds / warm_seconds)
+        .field("sigma_grid_points", sigma_grid.size())
+        .field("sigma_legacy_points_per_second",
+               sigma_points / legacy_sigma_seconds)
+        .field("sigma_engine_points_per_second",
+               sigma_points / engine_sigma_seconds)
+        .field("sigma_grid_speedup",
+               legacy_sigma_seconds / engine_sigma_seconds)
+        .field("analytics_identical_to_legacy",
+               analytics_identical && sigma_analytics_identical)
+        .field("bit_identical_across_runs", bit_identical)
+        .end_object();
+    std::ofstream out(json_path);
+    out << json.str();
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  return analytics_identical && sigma_analytics_identical && bit_identical
+             ? 0
+             : 1;
+}

@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   cli.add_double("window", 0.5, "addressability window fraction of spacing");
   cli.add_int("raw-kb", 16, "raw crossbar capacity [kB]");
   cli.add_int("trials", 0, "Monte-Carlo trials per point (0 = analytic only)");
+  cli.add_int("threads", 0, "sweep-engine worker threads (0 = hardware)");
+  cli.add_int("seed", 1, "Monte-Carlo base seed");
   if (!cli.parse(argc, argv)) return 0;
 
   device::technology tech = device::paper_technology();
@@ -30,10 +32,14 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("nanowires"));
   spec.raw_bits = static_cast<std::size_t>(cli.get_int("raw-kb")) * 1024 * 8;
 
+  // The grid runs through core::sweep_engine: design points sharded across
+  // workers, one cached design/plan/context per point family.
   const core::design_explorer explorer(spec, tech);
   const auto results = core::run_yield_experiment(
       explorer, core::yield_grid(),
-      static_cast<std::size_t>(cli.get_int("trials")));
+      static_cast<std::size_t>(cli.get_int("trials")),
+      static_cast<std::uint64_t>(cli.get_int("seed")),
+      static_cast<std::size_t>(cli.get_int("threads")));
 
   std::cout << "design space on a " << cli.get_int("raw-kb")
             << " kB crossbar, N = " << spec.nanowires_per_half_cave

@@ -17,9 +17,25 @@ std::vector<code_word> reflect_words(const std::vector<code_word>& base) {
   return out;
 }
 
+namespace {
+
+// Names the offending design point in every factory diagnostic, so a bad
+// grid handed to the sweep engine fails with "which point" attached.
+std::string describe(code_type type, unsigned radix,
+                     std::size_t full_length) {
+  return code_type_name(type) + " with radix " + std::to_string(radix) +
+         " and full length " + std::to_string(full_length);
+}
+
+}  // namespace
+
 code make_code(code_type type, unsigned radix, std::size_t full_length) {
-  NWDEC_EXPECTS(radix >= 2, "codes need at least two logic values");
-  NWDEC_EXPECTS(full_length >= 2, "codes need at least two digits");
+  NWDEC_EXPECTS(radix >= 2, "cannot build " + describe(type, radix,
+                                                       full_length) +
+                                ": codes need at least two logic values");
+  NWDEC_EXPECTS(full_length >= 2,
+                "cannot build " + describe(type, radix, full_length) +
+                    ": codes need at least two digits");
 
   code out;
   out.type = type;
@@ -31,8 +47,9 @@ code make_code(code_type type, unsigned radix, std::size_t full_length) {
     case code_type::gray:
     case code_type::balanced_gray: {
       NWDEC_EXPECTS(full_length % 2 == 0,
-                    "tree-family codes are reflected; the full length must "
-                    "be even");
+                    "cannot build " + describe(type, radix, full_length) +
+                        ": tree-family codes are reflected, so the full "
+                        "length must be even");
       const std::size_t free_length = full_length / 2;
       std::vector<code_word> base;
       if (type == code_type::tree) {
@@ -49,7 +66,9 @@ code make_code(code_type type, unsigned radix, std::size_t full_length) {
     case code_type::hot:
     case code_type::arranged_hot: {
       NWDEC_EXPECTS(full_length % radix == 0,
-                    "hot codes need a length divisible by the radix");
+                    "cannot build " + describe(type, radix, full_length) +
+                        ": hot codes need a full length divisible by the "
+                        "radix");
       const std::size_t k = full_length / radix;
       out.words = type == code_type::hot ? hot_code_words(radix, k)
                                          : arranged_hot_code_words(radix, k);

@@ -2,15 +2,39 @@
 
 #include <algorithm>
 
-#include "codes/factory.h"
-#include "crossbar/area_model.h"
-#include "crossbar/contact_groups.h"
-#include "decoder/decoder_design.h"
+#include "core/sweep_engine.h"
 #include "util/error.h"
-#include "yield/analytic_yield.h"
-#include "yield/monte_carlo_yield.h"
 
 namespace nwdec::core {
+
+namespace {
+
+std::vector<design_evaluation> run_through_engine(
+    const crossbar::crossbar_spec& spec, const device::technology& tech,
+    const std::vector<design_point>& points, std::size_t mc_trials,
+    std::uint64_t seed, std::size_t threads) {
+  if (points.empty()) return {};
+  const sweep_engine engine(spec, tech);
+  std::vector<sweep_request> requests(points.size());
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    requests[k].design = points[k];
+    requests[k].mc_trials = mc_trials;
+  }
+  sweep_engine_options options;
+  options.threads = threads;
+  options.seed = seed;
+  options.mode = yield::mc_mode::operational;
+  sweep_engine_report report = engine.run(requests, options);
+
+  std::vector<design_evaluation> out;
+  out.reserve(report.entries.size());
+  for (sweep_engine_entry& entry : report.entries) {
+    out.push_back(std::move(entry.evaluation));
+  }
+  return out;
+}
+
+}  // namespace
 
 design_explorer::design_explorer(crossbar::crossbar_spec spec,
                                  device::technology tech)
@@ -22,59 +46,16 @@ design_explorer::design_explorer(crossbar::crossbar_spec spec,
 design_evaluation design_explorer::evaluate(const design_point& point,
                                             std::size_t mc_trials,
                                             std::uint64_t seed) const {
-  const codes::code code =
-      codes::make_code(point.type, point.radix, point.length);
-  const decoder::decoder_design design(code, spec_.nanowires_per_half_cave,
-                                       tech_);
-  const crossbar::contact_group_plan plan = crossbar::plan_contact_groups(
-      design.nanowire_count(), code.size(), tech_);
-  const yield::yield_result yields = yield::analytic_yield(design, plan);
-  const crossbar::layer_geometry geometry = crossbar::derive_layer_geometry(
-      spec_, tech_, point.length, plan.group_count);
-  const crossbar::area_breakdown area =
-      crossbar::estimate_area(geometry, tech_);
-
-  design_evaluation out;
-  out.point = point;
-  out.code_space = code.size();
-  out.fabrication_steps = design.fabrication_complexity();
-  out.average_variability = design.average_variability_sigma_units();
-  out.contact_groups = plan.group_count;
-  out.expected_discarded = yields.expected_discarded;
-  out.nanowire_yield = yields.nanowire_yield;
-  out.crosspoint_yield = yields.crosspoint_yield;
-  out.effective_bits = yield::effective_bits(yields, spec_.raw_bits);
-  out.total_area_nm2 = area.total_nm2;
-  out.bit_area_nm2 = crossbar::bit_area_nm2(area, out.effective_bits);
-
-  if (mc_trials > 0) {
-    rng random(seed);
-    // All available cores; the engine's counter-based trial streams make
-    // the result independent of the thread count, so the evaluation stays
-    // reproducible from the seed alone.
-    yield::mc_options options;
-    options.mode = yield::mc_mode::operational;
-    options.trials = mc_trials;
-    options.threads = 0;
-    const yield::mc_yield_result mc =
-        yield::monte_carlo_yield(design, plan, options, random);
-    out.has_monte_carlo = true;
-    out.mc_nanowire_yield = mc.nanowire_yield;
-    out.mc_ci_low = mc.ci.low;
-    out.mc_ci_high = mc.ci.high;
-  }
-  return out;
+  // A one-point grid: the Monte-Carlo leg gets the whole hardware thread
+  // budget (results are thread-count independent either way).
+  return run_through_engine(spec_, tech_, {point}, mc_trials, seed, 0)
+      .front();
 }
 
 std::vector<design_evaluation> design_explorer::sweep(
     const std::vector<design_point>& points, std::size_t mc_trials,
-    std::uint64_t seed) const {
-  std::vector<design_evaluation> out;
-  out.reserve(points.size());
-  for (const design_point& point : points) {
-    out.push_back(evaluate(point, mc_trials, seed));
-  }
-  return out;
+    std::uint64_t seed, std::size_t threads) const {
+  return run_through_engine(spec_, tech_, points, mc_trials, seed, threads);
 }
 
 const design_evaluation& design_explorer::best_bit_area(

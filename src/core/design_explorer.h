@@ -29,15 +29,23 @@ class design_explorer {
 
   /// Full evaluation of one design point. When `mc_trials` > 0 a
   /// Monte-Carlo run (operational decode criterion) is attached, seeded
-  /// from `seed`.
+  /// from `seed`. Runs through core::sweep_engine as a one-point grid, so
+  /// evaluate(p) is bit-identical to sweep({p}).
   design_evaluation evaluate(const design_point& point,
                              std::size_t mc_trials = 0,
                              std::uint64_t seed = 1) const;
 
-  /// Evaluates every point of a grid.
+  /// Evaluates every point of a grid through core::sweep_engine: design
+  /// points are sharded across `threads` workers (0 = all cores) over
+  /// cached codes, decoder designs, contact plans, and trial contexts.
+  /// Each point's Monte-Carlo leg is seeded from rng::from_counter(seed,
+  /// point-fingerprint) -- a pure function of the point itself -- so
+  /// results are bit-identical for any thread count and grid order, and
+  /// attaching or omitting Monte-Carlo on one point never shifts the
+  /// streams of the others.
   std::vector<design_evaluation> sweep(
       const std::vector<design_point>& points, std::size_t mc_trials = 0,
-      std::uint64_t seed = 1) const;
+      std::uint64_t seed = 1, std::size_t threads = 0) const;
 
   /// The evaluation with the smallest bit area (the paper's headline
   /// optimization target); `evaluations` must not be empty.

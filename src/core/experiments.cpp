@@ -99,8 +99,8 @@ std::vector<design_point> fig7_grid() {
 
 std::vector<design_evaluation> run_yield_experiment(
     const design_explorer& explorer, const std::vector<design_point>& grid,
-    std::size_t mc_trials, std::uint64_t seed) {
-  return explorer.sweep(grid, mc_trials, seed);
+    std::size_t mc_trials, std::uint64_t seed, std::size_t threads) {
+  return explorer.sweep(grid, mc_trials, seed, threads);
 }
 
 const design_evaluation& find_evaluation(

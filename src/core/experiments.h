@@ -53,11 +53,14 @@ std::vector<design_point> yield_grid();
 /// Fig. 7's own series: TC and BGC at {6, 8, 10}; HC and AHC at {4, 6, 8}.
 std::vector<design_point> fig7_grid();
 
-/// Runs a grid through the explorer (Fig. 7 yield and Fig. 8 bit area both
-/// read from the returned evaluations).
+/// Runs a grid through the explorer's sweep engine (Fig. 7 yield and Fig. 8
+/// bit area both read from the returned evaluations). `threads` shards the
+/// design points across workers (0 = all cores); results are bit-identical
+/// for any value.
 std::vector<design_evaluation> run_yield_experiment(
     const design_explorer& explorer, const std::vector<design_point>& grid,
-    std::size_t mc_trials = 0, std::uint64_t seed = 1);
+    std::size_t mc_trials = 0, std::uint64_t seed = 1,
+    std::size_t threads = 0);
 
 // --------------------------------------------------- paper reference data
 /// The quantitative claims of Sec. 6.2, used by the harnesses to print

@@ -1,0 +1,406 @@
+#include "core/sweep_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "codes/factory.h"
+#include "crossbar/area_model.h"
+#include "crossbar/contact_groups.h"
+#include "decoder/decoder_design.h"
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "yield/analytic_yield.h"
+#include "yield/yield_sweep.h"
+
+namespace nwdec::core {
+
+// Everything derivable from (code_type, radix, full_length, nanowires)
+// alone; one entry serves every (sigma, defects, trials) grid point. The
+// members reference each other (design copies the code, the context
+// references the design and the shared plan), so entries live behind
+// unique_ptr and are immutable after construction.
+struct sweep_engine::prepared_design {
+  codes::code code;
+  decoder::decoder_design design;
+  const crossbar::contact_group_plan* plan;
+  // Built lazily by prepare_locked on the first Monte-Carlo request for
+  // this design: analytic-only sweeps never pay for the O(N*M) engine
+  // tables.
+  std::unique_ptr<yield::trial_context> context;
+  crossbar::layer_geometry geometry;
+  crossbar::area_breakdown area;
+
+  prepared_design(codes::code built, std::size_t nanowires,
+                  const device::technology& tech,
+                  const crossbar::contact_group_plan& shared_plan,
+                  const crossbar::crossbar_spec& point_spec)
+      : code(std::move(built)),
+        design(code, nanowires, tech),
+        plan(&shared_plan),
+        geometry(crossbar::derive_layer_geometry(point_spec, tech, code.length,
+                                                 shared_plan.group_count)),
+        area(crossbar::estimate_area(geometry, tech)) {}
+};
+
+std::vector<sweep_request> sweep_axes::expand() const {
+  NWDEC_EXPECTS(!designs.empty(), "sweep axes need at least one design point");
+  const std::vector<std::size_t> nanowire_axis =
+      nanowires.empty() ? std::vector<std::size_t>{0} : nanowires;
+  const std::vector<double> sigma_axis =
+      sigmas_vt.empty() ? std::vector<double>{-1.0} : sigmas_vt;
+  const std::vector<std::optional<fab::defect_params>> defect_axis =
+      defects.empty() ? std::vector<std::optional<fab::defect_params>>{
+                            std::nullopt}
+                      : defects;
+
+  std::vector<sweep_request> out;
+  out.reserve(designs.size() * nanowire_axis.size() * sigma_axis.size() *
+              defect_axis.size());
+  for (const design_point& design : designs) {
+    for (const std::size_t n : nanowire_axis) {
+      for (const double sigma : sigma_axis) {
+        for (const std::optional<fab::defect_params>& defect : defect_axis) {
+          sweep_request request;
+          request.design = design;
+          request.nanowires = n;
+          request.sigma_vt = sigma;
+          request.mc_trials = mc_trials;
+          request.defects = defect;
+          out.push_back(request);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Fingerprint of a fully-resolved request: a pure function of the point's
+// parameters, so a point's Monte-Carlo run key -- from_counter(seed,
+// fingerprint) -- never depends on the point's grid position or on what
+// the other grid points are. Two identical requests therefore produce
+// identical entries (the memoizable semantics a sweep service wants).
+std::uint64_t point_fingerprint(const sweep_request& request) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  const auto mix_in = [&h](std::uint64_t v) {
+    h = rng::from_counter(h, v).seed();
+  };
+  const auto mix_double = [&mix_in](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix_in(bits);
+  };
+  mix_in(static_cast<std::uint64_t>(request.design.type));
+  mix_in(request.design.radix);
+  mix_in(request.design.length);
+  mix_in(request.nanowires);
+  mix_in(request.mc_trials);
+  mix_double(request.sigma_vt);
+  mix_in(request.defects.has_value() ? 1 : 0);
+  if (request.defects.has_value()) {
+    mix_double(request.defects->broken_probability);
+    mix_double(request.defects->bridge_probability);
+  }
+  return h;
+}
+
+}  // namespace
+
+sweep_engine::sweep_engine(crossbar::crossbar_spec spec,
+                           device::technology tech)
+    : spec_(spec), tech_(tech) {
+  spec_.validate();
+  tech_.validate();
+}
+
+sweep_engine::~sweep_engine() = default;
+
+const sweep_engine::prepared_design& sweep_engine::prepare_locked(
+    const sweep_request& request) const {
+  const design_key key{static_cast<int>(request.design.type),
+                       request.design.radix, request.design.length,
+                       request.nanowires};
+  prepared_design* entry = nullptr;
+  const auto found = designs_.find(key);
+  if (found != designs_.end()) {
+    ++stats_.design_reuses;
+    entry = found->second.get();
+  } else {
+    codes::code code = codes::make_code(request.design.type,
+                                        request.design.radix,
+                                        request.design.length);
+    const plan_key shared{request.nanowires, code.size()};
+    auto plan_it = plans_.find(shared);
+    if (plan_it == plans_.end()) {
+      plan_it = plans_
+                    .emplace(shared,
+                             std::make_unique<crossbar::contact_group_plan>(
+                                 crossbar::plan_contact_groups(
+                                     request.nanowires, code.size(), tech_)))
+                    .first;
+      ++stats_.plans_built;
+    } else {
+      ++stats_.plan_reuses;
+    }
+
+    crossbar::crossbar_spec point_spec = spec_;
+    point_spec.nanowires_per_half_cave = request.nanowires;
+    entry = designs_
+                .emplace(key, std::make_unique<prepared_design>(
+                                  std::move(code), request.nanowires, tech_,
+                                  *plan_it->second, point_spec))
+                .first->second.get();
+    ++stats_.designs_built;
+  }
+  if (request.mc_trials > 0 && entry->context == nullptr) {
+    entry->context = std::make_unique<yield::trial_context>(entry->design,
+                                                            *entry->plan);
+  }
+  return *entry;
+}
+
+sweep_engine_report sweep_engine::run(const std::vector<sweep_request>& points,
+                                      const sweep_engine_options& options)
+    const {
+  NWDEC_EXPECTS(!points.empty(),
+                "a design-space sweep needs at least one grid point");
+
+  std::size_t budget = options.threads;
+  if (budget == 0) {
+    budget = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  const std::size_t workers = std::min(budget, points.size());
+  const std::size_t inner_threads = std::max<std::size_t>(1, budget / workers);
+
+  // Prepare phase: resolve platform defaults and bind every point to its
+  // cache entry. All cache mutation happens here, under the lock; bad grid
+  // points fail fast with the factory's diagnostics before any thread
+  // starts.
+  std::vector<sweep_request> resolved(points);
+  std::vector<const prepared_design*> prepared(points.size(), nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t k = 0; k < resolved.size(); ++k) {
+      sweep_request& request = resolved[k];
+      if (request.nanowires == 0) {
+        request.nanowires = spec_.nanowires_per_half_cave;
+      }
+      if (request.sigma_vt < 0.0) request.sigma_vt = tech_.sigma_vt;
+      if (request.defects.has_value()) request.defects->validate();
+      prepared[k] = &prepare_locked(request);
+    }
+  }
+
+  // Evaluation phase: shard points across workers through an atomic cursor.
+  // Slot k belongs to point k alone and its Monte-Carlo run key depends
+  // only on (seed, the point itself), so the result is independent of the
+  // sharding, the grid order, and the other grid points.
+  std::vector<sweep_engine_entry> entries(points.size());
+  std::vector<std::exception_ptr> failures(points.size());
+  std::atomic<std::size_t> cursor{0};
+
+  const auto evaluate_one = [&](std::size_t k) {
+    const sweep_request& request = resolved[k];
+    const prepared_design& p = *prepared[k];
+    sweep_engine_entry& entry = entries[k];
+    entry.request = request;
+
+    design_evaluation& e = entry.evaluation;
+    e.point = request.design;
+    e.code_space = p.code.size();
+    e.fabrication_steps = p.design.fabrication_complexity();
+    e.average_variability = p.design.average_variability_sigma_units();
+    e.contact_groups = p.plan->group_count;
+    const yield::yield_result yields =
+        yield::analytic_yield(p.design, *p.plan, request.sigma_vt);
+    e.expected_discarded = yields.expected_discarded;
+    e.nanowire_yield = yields.nanowire_yield;
+    e.crosspoint_yield = yields.crosspoint_yield;
+    e.effective_bits = yield::effective_bits(yields, spec_.raw_bits);
+    e.total_area_nm2 = p.area.total_nm2;
+    e.bit_area_nm2 = crossbar::bit_area_nm2(p.area, e.effective_bits);
+
+    if (request.mc_trials > 0) {
+      yield::sweep_point mc_point;
+      mc_point.sigma_vt = request.sigma_vt;
+      mc_point.trials = request.mc_trials;
+      mc_point.defects = request.defects;
+      const std::uint64_t run_key =
+          rng::from_counter(options.seed, point_fingerprint(request)).seed();
+      const yield::sweep_entry mc = yield::run_sweep_point(
+          *p.context, options.mode, mc_point, inner_threads, run_key);
+      e.has_monte_carlo = true;
+      e.mc_nanowire_yield = mc.result.nanowire_yield;
+      e.mc_ci_low = mc.result.ci.low;
+      e.mc_ci_high = mc.result.ci.high;
+      entry.mc_seconds = mc.seconds;
+      entry.mc_trials_per_second = mc.trials_per_second;
+    }
+  };
+
+  const auto drain = [&]() {
+    for (std::size_t k = cursor.fetch_add(1); k < resolved.size();
+         k = cursor.fetch_add(1)) {
+      try {
+        evaluate_one(k);
+      } catch (...) {
+        failures[k] = std::current_exception();
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(drain);
+    for (std::thread& worker : pool) worker.join();
+  }
+  for (const std::exception_ptr& failure : failures) {
+    if (failure) std::rethrow_exception(failure);
+  }
+
+  sweep_engine_report report;
+  report.mode = options.mode;
+  report.threads = workers;
+  report.seed = options.seed;
+  report.raw_bits = spec_.raw_bits;
+  report.default_nanowires = spec_.nanowires_per_half_cave;
+  report.default_sigma_vt = tech_.sigma_vt;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    report.cache = stats_;
+  }
+  report.entries = std::move(entries);
+  return report;
+}
+
+sweep_engine_report sweep_engine::run(const sweep_axes& axes,
+                                      const sweep_engine_options& options)
+    const {
+  return run(axes.expand(), options);
+}
+
+namespace {
+
+const char* mode_name(yield::mc_mode mode) {
+  return mode == yield::mc_mode::window ? "window" : "operational";
+}
+
+// Shortest representation that parses back to the same double, so the CSV
+// round-trips exactly through strtod.
+std::string format_full(double value) {
+  char buffer[32];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
+}
+
+}  // namespace
+
+std::string to_json(const sweep_engine_report& report) {
+  json_writer json;
+  json.begin_object()
+      .field("bench", "sweep_engine")
+      .field("mode", mode_name(report.mode))
+      .field("threads", report.threads)
+      .field("seed", report.seed)
+      .field("raw_bits", report.raw_bits)
+      .field("default_nanowires", report.default_nanowires)
+      .field("default_sigma_vt", report.default_sigma_vt);
+  json.key("cache")
+      .begin_object()
+      .field("designs_built", report.cache.designs_built)
+      .field("design_reuses", report.cache.design_reuses)
+      .field("plans_built", report.cache.plans_built)
+      .field("plan_reuses", report.cache.plan_reuses)
+      .end_object();
+  json.key("points").begin_array();
+  for (const sweep_engine_entry& entry : report.entries) {
+    const design_evaluation& e = entry.evaluation;
+    const fab::defect_params defects =
+        entry.request.defects.value_or(fab::defect_params{});
+    json.begin_object()
+        .field("code", codes::code_type_name(entry.request.design.type))
+        .field("radix", entry.request.design.radix)
+        .field("length", entry.request.design.length)
+        .field("nanowires", entry.request.nanowires)
+        .field("sigma_vt", entry.request.sigma_vt)
+        .field("mc_trials", entry.request.mc_trials)
+        .field("broken_probability", defects.broken_probability)
+        .field("bridge_probability", defects.bridge_probability)
+        .field("omega", e.code_space)
+        .field("phi", e.fabrication_steps)
+        .field("average_variability", e.average_variability)
+        .field("contact_groups", e.contact_groups)
+        .field("expected_discarded", e.expected_discarded)
+        .field("nanowire_yield", e.nanowire_yield)
+        .field("crosspoint_yield", e.crosspoint_yield)
+        .field("effective_bits", e.effective_bits)
+        .field("total_area_nm2", e.total_area_nm2)
+        .field("bit_area_nm2", e.bit_area_nm2);
+    if (e.has_monte_carlo) {
+      json.field("mc_nanowire_yield", e.mc_nanowire_yield)
+          .field("mc_ci_low", e.mc_ci_low)
+          .field("mc_ci_high", e.mc_ci_high)
+          .field("mc_seconds", entry.mc_seconds)
+          .field("mc_trials_per_second", entry.mc_trials_per_second);
+    }
+    json.end_object();
+  }
+  return json.end_array().end_object().str();
+}
+
+std::string to_csv(const sweep_engine_report& report) {
+  const std::vector<std::string> header = {
+      "code",           "radix",
+      "length",         "nanowires",
+      "sigma_vt",       "mc_trials",
+      "broken_probability", "bridge_probability",
+      "omega",          "phi",
+      "contact_groups", "expected_discarded",
+      "nanowire_yield", "crosspoint_yield",
+      "effective_bits", "total_area_nm2",
+      "bit_area_nm2",   "mc_nanowire_yield",
+      "mc_ci_low",      "mc_ci_high"};
+
+  std::string out = csv_row(header);
+  for (const sweep_engine_entry& entry : report.entries) {
+    const design_evaluation& e = entry.evaluation;
+    const fab::defect_params defects =
+        entry.request.defects.value_or(fab::defect_params{});
+    std::vector<std::string> row = {
+        codes::code_type_name(entry.request.design.type),
+        std::to_string(entry.request.design.radix),
+        std::to_string(entry.request.design.length),
+        std::to_string(entry.request.nanowires),
+        format_full(entry.request.sigma_vt),
+        std::to_string(entry.request.mc_trials),
+        format_full(defects.broken_probability),
+        format_full(defects.bridge_probability),
+        std::to_string(e.code_space),
+        std::to_string(e.fabrication_steps),
+        std::to_string(e.contact_groups),
+        format_full(e.expected_discarded),
+        format_full(e.nanowire_yield),
+        format_full(e.crosspoint_yield),
+        format_full(e.effective_bits),
+        format_full(e.total_area_nm2),
+        format_full(e.bit_area_nm2),
+        e.has_monte_carlo ? format_full(e.mc_nanowire_yield) : "",
+        e.has_monte_carlo ? format_full(e.mc_ci_low) : "",
+        e.has_monte_carlo ? format_full(e.mc_ci_high) : ""};
+    out += csv_row(row);
+  }
+  return out;
+}
+
+}  // namespace nwdec::core

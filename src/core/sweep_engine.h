@@ -1,0 +1,183 @@
+// sweep_engine: the unified multithreaded design-space engine.
+//
+// The paper's headline study (Sec. 6) ranks decoder designs across code
+// families and word lengths; the ROADMAP extends it to addressability-limit
+// scans over the half-cave size N (Chee & Ling) and process-variability
+// ablations. All of those are one shape of computation: a grid over
+// (code_type, radix, full_length, nanowires, sigma_vt, defects, trials),
+// each point needing the same expensive intermediates. The engine evaluates
+// such grids once, in parallel, without deriving anything twice:
+//
+//   * Design points (not Monte-Carlo trials) are sharded across
+//     std::thread workers through an atomic cursor. A point's Monte-Carlo
+//     leg always uses the run key rng::from_counter(seed, fingerprint)
+//     where the fingerprint is a pure function of the resolved request,
+//     and the engine's per-trial streams are counter-based (PR 1) -- so
+//     results are bit-identical for any thread count, invariant under
+//     grid-point reordering, and never shifted by which other points exist
+//     or whether they carry Monte-Carlo at all. (Corollary: two identical
+//     requests produce identical entries.)
+//   * Expensive intermediates are memoized in keyed caches that persist
+//     across run() calls (the substrate for a long-running sweep service).
+//
+// Cache-key contract -- what may be reused when:
+//   * built code + decoder_design + trial_context: keyed by
+//     (code_type, radix, full_length, nanowires). Everything inside is
+//     sigma-independent: the pattern, doping and dose-count matrices, the
+//     V_T levels, and the context's drive/nominal/sqrt(nu) tables only
+//     depend on the code and the technology *structure*, so one entry
+//     serves every (sigma, defects, trials) point. The trial_context is
+//     built lazily on the first Monte-Carlo request for the design
+//     (analytic-only sweeps skip it); the per-layer geometry and area
+//     breakdown ride along (they depend on (full_length, group_count,
+//     nanowires) only).
+//   * contact_group_plan: keyed by (nanowires, code_space). Code families
+//     with equal Omega at equal N (e.g. TC/GC/BGC at one length) share one
+//     plan -- the planner never looks at the arrangement.
+//   * NOT cached across engines: anything downstream of the technology or
+//     the crossbar spec's raw capacity; both are fixed per engine, so a
+//     different platform needs a different engine.
+// Per-point sigma is applied through the sigma overrides of
+// yield::analytic_yield and yield::mc_options, which never touch the cached
+// tables. The caches are guarded by a mutex during the prepare phase of
+// run(); the evaluation phase reads only immutable entries, so concurrent
+// run() calls on one engine are safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/design_point.h"
+#include "crossbar/geometry.h"
+#include "device/tech_params.h"
+#include "fab/defects.h"
+#include "yield/trial_context.h"
+
+namespace nwdec::core {
+
+/// One fully-specified grid point of a design-space sweep.
+struct sweep_request {
+  design_point design;
+  /// Nanowires per half cave; 0 = the engine spec's default.
+  std::size_t nanowires = 0;
+  /// Process sigma in volts; negative = the engine technology's default
+  /// (0 is a real value: a variability-free process).
+  double sigma_vt = -1.0;
+  /// Monte-Carlo trials at this point; 0 = analytic evaluation only.
+  std::size_t mc_trials = 0;
+  /// Structural defect injection for the Monte-Carlo leg, if any.
+  std::optional<fab::defect_params> defects;
+};
+
+/// Axes of a rectangular grid; expand() yields the cartesian product with
+/// designs as the slowest axis, then nanowires, then sigmas, then defects.
+/// Empty optional axes mean "platform default".
+struct sweep_axes {
+  std::vector<design_point> designs;
+  std::vector<std::size_t> nanowires;  ///< empty = {spec default}
+  std::vector<double> sigmas_vt;       ///< empty = {tech default}
+  std::vector<std::optional<fab::defect_params>> defects;  ///< empty = {none}
+  std::size_t mc_trials = 0;           ///< applied to every point
+
+  std::vector<sweep_request> expand() const;
+};
+
+/// Engine run configuration.
+struct sweep_engine_options {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). Design points
+  /// are sharded across workers; when the grid is smaller than the budget,
+  /// the spare threads shard each point's Monte-Carlo trials instead.
+  /// Results are bit-identical regardless of the value.
+  std::size_t threads = 0;
+  std::uint64_t seed = 1;
+  yield::mc_mode mode = yield::mc_mode::operational;
+};
+
+/// One evaluated grid point.
+struct sweep_engine_entry {
+  sweep_request request;          ///< defaults resolved (nanowires, sigma)
+  design_evaluation evaluation;   ///< analytic block always, MC when asked
+  double mc_seconds = 0.0;
+  double mc_trials_per_second = 0.0;
+};
+
+/// How much work the keyed caches saved during run() calls.
+struct sweep_cache_stats {
+  std::size_t designs_built = 0;  ///< (code, design, context) constructions
+  std::size_t design_reuses = 0;  ///< points served by an existing entry
+  std::size_t plans_built = 0;
+  std::size_t plan_reuses = 0;
+};
+
+/// A completed sweep: entries in grid order plus everything needed to
+/// reproduce the run.
+struct sweep_engine_report {
+  yield::mc_mode mode = yield::mc_mode::operational;
+  std::size_t threads = 1;       ///< resolved worker count
+  std::uint64_t seed = 0;
+  std::size_t raw_bits = 0;
+  std::size_t default_nanowires = 0;
+  double default_sigma_vt = 0.0;
+  sweep_cache_stats cache;       ///< cumulative over the engine's lifetime
+  std::vector<sweep_engine_entry> entries;
+};
+
+/// Evaluates design-space grids on a fixed platform with context caching.
+class sweep_engine {
+ public:
+  sweep_engine(crossbar::crossbar_spec spec, device::technology tech);
+  ~sweep_engine();
+  sweep_engine(const sweep_engine&) = delete;
+  sweep_engine& operator=(const sweep_engine&) = delete;
+
+  const crossbar::crossbar_spec& spec() const { return spec_; }
+  const device::technology& tech() const { return tech_; }
+
+  /// Evaluates every point of the grid; entries come back in grid order.
+  /// Analytic results are deterministic; Monte-Carlo results depend only on
+  /// (options.seed, the resolved point parameters) -- see the header
+  /// comment for the full determinism contract.
+  sweep_engine_report run(const std::vector<sweep_request>& points,
+                          const sweep_engine_options& options = {}) const;
+  sweep_engine_report run(const sweep_axes& axes,
+                          const sweep_engine_options& options = {}) const;
+
+ private:
+  struct prepared_design;
+  using design_key = std::tuple<int, unsigned, std::size_t, std::size_t>;
+  using plan_key = std::pair<std::size_t, std::size_t>;
+
+  /// Returns the cached entry for the key, building (and caching) it and
+  /// its contact plan on a miss. Caller must hold mutex_.
+  const prepared_design& prepare_locked(const sweep_request& request) const;
+
+  crossbar::crossbar_spec spec_;
+  device::technology tech_;
+
+  mutable std::mutex mutex_;
+  // Contexts reference the plans, so plans_ must outlive designs_
+  // (members are destroyed in reverse declaration order).
+  mutable std::map<plan_key, std::unique_ptr<crossbar::contact_group_plan>>
+      plans_;
+  mutable std::map<design_key, std::unique_ptr<prepared_design>> designs_;
+  mutable sweep_cache_stats stats_;
+};
+
+/// Serializes a report as a JSON document (stable key order: run metadata,
+/// cache stats, then one object per grid point) -- the format of the
+/// nwdec_sweep CLI and the CI bench-trajectory artifact.
+std::string to_json(const sweep_engine_report& report);
+
+/// Serializes a report as CSV, one row per grid point, with the
+/// Monte-Carlo columns empty for analytic-only points.
+std::string to_csv(const sweep_engine_report& report);
+
+}  // namespace nwdec::core

@@ -28,12 +28,18 @@ void csv_writer::add_row(const std::vector<std::string>& cells) {
   write_row(cells);
 }
 
-void csv_writer::write_row(const std::vector<std::string>& cells) {
+std::string csv_row(const std::vector<std::string>& cells) {
+  std::string out;
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i != 0) out_ << ',';
-    out_ << csv_escape(cells[i]);
+    if (i != 0) out += ',';
+    out += csv_escape(cells[i]);
   }
-  out_ << '\n';
+  out += '\n';
+  return out;
+}
+
+void csv_writer::write_row(const std::vector<std::string>& cells) {
+  out_ << csv_row(cells);
 }
 
 }  // namespace nwdec

@@ -29,4 +29,9 @@ class csv_writer {
 /// Escapes a single CSV cell (exposed for tests).
 std::string csv_escape(const std::string& cell);
 
+/// Renders one row (escaped cells joined by commas, trailing newline) --
+/// the string-building primitive under csv_writer, shared by serializers
+/// that build documents in memory (core::to_csv).
+std::string csv_row(const std::vector<std::string>& cells);
+
 }  // namespace nwdec

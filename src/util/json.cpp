@@ -1,0 +1,143 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace nwdec {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_writer::indent() {
+  for (std::size_t k = 0; k < stack_.size(); ++k) out_ << "  ";
+}
+
+void json_writer::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  NWDEC_EXPECTS(stack_.empty() || stack_.back().inside == scope::array,
+                "a value inside an object needs a key() first");
+  if (!stack_.empty()) {
+    if (!stack_.back().first) out_ << ",";
+    stack_.back().first = false;
+    out_ << "\n";
+    indent();
+  }
+}
+
+json_writer& json_writer::begin_object() {
+  before_value();
+  out_ << "{";
+  stack_.push_back({scope::object, true});
+  return *this;
+}
+
+json_writer& json_writer::end_object() {
+  NWDEC_EXPECTS(!stack_.empty() && stack_.back().inside == scope::object &&
+                    !pending_key_,
+                "end_object() outside an object");
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) {
+    out_ << "\n";
+    indent();
+  }
+  out_ << "}";
+  return *this;
+}
+
+json_writer& json_writer::begin_array() {
+  before_value();
+  out_ << "[";
+  stack_.push_back({scope::array, true});
+  return *this;
+}
+
+json_writer& json_writer::end_array() {
+  NWDEC_EXPECTS(!stack_.empty() && stack_.back().inside == scope::array,
+                "end_array() outside an array");
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) {
+    out_ << "\n";
+    indent();
+  }
+  out_ << "]";
+  return *this;
+}
+
+json_writer& json_writer::key(const std::string& name) {
+  NWDEC_EXPECTS(!stack_.empty() && stack_.back().inside == scope::object &&
+                    !pending_key_,
+                "key() is only valid directly inside an object");
+  if (!stack_.back().first) out_ << ",";
+  stack_.back().first = false;
+  out_ << "\n";
+  indent();
+  out_ << "\"" << json_escape(name) << "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+json_writer& json_writer::raw(const std::string& text) {
+  before_value();
+  out_ << text;
+  return *this;
+}
+
+json_writer& json_writer::value(const std::string& text) {
+  return raw("\"" + json_escape(text) + "\"");
+}
+
+json_writer& json_writer::value(const char* text) {
+  return value(std::string(text));
+}
+
+json_writer& json_writer::value(double number) {
+  // JSON has no inf/nan; map them to null rather than emit garbage.
+  if (!std::isfinite(number)) return raw("null");
+  // Shortest representation that parses back to the same double, so the
+  // reports round-trip exactly through strtod.
+  char buffer[32];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof(buffer), number);
+  return raw(std::string(buffer, result.ptr));
+}
+
+json_writer& json_writer::value(bool flag) {
+  return raw(flag ? "true" : "false");
+}
+
+std::string json_writer::str() const {
+  NWDEC_EXPECTS(stack_.empty() && !pending_key_,
+                "str() called with an unclosed object/array or dangling key");
+  return out_.str() + "\n";
+}
+
+}  // namespace nwdec

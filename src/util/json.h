@@ -1,0 +1,78 @@
+// Minimal streaming JSON emitter shared by every report serializer
+// (yield::to_json, core::to_json(sweep_engine_report), the bench JSON
+// records).
+//
+// The writer emits keys in insertion order -- there is no map in between --
+// so a report serialized twice, or serialized from a reordered computation,
+// produces byte-identical documents; the sweep determinism tests rely on
+// this. Doubles are printed with std::to_chars (shortest representation
+// that parses back to the same bits), so the reports round-trip exactly
+// through strtod.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace nwdec {
+
+/// Escapes one JSON string body (quotes, backslashes, control characters);
+/// the surrounding quotes are not included.
+std::string json_escape(const std::string& text);
+
+/// Streaming writer with two-space pretty printing and automatic comma
+/// placement. Usage: begin_object()/key()/value() pairs, nested arrays via
+/// begin_array(); str() renders the document and requires every scope to be
+/// closed.
+class json_writer {
+ public:
+  json_writer() = default;
+
+  json_writer& begin_object();
+  json_writer& end_object();
+  json_writer& begin_array();
+  json_writer& end_array();
+
+  /// Emits the key of the next value; only valid directly inside an object.
+  json_writer& key(const std::string& name);
+
+  json_writer& value(const std::string& text);
+  json_writer& value(const char* text);
+  json_writer& value(double number);
+  json_writer& value(bool flag);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  json_writer& value(T number) {
+    return raw(std::to_string(number));
+  }
+
+  /// key() + value() in one call, for flat objects.
+  template <typename T>
+  json_writer& field(const std::string& name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The rendered document; every begin_* must have been closed.
+  std::string str() const;
+
+ private:
+  enum class scope { object, array };
+  struct level {
+    scope inside;
+    bool first = true;
+  };
+
+  json_writer& raw(const std::string& text);
+  void before_value();
+  void indent();
+
+  std::ostringstream out_;
+  std::vector<level> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace nwdec

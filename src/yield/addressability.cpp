@@ -19,8 +19,14 @@ double region_ok_probability(double sigma, double window_half_width,
 
 double nanowire_addressable_probability(const decoder::decoder_design& design,
                                         std::size_t row) {
+  return nanowire_addressable_probability(design, row,
+                                          design.tech().sigma_vt);
+}
+
+double nanowire_addressable_probability(const decoder::decoder_design& design,
+                                        std::size_t row, double sigma_vt) {
   NWDEC_EXPECTS(row < design.nanowire_count(), "nanowire index out of range");
-  const double sigma_vt = design.tech().sigma_vt;
+  NWDEC_EXPECTS(sigma_vt >= 0.0, "sigma_vt cannot be negative");
   const double window = design.levels().window_half_width();
   double probability = 1.0;
   for (std::size_t j = 0; j < design.region_count(); ++j) {
@@ -35,9 +41,14 @@ double nanowire_addressable_probability(const decoder::decoder_design& design,
 
 std::vector<double> addressability_profile(
     const decoder::decoder_design& design) {
+  return addressability_profile(design, design.tech().sigma_vt);
+}
+
+std::vector<double> addressability_profile(
+    const decoder::decoder_design& design, double sigma_vt) {
   std::vector<double> out(design.nanowire_count());
   for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = nanowire_addressable_probability(design, i);
+    out[i] = nanowire_addressable_probability(design, i, sigma_vt);
   }
   return out;
 }

@@ -34,12 +34,20 @@ double region_ok_probability(double sigma, double window_half_width,
                              codes::digit value);
 
 /// Probability that nanowire `row` of the design is addressable: product
-/// of its regions' window probabilities.
+/// of its regions' window probabilities. The two-argument form evaluates at
+/// the design technology's sigma_vt; the sigma override lets sweep engines
+/// scan process variability on one cached design (nothing else in the
+/// analytic model depends on sigma).
 double nanowire_addressable_probability(const decoder::decoder_design& design,
                                         std::size_t row);
+double nanowire_addressable_probability(const decoder::decoder_design& design,
+                                        std::size_t row, double sigma_vt);
 
-/// The per-nanowire probabilities for the whole half cave.
+/// The per-nanowire probabilities for the whole half cave, optionally at an
+/// overridden process sigma.
 std::vector<double> addressability_profile(
     const decoder::decoder_design& design);
+std::vector<double> addressability_profile(
+    const decoder::decoder_design& design, double sigma_vt);
 
 }  // namespace nwdec::yield

@@ -7,13 +7,19 @@ namespace nwdec::yield {
 
 yield_result analytic_yield(const decoder::decoder_design& design,
                             const crossbar::contact_group_plan& plan) {
+  return analytic_yield(design, plan, design.tech().sigma_vt);
+}
+
+yield_result analytic_yield(const decoder::decoder_design& design,
+                            const crossbar::contact_group_plan& plan,
+                            double sigma_vt) {
   NWDEC_EXPECTS(plan.nanowire_count == design.nanowire_count(),
                 "plan and design must describe the same half cave");
   NWDEC_EXPECTS(plan.code_space == design.code().size(),
                 "plan must be built for the design's code space");
 
   yield_result result;
-  result.per_nanowire = addressability_profile(design);
+  result.per_nanowire = addressability_profile(design, sigma_vt);
   result.expected_discarded = plan.expected_discarded();
 
   double variability_sum = 0.0;

@@ -29,9 +29,15 @@ struct yield_result {
 };
 
 /// Computes the analytic yield of the design under a contact-group plan.
-/// The plan must cover the same number of nanowires as the design.
+/// The plan must cover the same number of nanowires as the design. The
+/// two-argument form evaluates at the design technology's sigma_vt; the
+/// sigma override serves sweep engines scanning process variability on one
+/// cached design (the contact plan and V_T levels do not depend on sigma).
 yield_result analytic_yield(const decoder::decoder_design& design,
                             const crossbar::contact_group_plan& plan);
+yield_result analytic_yield(const decoder::decoder_design& design,
+                            const crossbar::contact_group_plan& plan,
+                            double sigma_vt);
 
 /// Effective working crosspoints of a crossbar with `raw_bits` raw
 /// crosspoints whose row and column half caves both yield `result`.

@@ -1,13 +1,36 @@
 #include "yield/yield_sweep.h"
 
 #include <chrono>
-#include <sstream>
 
 #include "util/error.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "yield/trial_context.h"
 
 namespace nwdec::yield {
+
+sweep_entry run_sweep_point(const trial_context& context, mc_mode mode,
+                            const sweep_point& point, std::size_t threads,
+                            std::uint64_t run_key) {
+  mc_options options;
+  options.mode = mode;
+  options.trials = point.trials;
+  options.threads = threads;
+  options.defects = point.defects;
+  options.sigma_vt = point.sigma_vt;
+
+  const auto started = std::chrono::steady_clock::now();
+  sweep_entry entry;
+  entry.point = point;
+  entry.result = monte_carlo_yield(context, options, run_key);
+  const auto finished = std::chrono::steady_clock::now();
+  entry.seconds = std::chrono::duration<double>(finished - started).count();
+  entry.trials_per_second =
+      entry.seconds > 0.0
+          ? static_cast<double>(point.trials) / entry.seconds
+          : 0.0;
+  return entry;
+}
 
 sweep_report yield_sweep(const decoder::decoder_design& design,
                          const crossbar::contact_group_plan& plan,
@@ -16,7 +39,6 @@ sweep_report yield_sweep(const decoder::decoder_design& design,
   NWDEC_EXPECTS(!grid.empty(), "a yield sweep needs at least one grid point");
 
   const trial_context context(design, plan);
-  rng key_stream(seed);
 
   sweep_report report;
   report.mode = mode;
@@ -25,61 +47,42 @@ sweep_report yield_sweep(const decoder::decoder_design& design,
   report.seed = seed;
   report.entries.reserve(grid.size());
 
-  for (const sweep_point& point : grid) {
-    mc_options options;
-    options.mode = mode;
-    options.trials = point.trials;
-    options.threads = threads;
-    options.defects = point.defects;
-    options.sigma_vt = point.sigma_vt;
-    const std::uint64_t run_key = key_stream.engine()();
-
-    const auto started = std::chrono::steady_clock::now();
-    sweep_entry entry;
-    entry.point = point;
-    entry.result = monte_carlo_yield(context, options, run_key);
-    const auto finished = std::chrono::steady_clock::now();
-    entry.seconds =
-        std::chrono::duration<double>(finished - started).count();
-    entry.trials_per_second =
-        entry.seconds > 0.0
-            ? static_cast<double>(point.trials) / entry.seconds
-            : 0.0;
-    report.entries.push_back(entry);
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    const std::uint64_t run_key = rng::from_counter(seed, k).seed();
+    report.entries.push_back(
+        run_sweep_point(context, mode, grid[k], threads, run_key));
   }
   return report;
 }
 
 std::string to_json(const sweep_report& report) {
-  std::ostringstream out;
-  out.precision(12);
-  out << "{\n"
-      << "  \"bench\": \"yield_sweep\",\n"
-      << "  \"mode\": \""
-      << (report.mode == mc_mode::window ? "window" : "operational")
-      << "\",\n"
-      << "  \"threads\": " << report.threads << ",\n"
-      << "  \"nanowires\": " << report.nanowires << ",\n"
-      << "  \"seed\": " << report.seed << ",\n"
-      << "  \"points\": [\n";
-  for (std::size_t k = 0; k < report.entries.size(); ++k) {
-    const sweep_entry& entry = report.entries[k];
+  json_writer json;
+  json.begin_object()
+      .field("bench", "yield_sweep")
+      .field("mode",
+             report.mode == mc_mode::window ? "window" : "operational")
+      .field("threads", report.threads)
+      .field("nanowires", report.nanowires)
+      .field("seed", report.seed)
+      .key("points")
+      .begin_array();
+  for (const sweep_entry& entry : report.entries) {
     const fab::defect_params defects =
         entry.point.defects.value_or(fab::defect_params{});
-    out << "    {\"sigma_vt\": " << entry.point.sigma_vt
-        << ", \"trials\": " << entry.point.trials
-        << ", \"broken_probability\": " << defects.broken_probability
-        << ", \"bridge_probability\": " << defects.bridge_probability
-        << ", \"nanowire_yield\": " << entry.result.nanowire_yield
-        << ", \"crosspoint_yield\": " << entry.result.crosspoint_yield
-        << ", \"ci_low\": " << entry.result.ci.low
-        << ", \"ci_high\": " << entry.result.ci.high
-        << ", \"seconds\": " << entry.seconds
-        << ", \"trials_per_second\": " << entry.trials_per_second << "}"
-        << (k + 1 < report.entries.size() ? "," : "") << "\n";
+    json.begin_object()
+        .field("sigma_vt", entry.point.sigma_vt)
+        .field("trials", entry.point.trials)
+        .field("broken_probability", defects.broken_probability)
+        .field("bridge_probability", defects.bridge_probability)
+        .field("nanowire_yield", entry.result.nanowire_yield)
+        .field("crosspoint_yield", entry.result.crosspoint_yield)
+        .field("ci_low", entry.result.ci.low)
+        .field("ci_high", entry.result.ci.high)
+        .field("seconds", entry.seconds)
+        .field("trials_per_second", entry.trials_per_second)
+        .end_object();
   }
-  out << "  ]\n}\n";
-  return out.str();
+  return json.end_array().end_object().str();
 }
 
 }  // namespace nwdec::yield

@@ -47,17 +47,27 @@ struct sweep_report {
   std::vector<sweep_entry> entries;
 };
 
-/// Runs every grid point over one shared trial_context. Point k draws its
-/// run key from an rng seeded with `seed` (sequentially, so points are
-/// decorrelated but the whole sweep is reproducible from the seed and
-/// bit-identical for any `threads`).
+/// Runs one grid point on a prebuilt context with wall-clock timing: the
+/// shared primitive under yield_sweep and core::sweep_engine's Monte-Carlo
+/// leg. `run_key` seeds the counter-based per-trial streams, so the entry is
+/// bit-identical for any `threads`.
+sweep_entry run_sweep_point(const trial_context& context, mc_mode mode,
+                            const sweep_point& point, std::size_t threads,
+                            std::uint64_t run_key);
+
+/// Runs every grid point over one shared trial_context. Point k always uses
+/// the run key rng::from_counter(seed, k).seed() -- purely positional, so
+/// adding, dropping, or reordering grid points never shifts the streams of
+/// the others, and the whole sweep is reproducible from the seed and
+/// bit-identical for any `threads`.
 sweep_report yield_sweep(const decoder::decoder_design& design,
                          const crossbar::contact_group_plan& plan,
                          mc_mode mode, const std::vector<sweep_point>& grid,
                          std::size_t threads, std::uint64_t seed);
 
 /// Serializes a report as a JSON document (stable key order, one object per
-/// grid point) for the bench trajectory files.
+/// grid point) for the bench trajectory files. Built on util/json.h's
+/// json_writer, so serializing the same report twice is byte-identical.
 std::string to_json(const sweep_report& report);
 
 }  // namespace nwdec::yield

@@ -37,6 +37,42 @@ TEST(FactoryTest, IncompatibleShapesThrow) {
   EXPECT_THROW(make_code(code_type::gray, 1, 8), invalid_argument_error);
 }
 
+// A bad grid point handed to the sweep engine must fail naming the exact
+// (type, radix, full_length) triple, not with a generic message.
+TEST(FactoryTest, DiagnosticsNameTheOffendingTriple) {
+  const auto message_of = [](code_type type, unsigned radix,
+                             std::size_t length) -> std::string {
+    try {
+      make_code(type, radix, length);
+    } catch (const invalid_argument_error& diagnostic) {
+      return diagnostic.what();
+    }
+    return "";
+  };
+
+  const std::string odd_tree = message_of(code_type::balanced_gray, 2, 9);
+  EXPECT_NE(odd_tree.find("BGC"), std::string::npos) << odd_tree;
+  EXPECT_NE(odd_tree.find("radix 2"), std::string::npos) << odd_tree;
+  EXPECT_NE(odd_tree.find("full length 9"), std::string::npos) << odd_tree;
+  EXPECT_NE(odd_tree.find("even"), std::string::npos) << odd_tree;
+
+  const std::string bad_hot = message_of(code_type::arranged_hot, 3, 8);
+  EXPECT_NE(bad_hot.find("AHC"), std::string::npos) << bad_hot;
+  EXPECT_NE(bad_hot.find("radix 3"), std::string::npos) << bad_hot;
+  EXPECT_NE(bad_hot.find("full length 8"), std::string::npos) << bad_hot;
+  EXPECT_NE(bad_hot.find("divisible"), std::string::npos) << bad_hot;
+
+  const std::string bad_radix = message_of(code_type::gray, 1, 8);
+  EXPECT_NE(bad_radix.find("GC"), std::string::npos) << bad_radix;
+  EXPECT_NE(bad_radix.find("radix 1"), std::string::npos) << bad_radix;
+  EXPECT_NE(bad_radix.find("two logic values"), std::string::npos)
+      << bad_radix;
+
+  const std::string too_short = message_of(code_type::tree, 2, 1);
+  EXPECT_NE(too_short.find("TC"), std::string::npos) << too_short;
+  EXPECT_NE(too_short.find("full length 1"), std::string::npos) << too_short;
+}
+
 TEST(FactoryTest, GrayFamilyKeepsTwoTransitionSteps) {
   // One free-digit change plus its mirrored complement change.
   EXPECT_TRUE(is_gray_sequence(make_code(code_type::gray, 2, 8).words, 2,

@@ -66,6 +66,41 @@ TEST(DesignExplorerTest, BestBitAreaPicksTheMinimum) {
   EXPECT_THROW(design_explorer::best_bit_area({}), invalid_argument_error);
 }
 
+TEST(DesignExplorerTest, SweepSeedingIsPerPoint) {
+  // Attaching Monte-Carlo to (or dropping) one point must not shift the
+  // streams of the others: each point's run key is a pure function of
+  // (seed, the point), not of its neighbours.
+  const design_explorer explorer = make_explorer();
+  const design_point probe{codes::code_type::balanced_gray, 2, 8};
+  const std::vector<design_evaluation> pair = explorer.sweep(
+      {{codes::code_type::tree, 2, 6}, probe}, 80, 21);
+  const std::vector<design_evaluation> alone = explorer.sweep({probe}, 80, 21);
+  EXPECT_EQ(pair[1].mc_nanowire_yield, alone[0].mc_nanowire_yield);
+  EXPECT_EQ(pair[1].mc_ci_low, alone[0].mc_ci_low);
+  EXPECT_EQ(pair[1].mc_ci_high, alone[0].mc_ci_high);
+  // And evaluate() is the one-point sweep.
+  const design_evaluation direct = explorer.evaluate(probe, 80, 21);
+  EXPECT_EQ(direct.mc_nanowire_yield, alone[0].mc_nanowire_yield);
+}
+
+TEST(DesignExplorerTest, SweepBitIdenticalAcrossThreadCounts) {
+  const design_explorer explorer = make_explorer();
+  const std::vector<design_point> grid = {
+      {codes::code_type::gray, 2, 8},
+      {codes::code_type::hot, 2, 6},
+      {codes::code_type::arranged_hot, 2, 8},
+  };
+  const std::vector<design_evaluation> one = explorer.sweep(grid, 90, 3, 1);
+  const std::vector<design_evaluation> four = explorer.sweep(grid, 90, 3, 4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t k = 0; k < one.size(); ++k) {
+    EXPECT_EQ(one[k].nanowire_yield, four[k].nanowire_yield);
+    EXPECT_EQ(one[k].bit_area_nm2, four[k].bit_area_nm2);
+    EXPECT_EQ(one[k].mc_nanowire_yield, four[k].mc_nanowire_yield);
+    EXPECT_EQ(one[k].mc_ci_low, four[k].mc_ci_low);
+  }
+}
+
 TEST(DesignExplorerTest, DeterministicAcrossCalls) {
   const design_explorer explorer = make_explorer();
   const design_evaluation a =

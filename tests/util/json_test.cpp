@@ -1,0 +1,103 @@
+// The shared JSON emitter: structure, escaping, stable key order, and
+// numeric round-tripping through strtod.
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace nwdec {
+namespace {
+
+TEST(JsonWriterTest, EmitsNestedDocumentWithStableLayout) {
+  json_writer json;
+  json.begin_object()
+      .field("name", "sweep")
+      .field("threads", 4)
+      .field("sigma", 0.05)
+      .field("quick", true)
+      .key("points")
+      .begin_array();
+  json.begin_object().field("yield", 0.75).end_object();
+  json.begin_object().field("yield", 0.5).end_object();
+  json.end_array();
+  json.key("empty").begin_object().end_object();
+  const std::string document = json.end_object().str();
+
+  EXPECT_EQ(document,
+            "{\n"
+            "  \"name\": \"sweep\",\n"
+            "  \"threads\": 4,\n"
+            "  \"sigma\": 0.05,\n"
+            "  \"quick\": true,\n"
+            "  \"points\": [\n"
+            "    {\n"
+            "      \"yield\": 0.75\n"
+            "    },\n"
+            "    {\n"
+            "      \"yield\": 0.5\n"
+            "    }\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, SameInputsGiveByteIdenticalDocuments) {
+  const auto render = [] {
+    json_writer json;
+    json.begin_object()
+        .field("a", 1)
+        .field("b", 0.123456789012345)
+        .end_object();
+    return json.str();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripThroughStrtod) {
+  const double values[] = {0.05, 1.0 / 3.0, 123456.789012, 2.8, 0.657949806604};
+  for (const double value : values) {
+    json_writer json;
+    const std::string document =
+        json.begin_object().field("x", value).end_object().str();
+    const std::size_t at = document.find(": ") + 2;
+    const double parsed = std::strtod(document.c_str() + at, nullptr);
+    EXPECT_EQ(parsed, value);  // to_chars guarantees exact round-trip
+  }
+}
+
+TEST(JsonWriterTest, MisuseIsRejected) {
+  {
+    json_writer json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1), invalid_argument_error);  // key missing
+  }
+  {
+    json_writer json;
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), invalid_argument_error);  // key in array
+  }
+  {
+    json_writer json;
+    json.begin_object();
+    EXPECT_THROW(json.str(), invalid_argument_error);  // unclosed scope
+  }
+  {
+    json_writer json;
+    EXPECT_THROW(json.end_object(), invalid_argument_error);
+  }
+}
+
+}  // namespace
+}  // namespace nwdec
