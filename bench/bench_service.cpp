@@ -1,0 +1,239 @@
+// bench_service: the sweep service's two headline wins, measured.
+//
+//   1. Result memoization -- a fully-cached repeat of a sweep request must
+//      be >= 10x faster than the cold computation (it is a map lookup per
+//      point instead of a Monte-Carlo run), and the repeat's payload must
+//      be byte-identical to the cold one, served from memory AND from a
+//      persisted cache file reloaded by a fresh service.
+//   2. Adaptive trial budgets -- CI-width stopping (service/adaptive_budget)
+//      spends trials where the yield estimate is noisy (the cliff) and
+//      stops early where it is not, so the Figs. 7/8 grid completes within
+//      the same confidence target for a fraction of the fixed-budget
+//      trials. The harness reports trials used vs the fixed baseline.
+//
+// Exits nonzero when a payload identity or the >= 10x cached-repeat bound
+// fails, so CI catches regressions; writes a JSON record (--json) for the
+// bench-trajectory artifact.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+#include "service/protocol.h"
+#include "service/sweep_service.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/json.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace nwdec;
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& started) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started)
+      .count();
+}
+
+std::size_t get_size(const cli_parser& cli, const std::string& name) {
+  const std::int64_t value = cli.get_int(name);
+  if (value < 0) {
+    throw invalid_argument_error("--" + name + " cannot be negative");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_parser cli("bench_service",
+                 "sweep-service benchmarks: cached-repeat speedup (memory "
+                 "and persisted) and adaptive-budget trials saved on the "
+                 "Figs. 7/8 grid");
+  cli.add_int("trials", 1500, "fixed Monte-Carlo budget per grid point");
+  cli.add_int("adaptive-cap", 20000,
+              "trial cap per point for the adaptive section (also the "
+              "fixed baseline it is compared against)");
+  cli.add_double("target-half-width", 0.02,
+                 "adaptive stopping target (Wilson CI half-width)");
+  cli.add_int("threads", 0, "engine worker threads (0 = hardware)");
+  cli.add_int("seed", 2009, "base seed");
+  cli.add_string("json", "BENCH_service.json", "JSON record ('' = off)");
+  cli.add_flag("quick", "CI smoke preset: 150 trials, 8000-trial cap");
+  if (!cli.parse(argc, argv)) return 0;
+
+  try {
+    const bool quick = cli.get_flag("quick");
+    const std::size_t trials = quick ? 150 : get_size(cli, "trials");
+    const std::size_t adaptive_cap =
+        quick ? 8000 : get_size(cli, "adaptive-cap");
+    const double target = cli.get_double("target-half-width");
+
+    bench::banner("bench_service",
+                  "memoized sweep service + adaptive trial budgets");
+
+    core::sweep_axes axes;
+    axes.designs = core::yield_grid();
+    axes.mc_trials = trials;
+
+    service::service_options options;
+    options.threads = get_size(cli, "threads");
+    options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+    // ---------------------------------------------- 1. cached repeats
+    service::sweep_service service(crossbar::crossbar_spec{},
+                                   device::paper_technology(), options);
+
+    auto started = std::chrono::steady_clock::now();
+    const service::sweep_response cold = service.evaluate(axes);
+    const double cold_seconds = seconds_since(started);
+
+    started = std::chrono::steady_clock::now();
+    const service::sweep_response warm = service.evaluate(axes);
+    const double warm_seconds = seconds_since(started);
+
+    const std::string cold_payload = service::to_json(cold);
+    bool ok = true;
+    bool payloads_identical = true;
+    if (service::to_json(warm) != cold_payload) {
+      std::cerr << "FAIL: warm payload differs from cold payload\n";
+      payloads_identical = false;
+    }
+    if (warm.cached != warm.points.size()) {
+      std::cerr << "FAIL: warm repeat recomputed "
+                << warm.computed << " points\n";
+      ok = false;
+    }
+
+    // Persisted: a fresh service warmed from the saved cache file.
+    const std::string cache_path =
+        (std::filesystem::temp_directory_path() / "BENCH_service_cache.json")
+            .string();
+    service.save_cache(cache_path);
+    service::sweep_service restarted(crossbar::crossbar_spec{},
+                                     device::paper_technology(), options);
+    restarted.load_cache(cache_path);
+    started = std::chrono::steady_clock::now();
+    const service::sweep_response persisted = restarted.evaluate(axes);
+    const double persisted_seconds = seconds_since(started);
+    std::remove(cache_path.c_str());
+    if (service::to_json(persisted) != cold_payload) {
+      std::cerr << "FAIL: persisted payload differs from cold payload\n";
+      payloads_identical = false;
+    }
+    ok = ok && payloads_identical;
+
+    const double speedup =
+        warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+    const double persisted_speedup =
+        persisted_seconds > 0.0 ? cold_seconds / persisted_seconds : 0.0;
+    std::cout << "cached repeat (" << cold.points.size() << " points, "
+              << trials << " trials each):\n"
+              << "  cold      " << format_fixed(cold_seconds * 1e3, 2)
+              << " ms\n"
+              << "  warm      " << format_fixed(warm_seconds * 1e3, 3)
+              << " ms  (" << format_fixed(speedup, 1) << "x)\n"
+              << "  persisted " << format_fixed(persisted_seconds * 1e3, 3)
+              << " ms  (" << format_fixed(persisted_speedup, 1) << "x)\n"
+              << "  payloads byte-identical: "
+              << (payloads_identical ? "yes" : "NO") << "\n\n";
+    if (speedup < 10.0) {
+      std::cerr << "FAIL: cached repeat speedup " << format_fixed(speedup, 1)
+                << "x is below the 10x bound\n";
+      ok = false;
+    }
+
+    // ------------------------------------------- 2. adaptive budgets
+    service::adaptive_options adaptive;
+    adaptive.target_half_width = target;
+    service::service_options adaptive_options_ = options;
+    adaptive_options_.adaptive = adaptive;
+    service::sweep_service adaptive_service(
+        crossbar::crossbar_spec{}, device::paper_technology(),
+        adaptive_options_);
+
+    core::sweep_axes capped = axes;
+    capped.mc_trials = adaptive_cap;
+    started = std::chrono::steady_clock::now();
+    const service::sweep_response adaptive_run =
+        adaptive_service.evaluate(capped);
+    const double adaptive_seconds = seconds_since(started);
+
+    std::size_t used_total = 0;
+    text_table table({"design", "MC Y", "CI half-width", "trials used",
+                      "of cap", "saved"});
+    for (const service::sweep_response_entry& entry : adaptive_run.points) {
+      const core::design_evaluation& e = entry.result.evaluation;
+      const std::size_t used = entry.result.mc_trials_used;
+      used_total += used;
+      const double half_width = wilson_half_width(
+          e.mc_nanowire_yield * static_cast<double>(used),
+          static_cast<double>(used));
+      table.add_row({entry.result.request.design.label(),
+                     format_percent(e.mc_nanowire_yield),
+                     format_fixed(half_width, 4), format_count(used),
+                     format_count(adaptive_cap),
+                     format_percent(1.0 - static_cast<double>(used) /
+                                              static_cast<double>(
+                                                  adaptive_cap))});
+    }
+    const std::size_t baseline_total =
+        adaptive_cap * adaptive_run.points.size();
+    const double saved_percent =
+        100.0 * (1.0 - static_cast<double>(used_total) /
+                           static_cast<double>(baseline_total));
+    std::cout << "adaptive budgets (target half-width "
+              << format_fixed(target, 3) << ", cap "
+              << format_count(adaptive_cap) << " trials/point, "
+              << format_fixed(adaptive_seconds, 2) << " s):\n";
+    table.print(std::cout);
+    std::cout << "  total " << format_count(used_total) << " of "
+              << format_count(baseline_total) << " fixed-baseline trials ("
+              << format_fixed(saved_percent, 1) << "% saved)\n";
+
+    // ------------------------------------------------- JSON record
+    const std::string json_path = cli.get_string("json");
+    if (!json_path.empty()) {
+      json_writer json;
+      json.begin_object()
+          .field("bench", "service")
+          .field("points", cold.points.size())
+          .field("trials", trials)
+          .field("seed", options.seed)
+          .field("cold_seconds", cold_seconds)
+          .field("warm_seconds", warm_seconds)
+          .field("warm_speedup", speedup)
+          .field("persisted_seconds", persisted_seconds)
+          .field("persisted_speedup", persisted_speedup)
+          .field("payloads_identical", payloads_identical);
+      json.key("adaptive")
+          .begin_object()
+          .field("target_half_width", target)
+          .field("cap", adaptive_cap)
+          .field("seconds", adaptive_seconds)
+          .field("trials_used", used_total)
+          .field("fixed_baseline", baseline_total)
+          .field("saved_percent", saved_percent)
+          .end_object();
+      const std::string document = json.end_object().str();
+      std::ofstream out(json_path);
+      if (!out) throw error("cannot open '" + json_path + "' for writing");
+      out << document;
+      std::cout << "\nwrote " << json_path << "\n";
+    }
+
+    if (!ok) return 1;
+    return 0;
+  } catch (const std::exception& failure) {
+    std::cerr << "bench_service: " << failure.what() << "\n";
+    return 1;
+  }
+}

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <charconv>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <thread>
+#include <unordered_map>
 
 #include "codes/factory.h"
 #include "crossbar/area_model.h"
@@ -15,6 +17,7 @@
 #include "util/error.h"
 #include "util/json.h"
 #include "util/rng.h"
+#include "util/stats.h"
 #include "yield/analytic_yield.h"
 #include "yield/yield_sweep.h"
 
@@ -80,14 +83,12 @@ std::vector<sweep_request> sweep_axes::expand() const {
   return out;
 }
 
-namespace {
-
-// Fingerprint of a fully-resolved request: a pure function of the point's
-// parameters, so a point's Monte-Carlo run key -- from_counter(seed,
+// See the header for the full fingerprint contract: a pure function of the
+// point's parameters, so a point's Monte-Carlo run key -- from_counter(seed,
 // fingerprint) -- never depends on the point's grid position or on what
 // the other grid points are. Two identical requests therefore produce
-// identical entries (the memoizable semantics a sweep service wants).
-std::uint64_t point_fingerprint(const sweep_request& request) {
+// identical entries (the memoizable semantics service::result_store keys on).
+std::uint64_t fingerprint(const sweep_request& request) {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL;
   const auto mix_in = [&h](std::uint64_t v) {
     h = rng::from_counter(h, v).seed();
@@ -109,6 +110,25 @@ std::uint64_t point_fingerprint(const sweep_request& request) {
     mix_double(request.defects->bridge_probability);
   }
   return h;
+}
+
+namespace {
+
+// Field-wise equality of resolved requests, used to tell a genuine
+// fingerprint collision (a bug worth failing loudly on) from the same point
+// appearing twice in one grid (benign).
+bool same_request(const sweep_request& a, const sweep_request& b) {
+  if (a.design.type != b.design.type || a.design.radix != b.design.radix ||
+      a.design.length != b.design.length || a.nanowires != b.nanowires ||
+      a.sigma_vt != b.sigma_vt || a.mc_trials != b.mc_trials ||
+      a.defects.has_value() != b.defects.has_value()) {
+    return false;
+  }
+  if (a.defects.has_value()) {
+    return a.defects->broken_probability == b.defects->broken_probability &&
+           a.defects->bridge_probability == b.defects->bridge_probability;
+  }
+  return true;
 }
 
 }  // namespace
@@ -185,16 +205,22 @@ sweep_engine_report sweep_engine::run(const std::vector<sweep_request>& points,
   // starts.
   std::vector<sweep_request> resolved(points);
   std::vector<const prepared_design*> prepared(points.size(), nullptr);
+  std::vector<std::uint64_t> fingerprints(points.size(), 0);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    std::unordered_map<std::uint64_t, std::size_t> seen;
+    seen.reserve(points.size());
     for (std::size_t k = 0; k < resolved.size(); ++k) {
       sweep_request& request = resolved[k];
-      if (request.nanowires == 0) {
-        request.nanowires = spec_.nanowires_per_half_cave;
-      }
-      if (request.sigma_vt < 0.0) request.sigma_vt = tech_.sigma_vt;
+      request = resolve(request);
       if (request.defects.has_value()) request.defects->validate();
       prepared[k] = &prepare_locked(request);
+      // Fingerprint uniqueness check (see the fingerprint() contract):
+      // distinct resolved points must never alias one run key / cache slot.
+      fingerprints[k] = fingerprint(request);
+      const auto [it, inserted] = seen.emplace(fingerprints[k], k);
+      NWDEC_ENSURES(inserted || same_request(resolved[it->second], request),
+                    "fingerprint collision between distinct grid points");
     }
   }
 
@@ -228,20 +254,56 @@ sweep_engine_report sweep_engine::run(const std::vector<sweep_request>& points,
     e.bit_area_nm2 = crossbar::bit_area_nm2(p.area, e.effective_bits);
 
     if (request.mc_trials > 0) {
-      yield::sweep_point mc_point;
-      mc_point.sigma_vt = request.sigma_vt;
-      mc_point.trials = request.mc_trials;
-      mc_point.defects = request.defects;
+      yield::mc_options mc;
+      mc.mode = options.mode;
+      mc.threads = inner_threads;
+      mc.defects = request.defects;
+      mc.sigma_vt = request.sigma_vt;
       const std::uint64_t run_key =
-          rng::from_counter(options.seed, point_fingerprint(request)).seed();
-      const yield::sweep_entry mc = yield::run_sweep_point(
-          *p.context, options.mode, mc_point, inner_threads, run_key);
-      e.has_monte_carlo = true;
-      e.mc_nanowire_yield = mc.result.nanowire_yield;
-      e.mc_ci_low = mc.result.ci.low;
-      e.mc_ci_high = mc.result.ci.high;
-      entry.mc_seconds = mc.seconds;
-      entry.mc_trials_per_second = mc.trials_per_second;
+          rng::from_counter(options.seed, fingerprints[k]).seed();
+
+      const auto started = std::chrono::steady_clock::now();
+      yield::mc_run_state state;
+      yield::mc_yield_result result;
+      if (!options.mc_budget) {
+        mc.trials = request.mc_trials;
+        result = yield::monte_carlo_yield_resume(*p.context, mc, run_key,
+                                                 state);
+      } else {
+        // Batched leg: the hook sizes each batch from the running Wilson
+        // estimate; request.mc_trials caps the schedule. The per-trial
+        // streams are the same as the fixed path's, so a schedule summing
+        // to T is bit-identical to a fixed T-trial run.
+        while (state.trials() < request.mc_trials) {
+          mc_budget_status status;
+          status.trials_done = state.trials();
+          status.nanowire_yield = state.mean();
+          status.wilson_half_width = wilson_half_width(
+              state.mean() * static_cast<double>(state.trials()),
+              static_cast<double>(state.trials()));
+          std::size_t batch = options.mc_budget(request, status);
+          if (batch == 0) break;
+          batch = std::min(batch, request.mc_trials - state.trials());
+          mc.trials = batch;
+          result = yield::monte_carlo_yield_resume(*p.context, mc, run_key,
+                                                   state);
+        }
+      }
+      const auto finished = std::chrono::steady_clock::now();
+
+      if (state.trials() > 0) {
+        e.has_monte_carlo = true;
+        e.mc_nanowire_yield = result.nanowire_yield;
+        e.mc_ci_low = result.ci.low;
+        e.mc_ci_high = result.ci.high;
+        entry.mc_trials_used = state.trials();
+        entry.mc_seconds =
+            std::chrono::duration<double>(finished - started).count();
+        entry.mc_trials_per_second =
+            entry.mc_seconds > 0.0
+                ? static_cast<double>(state.trials()) / entry.mc_seconds
+                : 0.0;
+      }
     }
   };
 
@@ -287,6 +349,19 @@ sweep_engine_report sweep_engine::run(const sweep_axes& axes,
                                       const sweep_engine_options& options)
     const {
   return run(axes.expand(), options);
+}
+
+sweep_cache_stats sweep_engine::cache_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+sweep_request sweep_engine::resolve(sweep_request request) const {
+  if (request.nanowires == 0) {
+    request.nanowires = spec_.nanowires_per_half_cave;
+  }
+  if (request.sigma_vt < 0.0) request.sigma_vt = tech_.sigma_vt;
+  return request;
 }
 
 namespace {
@@ -348,9 +423,20 @@ std::string to_json(const sweep_engine_report& report) {
         .field("total_area_nm2", e.total_area_nm2)
         .field("bit_area_nm2", e.bit_area_nm2);
     if (e.has_monte_carlo) {
+      // Wilson bounds and the proportion standard error are derived from
+      // the stored (mean, trials_used) payload alone, so the block stays a
+      // pure function of the cached result.
+      const double trials_used = static_cast<double>(entry.mc_trials_used);
+      const interval wilson =
+          wilson_interval(e.mc_nanowire_yield * trials_used, trials_used);
       json.field("mc_nanowire_yield", e.mc_nanowire_yield)
           .field("mc_ci_low", e.mc_ci_low)
           .field("mc_ci_high", e.mc_ci_high)
+          .field("mc_wilson_low", wilson.low)
+          .field("mc_wilson_high", wilson.high)
+          .field("mc_stderr",
+                 proportion_stderr(e.mc_nanowire_yield, trials_used))
+          .field("mc_trials_used", entry.mc_trials_used)
           .field("mc_seconds", entry.mc_seconds)
           .field("mc_trials_per_second", entry.mc_trials_per_second);
     }
@@ -370,7 +456,8 @@ std::string to_csv(const sweep_engine_report& report) {
       "nanowire_yield", "crosspoint_yield",
       "effective_bits", "total_area_nm2",
       "bit_area_nm2",   "mc_nanowire_yield",
-      "mc_ci_low",      "mc_ci_high"};
+      "mc_ci_low",      "mc_ci_high",
+      "mc_trials_used"};
 
   std::string out = csv_row(header);
   for (const sweep_engine_entry& entry : report.entries) {
@@ -397,7 +484,8 @@ std::string to_csv(const sweep_engine_report& report) {
         format_full(e.bit_area_nm2),
         e.has_monte_carlo ? format_full(e.mc_nanowire_yield) : "",
         e.has_monte_carlo ? format_full(e.mc_ci_low) : "",
-        e.has_monte_carlo ? format_full(e.mc_ci_high) : ""};
+        e.has_monte_carlo ? format_full(e.mc_ci_high) : "",
+        e.has_monte_carlo ? std::to_string(entry.mc_trials_used) : ""};
     out += csv_row(row);
   }
   return out;

@@ -46,6 +46,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -90,6 +91,44 @@ struct sweep_axes {
   std::vector<sweep_request> expand() const;
 };
 
+/// Fingerprint of a fully-resolved request (nanowires and sigma defaults
+/// filled in) -- the key of every result-level memoization layer.
+///
+/// Contract:
+///   * Pure function of the point's parameters alone: (code type, radix,
+///     length, nanowires, mc_trials, sigma_vt bits, defect presence and
+///     rates). Never of grid position, engine state, or the other points.
+///   * A point's Monte-Carlo run key is rng::from_counter(seed,
+///     fingerprint(point)), so equal fingerprints mean equal results under
+///     one (seed, mode) -- the memoizable semantics service::result_store
+///     persists across processes. The mixing chain is a splitmix64 cascade
+///     (util/rng.h): distinct points collide with probability ~2^-64 per
+///     pair; run() asserts that the fingerprints of distinct resolved
+///     points in one grid are in fact distinct, so a collision fails loudly
+///     instead of silently aliasing two results.
+///   * The value is part of the persisted cache-file format: changing the
+///     mixing scheme invalidates existing caches (service::result_store
+///     rejects them via its header check, it never misreads them).
+std::uint64_t fingerprint(const sweep_request& request);
+
+/// Progress snapshot handed to the Monte-Carlo budget hook after each batch
+/// (and once before the first, with zero trials).
+struct mc_budget_status {
+  std::size_t trials_done = 0;
+  double nanowire_yield = 0.0;     ///< running mean over trials_done
+  /// Wilson CI half-width (z = 1.96) of the running estimate, treating each
+  /// trial's yield fraction as one observation; 1.0 before any trial.
+  double wilson_half_width = 1.0;
+};
+
+/// Per-point Monte-Carlo budget hook: returns the next batch size (0 =
+/// stop). Must be a pure function of its arguments -- the engine calls it
+/// concurrently from worker threads, and the determinism contract extends
+/// to the batch schedule it produces (service::adaptive_budget builds the
+/// CI-width stopping policy on this hook).
+using mc_budget_fn =
+    std::function<std::size_t(const sweep_request&, const mc_budget_status&)>;
+
 /// Engine run configuration.
 struct sweep_engine_options {
   /// Worker threads; 0 = std::thread::hardware_concurrency(). Design points
@@ -99,12 +138,20 @@ struct sweep_engine_options {
   std::size_t threads = 0;
   std::uint64_t seed = 1;
   yield::mc_mode mode = yield::mc_mode::operational;
+  /// When set, each point's Monte-Carlo leg runs in batches sized by this
+  /// hook (request.mc_trials stays the hard cap); unset = one fixed batch
+  /// of request.mc_trials. Batched and fixed runs over the same total are
+  /// bit-identical (yield::mc_run_state contract).
+  mc_budget_fn mc_budget;
 };
 
 /// One evaluated grid point.
 struct sweep_engine_entry {
   sweep_request request;          ///< defaults resolved (nanowires, sigma)
   design_evaluation evaluation;   ///< analytic block always, MC when asked
+  /// Trials actually consumed: request.mc_trials for fixed budgets, the
+  /// batch-schedule total under an mc_budget hook.
+  std::size_t mc_trials_used = 0;
   double mc_seconds = 0.0;
   double mc_trials_per_second = 0.0;
 };
@@ -149,6 +196,17 @@ class sweep_engine {
                           const sweep_engine_options& options = {}) const;
   sweep_engine_report run(const sweep_axes& axes,
                           const sweep_engine_options& options = {}) const;
+
+  /// Cumulative cache counters over the engine's lifetime (also embedded in
+  /// every report); the sweep service's stats endpoint reads this.
+  sweep_cache_stats cache_stats() const;
+
+  /// Fills the platform defaults into a request (nanowires == 0 -> the
+  /// spec's half-cave size, sigma < 0 -> the technology's sigma_vt) -- the
+  /// exact resolution run() applies before evaluating, exposed so
+  /// result-level memoization layers fingerprint the same request the
+  /// engine computes.
+  sweep_request resolve(sweep_request request) const;
 
  private:
   struct prepared_design;

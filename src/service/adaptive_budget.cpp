@@ -1,0 +1,55 @@
+#include "service/adaptive_budget.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace nwdec::service {
+
+void adaptive_options::validate() const {
+  NWDEC_EXPECTS(target_half_width > 0.0 && target_half_width < 1.0,
+                "target_half_width must lie in (0, 1)");
+  NWDEC_EXPECTS(initial_batch >= 1, "initial_batch must be at least 1");
+  NWDEC_EXPECTS(growth > 1.0, "growth must exceed 1 (the schedule must grow)");
+}
+
+std::uint64_t adaptive_options::fingerprint() const {
+  // Same splitmix64 cascade as core::fingerprint, over the policy fields;
+  // the leading constant differs so a policy fingerprint never collides
+  // with the "fixed budget" sentinel 0 by construction of the chain.
+  std::uint64_t h = 0xa0761d6478bd642fULL;
+  const auto mix_in = [&h](std::uint64_t v) {
+    h = rng::from_counter(h, v).seed();
+  };
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &target_half_width, sizeof(bits));
+  mix_in(bits);
+  mix_in(initial_batch);
+  std::memcpy(&bits, &growth, sizeof(bits));
+  mix_in(bits);
+  return h;
+}
+
+std::size_t next_batch(const adaptive_options& options,
+                       const core::mc_budget_status& status) {
+  if (status.trials_done == 0) return options.initial_batch;
+  if (status.wilson_half_width <= options.target_half_width) return 0;
+  // Grow the *total* geometrically: the next convergence check happens at
+  // ceil(trials_done * growth), so a hard point needs only O(log(total))
+  // checks while an easy one stops after the first batch.
+  const double target =
+      std::ceil(static_cast<double>(status.trials_done) * options.growth);
+  return static_cast<std::size_t>(target) - status.trials_done;
+}
+
+core::mc_budget_fn make_budget(const adaptive_options& options) {
+  options.validate();
+  return [options](const core::sweep_request&,
+                   const core::mc_budget_status& status) {
+    return next_batch(options, status);
+  };
+}
+
+}  // namespace nwdec::service

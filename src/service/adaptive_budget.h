@@ -1,0 +1,57 @@
+// service::adaptive_budget: CI-width stopping for Monte-Carlo grid points
+// (the ROADMAP's "confidence-driven adaptive trial budgets").
+//
+// A fixed trial count wastes work on easy points (yield near 0 or 1, where
+// the estimate converges quickly) and underspends on points near the yield
+// cliff. This policy runs each point in geometrically growing batches
+// through the engine's mc_budget hook and stops as soon as the Wilson
+// score interval on the running yield estimate is narrower than a target
+// half-width (treating each trial's yield fraction as one observation --
+// conservative, because the trial, not the nanowire, is the independent
+// unit).
+//
+// Determinism: the schedule is a pure function of (options, trials_done,
+// running estimate), the engine's resumable Monte-Carlo makes any batch
+// schedule bit-identical to one run of the same total, and the running
+// estimate itself is bit-identical across thread counts -- so adaptive
+// runs are bit-identical across thread counts too, and the trials-used
+// number is reproducible. request.mc_trials stays the hard cap, so a
+// point that never converges stops there.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/sweep_engine.h"
+
+namespace nwdec::service {
+
+/// Tuning of the CI-width stopping policy.
+struct adaptive_options {
+  /// Stop once the Wilson half-width of the yield estimate is <= this.
+  double target_half_width = 0.02;
+  /// Trials of the first batch (also the minimum spend per point).
+  std::size_t initial_batch = 64;
+  /// Total-trials growth per round: the next check happens at
+  /// ceil(trials_done * growth) trials. Must be > 1.
+  double growth = 2.0;
+
+  /// Throws invalid_argument_error on out-of-range parameters.
+  void validate() const;
+
+  /// 64-bit fingerprint of the policy, mixed into the result-store header:
+  /// results computed under different budgets never alias.
+  std::uint64_t fingerprint() const;
+};
+
+/// The policy as an engine hook (see core::mc_budget_fn): pure function of
+/// its arguments, safe to call concurrently from engine workers.
+core::mc_budget_fn make_budget(const adaptive_options& options);
+
+/// The batch the policy issues at a given progress point; 0 = stop. Exposed
+/// for tests and for reasoning about schedules: the engine additionally
+/// caps the batch at the point's remaining mc_trials.
+std::size_t next_batch(const adaptive_options& options,
+                       const core::mc_budget_status& status);
+
+}  // namespace nwdec::service

@@ -1,0 +1,78 @@
+// service::protocol: the newline-delimited JSON request protocol of the
+// nwdec_service daemon (tools/nwdec_service.cpp).
+//
+// One request per line on stdin, one response per line on stdout. Every
+// response echoes the request's "id" member verbatim (null when absent or
+// unparseable) and carries "ok": true/false; failures add "error" with a
+// diagnostic and never kill the daemon. Request kinds:
+//
+//   {"id": 1, "kind": "sweep", "codes": ["TC", "BGC"], "radix": 2,
+//    "lengths": [8, 10], "nanowires": [20], "sigmas_vt": [0.04, 0.05],
+//    "trials": 150, "broken": 0.0, "bridge": 0.0}
+//     -> grid = codes x lengths x nanowires x sigmas_vt (axes with
+//        platform defaults may be omitted); response wrapper reports
+//        "cached"/"computed" counts and "result": {"points": [...]}.
+//
+//   {"id": 2, "kind": "refine", "code": "BGC", "radix": 2, "length": 10,
+//    "trials": 150, "sigma_low": 0.02, "sigma_high": 0.12,
+//    "threshold": 0.5, "resolution": 0.001}
+//     -> sigma-cliff bisection (service/refine.h); response wrapper
+//        reports "evaluations"/"cached", "result" carries the bracket and
+//        the probe trace.
+//
+//   {"id": 3, "kind": "stats"}
+//     -> result-store and engine-cache counters.
+//
+//   {"id": 4, "kind": "flush", "clear": false}
+//     -> persists the store to the daemon's cache file (when configured);
+//        "clear": true additionally drops the in-memory entries.
+//
+// Determinism: the "result" member of sweep/refine responses is a pure
+// function of (service configuration, request) -- cache provenance counts
+// live only in the wrapper -- so answers served cold, from memory, or from
+// a persisted cache file are byte-identical there.
+#pragma once
+
+#include <string>
+
+#include "service/refine.h"
+#include "service/sweep_service.h"
+#include "util/json.h"
+
+namespace nwdec::service {
+
+/// Writes the deterministic refine payload (bracket + trace) into an open
+/// writer; shared by the daemon and to_json below. (The sweep counterpart
+/// lives in sweep_service.h.)
+void write_payload(json_writer& json, const refine_result& result);
+
+/// Standalone refine payload document (tests compare these for the
+/// cold/warm/persisted identity).
+std::string to_json(const refine_result& result,
+                    json_writer::style style = json_writer::style::pretty);
+
+/// Stateless request dispatcher bound to one service (and optionally the
+/// daemon's cache file, which `flush` persists to).
+class protocol_handler {
+ public:
+  protocol_handler(sweep_service& service, std::string cache_path);
+
+  /// Handles one request line and returns exactly one single-line JSON
+  /// response (including the trailing newline). Never throws: every
+  /// failure, from malformed JSON up, becomes an "ok": false response.
+  std::string handle_line(const std::string& line);
+
+ private:
+  std::string handle_sweep(const json_value& request,
+                           const json_value& id);
+  std::string handle_refine(const json_value& request,
+                            const json_value& id);
+  std::string handle_stats(const json_value& id);
+  std::string handle_flush(const json_value& request, const json_value& id);
+  std::string error_response(const json_value& id, const std::string& what);
+
+  sweep_service& service_;
+  std::string cache_path_;
+};
+
+}  // namespace nwdec::service

@@ -1,0 +1,67 @@
+// service::refine: incremental sigma-grid refinement (ROADMAP: "bisect
+// sigma until the yield cliff is bracketed").
+//
+// The yield-vs-sigma curve of a decoder design falls off a cliff: below
+// some process sigma nearly every nanowire decodes, above it yield
+// collapses (Fig. 7's sigma sensitivity). A uniform sigma grid wastes
+// evaluations far from the cliff; refine() instead bisects the interval
+// [sigma_low, sigma_high] -- every evaluation going through the service's
+// result store -- until the largest sigma whose yield still meets the
+// threshold is bracketed to the requested resolution. Repeated or
+// overlapping refinements therefore reuse each other's midpoints for free,
+// across calls and (with a persisted cache) across process restarts.
+//
+// Midpoints are a pure function of (the interval, the resolution), and the
+// yields are the engine's deterministic results, so the whole refinement
+// trace is reproducible bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/design_point.h"
+#include "fab/defects.h"
+#include "service/result_store.h"
+#include "service/sweep_service.h"
+
+namespace nwdec::service {
+
+/// One cliff-refinement request.
+struct refine_request {
+  core::design_point design;
+  std::size_t nanowires = 0;  ///< 0 = platform default
+  /// Monte-Carlo trials per evaluated point (the adaptive budget applies
+  /// when the service runs one); 0 = analytic bisection.
+  std::size_t mc_trials = 0;
+  std::optional<fab::defect_params> defects;
+  double sigma_low = 0.0;    ///< must satisfy yield(sigma_low) >= threshold
+  double sigma_high = 0.15;  ///< must satisfy yield(sigma_high) < threshold
+  /// Nanowire-yield level defining the cliff (Monte-Carlo yield when
+  /// mc_trials > 0, analytic otherwise).
+  double yield_threshold = 0.5;
+  double resolution = 1e-3;  ///< stop when sigma_high - sigma_low <= this
+
+  /// Throws invalid_argument_error on an empty/negative interval or an
+  /// out-of-range threshold/resolution.
+  void validate() const;
+};
+
+/// A completed refinement.
+struct refine_result {
+  /// False when the threshold is not crossed inside the interval (the
+  /// endpoints are still evaluated and reported below).
+  bool bracketed = false;
+  double sigma_low = 0.0;   ///< largest probed sigma with yield >= threshold
+  double sigma_high = 0.0;  ///< smallest probed sigma with yield < threshold
+  double yield_low = 0.0;   ///< yield at sigma_low
+  double yield_high = 0.0;  ///< yield at sigma_high
+  std::size_t evaluations = 0;  ///< points probed (endpoints + midpoints)
+  std::size_t cached = 0;       ///< of which the result store answered
+  std::vector<stored_result> trace;  ///< every probed point, in probe order
+};
+
+/// Runs one refinement through the service (and therefore its caches).
+refine_result refine(sweep_service& service, const refine_request& request);
+
+}  // namespace nwdec::service

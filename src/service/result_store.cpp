@@ -1,0 +1,281 @@
+#include "service/result_store.h"
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "codes/code_space.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace nwdec::service {
+
+namespace {
+
+constexpr int store_format_version = 1;
+
+// u64 values (seed, fingerprints) travel as decimal strings: a JSON number
+// is parsed as a double, which cannot represent every 64-bit integer.
+std::string u64_string(std::uint64_t value) { return std::to_string(value); }
+
+std::uint64_t parse_u64(const json_value& node, const std::string& name) {
+  const std::string& text = node.at(name).as_string();
+  NWDEC_EXPECTS(!text.empty() &&
+                    text.find_first_not_of("0123456789") == std::string::npos,
+                "field '" + name + "' is not a decimal u64 string");
+  return std::stoull(text);
+}
+
+double get_number(const json_value& node, const std::string& name) {
+  return node.at(name).as_number();
+}
+
+std::size_t get_size(const json_value& node, const std::string& name) {
+  const double value = node.at(name).as_number();
+  NWDEC_EXPECTS(value >= 0.0 && std::floor(value) == value &&
+                    value <= 9007199254740992.0,  // 2^53
+                "field '" + name + "' is not a non-negative integer");
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+std::uint64_t technology_fingerprint(const device::technology& tech) {
+  std::uint64_t h = 0xe7037ed1a0b428dbULL;
+  const auto mix_double = [&h](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = rng::from_counter(h, bits).seed();
+  };
+  mix_double(tech.litho_pitch_nm);
+  mix_double(tech.nanowire_pitch_nm);
+  mix_double(tech.contact_min_width_factor);
+  mix_double(tech.boundary_band_nm);
+  mix_double(tech.cave_wall_overhead_nm);
+  mix_double(tech.contact_depth_nm);
+  mix_double(tech.supply_voltage);
+  mix_double(tech.sigma_vt);
+  mix_double(tech.window_fraction);
+  mix_double(tech.gate_oxide_nm);
+  mix_double(tech.temperature_k);
+  return h;
+}
+
+const char* mc_mode_name(yield::mc_mode mode) {
+  return mode == yield::mc_mode::window ? "window" : "operational";
+}
+
+yield::mc_mode parse_mc_mode(const std::string& name) {
+  if (name == "window") return yield::mc_mode::window;
+  if (name == "operational") return yield::mc_mode::operational;
+  throw invalid_argument_error("unknown mc mode '" + name +
+                               "' (expected window | operational)");
+}
+
+void write_stored_result(json_writer& json, const stored_result& result) {
+  const core::design_evaluation& e = result.evaluation;
+  const fab::defect_params defects =
+      result.request.defects.value_or(fab::defect_params{});
+  json.begin_object()
+      .field("code", codes::code_type_name(result.request.design.type))
+      .field("radix", result.request.design.radix)
+      .field("length", result.request.design.length)
+      .field("nanowires", result.request.nanowires)
+      .field("sigma_vt", result.request.sigma_vt)
+      .field("mc_trials", result.request.mc_trials)
+      .field("has_defects", result.request.defects.has_value())
+      .field("broken_probability", defects.broken_probability)
+      .field("bridge_probability", defects.bridge_probability)
+      .field("omega", e.code_space)
+      .field("phi", e.fabrication_steps)
+      .field("average_variability", e.average_variability)
+      .field("contact_groups", e.contact_groups)
+      .field("expected_discarded", e.expected_discarded)
+      .field("nanowire_yield", e.nanowire_yield)
+      .field("crosspoint_yield", e.crosspoint_yield)
+      .field("effective_bits", e.effective_bits)
+      .field("total_area_nm2", e.total_area_nm2)
+      .field("bit_area_nm2", e.bit_area_nm2)
+      .field("has_monte_carlo", e.has_monte_carlo);
+  if (e.has_monte_carlo) {
+    // The Wilson bounds and standard error are derived on the fly from the
+    // stored (mean, trials_used) -- pure functions of the payload, so a
+    // reloaded entry re-emits the identical block.
+    const double trials_used = static_cast<double>(result.mc_trials_used);
+    const interval wilson =
+        wilson_interval(e.mc_nanowire_yield * trials_used, trials_used);
+    json.field("mc_nanowire_yield", e.mc_nanowire_yield)
+        .field("mc_ci_low", e.mc_ci_low)
+        .field("mc_ci_high", e.mc_ci_high)
+        .field("mc_wilson_low", wilson.low)
+        .field("mc_wilson_high", wilson.high)
+        .field("mc_stderr", proportion_stderr(e.mc_nanowire_yield, trials_used))
+        .field("mc_trials_used", result.mc_trials_used);
+  }
+  json.end_object();
+}
+
+stored_result parse_stored_result(const json_value& node) {
+  stored_result result;
+  core::sweep_request& request = result.request;
+  request.design.type = codes::parse_code_type(node.at("code").as_string());
+  request.design.radix = static_cast<unsigned>(get_size(node, "radix"));
+  request.design.length = get_size(node, "length");
+  request.nanowires = get_size(node, "nanowires");
+  request.sigma_vt = get_number(node, "sigma_vt");
+  request.mc_trials = get_size(node, "mc_trials");
+  if (node.at("has_defects").as_bool()) {
+    request.defects = fab::defect_params{
+        get_number(node, "broken_probability"),
+        get_number(node, "bridge_probability")};
+  }
+
+  core::design_evaluation& e = result.evaluation;
+  e.point = request.design;
+  e.code_space = get_size(node, "omega");
+  e.fabrication_steps = get_size(node, "phi");
+  e.average_variability = get_number(node, "average_variability");
+  e.contact_groups = get_size(node, "contact_groups");
+  e.expected_discarded = get_number(node, "expected_discarded");
+  e.nanowire_yield = get_number(node, "nanowire_yield");
+  e.crosspoint_yield = get_number(node, "crosspoint_yield");
+  e.effective_bits = get_number(node, "effective_bits");
+  e.total_area_nm2 = get_number(node, "total_area_nm2");
+  e.bit_area_nm2 = get_number(node, "bit_area_nm2");
+  e.has_monte_carlo = node.at("has_monte_carlo").as_bool();
+  if (e.has_monte_carlo) {
+    e.mc_nanowire_yield = get_number(node, "mc_nanowire_yield");
+    e.mc_ci_low = get_number(node, "mc_ci_low");
+    e.mc_ci_high = get_number(node, "mc_ci_high");
+    result.mc_trials_used = get_size(node, "mc_trials_used");
+  }
+  return result;
+}
+
+result_store::result_store(std::size_t capacity) : capacity_(capacity) {
+  NWDEC_EXPECTS(capacity >= 1, "the result store needs capacity >= 1");
+}
+
+const stored_result* result_store::find(std::uint64_t fingerprint) {
+  const auto found = index_.find(fingerprint);
+  if (found == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  entries_.splice(entries_.begin(), entries_, found->second);
+  return &found->second->second;
+}
+
+void result_store::insert(std::uint64_t fingerprint, stored_result result) {
+  const auto found = index_.find(fingerprint);
+  if (found != index_.end()) {
+    found->second->second = std::move(result);
+    entries_.splice(entries_.begin(), entries_, found->second);
+  } else {
+    entries_.emplace_front(fingerprint, std::move(result));
+    index_.emplace(fingerprint, entries_.begin());
+    if (entries_.size() > capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+  ++stats_.insertions;
+}
+
+void result_store::clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+std::string result_store::to_json(const store_header& header) const {
+  json_writer json;
+  json.begin_object()
+      .field("nwdec_result_store", store_format_version)
+      .field("seed", u64_string(header.seed))
+      .field("mode", mc_mode_name(header.mode))
+      .field("raw_bits", header.raw_bits)
+      .field("tech_fingerprint", u64_string(header.tech_fingerprint))
+      .field("budget_fingerprint", u64_string(header.budget_fingerprint));
+  json.key("entries").begin_array();
+  // Least recently used first: load_json reinserts in document order, so
+  // the reloaded store has the identical recency (and eviction) order.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    json.begin_object().field("fingerprint", u64_string(it->first));
+    json.key("result");
+    write_stored_result(json, it->second);
+    json.end_object();
+  }
+  return json.end_array().end_object().str();
+}
+
+void result_store::load_json(const std::string& text,
+                             const store_header& expected) {
+  const json_value document = json_parse(text);
+  NWDEC_EXPECTS(document.find("nwdec_result_store") != nullptr &&
+                    get_size(document, "nwdec_result_store") ==
+                        static_cast<std::size_t>(store_format_version),
+                "not a result-store document (or an unknown format version)");
+
+  store_header header;
+  header.seed = parse_u64(document, "seed");
+  header.mode = parse_mc_mode(document.at("mode").as_string());
+  header.raw_bits = get_size(document, "raw_bits");
+  header.tech_fingerprint = parse_u64(document, "tech_fingerprint");
+  header.budget_fingerprint = parse_u64(document, "budget_fingerprint");
+  if (!(header == expected)) {
+    throw invalid_argument_error(
+        "result-store header mismatch: the cache was computed under a "
+        "different (seed, mode, raw_bits, technology, budget) "
+        "configuration; refusing to serve stale results");
+  }
+
+  // Stage every entry before touching the store: a corrupt entry anywhere
+  // in the file must leave the current contents intact (a partial load
+  // would otherwise be persisted back over the good file at shutdown).
+  std::vector<std::pair<std::uint64_t, stored_result>> staged;
+  staged.reserve(document.at("entries").items().size());
+  for (const json_value& entry : document.at("entries").items()) {
+    const std::uint64_t recorded = parse_u64(entry, "fingerprint");
+    stored_result result = parse_stored_result(entry.at("result"));
+    const std::uint64_t recomputed = core::fingerprint(result.request);
+    NWDEC_EXPECTS(recorded == recomputed,
+                  "result-store entry fingerprint mismatch (incompatible "
+                  "fingerprint scheme or corrupted file)");
+    staged.emplace_back(recorded, std::move(result));
+  }
+
+  clear();
+  for (auto& [fingerprint, result] : staged) {
+    insert(fingerprint, std::move(result));
+  }
+}
+
+void result_store::save_file(const std::string& path,
+                             const store_header& header) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw error("cannot open result-store file '" + path + "' for writing");
+  }
+  out << to_json(header);
+  if (!out) throw error("failed writing result-store file '" + path + "'");
+}
+
+bool result_store::load_file(const std::string& path,
+                             const store_header& expected) {
+  if (!std::filesystem::exists(path)) return false;
+  std::ifstream in(path);
+  if (!in) throw error("cannot open result-store file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  load_json(text.str(), expected);
+  return true;
+}
+
+}  // namespace nwdec::service

@@ -1,0 +1,144 @@
+// service::result_store: result-level memoization for the sweep service.
+//
+// core::sweep_engine caches expensive *intermediates* (codes, decoder
+// designs, trial contexts); this layer caches the *results* themselves,
+// keyed by core::fingerprint(resolved request) -- a pure function of the
+// point -- so an identical point is never recomputed across requests or
+// across process restarts:
+//
+//   * in memory: an LRU map bounded by `capacity` entries; a hit refreshes
+//     recency, an insert beyond capacity evicts the least recently used.
+//   * on disk: to_json()/load_json() (and the file helpers) persist the
+//     store as a JSON document. Doubles travel through the exact
+//     shortest-round-trip writer and parser (util/json.h), so a result
+//     served from memory, recomputed, or reloaded from disk serializes
+//     byte-identically -- the daemon's cold/warm/persisted response
+//     identity rests on this.
+//
+// A cached result is only valid under the run configuration it was computed
+// with: the store_header captures (seed, mode, raw_bits, budget fingerprint)
+// and load refuses a file whose header differs. Entries additionally carry
+// their fingerprint, which load recomputes from the parsed request and
+// verifies, so a file from an incompatible fingerprint scheme fails loudly.
+//
+// The store is not internally synchronized; the owning service serializes
+// access (the daemon is a single request loop).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "core/design_point.h"
+#include "core/sweep_engine.h"
+#include "util/json.h"
+#include "yield/trial_context.h"
+
+namespace nwdec::service {
+
+/// One fully-evaluated grid point, exactly as the service answers it: the
+/// resolved request plus every reported figure and the trials actually
+/// consumed (== request.mc_trials for fixed budgets, the adaptive
+/// schedule's total under CI-width stopping).
+struct stored_result {
+  core::sweep_request request;        ///< resolved (nanowires, sigma filled)
+  core::design_evaluation evaluation;
+  std::size_t mc_trials_used = 0;
+};
+
+/// Everything a cached result depends on besides the point fingerprint.
+/// A persisted store is only loaded into a service with an identical
+/// header; a mismatch throws rather than silently serving stale results.
+struct store_header {
+  std::uint64_t seed = 0;
+  yield::mc_mode mode = yield::mc_mode::operational;
+  std::size_t raw_bits = 0;
+  /// technology_fingerprint() of the platform the results were computed
+  /// on: every field of device::technology feeds the analytic yields,
+  /// areas, and Monte-Carlo tables.
+  std::uint64_t tech_fingerprint = 0;
+  /// service::adaptive_options::fingerprint() of the budget policy the
+  /// results were computed under; 0 = fixed trial budgets.
+  std::uint64_t budget_fingerprint = 0;
+
+  friend bool operator==(const store_header& a, const store_header& b) {
+    return a.seed == b.seed && a.mode == b.mode && a.raw_bits == b.raw_bits &&
+           a.tech_fingerprint == b.tech_fingerprint &&
+           a.budget_fingerprint == b.budget_fingerprint;
+  }
+};
+
+/// 64-bit fingerprint over every device::technology field (same splitmix64
+/// cascade as core::fingerprint); two platforms compare equal exactly when
+/// all their parameters do.
+std::uint64_t technology_fingerprint(const device::technology& tech);
+
+/// Aggregate counters for the stats endpoint and the CLI summary.
+struct store_stats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+};
+
+/// Fingerprint-keyed LRU result cache with JSON persistence.
+class result_store {
+ public:
+  explicit result_store(std::size_t capacity = 1 << 16);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const store_stats& stats() const { return stats_; }
+
+  /// The cached result for the fingerprint, or nullptr on a miss. A hit
+  /// refreshes the entry's recency; the pointer stays valid until the next
+  /// insert/clear/load.
+  const stored_result* find(std::uint64_t fingerprint);
+
+  /// Inserts (or refreshes) a result, evicting the least recently used
+  /// entry beyond capacity.
+  void insert(std::uint64_t fingerprint, stored_result result);
+
+  /// Drops every entry (counters are kept: they describe the lifetime).
+  void clear();
+
+  /// Serializes header + entries, least recently used first, so a
+  /// load-reinsert pass reproduces the recency order exactly.
+  std::string to_json(const store_header& header) const;
+
+  /// Replaces the store's contents with a document produced by to_json().
+  /// Throws on malformed input, on a header mismatch with `expected`, and
+  /// on an entry whose recomputed fingerprint differs from the recorded one.
+  void load_json(const std::string& text, const store_header& expected);
+
+  /// to_json() straight to a file; throws on I/O failure.
+  void save_file(const std::string& path, const store_header& header) const;
+
+  /// load_json() from a file; returns false when the file does not exist
+  /// (a cold cache), throws on malformed content or a header mismatch.
+  bool load_file(const std::string& path, const store_header& expected);
+
+ private:
+  using lru_list = std::list<std::pair<std::uint64_t, stored_result>>;
+
+  std::size_t capacity_;
+  lru_list entries_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, lru_list::iterator> index_;
+  store_stats stats_;
+};
+
+/// Serializes one stored result as the service's canonical point payload
+/// (shared by the daemon responses and the cache file, so the two can never
+/// drift apart).
+void write_stored_result(json_writer& json, const stored_result& result);
+
+/// Inverse of write_stored_result; throws on missing/mistyped fields.
+stored_result parse_stored_result(const json_value& node);
+
+/// mc_mode <-> protocol string ("window" / "operational").
+const char* mc_mode_name(yield::mc_mode mode);
+yield::mc_mode parse_mc_mode(const std::string& name);
+
+}  // namespace nwdec::service

@@ -1,0 +1,120 @@
+#include "service/sweep_service.h"
+
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace nwdec::service {
+
+sweep_service::sweep_service(crossbar::crossbar_spec spec,
+                             device::technology tech, service_options options)
+    : engine_(spec, tech),
+      options_(options),
+      store_(options.cache_capacity) {
+  engine_options_.threads = options_.threads;
+  engine_options_.seed = options_.seed;
+  engine_options_.mode = options_.mode;
+  if (options_.adaptive.has_value()) {
+    options_.adaptive->validate();
+    engine_options_.mc_budget = make_budget(*options_.adaptive);
+  }
+}
+
+store_header sweep_service::header() const {
+  store_header header;
+  header.seed = options_.seed;
+  header.mode = options_.mode;
+  header.raw_bits = engine_.spec().raw_bits;
+  header.tech_fingerprint = technology_fingerprint(engine_.tech());
+  header.budget_fingerprint =
+      options_.adaptive.has_value() ? options_.adaptive->fingerprint() : 0;
+  return header;
+}
+
+core::sweep_request sweep_service::resolve(core::sweep_request request) const {
+  // The engine owns the resolution rules: fingerprints must describe the
+  // request it will actually evaluate.
+  return engine_.resolve(request);
+}
+
+sweep_response sweep_service::evaluate(
+    const std::vector<core::sweep_request>& points) {
+  NWDEC_EXPECTS(!points.empty(), "a sweep request needs at least one point");
+
+  sweep_response response;
+  response.points.resize(points.size());
+
+  // Pass 1: resolve + fingerprint every point, serve store hits, and
+  // collect the distinct misses (duplicates within one request compute
+  // once and fan out to every requesting slot).
+  std::vector<std::uint64_t> keys(points.size());
+  std::vector<core::sweep_request> misses;
+  std::unordered_map<std::uint64_t, std::size_t> miss_index;
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    const core::sweep_request resolved = this->resolve(points[k]);
+    keys[k] = core::fingerprint(resolved);
+    const stored_result* hit = store_.find(keys[k]);
+    if (hit != nullptr) {
+      response.points[k] = {*hit, true};
+      ++response.cached;
+      continue;
+    }
+    if (miss_index.emplace(keys[k], misses.size()).second) {
+      misses.push_back(resolved);
+    }
+  }
+
+  // Pass 2: one engine run over the distinct misses (points shard across
+  // the engine's workers; its intermediate caches persist across calls).
+  if (!misses.empty()) {
+    const core::sweep_engine_report report =
+        engine_.run(misses, engine_options_);
+    // One stored_result per entry, shared by the store and every response
+    // slot, so the two payloads can never drift apart.
+    const auto as_stored = [](const core::sweep_engine_entry& entry) {
+      stored_result result;
+      result.request = entry.request;
+      result.evaluation = entry.evaluation;
+      result.mc_trials_used = entry.mc_trials_used;
+      return result;
+    };
+    for (const core::sweep_engine_entry& entry : report.entries) {
+      store_.insert(core::fingerprint(entry.request), as_stored(entry));
+    }
+    for (std::size_t k = 0; k < points.size(); ++k) {
+      const auto found = miss_index.find(keys[k]);
+      if (found == miss_index.end() || response.points[k].cached) continue;
+      response.points[k] = {as_stored(report.entries[found->second]), false};
+      ++response.computed;
+    }
+  }
+  return response;
+}
+
+sweep_response sweep_service::evaluate(const core::sweep_axes& axes) {
+  return evaluate(axes.expand());
+}
+
+bool sweep_service::load_cache(const std::string& path) {
+  return store_.load_file(path, header());
+}
+
+void sweep_service::save_cache(const std::string& path) const {
+  store_.save_file(path, header());
+}
+
+void write_payload(json_writer& json, const sweep_response& response) {
+  json.begin_object().key("points").begin_array();
+  for (const sweep_response_entry& entry : response.points) {
+    write_stored_result(json, entry.result);
+  }
+  json.end_array().end_object();
+}
+
+std::string to_json(const sweep_response& response, json_writer::style style) {
+  json_writer json(style);
+  write_payload(json, response);
+  return json.str();
+}
+
+}  // namespace nwdec::service

@@ -1,0 +1,97 @@
+// service::sweep_service: the memoizing front end over core::sweep_engine
+// -- the serving substrate of the ROADMAP's long-running sweep daemon.
+//
+// evaluate() answers each requested point from the result store when it can
+// and batches every miss into ONE engine run (so fresh points still shard
+// across workers and share the engine's intermediate caches), then stores
+// the fresh results. Because a point's result is a pure function of
+// (seed, mode, budget policy, fingerprint(point)) -- the engine's
+// determinism contract -- the three ways a point can be answered (computed
+// cold, memory cache, reloaded cache file) carry identical payloads, and
+// service::to_json serializes them byte-identically.
+//
+// The service is single-threaded by design (the daemon is a request loop;
+// parallelism lives inside the engine); it is not internally synchronized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sweep_engine.h"
+#include "service/adaptive_budget.h"
+#include "service/result_store.h"
+
+namespace nwdec::service {
+
+/// Service-wide run configuration; fixed for the service's lifetime (it is
+/// part of every cached result's validity -- see store_header).
+struct service_options {
+  std::size_t threads = 0;  ///< engine workers; 0 = hardware concurrency
+  std::uint64_t seed = 2009;
+  yield::mc_mode mode = yield::mc_mode::operational;
+  std::size_t cache_capacity = 1 << 16;
+  /// CI-width stopping policy; unset = fixed budgets (request.mc_trials).
+  std::optional<adaptive_options> adaptive;
+};
+
+/// One answered point: the payload plus where it came from.
+struct sweep_response_entry {
+  stored_result result;
+  bool cached = false;  ///< true = served by the store, false = computed
+};
+
+/// A fully answered sweep request, in request order.
+struct sweep_response {
+  std::size_t cached = 0;    ///< points served by the store
+  std::size_t computed = 0;  ///< points evaluated by the engine
+  std::vector<sweep_response_entry> points;
+};
+
+class sweep_service {
+ public:
+  sweep_service(crossbar::crossbar_spec spec, device::technology tech,
+                service_options options = {});
+
+  const service_options& options() const { return options_; }
+  const core::sweep_engine& engine() const { return engine_; }
+  result_store& store() { return store_; }
+  const result_store& store() const { return store_; }
+
+  /// The header every persisted cache must match to be loaded here.
+  store_header header() const;
+
+  /// Fills platform defaults into a request (the form fingerprints are
+  /// computed over).
+  core::sweep_request resolve(core::sweep_request request) const;
+
+  /// Answers every point, serving store hits and batching the misses into
+  /// one engine run. Duplicate points within one request are computed once.
+  sweep_response evaluate(const std::vector<core::sweep_request>& points);
+  sweep_response evaluate(const core::sweep_axes& axes);
+
+  /// Cache-file convenience: load_file/save_file with this service's
+  /// header. load_cache returns false when the file does not exist.
+  bool load_cache(const std::string& path);
+  void save_cache(const std::string& path) const;
+
+ private:
+  core::sweep_engine engine_;
+  service_options options_;
+  core::sweep_engine_options engine_options_;
+  result_store store_;
+};
+
+/// Writes a response's deterministic payload into an open writer:
+/// {"points": [...]} only -- cache provenance (hit/miss counts)
+/// deliberately lives OUTSIDE, in the protocol wrapper, so cold, warm, and
+/// persisted answers to one request are byte-identical.
+void write_payload(json_writer& json, const sweep_response& response);
+
+/// Standalone payload document via write_payload.
+std::string to_json(const sweep_response& response,
+                    json_writer::style style = json_writer::style::pretty);
+
+}  // namespace nwdec::service

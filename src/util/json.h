@@ -1,6 +1,5 @@
-// Minimal streaming JSON emitter shared by every report serializer
-// (yield::to_json, core::to_json(sweep_engine_report), the bench JSON
-// records).
+// JSON emitter and parser shared by every report serializer and by the
+// sweep-service request protocol / cache files.
 //
 // The writer emits keys in insertion order -- there is no map in between --
 // so a report serialized twice, or serialized from a reordered computation,
@@ -8,13 +7,23 @@
 // this. Doubles are printed with std::to_chars (shortest representation
 // that parses back to the same bits), so the reports round-trip exactly
 // through strtod.
+//
+// The parser (json_parse) is the writer's inverse: numbers come back with
+// the exact double bits the writer printed, and object members keep the
+// document's key order (json_value stores them in a vector, not a map), so
+// write(parse(write(x))) == write(x) byte for byte -- the property the
+// result-store persistence and the daemon's warm/cold response identity
+// are built on.
 #pragma once
 
 #include <cstdint>
 #include <sstream>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "util/error.h"
 
 namespace nwdec {
 
@@ -22,13 +31,102 @@ namespace nwdec {
 /// the surrounding quotes are not included.
 std::string json_escape(const std::string& text);
 
-/// Streaming writer with two-space pretty printing and automatic comma
-/// placement. Usage: begin_object()/key()/value() pairs, nested arrays via
+/// A malformed JSON document; what() names the byte offset of the defect.
+class json_parse_error : public error {
+ public:
+  explicit json_parse_error(const std::string& what) : error(what) {}
+};
+
+/// One parsed JSON document node. Object members are kept in document
+/// order; numbers are stored as the exact double the text parses to.
+class json_value {
+ public:
+  enum class kind { null, boolean, number, string, array, object };
+  using member = std::pair<std::string, json_value>;
+
+  json_value() = default;  ///< null
+  json_value(bool flag) : kind_(kind::boolean), bool_(flag) {}
+  json_value(double number) : kind_(kind::number), number_(number) {}
+  json_value(std::string text)
+      : kind_(kind::string), string_(std::move(text)) {}
+  json_value(const char* text) : json_value(std::string(text)) {}
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  json_value(T number)
+      : kind_(kind::number), number_(static_cast<double>(number)) {}
+
+  static json_value array() { return json_value(kind::array); }
+  static json_value object() { return json_value(kind::object); }
+  /// Builds an object from prepared members in one move -- O(n) where
+  /// repeated set() calls are O(n^2); the parser's path for large objects.
+  /// Keys are taken as-is (set() is the deduplicating mutation API).
+  static json_value object(std::vector<member> members);
+
+  kind type() const { return kind_; }
+  bool is_null() const { return kind_ == kind::null; }
+  bool is_bool() const { return kind_ == kind::boolean; }
+  bool is_number() const { return kind_ == kind::number; }
+  bool is_string() const { return kind_ == kind::string; }
+  bool is_array() const { return kind_ == kind::array; }
+  bool is_object() const { return kind_ == kind::object; }
+
+  /// Typed accessors; throw invalid_argument_error on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  /// The elements of an array.
+  const std::vector<json_value>& items() const;
+  /// The members of an object, in document/insertion order.
+  const std::vector<member>& members() const;
+
+  /// Appends an array element.
+  void push_back(json_value element);
+  /// Appends an object member (replaces the value if the key exists).
+  void set(const std::string& name, json_value value);
+  /// The member named `name`, or nullptr when absent / not an object.
+  const json_value* find(const std::string& name) const;
+  /// The member named `name`; throws not_found_error when absent.
+  const json_value& at(const std::string& name) const;
+
+  /// Deep structural equality. Numbers compare by value; object members
+  /// compare element-wise in order (both the writer and the parser preserve
+  /// member order, so round-tripped documents compare equal).
+  friend bool operator==(const json_value& a, const json_value& b);
+  friend bool operator!=(const json_value& a, const json_value& b) {
+    return !(a == b);
+  }
+
+ private:
+  explicit json_value(kind k) : kind_(k) {}
+
+  kind kind_ = kind::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<json_value> items_;
+  std::vector<member> members_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// content is an error). Throws json_parse_error with the byte offset on
+/// malformed input. Accepts strict JSON only: no comments, no trailing
+/// commas, no inf/nan literals; \uXXXX escapes (including surrogate pairs)
+/// decode to UTF-8.
+json_value json_parse(const std::string& text);
+
+/// Streaming writer with automatic comma placement. The default `pretty`
+/// style two-space indents (the report files); `compact` emits a single
+/// line with no whitespace (the daemon's newline-delimited responses).
+/// Usage: begin_object()/key()/value() pairs, nested arrays via
 /// begin_array(); str() renders the document and requires every scope to be
 /// closed.
 class json_writer {
  public:
-  json_writer() = default;
+  enum class style { pretty, compact };
+
+  explicit json_writer(style output_style = style::pretty)
+      : style_(output_style) {}
 
   json_writer& begin_object();
   json_writer& end_object();
@@ -42,6 +140,9 @@ class json_writer {
   json_writer& value(const char* text);
   json_writer& value(double number);
   json_writer& value(bool flag);
+  /// Emits a parsed tree (arrays/objects recurse; numbers re-print through
+  /// the exact shortest-double path).
+  json_writer& value(const json_value& node);
   template <typename T,
             std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
                              int> = 0>
@@ -56,7 +157,8 @@ class json_writer {
     return value(std::forward<T>(v));
   }
 
-  /// The rendered document; every begin_* must have been closed.
+  /// The rendered document plus a trailing newline; every begin_* must have
+  /// been closed.
   std::string str() const;
 
  private:
@@ -70,9 +172,15 @@ class json_writer {
   void before_value();
   void indent();
 
+  style style_ = style::pretty;
   std::ostringstream out_;
   std::vector<level> stack_;
   bool pending_key_ = false;
 };
+
+/// Renders one json_value as a standalone document (no trailing newline
+/// trimming: same contract as json_writer::str()).
+std::string json_render(const json_value& node,
+                        json_writer::style output_style = json_writer::style::pretty);
 
 }  // namespace nwdec

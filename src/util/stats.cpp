@@ -53,14 +53,52 @@ double gaussian_symmetric_window_probability(double sigma, double half_width) {
 interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
   NWDEC_EXPECTS(trials > 0, "wilson interval requires at least one trial");
   NWDEC_EXPECTS(successes <= trials, "successes cannot exceed trials");
-  const double n = static_cast<double>(trials);
-  const double p = static_cast<double>(successes) / n;
+  return wilson_interval(static_cast<double>(successes),
+                         static_cast<double>(trials), z);
+}
+
+interval wilson_interval(double successes, double trials, double z) {
+  NWDEC_EXPECTS(trials > 0.0, "wilson interval requires at least one trial");
+  NWDEC_EXPECTS(successes >= 0.0 && successes <= trials,
+                "successes must lie in [0, trials]");
+  const double n = trials;
+  const double p = successes / n;
   const double z2 = z * z;
   const double denom = 1.0 + z2 / n;
   const double center = (p + z2 / (2.0 * n)) / denom;
   const double margin =
       z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
   return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+double wilson_half_width(double successes, double trials, double z) {
+  NWDEC_EXPECTS(trials >= 0.0, "trials cannot be negative");
+  if (trials == 0.0) return 1.0;
+  const interval ci = wilson_interval(successes, trials, z);
+  return 0.5 * (ci.high - ci.low);
+}
+
+double proportion_stderr(double p, double n) {
+  NWDEC_EXPECTS(p >= 0.0 && p <= 1.0, "proportion must lie in [0, 1]");
+  NWDEC_EXPECTS(n >= 0.0, "sample size cannot be negative");
+  if (n == 0.0) return 0.0;
+  return std::sqrt(p * (1.0 - p) / n);
+}
+
+running_stats running_stats::from_moments(std::size_t count, double mean,
+                                          double m2) {
+  NWDEC_EXPECTS(m2 >= 0.0, "M2 (sum of squared deviations) cannot be negative");
+  NWDEC_EXPECTS(count > 0 || (mean == 0.0 && m2 == 0.0),
+                "an empty accumulator has zero moments");
+  running_stats stats;
+  stats.count_ = count;
+  stats.mean_ = mean;
+  stats.m2_ = m2;
+  // min/max restart from the resumed observations only (documented): start
+  // at the fold identities so the first post-resume add() wins.
+  stats.min_ = std::numeric_limits<double>::infinity();
+  stats.max_ = -std::numeric_limits<double>::infinity();
+  return stats;
 }
 
 double percent_change(double a, double b) {

@@ -27,6 +27,17 @@ class running_stats {
   double min() const { return min_; }
   /// Largest observation seen; -inf when empty.
   double max() const { return max_; }
+  /// Sum of squared deviations from the mean (Welford's M2 accumulator);
+  /// with count() this is the full resumable state of the estimator.
+  double sum_squared_deviations() const { return m2_; }
+
+  /// Rebuilds an accumulator from saved moments, so a Welford pass can
+  /// resume exactly where a previous one stopped: feeding the same further
+  /// observations produces bit-identical (count, mean, M2) to one
+  /// uninterrupted pass -- the contract the resumable Monte-Carlo engine
+  /// and the sweep service's adaptive trial budgets rely on. min()/max()
+  /// restart: they cover only the observations added after resuming.
+  static running_stats from_moments(std::size_t count, double mean, double m2);
 
  private:
   std::size_t count_ = 0;
@@ -56,6 +67,22 @@ struct interval {
 };
 interval wilson_interval(std::size_t successes, std::size_t trials,
                          double z = 1.96);
+
+/// Continuous-weight generalization of the Wilson interval: `successes` may
+/// be fractional (e.g. mean per-trial yield * trials, where each trial
+/// contributes the fraction of nanowires that decoded). Requires
+/// 0 <= successes <= trials and trials > 0.
+interval wilson_interval(double successes, double trials, double z = 1.96);
+
+/// Half the width of the Wilson interval -- the sweep service's CI-width
+/// stopping quantity. Returns 1.0 (wider than any reachable interval) when
+/// trials == 0, so "no information yet" always fails a half-width target.
+double wilson_half_width(double successes, double trials, double z = 1.96);
+
+/// Standard error sqrt(p * (1 - p) / n) of a binomial proportion estimate;
+/// reported next to the Wilson bounds in the sweep JSON output. Requires
+/// p in [0, 1]; returns 0 when n == 0.
+double proportion_stderr(double p, double n);
 
 /// Relative difference (a - b) / b, in percent. Used by the experiment
 /// reports when comparing measured values against the paper's numbers.

@@ -13,21 +13,25 @@ namespace nwdec::yield {
 
 namespace {
 
-// Assembles the summary statistics from the per-trial good counts, reduced
+// Folds a batch of per-trial good counts into the resumable accumulator,
 // sequentially in trial order so the result is independent of which thread
-// produced which slot.
-mc_yield_result reduce_trials(const std::vector<std::uint32_t>& good,
-                              std::size_t nanowires) {
-  running_stats per_trial_yield;
+// produced which slot (and of how the run was batched).
+void accumulate_trials(mc_run_state& state,
+                       const std::vector<std::uint32_t>& good,
+                       std::size_t nanowires) {
   for (const std::uint32_t g : good) {
-    per_trial_yield.add(static_cast<double>(g) /
-                        static_cast<double>(nanowires));
+    state.per_trial_yield.add(static_cast<double>(g) /
+                              static_cast<double>(nanowires));
   }
+}
+
+// Assembles the summary statistics over every trial folded so far.
+mc_yield_result result_from_state(const mc_run_state& state) {
   mc_yield_result result;
-  result.trials = good.size();
-  result.nanowire_yield = per_trial_yield.mean();
+  result.trials = state.trials();
+  result.nanowire_yield = state.per_trial_yield.mean();
   result.crosspoint_yield = result.nanowire_yield * result.nanowire_yield;
-  const double margin = 1.96 * per_trial_yield.stderr_mean();
+  const double margin = 1.96 * state.per_trial_yield.stderr_mean();
   result.ci = interval{result.nanowire_yield - margin,
                        result.nanowire_yield + margin};
   return result;
@@ -43,9 +47,10 @@ std::size_t resolve_thread_count(std::size_t requested, std::size_t trials) {
 
 }  // namespace
 
-mc_yield_result monte_carlo_yield(const trial_context& context,
-                                  const mc_options& options,
-                                  std::uint64_t run_key) {
+mc_yield_result monte_carlo_yield_resume(const trial_context& context,
+                                         const mc_options& options,
+                                         std::uint64_t run_key,
+                                         mc_run_state& state) {
   NWDEC_EXPECTS(options.trials >= 1, "need at least one Monte-Carlo trial");
   if (options.defects.has_value()) options.defects->validate();
   const double sigma_vt =
@@ -54,13 +59,15 @@ mc_yield_result monte_carlo_yield(const trial_context& context,
   const fab::defect_params* defects =
       options.defects.has_value() ? &*options.defects : nullptr;
 
-  // Slot i belongs to trial i alone; workers share nothing else mutable.
+  // This batch covers global trial indices [base, base + trials); slot i
+  // belongs to trial base + i alone; workers share nothing else mutable.
+  const std::size_t base = state.trials();
   std::vector<std::uint32_t> good(options.trials, 0);
   const auto run_shard = [&](std::size_t begin, std::size_t end) {
     trial_scratch scratch;
-    for (std::size_t trial = begin; trial < end; ++trial) {
-      rng stream = rng::from_counter(run_key, trial);
-      good[trial] = static_cast<std::uint32_t>(context.run_trial(
+    for (std::size_t slot = begin; slot < end; ++slot) {
+      rng stream = rng::from_counter(run_key, base + slot);
+      good[slot] = static_cast<std::uint32_t>(context.run_trial(
           stream, scratch, options.mode, sigma_vt, defects));
     }
   };
@@ -81,7 +88,15 @@ mc_yield_result monte_carlo_yield(const trial_context& context,
     }
     for (std::thread& worker : workers) worker.join();
   }
-  return reduce_trials(good, context.nanowire_count());
+  accumulate_trials(state, good, context.nanowire_count());
+  return result_from_state(state);
+}
+
+mc_yield_result monte_carlo_yield(const trial_context& context,
+                                  const mc_options& options,
+                                  std::uint64_t run_key) {
+  mc_run_state state;
+  return monte_carlo_yield_resume(context, options, run_key, state);
 }
 
 mc_yield_result monte_carlo_yield(const decoder::decoder_design& design,
@@ -196,7 +211,9 @@ mc_yield_result monte_carlo_yield_reference(
     }
     good_counts[trial] = static_cast<std::uint32_t>(good);
   }
-  return reduce_trials(good_counts, n);
+  mc_run_state state;
+  accumulate_trials(state, good_counts, n);
+  return result_from_state(state);
 }
 
 }  // namespace nwdec::yield

@@ -76,6 +76,40 @@ mc_yield_result monte_carlo_yield(const trial_context& context,
                                   const mc_options& options,
                                   std::uint64_t run_key);
 
+/// Saved progress of a resumable Monte-Carlo run: the per-trial yield
+/// accumulator (count = trials consumed so far, running mean, Welford M2).
+/// Because trial i always consumes the stream rng::from_counter(run_key, i)
+/// and the accumulator folds trials in order, continuing from a state is
+/// deterministic: any batch schedule summing to T trials is bit-identical
+/// to a single T-trial run -- the contract the sweep service's adaptive
+/// trial budgets (CI-width stopping) are built on.
+struct mc_run_state {
+  running_stats per_trial_yield;  ///< one observation per trial: good / N
+
+  /// Trials consumed so far (the next trial index).
+  std::size_t trials() const { return per_trial_yield.count(); }
+  /// The running mean nanowire yield (0 before any trial).
+  double mean() const { return per_trial_yield.mean(); }
+
+  /// Rebuilds a state from persisted moments (e.g. a cached result), so a
+  /// run can continue across process restarts.
+  static mc_run_state from_moments(std::size_t trials, double mean, double m2) {
+    return {running_stats::from_moments(trials, mean, m2)};
+  }
+};
+
+/// Resumable engine entry: runs `options.trials` *further* trials starting
+/// at trial index state.trials(), folds them into `state` in trial order,
+/// and returns the merged estimate over all state.trials() trials so far.
+/// Sharding across `options.threads` never changes the bits; see
+/// mc_run_state for the batching contract. A fresh state with one batch of
+/// T trials reproduces monte_carlo_yield(context, options, run_key) with
+/// options.trials == T exactly.
+mc_yield_result monte_carlo_yield_resume(const trial_context& context,
+                                         const mc_options& options,
+                                         std::uint64_t run_key,
+                                         mc_run_state& state);
+
 /// Single-threaded convenience wrapper kept source-compatible with the
 /// original API; forwards to the engine with one worker.
 mc_yield_result monte_carlo_yield(

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 
 #include "codes/factory.h"
@@ -235,6 +237,127 @@ TEST(SweepEngineTest, BadGridPointsFailWithActionableDiagnostics) {
   }
   EXPECT_THROW(engine.run(std::vector<sweep_request>{}),
                invalid_argument_error);
+}
+
+// ------------------------------------------------------------ fingerprints
+
+TEST(SweepEngineFingerprintTest, DistinctGridPointsGetDistinctFingerprints) {
+  // The memoization contract (see the fingerprint() doc): every resolved
+  // point of a realistic product grid must key a distinct result slot.
+  sweep_axes axes;
+  for (const codes::code_type type :
+       {codes::code_type::tree, codes::code_type::gray,
+        codes::code_type::balanced_gray, codes::code_type::hot,
+        codes::code_type::arranged_hot}) {
+    for (const std::size_t length : {std::size_t{4}, std::size_t{6},
+                                     std::size_t{8}, std::size_t{10}}) {
+      axes.designs.push_back({type, 2, length});
+    }
+  }
+  axes.nanowires = {10, 20, 40, 80};
+  axes.sigmas_vt = {0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.065, 0.08, 0.1};
+  axes.defects = {std::nullopt, fab::defect_params{0.05, 0.01},
+                  fab::defect_params{0.01, 0.05}};
+  axes.mc_trials = 100;
+
+  const std::vector<sweep_request> grid = axes.expand();
+  std::set<std::uint64_t> seen;
+  for (const sweep_request& request : grid) {
+    EXPECT_TRUE(seen.insert(fingerprint(request)).second)
+        << "fingerprint collision at " << request.design.label();
+  }
+  EXPECT_EQ(seen.size(), grid.size());
+}
+
+TEST(SweepEngineFingerprintTest, SensitiveToEveryRequestField) {
+  sweep_request base;
+  base.design = {codes::code_type::balanced_gray, 2, 8};
+  base.nanowires = 20;
+  base.sigma_vt = 0.05;
+  base.mc_trials = 100;
+  const std::uint64_t reference = fingerprint(base);
+
+  sweep_request changed = base;
+  changed.design.type = codes::code_type::gray;
+  EXPECT_NE(fingerprint(changed), reference);
+  changed = base;
+  changed.design.radix = 3;
+  EXPECT_NE(fingerprint(changed), reference);
+  changed = base;
+  changed.design.length = 10;
+  EXPECT_NE(fingerprint(changed), reference);
+  changed = base;
+  changed.nanowires = 40;
+  EXPECT_NE(fingerprint(changed), reference);
+  changed = base;
+  changed.sigma_vt = 0.051;
+  EXPECT_NE(fingerprint(changed), reference);
+  changed = base;
+  changed.mc_trials = 101;
+  EXPECT_NE(fingerprint(changed), reference);
+  changed = base;
+  changed.defects = fab::defect_params{0.0, 0.0};  // presence alone counts
+  EXPECT_NE(fingerprint(changed), reference);
+  const std::uint64_t with_zero_defects = fingerprint(changed);
+  changed.defects = fab::defect_params{0.05, 0.0};
+  EXPECT_NE(fingerprint(changed), with_zero_defects);
+
+  // And an identical request fingerprints identically (pure function).
+  EXPECT_EQ(fingerprint(base), reference);
+}
+
+// ------------------------------------------------------------ budget hook
+
+TEST(SweepEngineBudgetTest, HookControlsBatchesAndRecordsTrialsUsed) {
+  const sweep_engine engine = make_engine();
+  sweep_request request;
+  request.design = {codes::code_type::balanced_gray, 2, 8};
+  request.sigma_vt = 0.05;
+  request.mc_trials = 1000;
+
+  sweep_engine_options fixed;
+  fixed.seed = 31;
+  const sweep_engine_report straight = engine.run({request}, fixed);
+  EXPECT_EQ(straight.entries[0].mc_trials_used, 1000u);
+
+  // A hook that issues 1000 trials as 4 x 250 must reproduce the fixed
+  // run bit for bit (the resumable-stream contract).
+  sweep_engine_options batched = fixed;
+  batched.mc_budget = [](const sweep_request&,
+                         const mc_budget_status& status) -> std::size_t {
+    return status.trials_done >= 1000 ? 0 : 250;
+  };
+  const sweep_engine_report quartered = engine.run({request}, batched);
+  EXPECT_EQ(quartered.entries[0].mc_trials_used, 1000u);
+  expect_entries_identical(straight.entries[0], quartered.entries[0]);
+
+  // A hook that refuses all trials leaves the point analytic-only.
+  sweep_engine_options refused = fixed;
+  refused.mc_budget = [](const sweep_request&, const mc_budget_status&) {
+    return std::size_t{0};
+  };
+  const sweep_engine_report none = engine.run({request}, refused);
+  EXPECT_FALSE(none.entries[0].evaluation.has_monte_carlo);
+  EXPECT_EQ(none.entries[0].mc_trials_used, 0u);
+
+  // The hook sees a coherent progress snapshot.
+  sweep_engine_options observed = fixed;
+  std::atomic<std::size_t> calls{0};
+  observed.mc_budget = [&calls](const sweep_request& seen,
+                                const mc_budget_status& status) -> std::size_t {
+    ++calls;
+    EXPECT_EQ(seen.mc_trials, 1000u);
+    if (status.trials_done == 0) {
+      EXPECT_EQ(status.wilson_half_width, 1.0);
+      return 100;
+    }
+    EXPECT_GT(status.nanowire_yield, 0.0);
+    EXPECT_LT(status.wilson_half_width, 1.0);
+    return 0;
+  };
+  const sweep_engine_report probed = engine.run({request}, observed);
+  EXPECT_EQ(probed.entries[0].mc_trials_used, 100u);
+  EXPECT_EQ(calls.load(), 2u);
 }
 
 // ------------------------------------------------------------- serializers

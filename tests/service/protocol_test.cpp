@@ -1,0 +1,284 @@
+// The sweep service and its NDJSON protocol: memoized evaluation, the
+// cold / warm / persisted byte-identity of result payloads, and the
+// request grammar's error handling.
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "service/sweep_service.h"
+#include "util/json.h"
+
+namespace nwdec::service {
+namespace {
+
+sweep_service make_service(service_options options = {}) {
+  return sweep_service(crossbar::crossbar_spec{}, device::paper_technology(),
+                       options);
+}
+
+core::sweep_request point(double sigma, std::size_t trials = 0) {
+  core::sweep_request request;
+  request.design = {codes::code_type::balanced_gray, 2, 8};
+  request.sigma_vt = sigma;
+  request.mc_trials = trials;
+  return request;
+}
+
+class temp_file {
+ public:
+  explicit temp_file(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {
+    std::remove(path_.c_str());
+  }
+  ~temp_file() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---------------------------------------------------------- sweep_service
+
+TEST(SweepServiceTest, ServesRepeatsFromTheStore) {
+  sweep_service service = make_service();
+  const std::vector<core::sweep_request> grid = {point(0.04, 80),
+                                                 point(0.05, 80)};
+  const sweep_response cold = service.evaluate(grid);
+  EXPECT_EQ(cold.computed, 2u);
+  EXPECT_EQ(cold.cached, 0u);
+
+  const sweep_response warm = service.evaluate(grid);
+  EXPECT_EQ(warm.computed, 0u);
+  EXPECT_EQ(warm.cached, 2u);
+  EXPECT_TRUE(warm.points[0].cached);
+  EXPECT_EQ(to_json(warm), to_json(cold));  // byte-identical payloads
+}
+
+TEST(SweepServiceTest, MatchesTheEngineDirectly) {
+  sweep_service service = make_service();
+  const core::sweep_engine engine(crossbar::crossbar_spec{},
+                                  device::paper_technology());
+  core::sweep_engine_options engine_options;
+  engine_options.seed = service.options().seed;
+  engine_options.mode = service.options().mode;
+  const core::sweep_engine_report direct =
+      engine.run({point(0.05, 120)}, engine_options);
+  const sweep_response served = service.evaluate({point(0.05, 120)});
+  EXPECT_EQ(served.points[0].result.evaluation.mc_nanowire_yield,
+            direct.entries[0].evaluation.mc_nanowire_yield);
+  EXPECT_EQ(served.points[0].result.evaluation.nanowire_yield,
+            direct.entries[0].evaluation.nanowire_yield);
+}
+
+TEST(SweepServiceTest, DuplicatePointsComputeOnce) {
+  sweep_service service = make_service();
+  const sweep_response response =
+      service.evaluate({point(0.05, 60), point(0.05, 60), point(0.04)});
+  EXPECT_EQ(response.computed, 3u);  // three slots answered...
+  EXPECT_EQ(service.store().size(), 2u);  // ...from two computations
+  EXPECT_EQ(response.points[0].result.evaluation.mc_nanowire_yield,
+            response.points[1].result.evaluation.mc_nanowire_yield);
+}
+
+TEST(SweepServiceTest, MixedHitMissRequestsKeepRequestOrder) {
+  sweep_service service = make_service();
+  service.evaluate({point(0.05, 60)});
+  const sweep_response response =
+      service.evaluate({point(0.04, 60), point(0.05, 60), point(0.06, 60)});
+  EXPECT_EQ(response.cached, 1u);
+  EXPECT_EQ(response.computed, 2u);
+  EXPECT_FALSE(response.points[0].cached);
+  EXPECT_TRUE(response.points[1].cached);
+  EXPECT_EQ(response.points[0].result.request.sigma_vt, 0.04);
+  EXPECT_EQ(response.points[1].result.request.sigma_vt, 0.05);
+  EXPECT_EQ(response.points[2].result.request.sigma_vt, 0.06);
+}
+
+TEST(SweepServiceTest, PersistedCacheReproducesPayloadsByteIdentically) {
+  temp_file cache("nwdec_service_cache_test.json");
+  const std::vector<core::sweep_request> grid = {point(0.04, 90),
+                                                 point(0.065, 90)};
+  std::string cold_payload;
+  {
+    sweep_service service = make_service();
+    cold_payload = to_json(service.evaluate(grid));
+    service.save_cache(cache.path());
+  }
+  sweep_service restarted = make_service();
+  EXPECT_TRUE(restarted.load_cache(cache.path()));
+  const sweep_response warm = restarted.evaluate(grid);
+  EXPECT_EQ(warm.cached, 2u);
+  EXPECT_EQ(warm.computed, 0u);
+  EXPECT_EQ(to_json(warm), cold_payload);
+}
+
+TEST(SweepServiceTest, CacheRespectsServiceConfiguration) {
+  temp_file cache("nwdec_service_config_test.json");
+  {
+    sweep_service service = make_service();
+    service.evaluate({point(0.05, 50)});
+    service.save_cache(cache.path());
+  }
+  service_options different;
+  different.seed = 7;  // different seed -> different results -> reject
+  sweep_service other = make_service(different);
+  EXPECT_THROW(other.load_cache(cache.path()), nwdec::error);
+
+  service_options adaptive_opts;
+  adaptive_opts.adaptive = adaptive_options{};
+  sweep_service adaptive_service = make_service(adaptive_opts);
+  EXPECT_THROW(adaptive_service.load_cache(cache.path()), nwdec::error);
+
+  // A different technology invalidates the cache too: its parameters feed
+  // every cached figure.
+  device::technology other_tech = device::paper_technology();
+  other_tech.sigma_vt = 0.06;
+  sweep_service other_platform(crossbar::crossbar_spec{}, other_tech, {});
+  EXPECT_THROW(other_platform.load_cache(cache.path()), nwdec::error);
+}
+
+// -------------------------------------------------------------- protocol
+
+std::string result_of(const std::string& response_line) {
+  const std::size_t at = response_line.find("\"result\":");
+  EXPECT_NE(at, std::string::npos) << response_line;
+  return response_line.substr(at);
+}
+
+TEST(ProtocolTest, SweepResponsesAreByteIdenticalColdWarmPersisted) {
+  temp_file cache("nwdec_protocol_cache_test.json");
+  const std::string request =
+      R"({"id": 1, "kind": "sweep", "codes": ["BGC", "TC"], "lengths": [8],)"
+      R"( "sigmas_vt": [0.04, 0.05], "trials": 60})";
+
+  std::string cold;
+  std::string warm;
+  {
+    sweep_service service = make_service();
+    protocol_handler handler(service, cache.path());
+    cold = handler.handle_line(request);
+    warm = handler.handle_line(request);
+    EXPECT_NE(cold.find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(cold.find("\"computed\":4"), std::string::npos);
+    EXPECT_NE(warm.find("\"cached\":4"), std::string::npos);
+    EXPECT_EQ(result_of(cold), result_of(warm));
+    handler.handle_line(R"({"id": 2, "kind": "flush"})");
+  }
+  sweep_service restarted = make_service();
+  EXPECT_TRUE(restarted.load_cache(cache.path()));
+  protocol_handler handler(restarted, cache.path());
+  const std::string persisted = handler.handle_line(request);
+  EXPECT_NE(persisted.find("\"cached\":4"), std::string::npos);
+  EXPECT_EQ(result_of(persisted), result_of(cold));
+}
+
+TEST(ProtocolTest, ResponsesAreSingleLines) {
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+  const std::string response = handler.handle_line(
+      R"({"id": 1, "kind": "sweep", "codes": ["BGC"], "lengths": [8]})");
+  EXPECT_EQ(response.find('\n'), response.size() - 1);
+  EXPECT_EQ(response.back(), '\n');
+}
+
+TEST(ProtocolTest, RefineRequestsRunThroughTheService) {
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+  const std::string response = handler.handle_line(
+      R"({"id": 5, "kind": "refine", "code": "BGC", "length": 8,)"
+      R"( "sigma_low": 0.02, "sigma_high": 0.12, "resolution": 0.01})");
+  EXPECT_NE(response.find("\"id\":5"), std::string::npos);
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(response.find("\"bracketed\":true"), std::string::npos);
+  EXPECT_NE(response.find("\"trace\":["), std::string::npos);
+
+  // Repeating the refinement is fully cached and payload-identical.
+  const std::string again = handler.handle_line(
+      R"({"id": 6, "kind": "refine", "code": "BGC", "length": 8,)"
+      R"( "sigma_low": 0.02, "sigma_high": 0.12, "resolution": 0.01})");
+  EXPECT_EQ(result_of(again), result_of(response));
+  EXPECT_NE(again.find("\"cached\":"), std::string::npos);
+}
+
+TEST(ProtocolTest, StatsReportStoreAndEngineCounters) {
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+  handler.handle_line(
+      R"({"kind": "sweep", "codes": ["BGC"], "lengths": [8]})");
+  const std::string stats =
+      handler.handle_line(R"({"id": 9, "kind": "stats"})");
+  EXPECT_NE(stats.find("\"kind\":\"stats\""), std::string::npos);
+  EXPECT_NE(stats.find("\"store\":{\"entries\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"engine\":{\"designs_built\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"seed\":\"2009\""), std::string::npos);
+}
+
+TEST(ProtocolTest, FlushPersistsAndOptionallyClears) {
+  temp_file cache("nwdec_protocol_flush_test.json");
+  sweep_service service = make_service();
+  protocol_handler handler(service, cache.path());
+  handler.handle_line(
+      R"({"kind": "sweep", "codes": ["BGC"], "lengths": [8]})");
+  const std::string flushed = handler.handle_line(
+      R"({"id": 3, "kind": "flush", "clear": true})");
+  EXPECT_NE(flushed.find("\"persisted\":true"), std::string::npos);
+  EXPECT_NE(flushed.find("\"entries\":1"), std::string::npos);
+  EXPECT_NE(flushed.find("\"cleared\":true"), std::string::npos);
+  EXPECT_EQ(service.store().size(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(cache.path()));
+
+  // Without a cache path, flush answers but persists nothing.
+  sweep_service memory_only = make_service();
+  protocol_handler no_file(memory_only, "");
+  const std::string unpersisted =
+      no_file.handle_line(R"({"kind": "flush"})");
+  EXPECT_NE(unpersisted.find("\"persisted\":false"), std::string::npos);
+}
+
+TEST(ProtocolTest, MalformedAndInvalidRequestsBecomeErrorResponses) {
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+
+  const std::string garbage = handler.handle_line("not json at all");
+  EXPECT_NE(garbage.find("\"id\":null"), std::string::npos);
+  EXPECT_NE(garbage.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(garbage.find("\"error\":"), std::string::npos);
+
+  const std::string unknown_kind =
+      handler.handle_line(R"({"id": 7, "kind": "destroy"})");
+  EXPECT_NE(unknown_kind.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(unknown_kind.find("unknown request kind"), std::string::npos);
+
+  const std::string missing_fields =
+      handler.handle_line(R"({"id": 8, "kind": "sweep"})");
+  EXPECT_NE(missing_fields.find("\"ok\":false"), std::string::npos);
+
+  const std::string bad_code = handler.handle_line(
+      R"({"id": 9, "kind": "sweep", "codes": ["XYZ"], "lengths": [8]})");
+  EXPECT_NE(bad_code.find("\"ok\":false"), std::string::npos);
+
+  const std::string bad_length = handler.handle_line(
+      R"({"id": 10, "kind": "sweep", "codes": ["GC"], "lengths": [7]})");
+  EXPECT_NE(bad_length.find("\"ok\":false"), std::string::npos);
+
+  const std::string not_object = handler.handle_line(R"([1, 2, 3])");
+  EXPECT_NE(not_object.find("\"ok\":false"), std::string::npos);
+
+  // Negative defect rates are a client bug, not a defect-free sweep.
+  const std::string negative_defects = handler.handle_line(
+      R"({"id": 12, "kind": "sweep", "codes": ["BGC"], "lengths": [8],)"
+      R"( "broken": -0.05})");
+  EXPECT_NE(negative_defects.find("\"ok\":false"), std::string::npos);
+
+  // The handler survives all of the above: a good request still works.
+  const std::string good = handler.handle_line(
+      R"({"id": 11, "kind": "sweep", "codes": ["BGC"], "lengths": [8]})");
+  EXPECT_NE(good.find("\"ok\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nwdec::service

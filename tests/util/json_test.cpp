@@ -1,13 +1,17 @@
-// The shared JSON emitter: structure, escaping, stable key order, and
-// numeric round-tripping through strtod.
+// The shared JSON emitter and parser: structure, escaping, stable key
+// order, numeric round-tripping through strtod, and the
+// parse(write(x)) == x / write(parse(t)) == t inverses the sweep service's
+// cache files and daemon responses are built on.
 #include "util/json.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace nwdec {
 namespace {
@@ -97,6 +101,208 @@ TEST(JsonWriterTest, MisuseIsRejected) {
     json_writer json;
     EXPECT_THROW(json.end_object(), invalid_argument_error);
   }
+}
+
+TEST(JsonWriterTest, CompactStyleEmitsOneLine) {
+  json_writer json(json_writer::style::compact);
+  json.begin_object()
+      .field("name", "sweep")
+      .field("sigma", 0.05)
+      .key("points")
+      .begin_array()
+      .value(1)
+      .value(2)
+      .end_array()
+      .key("empty")
+      .begin_object()
+      .end_object();
+  EXPECT_EQ(json.end_object().str(),
+            "{\"name\":\"sweep\",\"sigma\":0.05,\"points\":[1,2],"
+            "\"empty\":{}}\n");
+}
+
+// --------------------------------------------------------------- parser
+
+TEST(JsonParseTest, ParsesEveryValueKind) {
+  const json_value document = json_parse(
+      R"({"s": "text", "n": 1.5, "i": -3, "t": true, "f": false,
+          "z": null, "a": [1, [2]], "o": {"inner": 0}})");
+  EXPECT_EQ(document.at("s").as_string(), "text");
+  EXPECT_EQ(document.at("n").as_number(), 1.5);
+  EXPECT_EQ(document.at("i").as_number(), -3.0);
+  EXPECT_TRUE(document.at("t").as_bool());
+  EXPECT_FALSE(document.at("f").as_bool());
+  EXPECT_TRUE(document.at("z").is_null());
+  ASSERT_EQ(document.at("a").items().size(), 2u);
+  EXPECT_EQ(document.at("a").items()[1].items()[0].as_number(), 2.0);
+  EXPECT_EQ(document.at("o").at("inner").as_number(), 0.0);
+  EXPECT_EQ(document.find("missing"), nullptr);
+  EXPECT_THROW(document.at("missing"), not_found_error);
+}
+
+TEST(JsonParseTest, PreservesObjectMemberOrder) {
+  const json_value document = json_parse(R"({"z": 1, "a": 2, "m": 3})");
+  const std::vector<json_value::member>& members = document.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonParseTest, DecodesEscapes) {
+  const json_value document =
+      json_parse(R"({"e": "a\"b\\c\/d\n\t\u0041\u00e9"})");
+  EXPECT_EQ(document.at("e").as_string(), "a\"b\\c/d\n\tA\xc3\xa9");
+  // Surrogate pair: U+1D11E (musical G clef) -> 4-byte UTF-8.
+  const json_value clef = json_parse(R"(["\ud834\udd1e"])");
+  EXPECT_EQ(clef.items()[0].as_string(), "\xf0\x9d\x84\x9e");
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutputExactly) {
+  // parse(write(x)) == x, including exact double bits -- the property the
+  // result store's persistence rests on.
+  json_value original = json_value::object();
+  original.set("label", json_value("cliff \"test\"\n"));
+  original.set("third", json_value(1.0 / 3.0));
+  original.set("tiny", json_value(5e-324));  // min subnormal
+  original.set("large", json_value(1.797e308));
+  original.set("negzero", json_value(-0.0));
+  original.set("count", json_value(150));
+  original.set("flag", json_value(true));
+  original.set("nothing", json_value());
+  json_value nested = json_value::array();
+  nested.push_back(json_value(0.8641173107133364));
+  json_value inner = json_value::object();
+  inner.set("yield", json_value(0.7466987266744488));
+  nested.push_back(inner);
+  nested.push_back(json_value::array());
+  original.set("trace", nested);
+
+  for (const json_writer::style style :
+       {json_writer::style::pretty, json_writer::style::compact}) {
+    const std::string text = json_render(original, style);
+    const json_value reparsed = json_parse(text);
+    EXPECT_TRUE(reparsed == original);
+    // write(parse(text)) == text: the fixed point in the other direction.
+    EXPECT_EQ(json_render(reparsed, style), text);
+  }
+}
+
+TEST(JsonParseTest, RandomDoublesSurviveTheRoundTrip) {
+  rng random(2026);
+  for (int k = 0; k < 200; ++k) {
+    const double value = random.gaussian(0.0, 1.0) *
+                         std::pow(10.0, random.uniform(-12.0, 12.0));
+    json_value array = json_value::array();
+    array.push_back(json_value(value));
+    const json_value reparsed = json_parse(json_render(array));
+    EXPECT_EQ(reparsed.items()[0].as_number(), value);
+  }
+}
+
+TEST(JsonParseTest, NonFiniteWritesAsNullAndStaysNull) {
+  json_value array = json_value::array();
+  array.push_back(json_value(std::numeric_limits<double>::infinity()));
+  array.push_back(json_value(std::nan("")));
+  const json_value reparsed = json_parse(json_render(array));
+  EXPECT_TRUE(reparsed.items()[0].is_null());
+  EXPECT_TRUE(reparsed.items()[1].is_null());
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  const char* cases[] = {
+      "",                      // empty input
+      "{",                     // unterminated object
+      "[1, 2",                 // unterminated array
+      "{\"a\": }",             // missing value
+      "{\"a\": 1,}",           // trailing comma
+      "[1 2]",                 // missing comma
+      "{'a': 1}",              // single quotes
+      "{\"a\" 1}",             // missing colon
+      "\"unterminated",        // unterminated string
+      "[\"bad\\q\"]",          // unknown escape
+      "[\"\\u12g4\"]",         // bad hex digit
+      "[\"\\ud834\"]",         // unpaired high surrogate
+      "[\"\\udd1e\"]",         // unpaired low surrogate
+      "01",                    // leading zero
+      "+1",                    // leading plus
+      "1.",                    // bare decimal point
+      ".5",                    // missing integer part
+      "1e",                    // empty exponent
+      "nan",                   // not a JSON literal
+      "truth",                 // mangled literal
+      "[] []",                 // trailing content
+      "{\"a\": 1} x",          // trailing garbage
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(json_parse(text), json_parse_error) << "input: " << text;
+  }
+  // A raw control character must be escaped.
+  EXPECT_THROW(json_parse(std::string("[\"a\nb\"]")), json_parse_error);
+}
+
+TEST(JsonParseTest, ReportsTheDefectOffset) {
+  try {
+    json_parse("{\"a\": 1, \"b\": }");
+    FAIL() << "expected json_parse_error";
+  } catch (const json_parse_error& failure) {
+    EXPECT_NE(std::string(failure.what()).find("offset 14"),
+              std::string::npos)
+        << failure.what();
+  }
+}
+
+TEST(JsonParseTest, BoundsNestingDepth) {
+  std::string deep;
+  for (int k = 0; k < 200; ++k) deep += '[';
+  for (int k = 0; k < 200; ++k) deep += ']';
+  EXPECT_THROW(json_parse(deep), json_parse_error);
+  // 100 levels is comfortably inside the limit.
+  std::string fine;
+  for (int k = 0; k < 100; ++k) fine += '[';
+  for (int k = 0; k < 100; ++k) fine += ']';
+  EXPECT_NO_THROW(json_parse(fine));
+}
+
+TEST(JsonValueTest, TypedAccessorsRejectMismatches) {
+  const json_value number(1.0);
+  EXPECT_THROW(number.as_string(), invalid_argument_error);
+  EXPECT_THROW(number.as_bool(), invalid_argument_error);
+  EXPECT_THROW(number.items(), invalid_argument_error);
+  EXPECT_THROW(number.members(), invalid_argument_error);
+  json_value array = json_value::array();
+  EXPECT_THROW(array.set("k", json_value(1.0)), invalid_argument_error);
+  EXPECT_EQ(array.find("k"), nullptr);  // non-object find is a miss
+}
+
+TEST(JsonValueTest, SetReplacesExistingMembers) {
+  json_value object = json_value::object();
+  object.set("k", json_value(1.0));
+  object.set("k", json_value(2.0));
+  ASSERT_EQ(object.members().size(), 1u);
+  EXPECT_EQ(object.at("k").as_number(), 2.0);
+}
+
+TEST(JsonParseTest, DuplicateObjectKeysKeepTheLastValue) {
+  const json_value document = json_parse(R"({"k": 1, "other": 2, "k": 3})");
+  ASSERT_EQ(document.members().size(), 2u);
+  EXPECT_EQ(document.at("k").as_number(), 3.0);
+  EXPECT_EQ(document.members()[0].first, "k");  // original position kept
+}
+
+TEST(JsonParseTest, LargeObjectsParseInReasonableTime) {
+  // The parser indexes keys while building, so a wide (possibly hostile)
+  // object is O(n); this would take minutes if member insertion were
+  // quadratic in string comparisons.
+  std::string wide = "{";
+  for (int k = 0; k < 20000; ++k) {
+    if (k > 0) wide += ",";
+    wide += "\"key_" + std::to_string(k) + "\": " + std::to_string(k);
+  }
+  wide += "}";
+  const json_value document = json_parse(wide);
+  EXPECT_EQ(document.members().size(), 20000u);
+  EXPECT_EQ(document.at("key_19999").as_number(), 19999.0);
 }
 
 }  // namespace

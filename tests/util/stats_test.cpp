@@ -89,7 +89,7 @@ TEST(GaussianTest, InvalidWindowThrows) {
 }
 
 TEST(WilsonTest, CoversObservedProportion) {
-  const interval ci = wilson_interval(80, 100);
+  const interval ci = wilson_interval(std::size_t{80}, std::size_t{100});
   EXPECT_LT(ci.low, 0.8);
   EXPECT_GT(ci.high, 0.8);
   EXPECT_GT(ci.low, 0.70);
@@ -97,17 +97,91 @@ TEST(WilsonTest, CoversObservedProportion) {
 }
 
 TEST(WilsonTest, ExtremesStayInUnitInterval) {
-  const interval none = wilson_interval(0, 50);
+  const interval none = wilson_interval(std::size_t{0}, std::size_t{50});
   EXPECT_GE(none.low, 0.0);
   EXPECT_GT(none.high, 0.0);
-  const interval all = wilson_interval(50, 50);
+  const interval all = wilson_interval(std::size_t{50}, std::size_t{50});
   EXPECT_LT(all.low, 1.0);
   EXPECT_LE(all.high, 1.0);
 }
 
 TEST(WilsonTest, InvalidInputsThrow) {
-  EXPECT_THROW(wilson_interval(1, 0), invalid_argument_error);
-  EXPECT_THROW(wilson_interval(5, 4), invalid_argument_error);
+  EXPECT_THROW(wilson_interval(std::size_t{1}, std::size_t{0}),
+               invalid_argument_error);
+  EXPECT_THROW(wilson_interval(std::size_t{5}, std::size_t{4}),
+               invalid_argument_error);
+  EXPECT_THROW(wilson_interval(-0.5, 10.0), invalid_argument_error);
+  EXPECT_THROW(wilson_interval(11.0, 10.0), invalid_argument_error);
+}
+
+TEST(WilsonTest, ContinuousOverloadMatchesIntegerCounts) {
+  // The size_t overload forwards to the continuous one: identical bits.
+  const interval a = wilson_interval(std::size_t{80}, std::size_t{100});
+  const interval b = wilson_interval(80.0, 100.0);
+  EXPECT_EQ(a.low, b.low);
+  EXPECT_EQ(a.high, b.high);
+  // Fractional successes interpolate between the neighboring counts.
+  const interval frac = wilson_interval(80.5, 100.0);
+  EXPECT_GT(frac.low, wilson_interval(80.0, 100.0).low);
+  EXPECT_LT(frac.high, wilson_interval(81.0, 100.0).high);
+}
+
+TEST(WilsonTest, HalfWidthShrinksWithTrials) {
+  const double wide = wilson_half_width(8.0, 10.0);
+  const double narrow = wilson_half_width(800.0, 1000.0);
+  EXPECT_GT(wide, narrow);
+  EXPECT_GT(narrow, 0.0);
+  // The no-information sentinel exceeds every reachable half-width (a
+  // Wilson interval is a subset of [0, 1], so its half-width is <= 0.5).
+  EXPECT_EQ(wilson_half_width(0.0, 0.0), 1.0);
+  EXPECT_LE(wide, 0.5);
+  // Consistency with the interval itself.
+  const interval ci = wilson_interval(8.0, 10.0);
+  EXPECT_DOUBLE_EQ(wide, 0.5 * (ci.high - ci.low));
+}
+
+TEST(ProportionStderrTest, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(proportion_stderr(0.5, 100.0),
+                   std::sqrt(0.5 * 0.5 / 100.0));
+  EXPECT_DOUBLE_EQ(proportion_stderr(0.0, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(proportion_stderr(1.0, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(proportion_stderr(0.3, 0.0), 0.0);
+  EXPECT_THROW(proportion_stderr(1.5, 10.0), invalid_argument_error);
+}
+
+TEST(RunningStatsTest, FromMomentsResumesBitIdentically) {
+  // Splitting one Welford pass at any point and resuming from the saved
+  // moments must reproduce the uninterrupted pass bit for bit -- the
+  // resumable Monte-Carlo contract.
+  rng random(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(random.gaussian(0.4, 0.1));
+
+  running_stats straight;
+  for (const double x : xs) straight.add(x);
+
+  for (const std::size_t split : {std::size_t{1}, std::size_t{50},
+                                  std::size_t{199}}) {
+    running_stats head;
+    for (std::size_t i = 0; i < split; ++i) head.add(xs[i]);
+    running_stats resumed = running_stats::from_moments(
+        head.count(), head.mean(), head.sum_squared_deviations());
+    for (std::size_t i = split; i < xs.size(); ++i) resumed.add(xs[i]);
+    EXPECT_EQ(resumed.count(), straight.count());
+    EXPECT_EQ(resumed.mean(), straight.mean());
+    EXPECT_EQ(resumed.sum_squared_deviations(),
+              straight.sum_squared_deviations());
+    EXPECT_EQ(resumed.stderr_mean(), straight.stderr_mean());
+  }
+}
+
+TEST(RunningStatsTest, FromMomentsValidatesArguments) {
+  EXPECT_THROW(running_stats::from_moments(10, 0.5, -1.0),
+               invalid_argument_error);
+  EXPECT_THROW(running_stats::from_moments(0, 0.5, 0.0),
+               invalid_argument_error);
+  const running_stats empty = running_stats::from_moments(0, 0.0, 0.0);
+  EXPECT_EQ(empty.count(), 0u);
 }
 
 TEST(PercentChangeTest, SignedChange) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "codes/factory.h"
 #include "crossbar/contact_groups.h"
@@ -171,6 +172,85 @@ TEST(McEngineTest, InvalidOptionsRejected) {
   options.sigma_vt = -0.1;
   EXPECT_THROW(monte_carlo_yield(f.design, f.plan, options, random),
                invalid_argument_error);
+}
+
+TEST(McEngineResumeTest, AnyBatchScheduleMatchesOneRunBitIdentically) {
+  // The resumable entry point's core contract: trial i always consumes
+  // stream from_counter(run_key, i) and the accumulator folds in trial
+  // order, so 400 trials in one, two, or many unequal batches are the same
+  // bits -- across thread counts too.
+  fixture f;
+  const trial_context context(f.design, f.plan);
+  mc_options options;
+  options.mode = mc_mode::operational;
+  options.defects = fab::defect_params{0.03, 0.01};
+  const std::uint64_t run_key = 0xfeedfacecafebeefULL;
+
+  options.trials = 400;
+  const mc_yield_result straight =
+      monte_carlo_yield(context, options, run_key);
+
+  const std::vector<std::vector<std::size_t>> schedules = {
+      {400}, {200, 200}, {1, 399}, {100, 150, 150}, {7, 93, 200, 100}};
+  for (const std::vector<std::size_t>& schedule : schedules) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      mc_run_state state;
+      mc_yield_result resumed;
+      for (const std::size_t batch : schedule) {
+        options.trials = batch;
+        options.threads = threads;
+        resumed = monte_carlo_yield_resume(context, options, run_key, state);
+      }
+      EXPECT_EQ(state.trials(), 400u);
+      expect_bit_identical(resumed, straight);
+    }
+  }
+}
+
+TEST(McEngineResumeTest, ContinuesFromPersistedMoments) {
+  // Saving (trials, mean, M2) and rebuilding the state elsewhere continues
+  // the run exactly -- the result store's resume-across-restarts path.
+  fixture f;
+  const trial_context context(f.design, f.plan);
+  mc_options options;
+  options.mode = mc_mode::window;
+  const std::uint64_t run_key = 99;
+
+  options.trials = 300;
+  const mc_yield_result straight =
+      monte_carlo_yield(context, options, run_key);
+
+  mc_run_state first;
+  options.trials = 120;
+  monte_carlo_yield_resume(context, options, run_key, first);
+
+  mc_run_state rebuilt = mc_run_state::from_moments(
+      first.trials(), first.per_trial_yield.mean(),
+      first.per_trial_yield.sum_squared_deviations());
+  options.trials = 180;
+  const mc_yield_result finished =
+      monte_carlo_yield_resume(context, options, run_key, rebuilt);
+  expect_bit_identical(finished, straight);
+}
+
+TEST(McEngineResumeTest, ReportsTheMergedEstimate) {
+  fixture f;
+  const trial_context context(f.design, f.plan);
+  mc_options options;
+  options.mode = mc_mode::operational;
+  mc_run_state state;
+  options.trials = 50;
+  const mc_yield_result after_first =
+      monte_carlo_yield_resume(context, options, 7, state);
+  EXPECT_EQ(after_first.trials, 50u);
+  const mc_yield_result after_second =
+      monte_carlo_yield_resume(context, options, 7, state);
+  EXPECT_EQ(after_second.trials, 100u);
+  EXPECT_EQ(state.trials(), 100u);
+  EXPECT_EQ(after_second.nanowire_yield, state.mean());
+  // More trials tighten the normal-approximation CI (same distribution).
+  EXPECT_LE(after_second.ci.high - after_second.ci.low,
+            after_first.ci.high - after_first.ci.low);
 }
 
 TEST(YieldSweepTest, ReproducibleAndMonotoneInSigma) {

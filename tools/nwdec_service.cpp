@@ -1,0 +1,120 @@
+// nwdec_service: the long-running sweep daemon over service::sweep_service.
+//
+// Speaks newline-delimited JSON on stdin/stdout: one request per line, one
+// response per line (the protocol grammar is documented in
+// src/service/protocol.h and bench/README.md). Diagnostics go to stderr;
+// stdout carries protocol responses only, so the daemon composes with
+// pipes:
+//
+//   $ nwdec_service --cache results.json < requests.ndjson > responses.ndjson
+//   $ echo '{"id":1,"kind":"sweep","codes":["BGC"],"lengths":[10],
+//            "trials":150}' | nwdec_service
+//
+// Identical points are answered from the fingerprint-keyed result store
+// (service/result_store.h) instead of recomputed -- across requests, and,
+// with --cache, across daemon restarts (the store is loaded at startup and
+// persisted on `flush` requests and at EOF). With --adaptive, Monte-Carlo
+// points stop at a target Wilson CI half-width instead of burning the full
+// --trials budget.
+#include <iostream>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/sweep_service.h"
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace nwdec;
+
+std::size_t get_size(const cli_parser& cli, const std::string& name) {
+  const std::int64_t value = cli.get_int(name);
+  if (value < 0) {
+    throw invalid_argument_error("--" + name + " cannot be negative (got " +
+                                 std::to_string(value) + ")");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_parser cli("nwdec_service",
+                 "long-running sweep daemon: newline-delimited JSON "
+                 "requests on stdin, one response per line on stdout "
+                 "(kinds: sweep | refine | stats | flush)");
+  cli.add_string("cache", "",
+                 "result-store JSON file: loaded at startup, persisted on "
+                 "'flush' requests and at EOF ('' = in-memory only)");
+  cli.add_int("capacity", 1 << 16, "result-store capacity (LRU entries)");
+  cli.add_int("threads", 0, "engine worker threads (0 = hardware)");
+  cli.add_int("seed", 2009,
+              "base seed (a point's result is a pure function of the seed, "
+              "the mode, the budget policy, and the point itself)");
+  cli.add_string("mode", "operational", "MC criterion: window | operational");
+  cli.add_int("raw-kb", 16, "raw crossbar capacity [kB]");
+  cli.add_flag("adaptive",
+               "CI-width stopping: run MC in growing batches and stop each "
+               "point once the Wilson half-width reaches the target");
+  cli.add_double("target-half-width", 0.02,
+                 "adaptive stopping target (Wilson CI half-width)");
+  cli.add_int("initial-batch", 64, "adaptive first-batch trials");
+  cli.add_double("growth", 2.0, "adaptive total-trials growth per round");
+  if (!cli.parse(argc, argv)) return 0;
+
+  try {
+    service::service_options options;
+    options.threads = get_size(cli, "threads");
+    options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    options.mode = service::parse_mc_mode(cli.get_string("mode"));
+    options.cache_capacity = get_size(cli, "capacity");
+    if (cli.get_flag("adaptive")) {
+      service::adaptive_options adaptive;
+      adaptive.target_half_width = cli.get_double("target-half-width");
+      adaptive.initial_batch = get_size(cli, "initial-batch");
+      adaptive.growth = cli.get_double("growth");
+      adaptive.validate();
+      options.adaptive = adaptive;
+    }
+
+    crossbar::crossbar_spec spec;
+    spec.raw_bits = get_size(cli, "raw-kb") * 1024 * 8;
+    service::sweep_service service(spec, device::paper_technology(), options);
+
+    const std::string cache_path = cli.get_string("cache");
+    if (!cache_path.empty()) {
+      // A stale or incompatible cache must not brick the daemon: start
+      // cold and let the EOF/flush persistence overwrite it.
+      try {
+        if (service.load_cache(cache_path)) {
+          std::cerr << "nwdec_service: warmed " << service.store().size()
+                    << " results from " << cache_path << "\n";
+        }
+      } catch (const std::exception& failure) {
+        std::cerr << "nwdec_service: ignoring cache " << cache_path << " ("
+                  << failure.what() << ")\n";
+      }
+    }
+
+    service::protocol_handler handler(service, cache_path);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      std::cout << handler.handle_line(line) << std::flush;
+    }
+
+    // EOF persistence skips an empty store: after a `flush {"clear": true}`
+    // checkpoint the store is deliberately empty, and writing it out here
+    // would wipe the file the flush just persisted.
+    if (!cache_path.empty() && service.store().size() > 0) {
+      service.save_cache(cache_path);
+      std::cerr << "nwdec_service: persisted " << service.store().size()
+                << " results to " << cache_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& failure) {
+    std::cerr << "nwdec_service: " << failure.what() << "\n";
+    return 1;
+  }
+}

@@ -15,11 +15,13 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "codes/code_space.h"
 #include "core/experiments.h"
 #include "core/sweep_engine.h"
+#include "service/sweep_service.h"
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/table.h"
@@ -117,6 +119,12 @@ int main(int argc, char** argv) {
               "seed and the point itself)");
   cli.add_string("json", "SWEEP_report.json", "JSON report path ('' = off)");
   cli.add_string("csv", "", "CSV report path ('' = off)");
+  cli.add_string("cache", "",
+                 "result-store JSON file (service::result_store): persisted "
+                 "point results are loaded before the sweep -- so repeated "
+                 "sweeps skip every previously computed point -- and the "
+                 "merged store is saved back after it ('' = no cache). The "
+                 "file is only reused under the same --seed/--mode/--raw-kb");
   cli.add_flag("quick",
                "smoke preset for CI: the paper's Figs. 7/8 grid, 150 trials");
   if (!cli.parse(argc, argv)) return 0;
@@ -154,7 +162,7 @@ int main(int argc, char** argv) {
 
     crossbar::crossbar_spec spec;
     spec.raw_bits = get_size(cli, "raw-kb") * 1024 * 8;
-    const core::sweep_engine engine(spec, device::paper_technology());
+    const device::technology tech = device::paper_technology();
 
     core::sweep_engine_options options;
     options.threads = get_size(cli, "threads");
@@ -163,7 +171,61 @@ int main(int argc, char** argv) {
                        ? yield::mc_mode::window
                        : yield::mc_mode::operational;
 
-    const core::sweep_engine_report report = engine.run(axes, options);
+    const std::string cache_path = cli.get_string("cache");
+    core::sweep_engine_report report;
+    if (cache_path.empty()) {
+      const core::sweep_engine engine(spec, tech);
+      report = engine.run(axes, options);
+    } else {
+      // Ride the sweep service's result store: previously computed points
+      // come back from the cache file, only the rest hit the engine, and
+      // the merged store is persisted for the next invocation. Results are
+      // identical to the direct path (same seed/mode/point fingerprints).
+      service::service_options service_options;
+      service_options.threads = options.threads;
+      service_options.seed = options.seed;
+      service_options.mode = options.mode;
+      service::sweep_service service(spec, tech, service_options);
+      // A stale or incompatible cache file must not block the sweep: run
+      // cold and overwrite it with fresh results (same policy as the
+      // daemon).
+      try {
+        if (service.load_cache(cache_path)) {
+          std::cout << "cache: warmed " << service.store().size()
+                    << " results from " << cache_path << "\n";
+        }
+      } catch (const std::exception& failure) {
+        std::cerr << "nwdec_sweep: ignoring cache " << cache_path << " ("
+                  << failure.what() << ")\n";
+      }
+      const service::sweep_response response = service.evaluate(axes);
+      service.save_cache(cache_path);
+      std::cout << "cache: " << response.cached << " points served from "
+                << cache_path << ", " << response.computed
+                << " computed; store now holds " << service.store().size()
+                << " results\n";
+
+      // Synthesize the engine-report shape so every output path (table,
+      // JSON, CSV) is shared with the direct run.
+      report.mode = service_options.mode;
+      report.threads = options.threads != 0
+                           ? options.threads
+                           : std::max<std::size_t>(
+                                 1, std::thread::hardware_concurrency());
+      report.seed = options.seed;
+      report.raw_bits = spec.raw_bits;
+      report.default_nanowires = spec.nanowires_per_half_cave;
+      report.default_sigma_vt = tech.sigma_vt;
+      report.cache = service.engine().cache_stats();
+      report.entries.reserve(response.points.size());
+      for (const service::sweep_response_entry& entry : response.points) {
+        core::sweep_engine_entry synthesized;
+        synthesized.request = entry.result.request;
+        synthesized.evaluation = entry.result.evaluation;
+        synthesized.mc_trials_used = entry.result.mc_trials_used;
+        report.entries.push_back(std::move(synthesized));
+      }
+    }
 
     std::cout << "design-space sweep: " << report.entries.size()
               << " grid points on " << report.threads << " workers (seed "
