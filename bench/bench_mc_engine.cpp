@@ -7,6 +7,13 @@
 //   * the engine on one thread (the zero-allocation speedup),
 //   * the engine on --threads workers (the sharding speedup),
 // and writes a JSON record for the bench trajectory / CI artifact.
+//
+// The kernel section then compares the scalar per-trial path (block_size 1,
+// the PR 3 kernel, kept as the equivalence oracle) against the batched
+// block kernel across block sizes, at one thread and best-of-3 timing so a
+// noisy box cannot fake a regression. Two gates decide the exit code:
+// every block size must be bit-identical to the scalar path, and the best
+// batched rate must be at least 2x the scalar rate.
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -149,6 +156,67 @@ int main(int argc, char** argv) {
             << (reference_agrees ? "overlap" : "DO NOT OVERLAP (BUG)")
             << "\n";
 
+  // ------------------------------------------------- batched kernel gate
+  // Scalar per-trial path vs the batched block kernel on a prebuilt
+  // context. The kernel section keeps its own trial count: --quick's 300
+  // trials finish in under 2 ms, far too little signal for a hard 2x gate,
+  // while 6000 trials still run in well under a second.
+  const std::size_t kernel_trials = std::max<std::size_t>(trials, 6000);
+  const yield::trial_context context(design, plan);
+  rng kernel_rng(seed);
+  const std::uint64_t kernel_key = kernel_rng.engine()();
+  const auto kernel_run = [&](std::size_t block_size,
+                              yield::mc_yield_result& result) {
+    yield::mc_options kernel_options;
+    kernel_options.mode = mode;
+    kernel_options.trials = kernel_trials;
+    kernel_options.threads = 1;
+    kernel_options.block_size = block_size;
+    double best = 0.0;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const auto t0 = std::chrono::steady_clock::now();
+      result = yield::monte_carlo_yield(context, kernel_options, kernel_key);
+      const double rate = kernel_trials / seconds_since(t0);
+      best = std::max(best, rate);
+    }
+    return best;
+  };
+
+  yield::mc_yield_result scalar_result;
+  const double scalar_rate = kernel_run(1, scalar_result);
+
+  const std::size_t kernel_blocks[] = {16, 32, 64, 128};
+  bool kernel_identical = true;
+  double kernel_rate = 0.0;
+  std::size_t kernel_block = 0;
+  text_table kernel_table({"kernel", "trials/sec", "vs scalar", "identical"});
+  kernel_table.add_row({"scalar (block 1)", format_fixed(scalar_rate, 0),
+                        "1.0x", "oracle"});
+  for (const std::size_t block_size : kernel_blocks) {
+    yield::mc_yield_result blocked_result;
+    const double rate = kernel_run(block_size, blocked_result);
+    const bool same = identical(blocked_result, scalar_result);
+    kernel_identical = kernel_identical && same;
+    if (rate > kernel_rate) {
+      kernel_rate = rate;
+      kernel_block = block_size;
+    }
+    kernel_table.add_row({"batched, block " + std::to_string(block_size),
+                          format_fixed(rate, 0),
+                          format_fixed(rate / scalar_rate, 2) + "x",
+                          same ? "yes" : "NO (BUG)"});
+  }
+  const double kernel_speedup = kernel_rate / scalar_rate;
+  const bool kernel_fast_enough = kernel_speedup >= 2.0;
+
+  std::cout << "\nbatched kernel vs scalar per-trial path (" << kernel_trials
+            << " trials, best of 3):\n\n";
+  kernel_table.print(std::cout);
+  std::cout << "\nbest block " << kernel_block << ": "
+            << format_fixed(kernel_speedup, 2) << "x scalar ("
+            << (kernel_identical ? "bit-identical" : "DIVERGED (BUG)") << ", "
+            << (kernel_fast_enough ? "meets" : "MISSES") << " the 2x gate)\n";
+
   const std::string json_path = cli.get_string("json");
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -175,7 +243,14 @@ int main(int argc, char** argv) {
         << "  \"bit_identical_across_threads\": "
         << (bit_identical ? "true" : "false") << ",\n"
         << "  \"reference_cis_overlap\": "
-        << (reference_agrees ? "true" : "false") << "\n}\n";
+        << (reference_agrees ? "true" : "false") << ",\n"
+        << "  \"kernel_trials\": " << kernel_trials << ",\n"
+        << "  \"kernel_scalar_trials_per_second\": " << scalar_rate << ",\n"
+        << "  \"kernel_trials_per_second\": " << kernel_rate << ",\n"
+        << "  \"block_size\": " << kernel_block << ",\n"
+        << "  \"kernel_speedup_vs_scalar\": " << kernel_speedup << ",\n"
+        << "  \"bit_identical_to_scalar\": "
+        << (kernel_identical ? "true" : "false") << "\n}\n";
     std::cout << "wrote " << json_path << "\n";
   }
 
@@ -204,5 +279,8 @@ int main(int argc, char** argv) {
               << " trials/sec)\n";
   }
 
-  return bit_identical && reference_agrees ? 0 : 1;
+  return bit_identical && reference_agrees && kernel_identical &&
+                 kernel_fast_enough
+             ? 0
+             : 1;
 }

@@ -90,8 +90,11 @@ std::vector<sweep_request> sweep_axes::expand() const {
 // identical entries (the memoizable semantics service::result_store keys on).
 std::uint64_t fingerprint(const sweep_request& request) {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  // counter_seed is the raw splitmix64 cascade: same values from_counter
+  // seeds streams with, without paying for an engine-state initialization
+  // per mix step (this runs once per grid point on every sweep).
   const auto mix_in = [&h](std::uint64_t v) {
-    h = rng::from_counter(h, v).seed();
+    h = rng::counter_seed(h, v);
   };
   const auto mix_double = [&mix_in](double v) {
     std::uint64_t bits = 0;
@@ -257,6 +260,7 @@ sweep_engine_report sweep_engine::run(const std::vector<sweep_request>& points,
       yield::mc_options mc;
       mc.mode = options.mode;
       mc.threads = inner_threads;
+      mc.block_size = options.mc_block_size;
       mc.defects = request.defects;
       mc.sigma_vt = request.sigma_vt;
       const std::uint64_t run_key =

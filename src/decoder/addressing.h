@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -47,6 +48,61 @@ inline bool conducts(const double* realized_vt, const double* gate_voltages,
   }
   return true;
 }
+
+/// Blocked voltage rule: one drive row evaluated against `lanes` realized
+/// rows at once. The realized thresholds are a structure-of-arrays slab --
+/// region j of lane t lives at realized_lanes[j * lane_stride + t] -- so
+/// the lane body is a contiguous branch-free sweep the compiler can
+/// vectorize. Lane t conducts iff gate[j] > vt for every region; the kernel
+/// computes the conduction margin min_j (gate[j] - vt) per lane (exactly
+/// equivalent: for finite doubles a > b iff a - b > 0, a nonzero
+/// difference of doubles never rounds to zero). Writes
+/// conducts_out[t] = 1 / 0 and returns true when any lane conducts.
+/// Requires regions >= 1 and lanes >= 1.
+bool conducts_block(const double* gate_voltages, const double* realized_lanes,
+                    std::size_t lane_stride, std::size_t regions,
+                    std::size_t lanes, std::uint8_t* conducts_out);
+
+/// Whole-contact-group blocked kernel: addressable_out[t] becomes 1.0 when,
+/// in lane t, nanowire `self` conducts under `gate_voltages` while every
+/// other listed group member blocks (the operational criterion for one
+/// address), else 0.0 -- a multiplication-ready lane mask. The slab holds
+/// every nanowire's lanes: region j of nanowire r at
+/// vt_lanes[(r * regions + j) * lane_stride + t]. `members` may include
+/// `self` (it is skipped). Early-exit mask at the self boundary: when the
+/// addressed nanowire blocks in every lane the whole member scan is
+/// skipped -- the one reduction that reliably pays, since at high sigma
+/// entire blocks die there. Member sweeps run straight-line: an all-lanes
+/// exit almost never fires across a whole block mid-scan and its
+/// reduction would cost more than it saves.
+/// `margin_scratch` must hold 2 * lanes doubles. Returns true when any lane
+/// stays addressable. Requires regions >= 1 and lanes >= 1.
+bool addressable_block(const double* gate_voltages, const double* vt_lanes,
+                       std::size_t lane_stride, std::size_t regions,
+                       std::size_t lanes, std::size_t self,
+                       const std::size_t* members, std::size_t member_count,
+                       double* margin_scratch, double* addressable_out);
+
+/// Whole-contact-group kernel: lane verdicts for every member of one
+/// contact group in a single pass. Member k (nanowire row members[k]) is
+/// addressable in lane t iff it conducts under its own address while every
+/// other member blocks; out[k * out_stride + t] receives the 1.0 / 0.0
+/// lane mask. Drive row of nanowire r starts at drive_table + r * regions;
+/// the V_T slab is laid out as in addressable_block. Equivalent to one
+/// addressable_block call per member, but the member-major sweep order
+/// keeps each member's lane rows cache-hot while every drive row of the
+/// group crosses them, so the slab is read ~twice per row instead of once
+/// per (member, impostor) pair -- the difference between an L1- and an
+/// L2-bound kernel at realistic group sizes. Members whose self margin is
+/// already dead in every lane are skipped as addressees (early-exit mask);
+/// they still sweep as impostors, exactly like the scalar path.
+/// `margin_scratch` must hold (member_count + 1) * lanes doubles.
+void addressable_group_block(const double* drive_table,
+                             const double* vt_lanes, std::size_t lane_stride,
+                             std::size_t regions, std::size_t lanes,
+                             const std::size_t* members,
+                             std::size_t member_count, double* margin_scratch,
+                             double* out, std::size_t out_stride);
 
 /// Mesowire voltages driving the address of word w.
 std::vector<double> drive_pattern(const codes::code_word& w,

@@ -34,18 +34,4 @@ defect_map sample_defects(std::size_t nanowires, const defect_params& params,
   return map;
 }
 
-void sample_defects_into(std::size_t nanowires, const defect_params& params,
-                         rng& random, defect_map& out) {
-  NWDEC_EXPECTS(nanowires >= 1, "need at least one nanowire");
-  params.validate();
-  out.broken.assign(nanowires, false);
-  out.bridged_to_next.assign(nanowires - 1, false);
-  for (std::size_t i = 0; i < nanowires; ++i) {
-    out.broken[i] = random.bernoulli(params.broken_probability);
-  }
-  for (std::size_t i = 0; i + 1 < nanowires; ++i) {
-    out.bridged_to_next[i] = random.bernoulli(params.bridge_probability);
-  }
-}
-
 }  // namespace nwdec::fab

@@ -46,7 +46,26 @@ defect_map sample_defects(std::size_t nanowires, const defect_params& params,
 /// Buffer-reuse form of sample_defects: writes into `out`, recycling its
 /// vectors (no heap allocation once `out` has reached full size). Identical
 /// draw order and results to sample_defects.
+///
+/// Templated over the generator so the scalar engine (rng) and the blocked
+/// trial kernel (block_rng, whose bernoulli replicates rng's draw for draw)
+/// share one definition of the defect draw order -- which is a stream
+/// contract: every probability is drawn even at rate 0 (`broken` for all
+/// nanowires in index order, then `bridged_to_next` for all gaps), so the
+/// deviates consumed never depend on the rates.
+template <class Rng>
 void sample_defects_into(std::size_t nanowires, const defect_params& params,
-                         rng& random, defect_map& out);
+                         Rng& random, defect_map& out) {
+  NWDEC_EXPECTS(nanowires >= 1, "need at least one nanowire");
+  params.validate();
+  out.broken.assign(nanowires, false);
+  out.bridged_to_next.assign(nanowires - 1, false);
+  for (std::size_t i = 0; i < nanowires; ++i) {
+    out.broken[i] = random.bernoulli(params.broken_probability);
+  }
+  for (std::size_t i = 0; i + 1 < nanowires; ++i) {
+    out.bridged_to_next[i] = random.bernoulli(params.bridge_probability);
+  }
+}
 
 }  // namespace nwdec::fab

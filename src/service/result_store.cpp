@@ -50,7 +50,7 @@ std::uint64_t technology_fingerprint(const device::technology& tech) {
   const auto mix_double = [&h](double v) {
     std::uint64_t bits = 0;
     std::memcpy(&bits, &v, sizeof(bits));
-    h = rng::from_counter(h, bits).seed();
+    h = rng::counter_seed(h, bits);
   };
   mix_double(tech.litho_pitch_nm);
   mix_double(tech.nanowire_pitch_nm);
@@ -168,29 +168,49 @@ const stored_result* result_store::find(std::uint64_t fingerprint) {
     return nullptr;
   }
   ++stats_.hits;
-  entries_.splice(entries_.begin(), entries_, found->second);
-  return &found->second->second;
+  lru_list& home = list_for(found->second->result);
+  home.splice(home.begin(), home, found->second);
+  found->second->touched = ++touch_counter_;
+  return &found->second->result;
+}
+
+void result_store::evict_one() {
+  // Cost-aware policy: shed the cheap (analytic-only) class first, LRU
+  // within it; Monte-Carlo entries go only when nothing cheap is left.
+  lru_list& victims = !cheap_.empty() ? cheap_ : expensive_;
+  if (&victims == &cheap_) {
+    ++stats_.cheap_evictions;
+  } else {
+    ++stats_.mc_evictions;
+  }
+  index_.erase(victims.back().fingerprint);
+  victims.pop_back();
+  ++stats_.evictions;
 }
 
 void result_store::insert(std::uint64_t fingerprint, stored_result result) {
   const auto found = index_.find(fingerprint);
   if (found != index_.end()) {
-    found->second->second = std::move(result);
-    entries_.splice(entries_.begin(), entries_, found->second);
+    // Refresh in place; a replacement may change cost class (e.g. an
+    // adaptive budget that stopped at zero trials under one policy),
+    // in which case the entry migrates lists.
+    lru_list& old_home = list_for(found->second->result);
+    lru_list& new_home = list_for(result);
+    found->second->result = std::move(result);
+    new_home.splice(new_home.begin(), old_home, found->second);
+    found->second->touched = ++touch_counter_;
   } else {
-    entries_.emplace_front(fingerprint, std::move(result));
-    index_.emplace(fingerprint, entries_.begin());
-    if (entries_.size() > capacity_) {
-      index_.erase(entries_.back().first);
-      entries_.pop_back();
-      ++stats_.evictions;
-    }
+    lru_list& home = list_for(result);
+    home.push_front(entry{fingerprint, std::move(result), ++touch_counter_});
+    index_.emplace(fingerprint, home.begin());
+    if (size() > capacity_) evict_one();
   }
   ++stats_.insertions;
 }
 
 void result_store::clear() {
-  entries_.clear();
+  cheap_.clear();
+  expensive_.clear();
   index_.clear();
 }
 
@@ -206,11 +226,28 @@ std::string result_store::to_json(const store_header& header) const {
   json.key("entries").begin_array();
   // Least recently used first: load_json reinserts in document order, so
   // the reloaded store has the identical recency (and eviction) order.
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    json.begin_object().field("fingerprint", u64_string(it->first));
+  // Both class lists are recency-ordered on their own; merging their tails
+  // on the global touch stamp reconstructs the store-wide order.
+  auto cheap_it = cheap_.rbegin();
+  auto expensive_it = expensive_.rbegin();
+  const auto write_entry = [&json](const entry& e) {
+    json.begin_object().field("fingerprint", u64_string(e.fingerprint));
     json.key("result");
-    write_stored_result(json, it->second);
+    write_stored_result(json, e.result);
     json.end_object();
+  };
+  while (cheap_it != cheap_.rend() || expensive_it != expensive_.rend()) {
+    const bool take_cheap =
+        expensive_it == expensive_.rend() ||
+        (cheap_it != cheap_.rend() &&
+         cheap_it->touched < expensive_it->touched);
+    if (take_cheap) {
+      write_entry(*cheap_it);
+      ++cheap_it;
+    } else {
+      write_entry(*expensive_it);
+      ++expensive_it;
+    }
   }
   return json.end_array().end_object().str();
 }

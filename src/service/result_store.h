@@ -6,8 +6,13 @@
 // point -- so an identical point is never recomputed across requests or
 // across process restarts:
 //
-//   * in memory: an LRU map bounded by `capacity` entries; a hit refreshes
-//     recency, an insert beyond capacity evicts the least recently used.
+//   * in memory: a cost-aware LRU map bounded by `capacity` entries; a hit
+//     refreshes recency. Entries fall into two cost classes -- cheap
+//     (analytic-only, recomputable in microseconds) and expensive (entries
+//     that paid for Monte-Carlo trials) -- and an insert beyond capacity
+//     evicts the least recently used *cheap* entry first, touching the
+//     expensive class only when no cheap entry is left. Within each class
+//     the tiebreak is plain LRU.
 //   * on disk: to_json()/load_json() (and the file helpers) persist the
 //     store as a JSON document. Doubles travel through the exact
 //     shortest-round-trip writer and parser (util/json.h), so a result
@@ -46,6 +51,12 @@ struct stored_result {
   core::sweep_request request;        ///< resolved (nanowires, sigma filled)
   core::design_evaluation evaluation;
   std::size_t mc_trials_used = 0;
+
+  /// True when this entry paid for Monte-Carlo trials -- the expensive
+  /// eviction class. Analytic-only results cost microseconds to recompute;
+  /// an MC result of T trials costs milliseconds to minutes, so the store
+  /// sheds the cheap class first.
+  bool expensive() const { return mc_trials_used > 0; }
 };
 
 /// Everything a cached result depends on besides the point fingerprint.
@@ -81,6 +92,8 @@ struct store_stats {
   std::size_t misses = 0;
   std::size_t insertions = 0;
   std::size_t evictions = 0;
+  std::size_t cheap_evictions = 0;  ///< evictions that hit the analytic class
+  std::size_t mc_evictions = 0;     ///< evictions that had to drop MC work
 };
 
 /// Fingerprint-keyed LRU result cache with JSON persistence.
@@ -88,17 +101,23 @@ class result_store {
  public:
   explicit result_store(std::size_t capacity = 1 << 16);
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return cheap_.size() + expensive_.size(); }
   std::size_t capacity() const { return capacity_; }
   const store_stats& stats() const { return stats_; }
+  /// Entries currently in the cheap (analytic-only) cost class.
+  std::size_t cheap_size() const { return cheap_.size(); }
+  /// Entries currently in the expensive (Monte-Carlo) cost class.
+  std::size_t expensive_size() const { return expensive_.size(); }
 
   /// The cached result for the fingerprint, or nullptr on a miss. A hit
   /// refreshes the entry's recency; the pointer stays valid until the next
   /// insert/clear/load.
   const stored_result* find(std::uint64_t fingerprint);
 
-  /// Inserts (or refreshes) a result, evicting the least recently used
-  /// entry beyond capacity.
+  /// Inserts (or refreshes) a result. Beyond capacity the least recently
+  /// used entry of the *cheap* class is evicted; only when every remaining
+  /// entry carries Monte-Carlo work does eviction fall back to the
+  /// expensive class's LRU tail (see the header comment).
   void insert(std::uint64_t fingerprint, stored_result result);
 
   /// Drops every entry (counters are kept: they describe the lifetime).
@@ -121,11 +140,27 @@ class result_store {
   bool load_file(const std::string& path, const store_header& expected);
 
  private:
-  using lru_list = std::list<std::pair<std::uint64_t, stored_result>>;
+  struct entry {
+    std::uint64_t fingerprint = 0;
+    stored_result result;
+    /// Global recency stamp (monotonic): both class lists are ordered by
+    /// recency on their own, and merging on this stamp reconstructs the
+    /// store-wide order for persistence.
+    std::uint64_t touched = 0;
+  };
+  using lru_list = std::list<entry>;
+
+  /// The class list an entry belongs in, by its cost.
+  lru_list& list_for(const stored_result& result) {
+    return result.expensive() ? expensive_ : cheap_;
+  }
+  void evict_one();
 
   std::size_t capacity_;
-  lru_list entries_;  ///< front = most recently used
+  lru_list cheap_;      ///< analytic-only entries, front = most recent
+  lru_list expensive_;  ///< Monte-Carlo entries, front = most recent
   std::unordered_map<std::uint64_t, lru_list::iterator> index_;
+  std::uint64_t touch_counter_ = 0;
   store_stats stats_;
 };
 

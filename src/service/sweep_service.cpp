@@ -14,6 +14,7 @@ sweep_service::sweep_service(crossbar::crossbar_spec spec,
   engine_options_.threads = options_.threads;
   engine_options_.seed = options_.seed;
   engine_options_.mode = options_.mode;
+  engine_options_.mc_block_size = options_.mc_block_size;
   if (options_.adaptive.has_value()) {
     options_.adaptive->validate();
     engine_options_.mc_budget = make_budget(*options_.adaptive);

@@ -61,25 +61,42 @@ mc_yield_result monte_carlo_yield_resume(const trial_context& context,
 
   // This batch covers global trial indices [base, base + trials); slot i
   // belongs to trial base + i alone; workers share nothing else mutable.
+  // Workers shard contiguous ranges of *blocks* (block_size trials each,
+  // plus a partial tail block) and hand each block to the batched kernel;
+  // block_size 1 keeps the scalar per-trial path as the equivalence
+  // oracle. Either way slot i holds trial base + i's good count, computed
+  // from the same per-trial stream, so results are bit-identical across
+  // block sizes and thread counts alike.
   const std::size_t base = state.trials();
+  const std::size_t block = options.block_size == 0 ? mc_default_block_size
+                                                    : options.block_size;
+  const std::size_t shards = (options.trials + block - 1) / block;
   std::vector<std::uint32_t> good(options.trials, 0);
   const auto run_shard = [&](std::size_t begin, std::size_t end) {
     trial_scratch scratch;
-    for (std::size_t slot = begin; slot < end; ++slot) {
-      rng stream = rng::from_counter(run_key, base + slot);
-      good[slot] = static_cast<std::uint32_t>(context.run_trial(
-          stream, scratch, options.mode, sigma_vt, defects));
+    if (block <= 1) {
+      for (std::size_t slot = begin; slot < end; ++slot) {
+        rng stream = rng::from_counter(run_key, base + slot);
+        good[slot] = static_cast<std::uint32_t>(context.run_trial(
+            stream, scratch, options.mode, sigma_vt, defects));
+      }
+      return;
+    }
+    for (std::size_t slot = begin; slot < end; slot += block) {
+      const std::size_t count = std::min(block, end - slot);
+      context.run_trial_block(run_key, base + slot, count, scratch,
+                              options.mode, sigma_vt, defects,
+                              good.data() + slot);
     }
   };
 
-  const std::size_t threads =
-      resolve_thread_count(options.threads, options.trials);
+  const std::size_t threads = resolve_thread_count(options.threads, shards);
   if (threads <= 1) {
     run_shard(0, options.trials);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(threads);
-    const std::size_t chunk = (options.trials + threads - 1) / threads;
+    const std::size_t chunk = ((shards + threads - 1) / threads) * block;
     for (std::size_t t = 0; t < threads; ++t) {
       const std::size_t begin = t * chunk;
       const std::size_t end = std::min(options.trials, begin + chunk);

@@ -13,14 +13,22 @@
 //     >= window yield (typically by a few percent).
 // Optionally a structural defect map (fab/defects.h) is sampled per trial.
 //
-// Engine architecture: trials are sharded in contiguous blocks across
+// Engine architecture: trials are grouped into fixed-size blocks
+// (mc_options::block_size) and contiguous block ranges are sharded across
 // std::thread workers. Worker state is a trial_context (immutable,
 // precomputed per-design tables, shared) plus a per-thread trial_scratch
-// (reusable buffers), so the hot loop performs no heap allocation. Trial i
-// always consumes the counter-based stream rng::from_counter(run_key, i)
-// and writes its result into slot i of a preallocated array; the final
-// statistics are reduced sequentially in trial order. Results are therefore
-// bit-identical for any thread count. The allocating scalar reference
+// (reusable buffers and structure-of-arrays slabs), so the hot loop
+// performs no heap allocation. Each block runs through the batched kernel
+// (trial_context::run_trial_block): one counter-based deviate pass fills a
+// lane-major realized-V_T slab for the whole block, and conductance /
+// window verdicts are swept across all trial lanes of a nanowire at once
+// by the branch-free kernels in decoder/addressing. Trial i always
+// consumes the counter-based stream rng::from_counter(run_key, i) --
+// whether a block kernel or the scalar path (block_size 1, kept as the
+// equivalence oracle) runs it -- and its good count lands in slot i of a
+// preallocated array; the final statistics are reduced sequentially in
+// trial order. Results are therefore bit-identical for any thread count
+// AND any block size. The allocating scalar reference
 // (monte_carlo_yield_reference) samples the identical distribution through
 // the op-by-op process walk, so agreement with it is statistical, not
 // bitwise; it is kept for validation and benchmarking.
@@ -47,6 +55,13 @@ struct mc_yield_result {
   std::size_t trials = 0;
 };
 
+/// Default trial-block size of the batched kernel: big enough that the
+/// structure-of-arrays conductance sweeps amortize, small enough that a
+/// block's slabs stay cache-resident for typical designs (bench_mc_engine's
+/// kernel section sweeps the candidates; 16-128 measure within noise of
+/// each other on the Figs. 7/8 design, with 32 the repeatable best).
+inline constexpr std::size_t mc_default_block_size = 32;
+
 /// Options for the Monte-Carlo engine.
 struct mc_options {
   mc_mode mode = mc_mode::window;
@@ -54,6 +69,12 @@ struct mc_options {
   /// Worker threads; 0 means std::thread::hardware_concurrency(). Results
   /// are bit-identical regardless of the value.
   std::size_t threads = 1;
+  /// Trials per batched-kernel block (trial_context::run_trial_block):
+  /// 0 = mc_default_block_size, 1 = the scalar per-trial path (kept as the
+  /// batched kernel's equivalence oracle). Results are bit-identical for
+  /// every value -- the block size is a performance knob, not a semantic
+  /// one -- and bench_mc_engine's kernel section enforces that gate.
+  std::size_t block_size = 0;
   /// Structural defect injection, sampled per trial when set.
   std::optional<fab::defect_params> defects;
   /// Process sigma override in volts; the design technology's sigma_vt

@@ -1,6 +1,8 @@
 #include "yield/trial_context.h"
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "decoder/addressing.h"
 #include "util/error.h"
@@ -23,6 +25,7 @@ trial_context::trial_context(const decoder::decoder_design& design,
   drive_table_.resize(nanowires_ * regions_);
   nominal_vt_.resize(nanowires_ * regions_);
   noise_scale_.resize(nanowires_ * regions_);
+  window_low_guard_.resize(nanowires_ * regions_);
   for (std::size_t i = 0; i < nanowires_; ++i) {
     const codes::digit* row = pattern.row_ptr(i);
     const std::size_t* nu_row = dose_counts.row_ptr(i);
@@ -31,6 +34,9 @@ trial_context::trial_context(const decoder::decoder_design& design,
       drive_table_[i * regions_ + j] = levels.drive_voltage(row[j]);
       noise_scale_[i * regions_ + j] =
           std::sqrt(static_cast<double>(nu_row[j]));
+      window_low_guard_[i * regions_ + j] =
+          row[j] != 0 ? -window_half_width_
+                      : -std::numeric_limits<double>::infinity();
     }
   }
 
@@ -131,6 +137,154 @@ std::size_t trial_context::run_trial(rng& stream, trial_scratch& scratch,
                                      mc_mode mode,
                                      const fab::defect_params* defects) const {
   return run_trial(stream, scratch, mode, design_.tech().sigma_vt, defects);
+}
+
+bool trial_context::window_block(const double* vt_lanes_row,
+                                 std::size_t lane_stride, std::size_t lanes,
+                                 std::size_t row, double* margin,
+                                 double* out) const {
+  // Window ok iff for every region j: (w - delta) > 0 and
+  // (delta - low_guard) > 0 with delta = vt - nominal -- the exact
+  // comparisons scalar window_ok makes (a > b iff a - b > 0 for finite
+  // doubles), folded into one running min margin per lane. The -infinity
+  // guard of digit-0 regions yields +infinity on the lower side, so it
+  // never binds and the lane body needs no digit branch.
+  const double* nominal = nominal_vt_.data() + row * regions_;
+  const double* guard = window_low_guard_.data() + row * regions_;
+  const double window = window_half_width_;
+  for (std::size_t j = 0; j < regions_; ++j) {
+    const double* vt = vt_lanes_row + j * lane_stride;
+    const double center = nominal[j];
+    const double low = guard[j];
+    if (j == 0) {
+      for (std::size_t t = 0; t < lanes; ++t) {
+        const double delta = vt[t] - center;
+        const double hi = window - delta;
+        const double lo = delta - low;
+        margin[t] = hi < lo ? hi : lo;
+      }
+      continue;
+    }
+    // Straight-line sweep, no per-region early exit: an all-lanes-dead
+    // reduction per region costs more than the folds it could skip (see
+    // decoder::addressable_block for the same trade).
+    for (std::size_t t = 0; t < lanes; ++t) {
+      const double delta = vt[t] - center;
+      const double hi = window - delta;
+      const double lo = delta - low;
+      const double cell = hi < lo ? hi : lo;
+      margin[t] = margin[t] < cell ? margin[t] : cell;
+    }
+  }
+  bool any = false;
+  for (std::size_t t = 0; t < lanes; ++t) {
+    const bool ok = margin[t] > 0.0;
+    out[t] = ok ? 1.0 : 0.0;
+    any = any || ok;
+  }
+  return any;
+}
+
+void trial_context::run_trial_block(std::uint64_t run_key, std::uint64_t first,
+                                    std::size_t count, trial_scratch& scratch,
+                                    mc_mode mode, double sigma_vt,
+                                    const fab::defect_params* defects,
+                                    std::uint32_t* good) const {
+  NWDEC_EXPECTS(count >= 1, "a trial block needs at least one trial");
+  const std::size_t cells = nanowires_ * regions_;
+  // Lane rows padded to 64-byte multiples so every region row of the slab
+  // starts cache-line aligned; the kernels still sweep `count` lanes only.
+  const std::size_t lane_stride = (count + 7) & ~std::size_t{7};
+
+  const auto ensure = [](std::vector<double>& buffer, std::size_t size) {
+    if (buffer.size() < size) buffer.resize(size, 0.0);
+  };
+  ensure(scratch.vt_lanes, cells * lane_stride);
+  ensure(scratch.active_lanes, nanowires_ * lane_stride);
+  ensure(scratch.margins, (nanowires_ + 1) * lane_stride);
+  ensure(scratch.verdicts, nanowires_ * lane_stride);
+  ensure(scratch.good_lanes, lane_stride);
+  if (scratch.streams.size() < count) scratch.streams.resize(count);
+  double* slab = scratch.vt_lanes.data();
+  double* active = scratch.active_lanes.data();
+  double* good_lanes = scratch.good_lanes.data();
+
+  // Phase 1: the batched deviate pass. Cell k of trial first + t lands at
+  // slab[k * lane_stride + t], drawn from that trial's own counter-based
+  // stream; streams[t] stays positioned for the trial's tail draws.
+  standard_normal_block(run_key, first, count, cells, slab, lane_stride,
+                        scratch.streams.data());
+
+  // Phase 2: fused realize transform -- the same per-cell expression as
+  // the scalar path (nominal + sigma * sqrt(nu) * z), swept down each
+  // cell's contiguous lane row.
+  for (std::size_t k = 0; k < cells; ++k) {
+    const double center = nominal_vt_[k];
+    const double scale = sigma_vt * noise_scale_[k];
+    double* lane = slab + k * lane_stride;
+    for (std::size_t t = 0; t < count; ++t) {
+      lane[t] = center + scale * lane[t];
+    }
+  }
+
+  // Phase 3: per-trial tail draws in scalar stream order (defect map, then
+  // one discard Bernoulli per at-risk nanowire), folded into the survival
+  // mask the counting phase multiplies by.
+  for (std::size_t t = 0; t < count; ++t) {
+    block_rng& stream = scratch.streams[t];
+    if (defects != nullptr) {
+      fab::sample_defects_into(nanowires_, *defects, stream, scratch.defects);
+    }
+    for (std::size_t i = 0; i < nanowires_; ++i) {
+      bool dead = discard_probability_[i] > 0.0 &&
+                  stream.bernoulli(discard_probability_[i]);
+      if (!dead && defects != nullptr && scratch.defects.disables(i)) {
+        dead = true;
+      }
+      active[i * lane_stride + t] = dead ? 0.0 : 1.0;
+    }
+  }
+
+  // Phase 4: lane verdicts for every nanowire -- window rows one at a
+  // time, operational groups through the whole-contact-group kernel (one
+  // verdict row per member position, contiguous because the groups
+  // partition the member list) -- then one accumulation pass into per-lane
+  // good counts (exact: every term is 0.0 or 1.0 and the sum is at most N).
+  std::memset(good_lanes, 0, lane_stride * sizeof(double));
+  double* margin = scratch.margins.data();
+  double* verdicts = scratch.verdicts.data();
+  if (mode == mc_mode::window) {
+    for (std::size_t i = 0; i < nanowires_; ++i) {
+      window_block(slab + i * regions_ * lane_stride, lane_stride, count, i,
+                   margin, verdicts + i * lane_stride);
+    }
+    for (std::size_t i = 0; i < nanowires_; ++i) {
+      const double* survivors = active + i * lane_stride;
+      const double* verdict = verdicts + i * lane_stride;
+      for (std::size_t t = 0; t < count; ++t) {
+        good_lanes[t] += survivors[t] * verdict[t];
+      }
+    }
+  } else {
+    const std::size_t groups = member_offsets_.size() - 1;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t begin = member_offsets_[g];
+      decoder::addressable_group_block(
+          drive_table_.data(), slab, lane_stride, regions_, count,
+          members_.data() + begin, member_offsets_[g + 1] - begin, margin,
+          verdicts + begin * lane_stride, lane_stride);
+    }
+    for (std::size_t k = 0; k < nanowires_; ++k) {
+      const double* survivors = active + members_[k] * lane_stride;
+      const double* verdict = verdicts + k * lane_stride;
+      for (std::size_t t = 0; t < count; ++t) {
+        good_lanes[t] += survivors[t] * verdict[t];
+      }
+    }
+  }
+  for (std::size_t t = 0; t < count; ++t) {
+    good[t] = static_cast<std::uint32_t>(good_lanes[t]);
+  }
 }
 
 }  // namespace nwdec::yield

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "codes/word.h"
@@ -42,11 +43,26 @@ enum class mc_mode {
   operational,
 };
 
-/// Reusable per-thread buffers for run_trial; allocation-free after the
-/// first trial warms them to full size.
+/// Reusable per-thread buffers for run_trial and run_trial_block;
+/// allocation-free after the first trial (or block) warms them to full
+/// size. The blocked members are structure-of-arrays slabs: `vt_lanes`
+/// holds the realized V_T of a whole trial block, cell (i, j) of trial t
+/// at vt_lanes[(i * regions + j) * lane_stride + t], so one drive row can
+/// sweep every trial lane of a nanowire with contiguous, vectorizable
+/// loads; `active_lanes` is the per-(nanowire, trial) survival mask (1.0
+/// when neither discarded nor defective -- a multiplication-ready lane
+/// mask); `streams` carries each trial's generator from the deviate fill
+/// to its tail draws.
 struct trial_scratch {
   matrix<double> realized_vt;
   fab::defect_map defects;
+
+  std::vector<double> vt_lanes;       ///< cells x lane_stride slab
+  std::vector<double> active_lanes;   ///< nanowires x lane_stride
+  std::vector<double> margins;        ///< (nanowires + 1) x lane_stride
+  std::vector<double> verdicts;       ///< nanowires x lane_stride lane masks
+  std::vector<double> good_lanes;     ///< per-lane addressable counts
+  std::vector<block_rng> streams;     ///< one per trial lane
 };
 
 /// Immutable precomputed view of one (design, contact plan) pair, shared by
@@ -80,10 +96,34 @@ class trial_context {
   std::size_t run_trial(rng& stream, trial_scratch& scratch, mc_mode mode,
                         const fab::defect_params* defects) const;
 
+  /// Blocked trial kernel: runs trials [first, first + count) of the run
+  /// keyed by `run_key` -- trial i consuming the stream
+  /// rng::from_counter(run_key, i), exactly as run_trial does -- and writes
+  /// trial first + t's addressable count into good[t]. Bit-identical to
+  /// `count` scalar run_trial calls for every count: the batched generator
+  /// (standard_normal_block) reproduces each trial's deviates and tail
+  /// draws draw for draw, the V_T transform applies the same expression per
+  /// cell, and the lane kernels decide the same comparisons. The speedup
+  /// comes from structure (one deviate pass straight into a
+  /// structure-of-arrays slab, conductance margins swept across all trial
+  /// lanes of a nanowire at once, branch-free bodies), not from changing
+  /// any draw or any verdict.
+  void run_trial_block(std::uint64_t run_key, std::uint64_t first,
+                       std::size_t count, trial_scratch& scratch, mc_mode mode,
+                       double sigma_vt, const fab::defect_params* defects,
+                       std::uint32_t* good) const;
+
  private:
   bool window_ok(const double* vt_row, std::size_t row) const;
   bool operational_ok(const matrix<double>& realized_vt,
                       std::size_t row) const;
+  /// Lane mask of the window criterion for nanowire `row` over a trial
+  /// block: out[t] = 1.0 / 0.0. Same min-margin shape as the operational
+  /// kernels (decoder/addressing), with the per-cell lower guard absorbing
+  /// the digit-0 exemption branchlessly.
+  bool window_block(const double* vt_lanes_row, std::size_t lane_stride,
+                    std::size_t lanes, std::size_t row, double* margin,
+                    double* out) const;
 
   const decoder::decoder_design& design_;
   const crossbar::contact_group_plan& plan_;
@@ -94,6 +134,11 @@ class trial_context {
   std::vector<double> drive_table_;    ///< N x M, row i = drive of address i
   std::vector<double> nominal_vt_;     ///< N x M nominal levels
   std::vector<double> noise_scale_;    ///< N x M, sqrt(nu(i,j))
+  /// N x M lower window guards: -window_half_width where the digit has
+  /// blocking duty, -infinity where digit 0 exempts the lower bound (the
+  /// guard then never binds), so the blocked window kernel needs no digit
+  /// branch in the lane body.
+  std::vector<double> window_low_guard_;
   std::vector<double> discard_probability_;  ///< per nanowire
   std::vector<std::size_t> group_of_;        ///< per nanowire
   std::vector<std::size_t> member_offsets_;  ///< group g: [offsets[g], offsets[g+1])

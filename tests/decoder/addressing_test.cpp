@@ -2,13 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <tuple>
+#include <vector>
 
 #include "codes/factory.h"
 #include "codes/tree_code.h"
 #include "decoder/pattern_matrix.h"
 #include "device/tech_params.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace nwdec::decoder {
 namespace {
@@ -158,6 +161,148 @@ TEST(AddressTableTest, NonAntichainInputRejected) {
   EXPECT_THROW(address_table(codes::tree_code_words(2, 3)),
                invalid_argument_error);
   EXPECT_THROW(address_table({}), invalid_argument_error);
+}
+
+// --- blocked span kernels: every lane verdict must equal the scalar
+// voltage rule on that lane's row.
+
+// Random structure-of-arrays slab: region j of nanowire r, lane t at
+// slab[(r * regions + j) * lane_stride + t].
+struct lane_fixture {
+  std::size_t rows, regions, lanes, lane_stride;
+  std::vector<double> slab;
+  std::vector<double> drives;  ///< one drive row per nanowire
+
+  lane_fixture(std::size_t rows, std::size_t regions, std::size_t lanes,
+               std::uint64_t seed, std::size_t extra_stride = 0)
+      : rows(rows),
+        regions(regions),
+        lanes(lanes),
+        lane_stride(lanes + extra_stride),
+        slab(rows * regions * lane_stride),
+        drives(rows * regions) {
+    rng random(seed);
+    // Voltages near each other so every comparison outcome is exercised.
+    for (double& v : slab) v = random.uniform(0.0, 1.0);
+    for (double& v : drives) v = random.uniform(0.0, 1.0);
+  }
+
+  std::vector<double> lane_row(std::size_t row, std::size_t t) const {
+    std::vector<double> out(regions);
+    for (std::size_t j = 0; j < regions; ++j) {
+      out[j] = slab[(row * regions + j) * lane_stride + t];
+    }
+    return out;
+  }
+
+  const double* drive(std::size_t row) const {
+    return drives.data() + row * regions;
+  }
+};
+
+TEST(ConductsBlockTest, MatchesScalarRuleLaneByLane) {
+  for (const std::size_t regions : {1UL, 5UL}) {
+    for (const std::size_t lanes : {1UL, 3UL, 8UL, 33UL}) {
+      lane_fixture f(2, regions, lanes, 101 + regions * lanes, 3);
+      std::vector<std::uint8_t> out(lanes, 2);
+      const bool any = conducts_block(f.drive(1), f.slab.data() +
+                                          1 * regions * f.lane_stride,
+                                      f.lane_stride, regions, lanes,
+                                      out.data());
+      bool expected_any = false;
+      for (std::size_t t = 0; t < lanes; ++t) {
+        const std::vector<double> row = f.lane_row(1, t);
+        const bool expected =
+            conducts(row.data(), f.drive(1), regions);
+        EXPECT_EQ(out[t] != 0, expected) << "lane " << t;
+        expected_any = expected_any || expected;
+      }
+      EXPECT_EQ(any, expected_any);
+    }
+  }
+}
+
+TEST(AddressableBlockTest, MatchesScalarGroupRule) {
+  const std::size_t rows = 6, regions = 4, lanes = 17;
+  lane_fixture f(rows, regions, lanes, 7);
+  const std::vector<std::size_t> members = {0, 1, 2, 3, 4, 5};
+  for (std::size_t self = 0; self < rows; ++self) {
+    std::vector<double> scratch(2 * lanes), out(lanes, -1.0);
+    addressable_block(f.drive(self), f.slab.data(), f.lane_stride, regions,
+                      lanes, self, members.data(), members.size(),
+                      scratch.data(), out.data());
+    for (std::size_t t = 0; t < lanes; ++t) {
+      const std::vector<double> own = f.lane_row(self, t);
+      bool expected = conducts(own.data(), f.drive(self), regions);
+      for (const std::size_t other : members) {
+        if (other == self || !expected) continue;
+        const std::vector<double> row = f.lane_row(other, t);
+        if (conducts(row.data(), f.drive(self), regions)) expected = false;
+      }
+      EXPECT_EQ(out[t], expected ? 1.0 : 0.0)
+          << "self " << self << " lane " << t;
+    }
+  }
+}
+
+TEST(AddressableBlockTest, EmptyAndSelfOnlyGroups) {
+  const std::size_t regions = 3, lanes = 5;
+  lane_fixture f(2, regions, lanes, 99);
+  std::vector<double> scratch(2 * lanes), no_members(lanes), self_only(lanes);
+  // No members at all: the verdict is the bare self conduction.
+  addressable_block(f.drive(0), f.slab.data(), f.lane_stride, regions, lanes,
+                    0, nullptr, 0, scratch.data(), no_members.data());
+  // A group whose only member is the addressee behaves identically.
+  const std::size_t self_member[] = {0};
+  std::vector<double> group_scratch(2 * lanes);
+  addressable_block(f.drive(0), f.slab.data(), f.lane_stride, regions, lanes,
+                    0, self_member, 1, group_scratch.data(),
+                    self_only.data());
+  for (std::size_t t = 0; t < lanes; ++t) {
+    const std::vector<double> row = f.lane_row(0, t);
+    const double expected =
+        conducts(row.data(), f.drive(0), regions) ? 1.0 : 0.0;
+    EXPECT_EQ(no_members[t], expected) << "lane " << t;
+    EXPECT_EQ(self_only[t], expected) << "lane " << t;
+  }
+}
+
+TEST(AddressableGroupBlockTest, MatchesPerMemberBlocks) {
+  for (const std::size_t regions : {1UL, 4UL}) {
+    const std::size_t rows = 7, lanes = 9;
+    lane_fixture f(rows, regions, lanes, 1234 + regions);
+    // The group skips row 3: member lists need not cover every row.
+    const std::vector<std::size_t> members = {0, 1, 2, 4, 5, 6};
+    std::vector<double> group_scratch((members.size() + 1) * lanes);
+    std::vector<double> group_out(members.size() * lanes, -1.0);
+    addressable_group_block(f.drives.data(), f.slab.data(), f.lane_stride,
+                            regions, lanes, members.data(), members.size(),
+                            group_scratch.data(), group_out.data(), lanes);
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      std::vector<double> scratch(2 * lanes), expected(lanes);
+      addressable_block(f.drive(members[k]), f.slab.data(), f.lane_stride,
+                        regions, lanes, members[k], members.data(),
+                        members.size(), scratch.data(), expected.data());
+      for (std::size_t t = 0; t < lanes; ++t) {
+        EXPECT_EQ(group_out[k * lanes + t], expected[t])
+            << "member " << k << " lane " << t;
+      }
+    }
+  }
+}
+
+TEST(AddressableGroupBlockTest, AllBlockedGroupZeroesEveryLane) {
+  const std::size_t rows = 3, regions = 2, lanes = 6;
+  lane_fixture f(rows, regions, lanes, 4);
+  // Drive far below every threshold: nothing conducts anywhere.
+  for (double& v : f.drives) v = -10.0;
+  const std::vector<std::size_t> members = {0, 1, 2};
+  std::vector<double> scratch((members.size() + 1) * lanes);
+  std::vector<double> out(members.size() * lanes, -1.0);
+  addressable_group_block(f.drives.data(), f.slab.data(), f.lane_stride,
+                          regions, lanes, members.data(), members.size(),
+                          scratch.data(), out.data(), lanes);
+  for (const double verdict : out) EXPECT_EQ(verdict, 0.0);
 }
 
 }  // namespace

@@ -92,6 +92,78 @@ TEST(ResultStoreTest, EvictsLeastRecentlyUsedBeyondCapacity) {
   EXPECT_EQ(store.find(key_of(b)), nullptr);
 }
 
+TEST(ResultStoreTest, EvictsCheapAnalyticEntriesBeforeMonteCarloOnes) {
+  // Cost-aware policy: a full store sheds analytic-only entries (cheap to
+  // recompute) before anything that paid for Monte-Carlo trials, LRU
+  // within each class.
+  result_store store(3);
+  const stored_result cheap_old = make_result(0.01);
+  const stored_result mc_a = make_result(0.02, 150);
+  const stored_result cheap_new = make_result(0.03);
+  const stored_result mc_b = make_result(0.04, 150);
+  store.insert(key_of(cheap_old), cheap_old);
+  store.insert(key_of(mc_a), mc_a);
+  store.insert(key_of(cheap_new), cheap_new);
+
+  // cheap_old is the overall LRU *and* the cheap LRU: it goes first.
+  store.insert(key_of(mc_b), mc_b);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.find(key_of(cheap_old)), nullptr);
+  EXPECT_NE(store.find(key_of(mc_a)), nullptr);
+
+  // Make the one remaining cheap entry the most recently used overall:
+  // cost still outranks recency, so eviction must pick it anyway.
+  EXPECT_NE(store.find(key_of(cheap_new)), nullptr);  // cheap is now MRU
+  const stored_result mc_c = make_result(0.05, 150);
+  store.insert(key_of(mc_c), mc_c);
+  EXPECT_EQ(store.find(key_of(cheap_new)), nullptr)
+      << "the most recently used entry was still the only cheap one";
+  EXPECT_NE(store.find(key_of(mc_a)), nullptr);
+  EXPECT_NE(store.find(key_of(mc_b)), nullptr);
+  EXPECT_EQ(store.stats().cheap_evictions, 2u);
+  EXPECT_EQ(store.stats().mc_evictions, 0u);
+
+  // Only Monte-Carlo entries left: eviction falls back to their LRU (the
+  // finds above refreshed mc_a then mc_b, leaving mc_c the class LRU).
+  const stored_result mc_d = make_result(0.06, 150);
+  store.insert(key_of(mc_d), mc_d);
+  EXPECT_EQ(store.find(key_of(mc_c)), nullptr);
+  EXPECT_EQ(store.stats().mc_evictions, 1u);
+  EXPECT_EQ(store.cheap_size(), 0u);
+  EXPECT_EQ(store.expensive_size(), 3u);
+}
+
+TEST(ResultStoreTest, CostClassPersistenceRoundTripsRecencyAndPolicy) {
+  // Save / load must reproduce the interleaved recency order across both
+  // cost classes, so the reloaded store makes the same eviction decisions.
+  result_store store(4);
+  const stored_result cheap_a = make_result(0.01);
+  const stored_result mc_a = make_result(0.02, 150);
+  const stored_result cheap_b = make_result(0.03);
+  const stored_result mc_b = make_result(0.04, 150);
+  store.insert(key_of(cheap_a), cheap_a);
+  store.insert(key_of(mc_a), mc_a);
+  store.insert(key_of(cheap_b), cheap_b);
+  store.insert(key_of(mc_b), mc_b);
+  EXPECT_NE(store.find(key_of(cheap_a)), nullptr);  // cheap_b becomes LRU
+
+  const store_header header{};
+  result_store reloaded(4);
+  reloaded.load_json(store.to_json(header), header);
+  EXPECT_EQ(reloaded.size(), 4u);
+  EXPECT_EQ(reloaded.cheap_size(), 2u);
+  EXPECT_EQ(reloaded.expensive_size(), 2u);
+  // Same decision the original store would make: cheap_b out first.
+  const stored_result mc_c = make_result(0.05, 150);
+  reloaded.insert(key_of(mc_c), mc_c);
+  EXPECT_EQ(reloaded.find(key_of(cheap_b)), nullptr);
+  EXPECT_NE(reloaded.find(key_of(cheap_a)), nullptr);
+  // And the serialized bytes themselves are stable across the round trip.
+  result_store again(4);
+  again.load_json(store.to_json(header), header);
+  EXPECT_EQ(store.to_json(header), again.to_json(header));
+}
+
 TEST(ResultStoreTest, ReinsertRefreshesInsteadOfGrowing) {
   result_store store(4);
   stored_result a = make_result(0.01);

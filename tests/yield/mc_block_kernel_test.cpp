@@ -1,0 +1,197 @@
+// Bit-identity of the batched Monte-Carlo trial kernel: for every block
+// size, thread count, trial count (including partial tail blocks), mode,
+// and stochastic channel, the blocked engine must reproduce the scalar
+// per-trial path -- its equivalence oracle (mc_options::block_size == 1) --
+// to the bit. The batched path changes how deviates are generated and how
+// conductance is checked, never which deviates or which verdicts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codes/factory.h"
+#include "core/sweep_engine.h"
+#include "crossbar/contact_groups.h"
+#include "device/tech_params.h"
+#include "util/error.h"
+#include "yield/monte_carlo_yield.h"
+
+namespace nwdec::yield {
+namespace {
+
+struct fixture {
+  device::technology tech = device::paper_technology();
+  codes::code code = codes::make_code(codes::code_type::gray, 2, 8);
+  decoder::decoder_design design{code, 20, tech};
+  crossbar::contact_group_plan plan =
+      crossbar::plan_contact_groups(20, code.size(), tech);
+  trial_context context{design, plan};
+};
+
+void expect_bit_identical(const mc_yield_result& a, const mc_yield_result& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.trials, b.trials) << what;
+  EXPECT_EQ(a.nanowire_yield, b.nanowire_yield) << what;
+  EXPECT_EQ(a.crosspoint_yield, b.crosspoint_yield) << what;
+  EXPECT_EQ(a.ci.low, b.ci.low) << what;
+  EXPECT_EQ(a.ci.high, b.ci.high) << what;
+}
+
+TEST(McBlockKernelTest, BitIdenticalAcrossBlockSizesAndThreads) {
+  // The ISSUE's matrix: block sizes {1, 7, 64} x threads {1, 4}, both
+  // criteria, with and without defects, and trial counts that leave
+  // partial tail blocks (97 = 64 + 33; 5 < any block).
+  fixture f;
+  for (const mc_mode mode : {mc_mode::window, mc_mode::operational}) {
+    for (const bool with_defects : {false, true}) {
+      for (const std::size_t trials : {1UL, 5UL, 97UL, 256UL}) {
+        mc_options options;
+        options.mode = mode;
+        options.trials = trials;
+        options.threads = 1;
+        options.block_size = 1;  // the scalar oracle
+        if (with_defects) options.defects = fab::defect_params{0.05, 0.02};
+        const mc_yield_result oracle =
+            monte_carlo_yield(f.context, options, 0xfeedULL);
+
+        for (const std::size_t block : {1UL, 7UL, 64UL}) {
+          for (const std::size_t threads : {1UL, 4UL}) {
+            options.block_size = block;
+            options.threads = threads;
+            const mc_yield_result got =
+                monte_carlo_yield(f.context, options, 0xfeedULL);
+            expect_bit_identical(
+                oracle, got,
+                "mode " + std::to_string(static_cast<int>(mode)) +
+                    " defects " + std::to_string(with_defects) + " trials " +
+                    std::to_string(trials) + " block " +
+                    std::to_string(block) + " threads " +
+                    std::to_string(threads));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(McBlockKernelTest, DefaultBlockSizeIsTheBatchedKernel) {
+  // block_size 0 resolves to the kernel default; it must agree with the
+  // explicit oracle, proving the default engine path rides the new kernel
+  // without changing any result.
+  fixture f;
+  mc_options options;
+  options.mode = mc_mode::operational;
+  options.trials = 150;
+  options.threads = 1;
+  options.block_size = 1;
+  const mc_yield_result oracle =
+      monte_carlo_yield(f.context, options, 2009);
+  options.block_size = 0;
+  const mc_yield_result defaulted =
+      monte_carlo_yield(f.context, options, 2009);
+  expect_bit_identical(oracle, defaulted, "default block size");
+}
+
+TEST(McBlockKernelTest, AllDefectiveTrialCountsZero) {
+  // broken_probability 1 disables every nanowire in every trial; both
+  // kernels must agree on the all-zero outcome (and on the degenerate
+  // statistics that follow).
+  fixture f;
+  mc_options options;
+  options.mode = mc_mode::operational;
+  options.trials = 40;
+  options.threads = 1;
+  options.defects = fab::defect_params{1.0, 0.0};
+  options.block_size = 1;
+  const mc_yield_result oracle = monte_carlo_yield(f.context, options, 11);
+  EXPECT_EQ(oracle.nanowire_yield, 0.0);
+  options.block_size = 16;
+  const mc_yield_result blocked = monte_carlo_yield(f.context, options, 11);
+  expect_bit_identical(oracle, blocked, "all-defective");
+}
+
+TEST(McBlockKernelTest, SmallestLegalDesign) {
+  // Codes need full_length >= 2, so M = 2 with two nanowires is the
+  // smallest constructible design (a true single-region sweep is covered
+  // at the decoder kernel level); the margin sweeps collapse to a seed
+  // pass plus one fold and must still agree with the scalar path.
+  device::technology tech = device::paper_technology();
+  codes::code code = codes::make_code(codes::code_type::hot, 2, 2);
+  decoder::decoder_design design(code, 2, tech);
+  const auto plan = crossbar::plan_contact_groups(2, code.size(), tech);
+  const trial_context context(design, plan);
+  for (const mc_mode mode : {mc_mode::window, mc_mode::operational}) {
+    mc_options options;
+    options.mode = mode;
+    options.trials = 33;
+    options.threads = 1;
+    options.block_size = 1;
+    const mc_yield_result oracle = monte_carlo_yield(context, options, 3);
+    options.block_size = 8;
+    const mc_yield_result blocked = monte_carlo_yield(context, options, 3);
+    expect_bit_identical(oracle, blocked, "single-region");
+  }
+}
+
+TEST(McBlockKernelTest, ResumeSchedulesAgreeAcrossBlockSizes) {
+  // Any batch schedule summing to T is one fixed T-trial run, bit for bit
+  // (mc_run_state contract) -- and now also for any block size, so the
+  // sweep service's adaptive budgets ride the batched kernel unchanged.
+  fixture f;
+  mc_options options;
+  options.mode = mc_mode::operational;
+  options.trials = 120;
+  options.threads = 1;
+  options.block_size = 1;
+  mc_run_state fixed_state;
+  const mc_yield_result fixed =
+      monte_carlo_yield_resume(f.context, options, 17, fixed_state);
+
+  for (const std::size_t block : {7UL, 32UL}) {
+    mc_run_state state;
+    mc_yield_result resumed;
+    options.block_size = block;
+    for (const std::size_t batch : {50UL, 3UL, 67UL}) {
+      options.trials = batch;
+      resumed = monte_carlo_yield_resume(f.context, options, 17, state);
+    }
+    options.trials = 120;
+    expect_bit_identical(fixed, resumed,
+                         "block " + std::to_string(block));
+  }
+}
+
+TEST(McBlockKernelTest, SweepEngineBlockSizeIsAPerfKnobOnly) {
+  // The engine plumbing: mc_block_size must never change a report.
+  crossbar::crossbar_spec spec;
+  spec.nanowires_per_half_cave = 20;
+  const device::technology tech = device::paper_technology();
+  core::sweep_axes axes;
+  axes.designs = {{codes::code_type::gray, 2, 8},
+                  {codes::code_type::tree, 2, 8}};
+  axes.sigmas_vt = {0.04, 0.06};
+  axes.mc_trials = 90;
+
+  const core::sweep_engine engine(spec, tech);
+  core::sweep_engine_options options;
+  options.threads = 2;
+  options.seed = 2009;
+  options.mc_block_size = 1;
+  const core::sweep_engine_report oracle = engine.run(axes, options);
+  for (const std::size_t block : {0UL, 16UL, 64UL}) {
+    options.mc_block_size = block;
+    const core::sweep_engine_report got = engine.run(axes, options);
+    ASSERT_EQ(oracle.entries.size(), got.entries.size());
+    for (std::size_t k = 0; k < oracle.entries.size(); ++k) {
+      const core::design_evaluation& a = oracle.entries[k].evaluation;
+      const core::design_evaluation& b = got.entries[k].evaluation;
+      EXPECT_EQ(a.mc_nanowire_yield, b.mc_nanowire_yield)
+          << "block " << block << " entry " << k;
+      EXPECT_EQ(a.mc_ci_low, b.mc_ci_low);
+      EXPECT_EQ(a.mc_ci_high, b.mc_ci_high);
+      EXPECT_EQ(oracle.entries[k].mc_trials_used, got.entries[k].mc_trials_used);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nwdec::yield
