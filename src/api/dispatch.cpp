@@ -1,0 +1,243 @@
+#include "api/dispatch.h"
+
+#include <exception>
+
+#include "service/refine.h"
+#include "util/error.h"
+
+namespace nwdec::api {
+
+namespace {
+
+// Opens the legacy response envelope: {"id": <echo>, "kind": K, "ok": true.
+json_writer begin_response(const json_value& id, const char* kind) {
+  json_writer json(json_writer::style::compact);
+  json.begin_object();
+  json.key("id").value(id);
+  json.field("kind", kind).field("ok", true);
+  return json;
+}
+
+}  // namespace
+
+std::string error_response_json(const json_value& id,
+                                const std::string& what) {
+  json_writer json(json_writer::style::compact);
+  json.begin_object();
+  json.key("id").value(id);
+  json.field("ok", false).field("error", what).end_object();
+  return json.str();
+}
+
+dispatcher::dispatcher(service::sweep_service& service)
+    : dispatcher(service, options()) {}
+
+dispatcher::dispatcher(service::sweep_service& service, options opts)
+    : service_(service),
+      cache_path_(std::move(opts.cache_path)),
+      scheduler_(service, {opts.workers, opts.retain_finished}) {}
+
+std::string dispatcher::handle_line(const std::string& line) {
+  json_value id;  // null until the request parses far enough to carry one
+  try {
+    const json_value root = json_parse(line);
+    NWDEC_EXPECTS(root.is_object(), "a request must be a JSON object");
+    if (const json_value* found = root.find("id")) id = *found;
+    const request parsed = parse_request(root);
+    return std::visit([this](const auto& r) { return handle(r); }, parsed);
+  } catch (const std::exception& failure) {
+    return error_response_json(id, failure.what());
+  }
+}
+
+// Renders a terminal job in the legacy synchronous wire shape -- the
+// committed daemon golden pins these bytes for sweep and refine. The
+// "topped_up" member is new with the CI-target feature and appears only
+// when the request asked for one (or a fixed-budget point actually
+// resumed), so legacy requests keep their exact PR 3 responses.
+std::string dispatcher::sync_response(const json_value& id,
+                                      const job_result& job) {
+  if (job.status.state == job_state::failed) {
+    return error_response_json(id, job.status.error);
+  }
+  if (job.status.state == job_state::cancelled) {
+    return error_response_json(id, "the job was cancelled");
+  }
+  if (job.status.state != job_state::done) {
+    // Only a scheduler shutdown releases a synchronous wait before the
+    // job is terminal; answer honestly instead of rendering an empty
+    // payload as success.
+    return error_response_json(
+        id, "the service is shutting down before the job could run");
+  }
+  if (job.status.kind == "sweep") {
+    json_writer json = begin_response(id, "sweep");
+    json.field("cached", job.sweep->cached)
+        .field("computed", job.sweep->computed);
+    if (job.report_topped_up || job.sweep->topped_up > 0) {
+      json.field("topped_up", job.sweep->topped_up);
+    }
+    json.key("result");
+    service::write_payload(json, *job.sweep);
+    return json.end_object().str();
+  }
+  json_writer json = begin_response(id, "refine");
+  json.field("evaluations", job.refined->evaluations)
+      .field("cached", job.refined->cached);
+  json.key("result");
+  service::write_payload(json, *job.refined);
+  return json.end_object().str();
+}
+
+std::string dispatcher::handle(const sweep_request& request) {
+  const json_value& id = request.header.client_id;
+  const std::uint64_t job = scheduler_.submit(request);
+  if (request.header.async_submit) {
+    json_writer json = begin_response(id, "sweep");
+    json.field("async", true).field("job", job).field("state", "queued");
+    return json.end_object().str();
+  }
+  const std::optional<job_result> done = scheduler_.wait(job);
+  if (!done.has_value()) {
+    return error_response_json(id, "the job result expired unfetched");
+  }
+  return sync_response(id, *done);
+}
+
+std::string dispatcher::handle(const refine_request& request) {
+  const json_value& id = request.header.client_id;
+  const std::uint64_t job = scheduler_.submit(request);
+  if (request.header.async_submit) {
+    json_writer json = begin_response(id, "refine");
+    json.field("async", true).field("job", job).field("state", "queued");
+    return json.end_object().str();
+  }
+  const std::optional<job_result> done = scheduler_.wait(job);
+  if (!done.has_value()) {
+    return error_response_json(id, "the job result expired unfetched");
+  }
+  return sync_response(id, *done);
+}
+
+std::string dispatcher::handle(const status_request& request) {
+  const json_value& id = request.header.client_id;
+  const std::optional<job_result> job =
+      request.wait ? scheduler_.wait(request.job)
+                   : scheduler_.inspect(request.job);
+  if (!job.has_value()) {
+    return error_response_json(
+        id, "unknown job id " + std::to_string(request.job) +
+                " (never submitted, or already forgotten)");
+  }
+  json_writer json = begin_response(id, "status");
+  json.field("job", job->status.id)
+      .field("state", job_state_name(job->status.state))
+      .field("request_kind", job->status.kind)
+      .field("priority", job->status.priority)
+      .field("progress_done", job->status.progress_done)
+      .field("progress_total", job->status.progress_total);
+  if (job->status.state == job_state::failed) {
+    json.field("error", job->status.error);
+  } else if (job->status.state == job_state::done) {
+    if (job->status.kind == "sweep") {
+      json.field("cached", job->sweep->cached)
+          .field("computed", job->sweep->computed);
+      if (job->report_topped_up || job->sweep->topped_up > 0) {
+        json.field("topped_up", job->sweep->topped_up);
+      }
+      json.key("result");
+      service::write_payload(json, *job->sweep);
+    } else {
+      json.field("evaluations", job->refined->evaluations)
+          .field("cached", job->refined->cached);
+      json.key("result");
+      service::write_payload(json, *job->refined);
+    }
+  }
+  return json.end_object().str();
+}
+
+std::string dispatcher::handle(const cancel_request& request) {
+  const json_value& id = request.header.client_id;
+  if (scheduler_.cancel(request.job)) {
+    json_writer json = begin_response(id, "cancel");
+    json.field("job", request.job).field("state", "cancelled");
+    return json.end_object().str();
+  }
+  const std::optional<job_result> job = scheduler_.inspect(request.job);
+  if (!job.has_value()) {
+    return error_response_json(
+        id, "unknown job id " + std::to_string(request.job) +
+                " (never submitted, or already forgotten)");
+  }
+  return error_response_json(
+      id, "job " + std::to_string(request.job) + " is " +
+              job_state_name(job->status.state) +
+              " and can no longer be cancelled");
+}
+
+std::string dispatcher::handle(const stats_request& request) {
+  const service::service_stats stats = service_.stats();
+  const service::service_options& options = service_.options();
+
+  json_writer json = begin_response(request.header.client_id, "stats");
+  json.key("result")
+      .begin_object()
+      .field("mode", service::mc_mode_name(options.mode))
+      .field("seed", std::to_string(options.seed))
+      .field("adaptive", options.adaptive.has_value())
+      .key("store")
+      .begin_object()
+      .field("entries", stats.entries)
+      .field("capacity", stats.capacity)
+      .field("hits", stats.store.hits)
+      .field("misses", stats.store.misses)
+      .field("insertions", stats.store.insertions)
+      .field("evictions", stats.store.evictions);
+  if (request.detail) {
+    // The cost-class split and top-up counter are additive detail: the
+    // legacy stats shape (and the committed golden) stays byte-identical
+    // without the flag.
+    json.field("cheap_entries", stats.cheap_entries)
+        .field("mc_entries", stats.mc_entries)
+        .field("cheap_evictions", stats.store.cheap_evictions)
+        .field("mc_evictions", stats.store.mc_evictions)
+        .field("topped_up", stats.topped_up);
+  }
+  json.end_object()
+      .key("engine")
+      .begin_object()
+      .field("designs_built", stats.engine.designs_built)
+      .field("design_reuses", stats.engine.design_reuses)
+      .field("plans_built", stats.engine.plans_built)
+      .field("plan_reuses", stats.engine.plan_reuses)
+      .end_object();
+  if (request.detail) {
+    const scheduler_stats jobs = scheduler_.stats();
+    json.key("jobs")
+        .begin_object()
+        .field("submitted", jobs.submitted)
+        .field("completed", jobs.completed)
+        .field("failed", jobs.failed)
+        .field("cancelled", jobs.cancelled)
+        .field("queued", jobs.queued)
+        .field("running", jobs.running)
+        .field("sweep_batches", jobs.sweep_batches)
+        .field("sweep_jobs_batched", jobs.sweep_jobs_batched)
+        .end_object();
+  }
+  json.end_object();
+  return json.end_object().str();
+}
+
+std::string dispatcher::handle(const flush_request& request) {
+  const service::flush_summary summary =
+      service_.flush(cache_path_, request.clear);
+  json_writer json = begin_response(request.header.client_id, "flush");
+  json.field("persisted", summary.persisted)
+      .field("entries", summary.entries)
+      .field("cleared", request.clear);
+  return json.end_object().str();
+}
+
+}  // namespace nwdec::api

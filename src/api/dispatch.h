@@ -1,0 +1,74 @@
+// api::dispatcher: typed request dispatch, decoupled from any transport.
+//
+// handle_line() is the whole service surface: one NDJSON request line in,
+// exactly one single-line JSON response out (trailing newline included),
+// never throwing -- every failure, from malformed JSON up, becomes an
+// "ok": false response echoing the request's "id". It is safe to call from
+// any number of transport threads concurrently (the TCP server calls it
+// from one thread per connection; the stdio loop from one).
+//
+// Sweep and refine requests become jobs on the scheduler. Synchronous
+// requests (the legacy protocol) submit, wait, and render the completed
+// job in the PR 3 wire shape -- the committed daemon golden pins those
+// bytes. "async": true requests return
+//   {"id": ..., "kind": "sweep", "ok": true, "async": true, "job": N,
+//    "state": "queued"}
+// immediately; the result is fetched (or awaited) with status requests.
+// status/cancel/stats/flush are served inline -- they inspect shared
+// state and never queue.
+#pragma once
+
+#include <string>
+
+#include "api/job_scheduler.h"
+#include "api/types.h"
+#include "service/sweep_service.h"
+
+namespace nwdec::api {
+
+/// One NDJSON request line in, one response line out. Implemented by the
+/// dispatcher; transports depend only on this.
+class line_handler {
+ public:
+  virtual ~line_handler() = default;
+  virtual std::string handle_line(const std::string& line) = 0;
+};
+
+class dispatcher final : public line_handler {
+ public:
+  struct options {
+    /// Scheduler worker threads (0 = hardware concurrency).
+    std::size_t workers = 1;
+    /// Cache file `flush` persists to ('' = in-memory only).
+    std::string cache_path;
+    /// Finished jobs retained for status fetches.
+    std::size_t retain_finished = 1024;
+  };
+
+  explicit dispatcher(service::sweep_service& service);
+  dispatcher(service::sweep_service& service, options opts);
+
+  std::string handle_line(const std::string& line) override;
+
+  job_scheduler& scheduler() { return scheduler_; }
+
+ private:
+  std::string handle(const sweep_request& request);
+  std::string handle(const refine_request& request);
+  std::string handle(const status_request& request);
+  std::string handle(const cancel_request& request);
+  std::string handle(const stats_request& request);
+  std::string handle(const flush_request& request);
+  /// Renders a terminal job in the legacy synchronous wire shape.
+  std::string sync_response(const json_value& id, const job_result& job);
+
+  service::sweep_service& service_;
+  std::string cache_path_;
+  job_scheduler scheduler_;
+};
+
+/// The "ok": false response every failure renders to.
+std::string error_response_json(const json_value& id,
+                                const std::string& what);
+
+}  // namespace nwdec::api

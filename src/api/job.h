@@ -1,0 +1,80 @@
+// nwdec::api job model: every sweep/refine request the service accepts
+// becomes a job with an id, a state, a priority, and progress -- whether
+// the client waits for it synchronously (the legacy NDJSON behavior) or
+// submits it asynchronously and fetches the result later.
+//
+// State machine:
+//
+//   queued ----> running ----> done
+//      |             \-------> failed
+//      \----> cancelled           (cancel reaches queued jobs only)
+//
+// A job's `result` payload is a pure function of (service configuration,
+// request): bit-identical whether it ran alone or batched with other
+// jobs, at any worker count, over any transport (the sweep service's
+// evaluation semantics carry the contract; only the provenance counters in
+// the response wrapper depend on cache history and scheduling).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/refine.h"
+#include "service/sweep_service.h"
+#include "util/json.h"
+
+namespace nwdec::api {
+
+enum class job_state { queued, running, done, failed, cancelled };
+
+/// Wire name of a state ("queued", "running", ...).
+const char* job_state_name(job_state state);
+
+/// A point-in-time view of one job.
+struct job_status {
+  std::uint64_t id = 0;
+  job_state state = job_state::queued;
+  std::string kind;  ///< "sweep" | "refine"
+  int priority = 0;
+  /// Work units finished / total: sweep jobs count grid points (filled
+  /// when the job completes), refine jobs count probes as they happen
+  /// (total stays 0: bisection depth is data-dependent).
+  std::size_t progress_done = 0;
+  std::size_t progress_total = 0;
+  std::string error;  ///< diagnostic of a failed job
+};
+
+/// A job snapshot plus, when the job is done, its result payload. The
+/// payloads are shared immutable state (set once at completion), so a
+/// snapshot is O(1) no matter how many grid points the job answered.
+struct job_result {
+  job_status status;
+  json_value client_id;  ///< the submitting request's echoed "id"
+  /// Exactly one of these is set once status.state == done, by kind.
+  std::shared_ptr<const service::sweep_response> sweep;
+  std::shared_ptr<const service::refine_result> refined;
+  /// True when the submitting sweep asked for a CI target: the response
+  /// wrapper then always reports the topped_up count.
+  bool report_topped_up = false;
+};
+
+/// Aggregate scheduler counters (the stats endpoint's "jobs" block; the
+/// bench derives the cross-request coalescence ratio from the sweep
+/// batch counters).
+struct scheduler_stats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;  ///< reached done
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t queued = 0;   ///< currently waiting
+  std::size_t running = 0;  ///< currently executing
+  /// Cross-request batching: every batch is one sweep_service evaluation
+  /// coalescing the points of `sweep_jobs_batched / sweep_batches` jobs on
+  /// average (1.0 = no concurrency to exploit).
+  std::size_t sweep_batches = 0;
+  std::size_t sweep_jobs_batched = 0;
+};
+
+}  // namespace nwdec::api

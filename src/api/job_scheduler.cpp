@@ -1,0 +1,320 @@
+#include "api/job_scheduler.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "service/refine.h"
+#include "util/error.h"
+
+namespace nwdec::api {
+
+const char* job_state_name(job_state state) {
+  switch (state) {
+    case job_state::queued: return "queued";
+    case job_state::running: return "running";
+    case job_state::done: return "done";
+    case job_state::failed: return "failed";
+    case job_state::cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+struct job_scheduler::job_record {
+  std::uint64_t id = 0;
+  int priority = 0;
+  job_state state = job_state::queued;
+  std::string kind;
+  json_value client_id;
+  // Request forms (one is populated, by kind).
+  std::vector<service::point_query> queries;  ///< sweep grid, in order
+  bool report_topped_up = false;
+  service::refine_request refinement;
+  // Results: set exactly once at completion and immutable after, so
+  // snapshots share them instead of copying every grid point.
+  std::shared_ptr<const service::sweep_response> sweep;
+  std::shared_ptr<const service::refine_result> refined;
+  std::string error;
+  std::size_t progress_done = 0;
+  std::size_t progress_total = 0;
+  int waiters = 0;  ///< active wait() calls; pins the record in retention
+};
+
+job_scheduler::job_scheduler(service::sweep_service& service)
+    : job_scheduler(service, options()) {}
+
+job_scheduler::job_scheduler(service::sweep_service& service, options opts)
+    : service_(service), options_(opts) {
+  NWDEC_EXPECTS(options_.retain_finished >= 1,
+                "the scheduler must retain at least one finished job");
+  std::size_t workers = options_.workers;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+job_scheduler::~job_scheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::uint64_t job_scheduler::submit(request parsed) {
+  auto record = std::make_shared<job_record>();
+  if (const sweep_request* sweep = std::get_if<sweep_request>(&parsed)) {
+    record->kind = "sweep";
+    record->client_id = sweep->header.client_id;
+    record->priority = sweep->header.priority;
+    record->report_topped_up = sweep->min_half_width > 0.0;
+    for (const core::sweep_request& point : sweep->axes().expand()) {
+      record->queries.push_back({point, sweep->min_half_width});
+    }
+    record->progress_total = record->queries.size();
+  } else if (const refine_request* refine =
+                 std::get_if<refine_request>(&parsed)) {
+    record->kind = "refine";
+    record->client_id = refine->header.client_id;
+    record->priority = refine->header.priority;
+    record->refinement = refine->refinement;
+  } else {
+    throw invalid_argument_error(
+        "only sweep and refine requests become jobs (" +
+        std::string(kind_name(parsed)) + " is served inline)");
+  }
+
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    NWDEC_EXPECTS(!stopping_, "the job scheduler is shutting down");
+    id = next_id_++;
+    record->id = id;
+    jobs_.emplace(id, record);
+    queue_.emplace(-record->priority, id);
+    ++stats_.submitted;
+  }
+  work_cv_.notify_one();
+  return id;
+}
+
+job_result job_scheduler::snapshot(const job_record& job) const {
+  job_result result;
+  result.status.id = job.id;
+  result.status.state = job.state;
+  result.status.kind = job.kind;
+  result.status.priority = job.priority;
+  result.status.progress_done = job.progress_done;
+  result.status.progress_total = job.progress_total;
+  result.status.error = job.error;
+  result.client_id = job.client_id;
+  result.report_topped_up = job.report_topped_up;
+  if (job.state == job_state::done) {
+    result.sweep = job.sweep;
+    result.refined = job.refined;
+  }
+  return result;
+}
+
+std::optional<job_result> job_scheduler::inspect(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = jobs_.find(id);
+  if (found == jobs_.end()) return std::nullopt;
+  return snapshot(*found->second);
+}
+
+std::optional<job_result> job_scheduler::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto found = jobs_.find(id);
+  if (found == jobs_.end()) return std::nullopt;
+  const std::shared_ptr<job_record> job = found->second;
+  ++job->waiters;  // pins the record against retention trimming
+  // stopping_ releases the wait too: a scheduler being destroyed will
+  // never run the job, and a waiter blocked past the destructor would be
+  // waiting on a destroyed condition variable. The caller then sees the
+  // job in its non-terminal state and must treat it as unserved.
+  done_cv_.wait(lock, [&] {
+    return stopping_ || job->state == job_state::done ||
+           job->state == job_state::failed ||
+           job->state == job_state::cancelled;
+  });
+  job_result result = snapshot(*job);
+  --job->waiters;
+  trim_locked();  // catch up on trims this pin deferred
+  return result;
+}
+
+bool job_scheduler::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = jobs_.find(id);
+  if (found == jobs_.end()) return false;
+  job_record& job = *found->second;
+  if (job.state != job_state::queued) return false;
+  queue_.erase({-job.priority, id});
+  finish(job, job_state::cancelled);
+  done_cv_.notify_all();
+  return true;
+}
+
+scheduler_stats job_scheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  scheduler_stats out = stats_;
+  out.queued = queue_.size();
+  return out;
+}
+
+// Caller holds mutex_. Runs the retention policy; a record pinned by an
+// active wait() blocks the scan (wait() re-runs it on release).
+void job_scheduler::trim_locked() {
+  while (finished_.size() > options_.retain_finished) {
+    const auto oldest = jobs_.find(finished_.front());
+    if (oldest != jobs_.end() && oldest->second->waiters > 0) break;
+    if (oldest != jobs_.end()) jobs_.erase(oldest);
+    finished_.pop_front();
+  }
+}
+
+// Caller holds mutex_. Transitions a job into a terminal state and runs
+// the retention policy.
+void job_scheduler::finish(job_record& job, job_state state) {
+  if (job.state == job_state::running) --stats_.running;
+  job.state = state;
+  switch (state) {
+    case job_state::done: ++stats_.completed; break;
+    case job_state::failed: ++stats_.failed; break;
+    case job_state::cancelled: ++stats_.cancelled; break;
+    default: break;
+  }
+  finished_.push_back(job.id);
+  trim_locked();
+}
+
+void job_scheduler::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    const std::shared_ptr<job_record> head = jobs_.at(queue_.begin()->second);
+    if (head->kind == "sweep") {
+      run_sweep_batch(lock);
+    } else {
+      queue_.erase(queue_.begin());
+      head->state = job_state::running;
+      ++stats_.running;
+      run_refine(lock, head);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+// Caller holds `lock`. The batching stage: drains the maximal sweep
+// PREFIX of the priority-ordered queue into one sweep_service evaluation
+// (stopping at the first queued non-sweep job, so a higher-priority
+// refine is never overtaken by lower-priority sweeps riding the batch);
+// concurrent clients thus share one engine run and duplicate points
+// across jobs compute once.
+void job_scheduler::run_sweep_batch(std::unique_lock<std::mutex>& lock) {
+  std::vector<std::shared_ptr<job_record>> batch;
+  std::vector<service::point_query> combined;
+  std::vector<std::size_t> offsets;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const std::shared_ptr<job_record>& job = jobs_.at(it->second);
+    if (job->kind != "sweep") break;
+    job->state = job_state::running;
+    ++stats_.running;
+    offsets.push_back(combined.size());
+    combined.insert(combined.end(), job->queries.begin(),
+                    job->queries.end());
+    batch.push_back(job);
+    it = queue_.erase(it);
+  }
+  ++stats_.sweep_batches;
+  stats_.sweep_jobs_batched += batch.size();
+
+  lock.unlock();
+  service::sweep_response response;
+  bool batch_failed = false;
+  // Per-job fallback responses when the combined evaluation throws: one
+  // client's bad request (e.g. an impossible code length that only fails
+  // in the engine) must not poison the other coalesced jobs, so each job
+  // re-evaluates alone and carries only its own diagnostic. Payload
+  // purity makes the solo rerun bit-identical to its share of the batch.
+  std::vector<service::sweep_response> solo(batch.size());
+  std::vector<std::string> solo_error(batch.size());
+  try {
+    response = service_.evaluate(combined);
+  } catch (const std::exception&) {
+    batch_failed = true;
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      try {
+        solo[b] = service_.evaluate(batch[b]->queries);
+      } catch (const std::exception& failure) {
+        solo_error[b] = failure.what();
+      }
+    }
+  }
+  lock.lock();
+
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    job_record& job = *batch[b];
+    if (batch_failed && !solo_error[b].empty()) {
+      job.error = solo_error[b];
+      finish(job, job_state::failed);
+      continue;
+    }
+    // Slice this job's points back out (or take its solo rerun) and
+    // rebuild its wrapper counts from the per-point provenance.
+    auto sliced = std::make_shared<service::sweep_response>();
+    if (batch_failed) {
+      sliced->points = std::move(solo[b].points);
+    } else {
+      const std::size_t begin = offsets[b];
+      const std::size_t count = job.queries.size();
+      sliced->points.assign(response.points.begin() + begin,
+                            response.points.begin() + begin + count);
+    }
+    for (const service::sweep_response_entry& entry : sliced->points) {
+      switch (entry.source) {
+        case service::point_source::cached: ++sliced->cached; break;
+        case service::point_source::topped_up: ++sliced->topped_up; break;
+        case service::point_source::computed: ++sliced->computed; break;
+      }
+    }
+    job.sweep = std::move(sliced);
+    job.progress_done = job.progress_total;
+    finish(job, job_state::done);
+  }
+}
+
+// Caller holds `lock`; the job is already marked running.
+void job_scheduler::run_refine(std::unique_lock<std::mutex>& lock,
+                               const std::shared_ptr<job_record>& job) {
+  lock.unlock();
+  service::refine_result refined;
+  std::string error;
+  try {
+    refined = service::refine(
+        service_, job->refinement, [this, job](std::size_t evaluations) {
+          const std::lock_guard<std::mutex> progress_lock(mutex_);
+          job->progress_done = evaluations;
+        });
+  } catch (const std::exception& failure) {
+    error = failure.what();
+  }
+  lock.lock();
+  if (!error.empty()) {
+    job->error = error;
+    finish(*job, job_state::failed);
+  } else {
+    job->refined =
+        std::make_shared<const service::refine_result>(std::move(refined));
+    finish(*job, job_state::done);
+  }
+}
+
+}  // namespace nwdec::api

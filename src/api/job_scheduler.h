@@ -1,0 +1,115 @@
+// api::job_scheduler: the concurrent execution stage between transports
+// and the sweep service.
+//
+// submit() turns a typed sweep/refine request into a queued job and
+// returns its id immediately; N worker threads drain the queue in
+// (priority desc, id asc) order. The scheduler is the service's batching
+// stage: when a worker picks up a sweep job it collects the maximal
+// sweep prefix of that order -- every queued sweep job up to the first
+// queued non-sweep, so batching never lets a lower-priority sweep
+// overtake a higher-priority refine -- into one sweep_service
+// evaluation, so concurrent clients share one engine run (store hits are
+// served inside that same pass, misses shard across the engine's
+// workers, and duplicate points across jobs compute once). A job whose
+// request only fails inside the engine is re-evaluated alone so its
+// diagnostic never poisons the jobs it was batched with. Refine jobs run
+// one per worker, every probe going through the shared store.
+//
+// Determinism: a job's result payload is a pure function of (service
+// configuration, request) -- the sweep service's evaluation semantics --
+// so results are bit-identical at any worker count and under any
+// coalescing; only the wrapper's provenance counters (cached / computed /
+// topped_up) depend on what the store held when the batch ran.
+//
+// Lifecycle: cancel() removes a still-queued job (running jobs finish;
+// done/failed/cancelled jobs report their state). Finished jobs are
+// retained for status/result fetches up to options.retain_finished, then
+// forgotten oldest-first; wait() blocks until a job is terminal. The
+// destructor stops the workers after their current jobs; still-queued
+// jobs are dropped (the daemon drains synchronous requests before exit).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/job.h"
+#include "api/types.h"
+#include "service/sweep_service.h"
+
+namespace nwdec::api {
+
+class job_scheduler {
+ public:
+  struct options {
+    /// Worker threads draining the job queue. More workers mean more
+    /// concurrent engine runs (the engine itself is thread-safe); results
+    /// never depend on the count.
+    std::size_t workers = 1;
+    /// Finished jobs retained for status/result fetches.
+    std::size_t retain_finished = 1024;
+  };
+
+  explicit job_scheduler(service::sweep_service& service);
+  job_scheduler(service::sweep_service& service, options opts);
+  ~job_scheduler();
+  job_scheduler(const job_scheduler&) = delete;
+  job_scheduler& operator=(const job_scheduler&) = delete;
+
+  /// Queues a sweep or refine request and returns the job id; throws
+  /// invalid_argument_error for the other request kinds (they are served
+  /// inline by the dispatcher, not queued).
+  std::uint64_t submit(request job);
+
+  /// Snapshot of a job (result payload included once done); nullopt for
+  /// an unknown -- or already-forgotten -- id.
+  std::optional<job_result> inspect(std::uint64_t id) const;
+
+  /// Blocks until the job is terminal, then returns its snapshot;
+  /// nullopt for an unknown id.
+  std::optional<job_result> wait(std::uint64_t id);
+
+  /// Cancels a queued job; returns false when the id is unknown or the
+  /// job already left the queue (inspect() then tells its state).
+  bool cancel(std::uint64_t id);
+
+  scheduler_stats stats() const;
+
+ private:
+  struct job_record;
+
+  void worker_loop();
+  void run_sweep_batch(std::unique_lock<std::mutex>& lock);
+  void run_refine(std::unique_lock<std::mutex>& lock,
+                  const std::shared_ptr<job_record>& job);
+  void finish(job_record& job, job_state state);
+  void trim_locked();
+  job_result snapshot(const job_record& job) const;
+
+  service::sweep_service& service_;
+  options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers: queue became non-empty
+  std::condition_variable done_cv_;  ///< waiters: some job turned terminal
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 1;
+  /// (-priority, id): begin() is the highest-priority, oldest job.
+  std::set<std::pair<int, std::uint64_t>> queue_;
+  std::map<std::uint64_t, std::shared_ptr<job_record>> jobs_;
+  std::deque<std::uint64_t> finished_;  ///< retention ring, oldest first
+  scheduler_stats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nwdec::api

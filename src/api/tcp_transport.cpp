@@ -1,0 +1,179 @@
+#include "api/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/error.h"
+
+namespace nwdec::api {
+
+namespace {
+
+// Full-buffer send; MSG_NOSIGNAL so a client that hung up surfaces as an
+// error return instead of SIGPIPE. Returns false once the peer is gone.
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+tcp_transport::tcp_transport(std::uint16_t port, int backlog) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw error("tcp_transport: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_ANY);
+  address.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    ::close(listen_fd_);
+    throw error("tcp_transport: cannot bind port " + std::to_string(port) +
+                " (" + std::strerror(errno) + ")");
+  }
+  if (::listen(listen_fd_, backlog) != 0) {
+    ::close(listen_fd_);
+    throw error("tcp_transport: cannot listen on port " +
+                std::to_string(port));
+  }
+  socklen_t length = sizeof(address);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                    &length) != 0) {
+    ::close(listen_fd_);
+    throw error("tcp_transport: cannot read the bound port");
+  }
+  port_ = ntohs(address.sin_port);
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    ::close(listen_fd_);
+    throw error("tcp_transport: cannot create the shutdown pipe");
+  }
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+}
+
+tcp_transport::~tcp_transport() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+}
+
+void tcp_transport::shutdown() {
+  // One byte on the wake pipe; write() is async-signal-safe, so signal
+  // handlers can do exactly this through shutdown_fd().
+  const char wake = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &wake, 1);
+}
+
+int tcp_transport::serve(line_handler& handler) {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // shutdown requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    {
+      // Register before the thread exists so serve()'s drain barrier can
+      // never miss a connection that is about to start.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      clients_.push_back(client);
+      ++active_;
+    }
+    std::thread([this, client, &handler] {
+      serve_connection(client, handler);
+    }).detach();
+  }
+
+  // Unblock every connection thread (their reads return 0), then wait for
+  // the last one to deregister -- `handler` and `this` must outlive them.
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (const int client : clients_) ::shutdown(client, SHUT_RDWR);
+  idle_cv_.wait(lock, [this] { return active_ == 0; });
+  return 0;
+}
+
+void tcp_transport::serve_connection(int client, line_handler& handler) {
+  // Hard cap on one pending request line: the socket is unauthenticated,
+  // so a peer streaming bytes without ever sending a newline must cost
+  // bounded memory -- past the cap it gets an error line and the
+  // connection closes. Real requests are a few hundred bytes; the largest
+  // sane grids are well under this.
+  constexpr std::size_t max_line_bytes = std::size_t{4} << 20;  // 4 MiB
+  std::string buffer;
+  char chunk[4096];
+  bool peer_gone = false;
+  const auto answer = [&](std::string line) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // nc/telnet
+    if (line.empty()) return;
+    if (!send_all(client, handler.handle_line(line))) peer_gone = true;
+  };
+  for (;;) {
+    const ssize_t n = ::read(client, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline = 0;
+    while (!peer_gone &&
+           (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      answer(std::move(line));
+    }
+    if (buffer.size() > max_line_bytes) {
+      send_all(client,
+               "{\"id\":null,\"ok\":false,\"error\":\"request line exceeds "
+               "the 4 MiB limit; closing connection\"}\n");
+      buffer.clear();
+      break;
+    }
+    if (peer_gone) break;
+  }
+  // A final request without a trailing newline still gets its answer --
+  // the stdio transport (std::getline) serves such scripts, and the two
+  // transports promise identical behavior.
+  if (!peer_gone && !buffer.empty()) answer(std::move(buffer));
+  // Deregister before close so a reused fd number can never be confused
+  // with this connection by a concurrent shutdown().
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (int& fd : clients_) {
+      if (fd == client) {
+        std::swap(fd, clients_.back());
+        clients_.pop_back();
+        break;
+      }
+    }
+    --active_;
+    if (active_ == 0) idle_cv_.notify_all();
+  }
+  ::close(client);
+}
+
+}  // namespace nwdec::api

@@ -1,0 +1,73 @@
+// api::tcp_transport: the socket front end of the nwdec service.
+//
+// Listens on a TCP port (IPv4 loopback-or-any, SO_REUSEADDR) and serves
+// any number of concurrent connections, one thread per connection. Each
+// connection speaks the same NDJSON protocol as stdin/stdout: one request
+// per line, one response line per request, written in that connection's
+// request order (concurrency across connections comes from the job
+// scheduler underneath, so two clients' sweep jobs coalesce into one
+// engine run). Responses are byte-identical to the stdio transport's --
+// the dispatcher is shared and the CI smoke diffs the two.
+//
+// Shutdown: shutdown() (thread-safe, idempotent) stops the accept loop,
+// unblocks every connection, and makes serve() return after joining the
+// connection threads. shutdown_fd() exposes the write end of the internal
+// wake pipe so a signal handler can request the same with a single
+// async-signal-safe write().
+//
+//   $ nwdec_service --listen 4750 &
+//   $ printf '%s\n' '{"id":1,"kind":"sweep","codes":["BGC"],
+//       "lengths":[10],"trials":150}' | nc 127.0.0.1 4750
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "api/transport.h"
+
+namespace nwdec::api {
+
+class tcp_transport final : public transport {
+ public:
+  /// Binds and listens immediately (so port() is valid before serve());
+  /// port 0 picks an ephemeral port. Throws nwdec::error on any socket
+  /// failure.
+  explicit tcp_transport(std::uint16_t port, int backlog = 64);
+  ~tcp_transport() override;
+  tcp_transport(const tcp_transport&) = delete;
+  tcp_transport& operator=(const tcp_transport&) = delete;
+
+  /// The bound port (the ephemeral pick when constructed with 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Accept loop; returns 0 after shutdown() completes it.
+  int serve(line_handler& handler) override;
+
+  /// Requests serve() to stop; safe from any thread, idempotent.
+  void shutdown();
+
+  /// Write end of the shutdown wake pipe: write(shutdown_fd(), "x", 1)
+  /// is the async-signal-safe equivalent of shutdown() for use inside a
+  /// signal handler.
+  int shutdown_fd() const { return wake_write_; }
+
+ private:
+  void serve_connection(int client, line_handler& handler);
+
+  int listen_fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::uint16_t port_ = 0;
+
+  // Connection threads run detached (a long-lived daemon must not hoard
+  // one joinable thread per connection ever served); serve() instead
+  // counts them and blocks on idle_cv_ until the last one deregisters.
+  std::mutex mutex_;  ///< guards clients_ and active_
+  std::condition_variable idle_cv_;
+  std::vector<int> clients_;
+  std::size_t active_ = 0;
+};
+
+}  // namespace nwdec::api

@@ -268,11 +268,24 @@ sweep_engine_report sweep_engine::run(const std::vector<sweep_request>& points,
 
       const auto started = std::chrono::steady_clock::now();
       yield::mc_run_state state;
-      yield::mc_yield_result result;
+      if (options.mc_resume) {
+        // Seed the accumulator from persisted progress. The per-trial
+        // streams are counter-based, so the state at any total is
+        // bit-identical whether the prefix ran here or in an earlier
+        // process -- resuming only moves where the spend starts.
+        if (const std::optional<mc_resume_point> seed =
+                options.mc_resume(request)) {
+          state = yield::mc_run_state::from_moments(seed->trials, seed->mean,
+                                                    seed->m2);
+        }
+      }
+      yield::mc_yield_result result = yield::mc_result_from_state(state);
       if (!options.mc_budget) {
-        mc.trials = request.mc_trials;
-        result = yield::monte_carlo_yield_resume(*p.context, mc, run_key,
-                                                 state);
+        if (state.trials() < request.mc_trials) {
+          mc.trials = request.mc_trials - state.trials();
+          result = yield::monte_carlo_yield_resume(*p.context, mc, run_key,
+                                                   state);
+        }
       } else {
         // Batched leg: the hook sizes each batch from the running Wilson
         // estimate; request.mc_trials caps the schedule. The per-trial
@@ -301,6 +314,7 @@ sweep_engine_report sweep_engine::run(const std::vector<sweep_request>& points,
         e.mc_ci_low = result.ci.low;
         e.mc_ci_high = result.ci.high;
         entry.mc_trials_used = state.trials();
+        entry.mc_m2 = state.per_trial_yield.sum_squared_deviations();
         entry.mc_seconds =
             std::chrono::duration<double>(finished - started).count();
         entry.mc_trials_per_second =

@@ -129,6 +129,26 @@ struct mc_budget_status {
 using mc_budget_fn =
     std::function<std::size_t(const sweep_request&, const mc_budget_status&)>;
 
+/// Persisted progress of a point's Monte-Carlo leg: the resumable
+/// accumulator moments (yield::mc_run_state::from_moments). By the resume
+/// contract the state at any trial total is bit-identical whether those
+/// trials ran in one process or across restarts, so seeding a run from a
+/// persisted point never changes the bits at a given total -- only where
+/// the evaluation starts paying.
+struct mc_resume_point {
+  std::size_t trials = 0;  ///< trials already consumed (the resume index)
+  double mean = 0.0;       ///< running nanowire-yield mean over `trials`
+  double m2 = 0.0;         ///< Welford M2 accumulator at `trials`
+};
+
+/// Per-point resume hook: the persisted progress to continue a point's
+/// Monte-Carlo leg from (nullopt = start cold). Must be a pure function of
+/// its argument -- the engine calls it concurrently from worker threads.
+/// The sweep service's cross-restart top-up feeds cached (mean, trials, M2)
+/// through this hook so a tighter CI target resumes instead of recomputing.
+using mc_resume_fn =
+    std::function<std::optional<mc_resume_point>(const sweep_request&)>;
+
 /// Engine run configuration.
 struct sweep_engine_options {
   /// Worker threads; 0 = std::thread::hardware_concurrency(). Design points
@@ -148,6 +168,13 @@ struct sweep_engine_options {
   /// of request.mc_trials. Batched and fixed runs over the same total are
   /// bit-identical (yield::mc_run_state contract).
   mc_budget_fn mc_budget;
+  /// When set, each point's Monte-Carlo leg starts from the returned
+  /// persisted state instead of trial zero (request.mc_trials stays the
+  /// hard cap on the *total*, resumed trials included). Resumed and cold
+  /// runs reaching the same total are bit-identical; a point already at or
+  /// beyond every budget decision re-emits its summary without running a
+  /// trial.
+  mc_resume_fn mc_resume;
 };
 
 /// One evaluated grid point.
@@ -155,8 +182,13 @@ struct sweep_engine_entry {
   sweep_request request;          ///< defaults resolved (nanowires, sigma)
   design_evaluation evaluation;   ///< analytic block always, MC when asked
   /// Trials actually consumed: request.mc_trials for fixed budgets, the
-  /// batch-schedule total under an mc_budget hook.
+  /// batch-schedule total under an mc_budget hook. Resumed trials count
+  /// (this is the total the payload describes, not this run's spend).
   std::size_t mc_trials_used = 0;
+  /// Welford M2 accumulator at mc_trials_used -- with (mean, trials) the
+  /// full resumable state of the estimator, persisted by the result store
+  /// so a later request can top the point up instead of recomputing.
+  double mc_m2 = 0.0;
   double mc_seconds = 0.0;
   double mc_trials_per_second = 0.0;
 };

@@ -36,12 +36,17 @@ std::size_t next_batch(const adaptive_options& options,
                        const core::mc_budget_status& status) {
   if (status.trials_done == 0) return options.initial_batch;
   if (status.wilson_half_width <= options.target_half_width) return 0;
-  // Grow the *total* geometrically: the next convergence check happens at
-  // ceil(trials_done * growth), so a hard point needs only O(log(total))
-  // checks while an easy one stops after the first batch.
-  const double target =
-      std::ceil(static_cast<double>(status.trials_done) * options.growth);
-  return static_cast<std::size_t>(target) - status.trials_done;
+  // Grow the *total* geometrically, anchored at the absolute rungs
+  // ceil(initial_batch * growth^k) -- a pure function of the options,
+  // never of where the run started. A run resumed from persisted progress
+  // therefore visits exactly the rungs a cold run visits (the sweep
+  // service's cross-restart top-up rides this), while a hard point still
+  // needs only O(log(total)) convergence checks.
+  double total = static_cast<double>(options.initial_batch);
+  const double done = static_cast<double>(status.trials_done);
+  while (std::ceil(total) <= done && total < 1e18) total *= options.growth;
+  const double rung = std::min(std::ceil(total), 1e18);
+  return static_cast<std::size_t>(rung) - status.trials_done;
 }
 
 core::mc_budget_fn make_budget(const adaptive_options& options) {

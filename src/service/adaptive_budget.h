@@ -32,8 +32,11 @@ struct adaptive_options {
   double target_half_width = 0.02;
   /// Trials of the first batch (also the minimum spend per point).
   std::size_t initial_batch = 64;
-  /// Total-trials growth per round: the next check happens at
-  /// ceil(trials_done * growth) trials. Must be > 1.
+  /// Total-trials growth per round: convergence checks happen at the
+  /// absolute rungs ceil(initial_batch * growth^k). The rungs are a pure
+  /// function of this policy -- never of where a run started -- so a run
+  /// resumed from persisted progress (the service's cross-restart top-up)
+  /// visits exactly the rungs a cold run visits. Must be > 1.
   double growth = 2.0;
 
   /// Throws invalid_argument_error on out-of-range parameters.

@@ -1,230 +1,16 @@
 #include "service/protocol.h"
 
-#include <cmath>
-
-#include "codes/code_space.h"
-#include "util/error.h"
-
 namespace nwdec::service {
 
-namespace {
-
-std::size_t as_size(const json_value& node, const std::string& what) {
-  const double value = node.as_number();
-  NWDEC_EXPECTS(value >= 0.0 && std::floor(value) == value &&
-                    value <= 9007199254740992.0,  // 2^53
-                "'" + what + "' must be a non-negative integer");
-  return static_cast<std::size_t>(value);
-}
-
-std::size_t get_size_or(const json_value& request, const std::string& name,
-                        std::size_t fallback) {
-  const json_value* found = request.find(name);
-  return found == nullptr ? fallback : as_size(*found, name);
-}
-
-double get_number_or(const json_value& request, const std::string& name,
-                     double fallback) {
-  const json_value* found = request.find(name);
-  return found == nullptr ? fallback : found->as_number();
-}
-
-std::optional<fab::defect_params> parse_defects(const json_value& request) {
-  const fab::defect_params defects{get_number_or(request, "broken", 0.0),
-                                   get_number_or(request, "bridge", 0.0)};
-  // Validate before the no-defects shortcut: a negative rate is a client
-  // bug worth an error response, not a silent defect-free sweep.
-  defects.validate();
-  if (defects.broken_probability == 0.0 && defects.bridge_probability == 0.0) {
-    return std::nullopt;
-  }
-  return defects;
-}
-
-core::sweep_axes parse_sweep_axes(const json_value& request) {
-  core::sweep_axes axes;
-  const unsigned radix =
-      static_cast<unsigned>(get_size_or(request, "radix", 2));
-  for (const json_value& name : request.at("codes").items()) {
-    const codes::code_type type = codes::parse_code_type(name.as_string());
-    for (const json_value& length : request.at("lengths").items()) {
-      axes.designs.push_back({type, radix, as_size(length, "lengths")});
-    }
-  }
-  if (const json_value* nanowires = request.find("nanowires")) {
-    for (const json_value& n : nanowires->items()) {
-      axes.nanowires.push_back(as_size(n, "nanowires"));
-    }
-  }
-  if (const json_value* sigmas = request.find("sigmas_vt")) {
-    for (const json_value& sigma : sigmas->items()) {
-      NWDEC_EXPECTS(sigma.as_number() >= 0.0,
-                    "'sigmas_vt' values cannot be negative");
-      axes.sigmas_vt.push_back(sigma.as_number());
-    }
-  }
-  axes.mc_trials = get_size_or(request, "trials", 0);
-  if (const std::optional<fab::defect_params> defects =
-          parse_defects(request)) {
-    axes.defects.push_back(defects);
-  }
-  NWDEC_EXPECTS(!axes.designs.empty(),
-                "a sweep request needs at least one code and length");
-  return axes;
-}
-
-}  // namespace
-
-void write_payload(json_writer& json, const refine_result& result) {
-  json.begin_object()
-      .field("bracketed", result.bracketed)
-      .field("sigma_low", result.sigma_low)
-      .field("sigma_high", result.sigma_high)
-      .field("yield_low", result.yield_low)
-      .field("yield_high", result.yield_high);
-  json.key("trace").begin_array();
-  for (const stored_result& probe : result.trace) {
-    write_stored_result(json, probe);
-  }
-  json.end_array().end_object();
-}
-
-std::string to_json(const refine_result& result, json_writer::style style) {
-  json_writer json(style);
-  write_payload(json, result);
-  return json.str();
-}
-
 protocol_handler::protocol_handler(sweep_service& service,
-                                   std::string cache_path)
-    : service_(service), cache_path_(std::move(cache_path)) {}
-
-std::string protocol_handler::error_response(const json_value& id,
-                                             const std::string& what) {
-  json_writer json(json_writer::style::compact);
-  json.begin_object();
-  json.key("id").value(id);
-  json.field("ok", false).field("error", what).end_object();
-  return json.str();
-}
+                                   std::string cache_path,
+                                   std::size_t workers)
+    : dispatcher_(service,
+                  api::dispatcher::options{workers, std::move(cache_path),
+                                           1024}) {}
 
 std::string protocol_handler::handle_line(const std::string& line) {
-  json_value id;  // null until the request parses far enough to carry one
-  try {
-    const json_value request = json_parse(line);
-    NWDEC_EXPECTS(request.is_object(), "a request must be a JSON object");
-    if (const json_value* found = request.find("id")) id = *found;
-    const std::string kind = request.at("kind").as_string();
-    if (kind == "sweep") return handle_sweep(request, id);
-    if (kind == "refine") return handle_refine(request, id);
-    if (kind == "stats") return handle_stats(id);
-    if (kind == "flush") return handle_flush(request, id);
-    throw invalid_argument_error(
-        "unknown request kind '" + kind +
-        "' (expected sweep | refine | stats | flush)");
-  } catch (const std::exception& failure) {
-    return error_response(id, failure.what());
-  }
-}
-
-std::string protocol_handler::handle_sweep(const json_value& request,
-                                           const json_value& id) {
-  const core::sweep_axes axes = parse_sweep_axes(request);
-  const sweep_response response = service_.evaluate(axes);
-
-  json_writer json(json_writer::style::compact);
-  json.begin_object();
-  json.key("id").value(id);
-  json.field("kind", "sweep")
-      .field("ok", true)
-      .field("cached", response.cached)
-      .field("computed", response.computed);
-  json.key("result");
-  write_payload(json, response);
-  return json.end_object().str();
-}
-
-std::string protocol_handler::handle_refine(const json_value& request,
-                                            const json_value& id) {
-  refine_request refinement;
-  refinement.design.type =
-      codes::parse_code_type(request.at("code").as_string());
-  refinement.design.radix =
-      static_cast<unsigned>(get_size_or(request, "radix", 2));
-  refinement.design.length = as_size(request.at("length"), "length");
-  refinement.nanowires = get_size_or(request, "nanowires", 0);
-  refinement.mc_trials = get_size_or(request, "trials", 0);
-  refinement.defects = parse_defects(request);
-  refinement.sigma_low = request.at("sigma_low").as_number();
-  refinement.sigma_high = request.at("sigma_high").as_number();
-  refinement.yield_threshold = get_number_or(request, "threshold", 0.5);
-  refinement.resolution = get_number_or(request, "resolution", 1e-3);
-
-  const refine_result result = refine(service_, refinement);
-
-  json_writer json(json_writer::style::compact);
-  json.begin_object();
-  json.key("id").value(id);
-  json.field("kind", "refine")
-      .field("ok", true)
-      .field("evaluations", result.evaluations)
-      .field("cached", result.cached);
-  json.key("result");
-  write_payload(json, result);
-  return json.end_object().str();
-}
-
-std::string protocol_handler::handle_stats(const json_value& id) {
-  const store_stats& store = service_.store().stats();
-  const core::sweep_cache_stats engine = service_.engine().cache_stats();
-
-  json_writer json(json_writer::style::compact);
-  json.begin_object();
-  json.key("id").value(id);
-  json.field("kind", "stats").field("ok", true);
-  json.key("result")
-      .begin_object()
-      .field("mode", mc_mode_name(service_.options().mode))
-      .field("seed", std::to_string(service_.options().seed))
-      .field("adaptive", service_.options().adaptive.has_value())
-      .key("store")
-      .begin_object()
-      .field("entries", service_.store().size())
-      .field("capacity", service_.store().capacity())
-      .field("hits", store.hits)
-      .field("misses", store.misses)
-      .field("insertions", store.insertions)
-      .field("evictions", store.evictions)
-      .end_object()
-      .key("engine")
-      .begin_object()
-      .field("designs_built", engine.designs_built)
-      .field("design_reuses", engine.design_reuses)
-      .field("plans_built", engine.plans_built)
-      .field("plan_reuses", engine.plan_reuses)
-      .end_object()
-      .end_object();
-  return json.end_object().str();
-}
-
-std::string protocol_handler::handle_flush(const json_value& request,
-                                           const json_value& id) {
-  const bool clear =
-      request.find("clear") != nullptr && request.at("clear").as_bool();
-  const std::size_t entries = service_.store().size();
-  const bool persisted = !cache_path_.empty();
-  if (persisted) service_.save_cache(cache_path_);
-  if (clear) service_.store().clear();
-
-  json_writer json(json_writer::style::compact);
-  json.begin_object();
-  json.key("id").value(id);
-  json.field("kind", "flush")
-      .field("ok", true)
-      .field("persisted", persisted)
-      .field("entries", entries)
-      .field("cleared", clear);
-  return json.end_object().str();
+  return dispatcher_.handle_line(line);
 }
 
 }  // namespace nwdec::service

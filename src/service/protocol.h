@@ -1,61 +1,49 @@
 // service::protocol: the newline-delimited JSON request protocol of the
 // nwdec_service daemon (tools/nwdec_service.cpp).
 //
-// One request per line on stdin, one response per line on stdout. Every
-// response echoes the request's "id" member verbatim (null when absent or
-// unparseable) and carries "ok": true/false; failures add "error" with a
-// diagnostic and never kill the daemon. Request kinds:
+// One request per line, one response per line -- over stdin/stdout or a
+// TCP connection (api/transport.h): the response bytes are identical
+// either way. Every response echoes the request's "id" member verbatim
+// (null when absent or unparseable) and carries "ok": true/false; failures
+// add "error" with a diagnostic and never kill the daemon.
 //
-//   {"id": 1, "kind": "sweep", "codes": ["TC", "BGC"], "radix": 2,
-//    "lengths": [8, 10], "nanowires": [20], "sigmas_vt": [0.04, 0.05],
-//    "trials": 150, "broken": 0.0, "bridge": 0.0}
-//     -> grid = codes x lengths x nanowires x sigmas_vt (axes with
-//        platform defaults may be omitted); response wrapper reports
-//        "cached"/"computed" counts and "result": {"points": [...]}.
+// Since PR 5 the grammar is owned by the typed layer in src/api/: requests
+// parse into api::sweep_request / api::refine_request / api::status_request
+// / ... (api/types.h documents every kind and field, including the async
+// job model: "async": true submission, "priority", status/cancel, the
+// per-sweep "min_half_width" CI target with cross-restart top-up, and
+// "stats" {"detail": true}), and api::job_scheduler turns sweep/refine
+// requests into jobs that coalesce across concurrent clients. Synchronous
+// sweep | refine | stats | flush requests keep their PR 3 wire shape byte
+// for byte -- the committed golden (tools/service_smoke/) pins it.
 //
-//   {"id": 2, "kind": "refine", "code": "BGC", "radix": 2, "length": 10,
-//    "trials": 150, "sigma_low": 0.02, "sigma_high": 0.12,
-//    "threshold": 0.5, "resolution": 0.001}
-//     -> sigma-cliff bisection (service/refine.h); response wrapper
-//        reports "evaluations"/"cached", "result" carries the bracket and
-//        the probe trace.
-//
-//   {"id": 3, "kind": "stats"}
-//     -> result-store and engine-cache counters.
-//
-//   {"id": 4, "kind": "flush", "clear": false}
-//     -> persists the store to the daemon's cache file (when configured);
-//        "clear": true additionally drops the in-memory entries.
+// Worked examples, including driving the socket transport with nc, live in
+// bench/README.md.
 //
 // Determinism: the "result" member of sweep/refine responses is a pure
 // function of (service configuration, request) -- cache provenance counts
-// live only in the wrapper -- so answers served cold, from memory, or from
-// a persisted cache file are byte-identical there.
+// live only in the wrapper -- so answers served cold, from memory, from a
+// persisted cache file, topped up, batched with other jobs, or over either
+// transport are byte-identical there, at any worker count.
 #pragma once
 
 #include <string>
 
+#include "api/dispatch.h"
 #include "service/refine.h"
 #include "service/sweep_service.h"
 #include "util/json.h"
 
 namespace nwdec::service {
 
-/// Writes the deterministic refine payload (bracket + trace) into an open
-/// writer; shared by the daemon and to_json below. (The sweep counterpart
-/// lives in sweep_service.h.)
-void write_payload(json_writer& json, const refine_result& result);
-
-/// Standalone refine payload document (tests compare these for the
-/// cold/warm/persisted identity).
-std::string to_json(const refine_result& result,
-                    json_writer::style style = json_writer::style::pretty);
-
-/// Stateless request dispatcher bound to one service (and optionally the
-/// daemon's cache file, which `flush` persists to).
+/// Request dispatcher bound to one service (and optionally the daemon's
+/// cache file, which `flush` persists to) -- a facade over api::dispatcher
+/// kept for single-threaded callers (tests, the CLI). The daemon
+/// constructs api::dispatcher directly to choose the worker count.
 class protocol_handler {
  public:
-  protocol_handler(sweep_service& service, std::string cache_path);
+  protocol_handler(sweep_service& service, std::string cache_path,
+                   std::size_t workers = 1);
 
   /// Handles one request line and returns exactly one single-line JSON
   /// response (including the trailing newline). Never throws: every
@@ -63,16 +51,7 @@ class protocol_handler {
   std::string handle_line(const std::string& line);
 
  private:
-  std::string handle_sweep(const json_value& request,
-                           const json_value& id);
-  std::string handle_refine(const json_value& request,
-                            const json_value& id);
-  std::string handle_stats(const json_value& id);
-  std::string handle_flush(const json_value& request, const json_value& id);
-  std::string error_response(const json_value& id, const std::string& what);
-
-  sweep_service& service_;
-  std::string cache_path_;
+  api::dispatcher dispatcher_;
 };
 
 }  // namespace nwdec::service

@@ -26,7 +26,8 @@ void refine_request::validate() const {
   if (defects.has_value()) defects->validate();
 }
 
-refine_result refine(sweep_service& service, const refine_request& request) {
+refine_result refine(sweep_service& service, const refine_request& request,
+                     const std::function<void(std::size_t)>& on_progress) {
   request.validate();
 
   const auto probe = [&](double sigma, refine_result& out) {
@@ -36,10 +37,12 @@ refine_result refine(sweep_service& service, const refine_request& request) {
     point.sigma_vt = sigma;
     point.mc_trials = request.mc_trials;
     point.defects = request.defects;
-    const sweep_response response = service.evaluate({point});
+    const sweep_response response =
+        service.evaluate(std::vector<core::sweep_request>{point});
     ++out.evaluations;
     out.cached += response.cached;
     out.trace.push_back(response.points.front().result);
+    if (on_progress) on_progress(out.evaluations);
     return cliff_yield(out.trace.back());
   };
 
@@ -83,6 +86,26 @@ refine_result refine(sweep_service& service, const refine_request& request) {
   result.yield_low = yield_low;
   result.yield_high = yield_high;
   return result;
+}
+
+void write_payload(json_writer& json, const refine_result& result) {
+  json.begin_object()
+      .field("bracketed", result.bracketed)
+      .field("sigma_low", result.sigma_low)
+      .field("sigma_high", result.sigma_high)
+      .field("yield_low", result.yield_low)
+      .field("yield_high", result.yield_high);
+  json.key("trace").begin_array();
+  for (const stored_result& probe : result.trace) {
+    write_stored_result(json, probe);
+  }
+  json.end_array().end_object();
+}
+
+std::string to_json(const refine_result& result, json_writer::style style) {
+  json_writer json(style);
+  write_payload(json, result);
+  return json.str();
 }
 
 }  // namespace nwdec::service

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -62,6 +63,19 @@ struct refine_result {
 };
 
 /// Runs one refinement through the service (and therefore its caches).
-refine_result refine(sweep_service& service, const refine_request& request);
+/// `on_progress`, when set, is invoked after every probe with the number
+/// of evaluations so far -- the job scheduler surfaces it as job progress.
+refine_result refine(
+    sweep_service& service, const refine_request& request,
+    const std::function<void(std::size_t)>& on_progress = {});
+
+/// Writes the deterministic refine payload (bracket + trace) into an open
+/// writer; shared by the protocol responses and to_json below.
+void write_payload(json_writer& json, const refine_result& result);
+
+/// Standalone refine payload document (tests compare these for the
+/// cold/warm/persisted identity).
+std::string to_json(const refine_result& result,
+                    json_writer::style style = json_writer::style::pretty);
 
 }  // namespace nwdec::service

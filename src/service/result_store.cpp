@@ -17,7 +17,10 @@ namespace nwdec::service {
 
 namespace {
 
-constexpr int store_format_version = 1;
+// Version 2 added the per-entry resumable moments ("m2") and the CI-target
+// provenance ("budget_target") the cross-restart top-up needs; version-1
+// files are refused (the daemon starts cold and overwrites on persistence).
+constexpr int store_format_version = 2;
 
 // u64 values (seed, fingerprints) travel as decimal strings: a JSON number
 // is parsed as a double, which cannot represent every 64-bit integer.
@@ -161,6 +164,11 @@ result_store::result_store(std::size_t capacity) : capacity_(capacity) {
   NWDEC_EXPECTS(capacity >= 1, "the result store needs capacity >= 1");
 }
 
+const stored_result* result_store::peek(std::uint64_t fingerprint) const {
+  const auto found = index_.find(fingerprint);
+  return found == index_.end() ? nullptr : &found->second->result;
+}
+
 const stored_result* result_store::find(std::uint64_t fingerprint) {
   const auto found = index_.find(fingerprint);
   if (found == index_.end()) {
@@ -231,7 +239,14 @@ std::string result_store::to_json(const store_header& header) const {
   auto cheap_it = cheap_.rbegin();
   auto expensive_it = expensive_.rbegin();
   const auto write_entry = [&json](const entry& e) {
-    json.begin_object().field("fingerprint", u64_string(e.fingerprint));
+    // The resumable moments and target provenance ride at the entry level:
+    // the "result" member stays exactly the response payload
+    // (write_stored_result), so the daemon's cold/warm byte identity never
+    // depends on fields only the top-up machinery reads.
+    json.begin_object()
+        .field("fingerprint", u64_string(e.fingerprint))
+        .field("m2", e.result.mc_m2)
+        .field("budget_target", e.result.budget_target);
     json.key("result");
     write_stored_result(json, e.result);
     json.end_object();
@@ -281,6 +296,8 @@ void result_store::load_json(const std::string& text,
   for (const json_value& entry : document.at("entries").items()) {
     const std::uint64_t recorded = parse_u64(entry, "fingerprint");
     stored_result result = parse_stored_result(entry.at("result"));
+    result.mc_m2 = get_number(entry, "m2");
+    result.budget_target = get_number(entry, "budget_target");
     const std::uint64_t recomputed = core::fingerprint(result.request);
     NWDEC_EXPECTS(recorded == recomputed,
                   "result-store entry fingerprint mismatch (incompatible "

@@ -51,6 +51,19 @@ struct stored_result {
   core::sweep_request request;        ///< resolved (nanowires, sigma filled)
   core::design_evaluation evaluation;
   std::size_t mc_trials_used = 0;
+  /// Welford M2 accumulator at mc_trials_used: with (mean, trials) the full
+  /// resumable state of the Monte-Carlo estimator, so a later request with
+  /// a tighter CI target tops the point up (yield::mc_run_state contract)
+  /// instead of recomputing from trial zero -- across requests and, since
+  /// the store persists it, across process restarts.
+  double mc_m2 = 0.0;
+  /// The CI half-width target this entry's trial total is canonical for:
+  /// its Monte-Carlo leg walked the adaptive policy's absolute rungs and
+  /// stopped under this target (every earlier rung's half-width exceeded
+  /// it), so any request with an equal-or-tighter target can serve or
+  /// resume the entry and land bit-identical to a cold evaluation.
+  /// 0 = the entry ran straight to its mc_trials cap (fixed budget).
+  double budget_target = 0.0;
 
   /// True when this entry paid for Monte-Carlo trials -- the expensive
   /// eviction class. Analytic-only results cost microseconds to recompute;
@@ -113,6 +126,11 @@ class result_store {
   /// refreshes the entry's recency; the pointer stays valid until the next
   /// insert/clear/load.
   const stored_result* find(std::uint64_t fingerprint);
+
+  /// find() without side effects: no recency refresh, no hit/miss
+  /// counting (the sweep service's insert policy inspects the resident
+  /// entry without disturbing eviction order or stats).
+  const stored_result* peek(std::uint64_t fingerprint) const;
 
   /// Inserts (or refreshes) a result. Beyond capacity the least recently
   /// used entry of the *cheap* class is evicted; only when every remaining

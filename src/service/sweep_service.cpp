@@ -1,10 +1,36 @@
 #include "service/sweep_service.h"
 
+#include <map>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "util/error.h"
+#include "util/stats.h"
 
 namespace nwdec::service {
+
+namespace {
+
+// Wilson half-width of a stored Monte-Carlo entry -- the same
+// (successes, trials) formulation the engine's budget loop evaluates at
+// each rung, so the serve/top-up decision below agrees bit for bit with
+// the decision a cold rung walk would take at the same trial total.
+double stored_half_width(const stored_result& entry) {
+  const double trials = static_cast<double>(entry.mc_trials_used);
+  return wilson_half_width(entry.evaluation.mc_nanowire_yield * trials,
+                           trials);
+}
+
+core::mc_resume_point moments_of(const stored_result& entry) {
+  core::mc_resume_point resume;
+  resume.trials = entry.mc_trials_used;
+  resume.mean = entry.evaluation.mc_nanowire_yield;
+  resume.m2 = entry.mc_m2;
+  return resume;
+}
+
+}  // namespace
 
 sweep_service::sweep_service(crossbar::crossbar_spec spec,
                              device::technology tech, service_options options)
@@ -15,10 +41,12 @@ sweep_service::sweep_service(crossbar::crossbar_spec spec,
   engine_options_.seed = options_.seed;
   engine_options_.mode = options_.mode;
   engine_options_.mc_block_size = options_.mc_block_size;
-  if (options_.adaptive.has_value()) {
-    options_.adaptive->validate();
-    engine_options_.mc_budget = make_budget(*options_.adaptive);
-  }
+  if (options_.adaptive.has_value()) options_.adaptive->validate();
+  // The rung schedule of per-query min_half_width targets: the service's
+  // adaptive policy when one is configured, the documented defaults
+  // otherwise. Budget hooks are built per evaluate() call (each distinct
+  // target is one engine run), never baked into engine_options_.
+  rung_policy_ = options_.adaptive.value_or(adaptive_options{});
 }
 
 store_header sweep_service::header() const {
@@ -39,69 +67,236 @@ core::sweep_request sweep_service::resolve(core::sweep_request request) const {
 }
 
 sweep_response sweep_service::evaluate(
-    const std::vector<core::sweep_request>& points) {
-  NWDEC_EXPECTS(!points.empty(), "a sweep request needs at least one point");
+    const std::vector<point_query>& queries) {
+  NWDEC_EXPECTS(!queries.empty(), "a sweep request needs at least one point");
 
   sweep_response response;
-  response.points.resize(points.size());
+  response.points.resize(queries.size());
 
-  // Pass 1: resolve + fingerprint every point, serve store hits, and
-  // collect the distinct misses (duplicates within one request compute
-  // once and fan out to every requesting slot).
-  std::vector<std::uint64_t> keys(points.size());
-  std::vector<core::sweep_request> misses;
-  std::unordered_map<std::uint64_t, std::size_t> miss_index;
-  for (std::size_t k = 0; k < points.size(); ++k) {
-    const core::sweep_request resolved = this->resolve(points[k]);
-    keys[k] = core::fingerprint(resolved);
-    const stored_result* hit = store_.find(keys[k]);
-    if (hit != nullptr) {
-      response.points[k] = {*hit, true};
-      ++response.cached;
-      continue;
-    }
-    if (miss_index.emplace(keys[k], misses.size()).second) {
-      misses.push_back(resolved);
+  // One evaluation plan per distinct (fingerprint, target): what the
+  // engine must run and from which persisted state it starts. Duplicate
+  // queries within one call share a plan and therefore compute once.
+  struct eval_plan {
+    core::sweep_request request;
+    double target = 0.0;  ///< 0 = fixed-to-cap
+    std::optional<core::mc_resume_point> resume;
+    stored_result produced;
+  };
+  struct slot_ref {
+    std::size_t plan = 0;
+    point_source source = point_source::computed;
+  };
+  std::vector<eval_plan> plans;
+  std::map<std::pair<std::uint64_t, double>, std::size_t> plan_index;
+  std::vector<std::optional<slot_ref>> pending(queries.size());
+
+  // Pass 1 (locked): resolve + fingerprint every query, serve store
+  // entries that already answer it, and plan the rest (see the header
+  // comment for the serve / top-up / recompute rules).
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t k = 0; k < queries.size(); ++k) {
+      NWDEC_EXPECTS(queries[k].min_half_width >= 0.0,
+                    "'min_half_width' cannot be negative");
+      const core::sweep_request resolved =
+          engine_.resolve(queries[k].request);
+      const std::uint64_t key = core::fingerprint(resolved);
+      double target = queries[k].min_half_width;
+      if (target == 0.0 && options_.adaptive.has_value()) {
+        target = options_.adaptive->target_half_width;
+      }
+      if (resolved.mc_trials == 0) target = 0.0;  // analytic-only point
+
+      const stored_result* hit = store_.find(key);
+      point_source source = point_source::computed;
+      std::optional<core::mc_resume_point> resume;
+      if (hit != nullptr) {
+        bool serve = false;
+        if (resolved.mc_trials == 0) {
+          serve = true;  // analytic results have no budget dimension
+        } else if (target == 0.0) {
+          // Fixed budget: the answer is the state at exactly mc_trials.
+          // A partial entry (stopped early under some CI target) resumes
+          // to the cap -- bit-identical to a cold fixed run.
+          if (hit->mc_trials_used == resolved.mc_trials) {
+            serve = true;
+          } else {
+            resume = moments_of(*hit);
+            source = point_source::topped_up;
+          }
+        } else if (hit->budget_target > 0.0 && hit->budget_target >= target) {
+          // The entry walked the same rungs under an equal-or-looser
+          // target, so every rung below its total is known to miss this
+          // target too: serve it when it already converged (or exhausted
+          // the cap), resume the walk from its state otherwise.
+          if (stored_half_width(*hit) <= target ||
+              hit->mc_trials_used == resolved.mc_trials) {
+            serve = true;
+          } else {
+            resume = moments_of(*hit);
+            source = point_source::topped_up;
+          }
+        }
+        // Weaker provenance (fixed-cap entry, or a looser recorded
+        // target) falls through to a cold recompute: the payload must be
+        // a pure function of (config, query), not of cache history.
+        if (serve) {
+          response.points[k] = {*hit, point_source::cached, true};
+          ++response.cached;
+          continue;
+        }
+      }
+      const auto [it, inserted] =
+          plan_index.emplace(std::make_pair(key, target), plans.size());
+      if (inserted) {
+        eval_plan plan;
+        plan.request = resolved;
+        plan.target = target;
+        plan.resume = resume;
+        plans.push_back(std::move(plan));
+      }
+      pending[k] = slot_ref{it->second, source};
     }
   }
 
-  // Pass 2: one engine run over the distinct misses (points shard across
-  // the engine's workers; its intermediate caches persist across calls).
-  if (!misses.empty()) {
-    const core::sweep_engine_report report =
-        engine_.run(misses, engine_options_);
-    // One stored_result per entry, shared by the store and every response
-    // slot, so the two payloads can never drift apart.
-    const auto as_stored = [](const core::sweep_engine_entry& entry) {
-      stored_result result;
-      result.request = entry.request;
-      result.evaluation = entry.evaluation;
-      result.mc_trials_used = entry.mc_trials_used;
-      return result;
-    };
-    for (const core::sweep_engine_entry& entry : report.entries) {
-      store_.insert(core::fingerprint(entry.request), as_stored(entry));
+  // Pass 2 (unlocked): one engine run per distinct budget target -- points
+  // shard across the engine's workers and share its intermediate caches;
+  // typical batches carry a single target and therefore a single run.
+  if (!plans.empty()) {
+    std::map<double, std::vector<std::size_t>> groups;
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+      groups[plans[p].target].push_back(p);
     }
-    for (std::size_t k = 0; k < points.size(); ++k) {
-      const auto found = miss_index.find(keys[k]);
-      if (found == miss_index.end() || response.points[k].cached) continue;
-      response.points[k] = {as_stored(report.entries[found->second]), false};
-      ++response.computed;
+    for (const auto& [target, members] : groups) {
+      core::sweep_engine_options run_options = engine_options_;
+      auto resumes = std::make_shared<
+          std::unordered_map<std::uint64_t, core::mc_resume_point>>();
+      std::vector<core::sweep_request> grid;
+      grid.reserve(members.size());
+      for (const std::size_t p : members) {
+        grid.push_back(plans[p].request);
+        if (plans[p].resume.has_value()) {
+          resumes->emplace(core::fingerprint(plans[p].request),
+                           *plans[p].resume);
+        }
+      }
+      if (!resumes->empty()) {
+        run_options.mc_resume = [resumes](const core::sweep_request& request)
+            -> std::optional<core::mc_resume_point> {
+          const auto found = resumes->find(core::fingerprint(request));
+          if (found == resumes->end()) return std::nullopt;
+          return found->second;
+        };
+      }
+      if (target > 0.0) {
+        adaptive_options policy = rung_policy_;
+        policy.target_half_width = target;
+        run_options.mc_budget = make_budget(policy);
+      }
+      const core::sweep_engine_report report =
+          engine_.run(grid, run_options);
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        eval_plan& plan = plans[members[m]];
+        const core::sweep_engine_entry& entry = report.entries[m];
+        plan.produced.request = entry.request;
+        plan.produced.evaluation = entry.evaluation;
+        plan.produced.mc_trials_used = entry.mc_trials_used;
+        plan.produced.mc_m2 = entry.mc_m2;
+        plan.produced.budget_target =
+            entry.evaluation.has_monte_carlo ? target : 0.0;
+      }
+    }
+
+    // Pass 3 (locked): store the fresh results and fan them out to every
+    // requesting slot; one stored_result per plan is shared by the store
+    // and the response, so the two payloads can never drift apart.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const eval_plan& plan : plans) {
+      const std::uint64_t key = core::fingerprint(plan.request);
+      // Keep a dominating resident entry: one with at least as many
+      // trials whose recorded target (when this plan ran one) is equal-
+      // or-tighter can serve or resume everything this result can, so
+      // overwriting it would throw away paid-for Monte-Carlo trials
+      // (alternating loose/tight targets on one point would otherwise
+      // re-pay the tight rung walk every cycle).
+      const stored_result* resident = store_.peek(key);
+      const bool dominated =
+          resident != nullptr &&
+          resident->mc_trials_used >= plan.produced.mc_trials_used &&
+          (plan.target == 0.0 ||
+           (resident->budget_target > 0.0 &&
+            resident->budget_target <= plan.target));
+      if (!dominated) store_.insert(key, plan.produced);
+    }
+    for (std::size_t k = 0; k < queries.size(); ++k) {
+      if (!pending[k].has_value()) continue;
+      const slot_ref& ref = *pending[k];
+      response.points[k] = {plans[ref.plan].produced, ref.source, false};
+      if (ref.source == point_source::topped_up) {
+        ++response.topped_up;
+        ++topped_up_total_;
+      } else {
+        ++response.computed;
+      }
     }
   }
   return response;
 }
 
-sweep_response sweep_service::evaluate(const core::sweep_axes& axes) {
-  return evaluate(axes.expand());
+sweep_response sweep_service::evaluate(
+    const std::vector<core::sweep_request>& points, double min_half_width) {
+  std::vector<point_query> queries;
+  queries.reserve(points.size());
+  for (const core::sweep_request& point : points) {
+    queries.push_back({point, min_half_width});
+  }
+  return evaluate(queries);
+}
+
+sweep_response sweep_service::evaluate(const core::sweep_axes& axes,
+                                       double min_half_width) {
+  return evaluate(axes.expand(), min_half_width);
 }
 
 bool sweep_service::load_cache(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   return store_.load_file(path, header());
 }
 
 void sweep_service::save_cache(const std::string& path) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   store_.save_file(path, header());
+}
+
+flush_summary sweep_service::flush(const std::string& path, bool clear) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  flush_summary summary;
+  summary.entries = store_.size();
+  summary.persisted = !path.empty();
+  // Persist strictly before dropping anything: a clear that ran first
+  // would write an empty document over the results it was asked to
+  // checkpoint.
+  if (summary.persisted) store_.save_file(path, header());
+  if (clear) {
+    store_.clear();
+    summary.cleared = true;
+  }
+  return summary;
+}
+
+service_stats sweep_service::stats() const {
+  service_stats out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.entries = store_.size();
+    out.capacity = store_.capacity();
+    out.cheap_entries = store_.cheap_size();
+    out.mc_entries = store_.expensive_size();
+    out.store = store_.stats();
+    out.topped_up = topped_up_total_;
+  }
+  out.engine = engine_.cache_stats();
+  return out;
 }
 
 void write_payload(json_writer& json, const sweep_response& response) {

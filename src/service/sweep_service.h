@@ -2,20 +2,43 @@
 // -- the serving substrate of the ROADMAP's long-running sweep daemon.
 //
 // evaluate() answers each requested point from the result store when it can
-// and batches every miss into ONE engine run (so fresh points still shard
-// across workers and share the engine's intermediate caches), then stores
-// the fresh results. Because a point's result is a pure function of
-// (seed, mode, budget policy, fingerprint(point)) -- the engine's
-// determinism contract -- the three ways a point can be answered (computed
-// cold, memory cache, reloaded cache file) carry identical payloads, and
-// service::to_json serializes them byte-identically.
+// and batches every miss into as few engine runs as possible (one per
+// distinct budget target), so fresh points still shard across workers and
+// share the engine's intermediate caches. Because a point's result is a
+// pure function of (seed, mode, budget policy, target, fingerprint(point))
+// -- the engine's determinism contract plus the absolute-rung budget
+// schedule -- the ways a point can be answered (computed cold, memory
+// cache, reloaded cache file, topped up from persisted progress) carry
+// identical payloads, and service::to_json serializes them byte-identically.
 //
-// The service is single-threaded by design (the daemon is a request loop;
-// parallelism lives inside the engine); it is not internally synchronized.
+// Budget semantics per point_query:
+//   * min_half_width == 0 (fixed): the Monte-Carlo leg runs to exactly
+//     request.mc_trials. A cached entry with fewer trials (stopped early by
+//     an adaptive target) is RESUMED to the cap -- bit-identical to a cold
+//     fixed run by the yield::mc_run_state contract.
+//   * min_half_width  > 0: the leg stops at the first absolute rung
+//     (service::adaptive_options schedule; the service's --adaptive policy
+//     parameters, or the defaults when none is configured) whose Wilson
+//     half-width meets the target, capped at request.mc_trials. A cached
+//     entry canonical for an equal-or-looser target (stored_result::
+//     budget_target) is served when it already meets the target, and
+//     topped up along the remaining rungs when it does not -- again
+//     bit-identical to the cold walk. An entry with weaker provenance
+//     (fixed-cap, or a looser recorded target) is recomputed, keeping the
+//     payload a pure function of (config, query) regardless of what the
+//     cache happens to hold.
+//
+// The service is internally synchronized: the store (and its counters) are
+// guarded by a mutex held only around the lookup/insert passes, while
+// engine runs proceed unlocked (core::sweep_engine supports concurrent
+// run() calls). Concurrent evaluations of one point may both compute it --
+// same bits, wasted work at worst -- so any interleaving of calls returns
+// the same payloads; only the provenance counters depend on the schedule.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,21 +60,59 @@ struct service_options {
   /// results, only how fast the engine produces them.
   std::size_t mc_block_size = 0;
   std::size_t cache_capacity = 1 << 16;
-  /// CI-width stopping policy; unset = fixed budgets (request.mc_trials).
+  /// CI-width stopping policy applied to every sweep point; unset = fixed
+  /// budgets (request.mc_trials). Its (initial_batch, growth) also
+  /// parameterize the rung schedule of per-query min_half_width targets.
   std::optional<adaptive_options> adaptive;
 };
 
-/// One answered point: the payload plus where it came from.
+/// One point of a sweep request plus its per-query budget target (see the
+/// header comment for the full semantics).
+struct point_query {
+  core::sweep_request request;
+  /// 0 = fixed budget; > 0 = stop at the first rung whose Wilson
+  /// half-width is <= this (request.mc_trials stays the cap).
+  double min_half_width = 0.0;
+};
+
+/// Where an answered point came from.
+enum class point_source {
+  computed,   ///< evaluated cold by the engine
+  cached,     ///< served by the store as-is
+  topped_up,  ///< resumed from the store's persisted (mean, trials, M2)
+};
+
+/// One answered point: the payload plus its provenance.
 struct sweep_response_entry {
   stored_result result;
-  bool cached = false;  ///< true = served by the store, false = computed
+  point_source source = point_source::computed;
+  bool cached = false;  ///< source == cached (kept for terse call sites)
 };
 
 /// A fully answered sweep request, in request order.
 struct sweep_response {
-  std::size_t cached = 0;    ///< points served by the store
-  std::size_t computed = 0;  ///< points evaluated by the engine
+  std::size_t cached = 0;     ///< points served by the store as-is
+  std::size_t computed = 0;   ///< points evaluated cold by the engine
+  std::size_t topped_up = 0;  ///< points resumed from persisted progress
   std::vector<sweep_response_entry> points;
+};
+
+/// What a flush accomplished (the protocol's flush response body).
+struct flush_summary {
+  bool persisted = false;    ///< a cache path was configured and written
+  std::size_t entries = 0;   ///< store size at flush time (pre-clear)
+  bool cleared = false;      ///< the in-memory entries were dropped
+};
+
+/// Locked snapshot of every counter the stats endpoint reports.
+struct service_stats {
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+  std::size_t cheap_entries = 0;  ///< analytic-only cost class
+  std::size_t mc_entries = 0;     ///< Monte-Carlo cost class
+  store_stats store;              ///< hit/miss/insert/evict counters
+  std::size_t topped_up = 0;      ///< lifetime topped-up points
+  core::sweep_cache_stats engine;
 };
 
 class sweep_service {
@@ -61,6 +122,9 @@ class sweep_service {
 
   const service_options& options() const { return options_; }
   const core::sweep_engine& engine() const { return engine_; }
+  /// Direct store access for single-owner callers (tools, tests). The
+  /// service's own entry points are internally synchronized; going through
+  /// this accessor while other threads evaluate is a data race.
   result_store& store() { return store_; }
   const result_store& store() const { return store_; }
 
@@ -71,27 +135,45 @@ class sweep_service {
   /// computed over).
   core::sweep_request resolve(core::sweep_request request) const;
 
-  /// Answers every point, serving store hits and batching the misses into
-  /// one engine run. Duplicate points within one request are computed once.
-  sweep_response evaluate(const std::vector<core::sweep_request>& points);
-  sweep_response evaluate(const core::sweep_axes& axes);
+  /// Answers every query, serving store hits, topping up resumable
+  /// entries, and batching the rest into one engine run per distinct
+  /// budget target. Duplicate queries within one call are computed once.
+  sweep_response evaluate(const std::vector<point_query>& queries);
+  /// Fixed-budget conveniences (min_half_width applied to every point).
+  sweep_response evaluate(const std::vector<core::sweep_request>& points,
+                          double min_half_width = 0.0);
+  sweep_response evaluate(const core::sweep_axes& axes,
+                          double min_half_width = 0.0);
 
   /// Cache-file convenience: load_file/save_file with this service's
   /// header. load_cache returns false when the file does not exist.
   bool load_cache(const std::string& path);
   void save_cache(const std::string& path) const;
 
+  /// The flush endpoint's behavior, in the only safe order: persist the
+  /// store to `path` (when non-empty) FIRST, then optionally drop the
+  /// in-memory entries -- so a clear can never lose results that were
+  /// promised to disk. Atomic with respect to concurrent evaluations.
+  flush_summary flush(const std::string& path, bool clear);
+
+  /// Consistent snapshot of the store/engine/top-up counters.
+  service_stats stats() const;
+
  private:
   core::sweep_engine engine_;
   service_options options_;
   core::sweep_engine_options engine_options_;
+  adaptive_options rung_policy_;  ///< rung schedule for min_half_width > 0
+
+  mutable std::mutex mutex_;  ///< guards store_ and topped_up_total_
   result_store store_;
+  std::size_t topped_up_total_ = 0;
 };
 
 /// Writes a response's deterministic payload into an open writer:
-/// {"points": [...]} only -- cache provenance (hit/miss counts)
-/// deliberately lives OUTSIDE, in the protocol wrapper, so cold, warm, and
-/// persisted answers to one request are byte-identical.
+/// {"points": [...]} only -- cache provenance (hit/miss/top-up counts)
+/// deliberately lives OUTSIDE, in the protocol wrapper, so cold, warm,
+/// persisted, and topped-up answers to one request are byte-identical.
 void write_payload(json_writer& json, const sweep_response& response);
 
 /// Standalone payload document via write_payload.

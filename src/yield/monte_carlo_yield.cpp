@@ -25,18 +25,6 @@ void accumulate_trials(mc_run_state& state,
   }
 }
 
-// Assembles the summary statistics over every trial folded so far.
-mc_yield_result result_from_state(const mc_run_state& state) {
-  mc_yield_result result;
-  result.trials = state.trials();
-  result.nanowire_yield = state.per_trial_yield.mean();
-  result.crosspoint_yield = result.nanowire_yield * result.nanowire_yield;
-  const double margin = 1.96 * state.per_trial_yield.stderr_mean();
-  result.ci = interval{result.nanowire_yield - margin,
-                       result.nanowire_yield + margin};
-  return result;
-}
-
 std::size_t resolve_thread_count(std::size_t requested, std::size_t trials) {
   std::size_t threads = requested;
   if (threads == 0) {
@@ -46,6 +34,17 @@ std::size_t resolve_thread_count(std::size_t requested, std::size_t trials) {
 }
 
 }  // namespace
+
+mc_yield_result mc_result_from_state(const mc_run_state& state) {
+  mc_yield_result result;
+  result.trials = state.trials();
+  result.nanowire_yield = state.per_trial_yield.mean();
+  result.crosspoint_yield = result.nanowire_yield * result.nanowire_yield;
+  const double margin = 1.96 * state.per_trial_yield.stderr_mean();
+  result.ci = interval{result.nanowire_yield - margin,
+                       result.nanowire_yield + margin};
+  return result;
+}
 
 mc_yield_result monte_carlo_yield_resume(const trial_context& context,
                                          const mc_options& options,
@@ -106,7 +105,7 @@ mc_yield_result monte_carlo_yield_resume(const trial_context& context,
     for (std::thread& worker : workers) worker.join();
   }
   accumulate_trials(state, good, context.nanowire_count());
-  return result_from_state(state);
+  return mc_result_from_state(state);
 }
 
 mc_yield_result monte_carlo_yield(const trial_context& context,
@@ -230,7 +229,7 @@ mc_yield_result monte_carlo_yield_reference(
   }
   mc_run_state state;
   accumulate_trials(state, good_counts, n);
-  return result_from_state(state);
+  return mc_result_from_state(state);
 }
 
 }  // namespace nwdec::yield

@@ -131,6 +131,14 @@ mc_yield_result monte_carlo_yield_resume(const trial_context& context,
                                          std::uint64_t run_key,
                                          mc_run_state& state);
 
+/// Assembles the summary statistics (mean, crosspoint yield, normal-theory
+/// CI) over every trial folded into `state` so far -- exactly what the
+/// resumable entry returns after its last batch, exposed so a state
+/// rebuilt from persisted moments (mc_run_state::from_moments) can re-emit
+/// the identical mc_yield_result without running a trial. This is the
+/// cross-restart top-up path of the sweep service.
+mc_yield_result mc_result_from_state(const mc_run_state& state);
+
 /// Single-threaded convenience wrapper kept source-compatible with the
 /// original API; forwards to the engine with one worker.
 mc_yield_result monte_carlo_yield(

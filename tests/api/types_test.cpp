@@ -1,0 +1,156 @@
+// The typed request layer: parse/serialize round trips, field coverage,
+// and the protocol error paths (malformed JSON, unknown kinds, bad axis
+// types) now enforced at the typed boundary.
+#include "api/types.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.h"
+
+namespace nwdec::api {
+namespace {
+
+request parse(const std::string& text) { return parse_request_line(text); }
+
+// ------------------------------------------------------------- round trips
+
+TEST(ApiTypesTest, SweepRequestRoundTripsThroughItsCanonicalForm) {
+  const std::string wire =
+      R"({"id": 7, "kind": "sweep", "codes": ["TC", "BGC"], "radix": 3,)"
+      R"( "lengths": [8, 10], "nanowires": [20, 40],)"
+      R"( "sigmas_vt": [0.04, 0.05], "trials": 150, "broken": 0.01,)"
+      R"( "bridge": 0.02, "min_half_width": 0.015, "async": true,)"
+      R"( "priority": 5})";
+  const request parsed = parse(wire);
+  ASSERT_TRUE(std::holds_alternative<sweep_request>(parsed));
+  const sweep_request& sweep = std::get<sweep_request>(parsed);
+  EXPECT_EQ(sweep.header.client_id.as_number(), 7.0);
+  EXPECT_TRUE(sweep.header.async_submit);
+  EXPECT_EQ(sweep.header.priority, 5);
+  EXPECT_EQ(sweep.codes.size(), 2u);
+  EXPECT_EQ(sweep.radix, 3u);
+  EXPECT_EQ(sweep.lengths, (std::vector<std::size_t>{8, 10}));
+  EXPECT_EQ(sweep.nanowires, (std::vector<std::size_t>{20, 40}));
+  EXPECT_EQ(sweep.trials, 150u);
+  EXPECT_EQ(sweep.defects.broken_probability, 0.01);
+  EXPECT_EQ(sweep.min_half_width, 0.015);
+
+  // write(parse(write(x))) == write(x), byte for byte.
+  const std::string canonical = to_json(parsed);
+  EXPECT_EQ(to_json(parse(canonical)), canonical);
+}
+
+TEST(ApiTypesTest, SweepAxesExpandTheGrid) {
+  const request parsed = parse(
+      R"({"kind": "sweep", "codes": ["TC", "BGC"], "lengths": [8, 10],)"
+      R"( "sigmas_vt": [0.04, 0.05], "trials": 60})");
+  const core::sweep_axes axes = std::get<sweep_request>(parsed).axes();
+  EXPECT_EQ(axes.designs.size(), 4u);  // 2 codes x 2 lengths
+  EXPECT_EQ(axes.sigmas_vt.size(), 2u);
+  EXPECT_EQ(axes.mc_trials, 60u);
+  EXPECT_TRUE(axes.defects.empty());
+  EXPECT_EQ(axes.expand().size(), 8u);
+}
+
+TEST(ApiTypesTest, EveryKindRoundTrips) {
+  const std::vector<std::string> wires = {
+      R"({"id": 1, "kind": "sweep", "codes": ["BGC"], "lengths": [8]})",
+      R"({"id": 2, "kind": "refine", "code": "BGC", "length": 10,)"
+      R"( "trials": 60, "sigma_low": 0.02, "sigma_high": 0.12,)"
+      R"( "threshold": 0.6, "resolution": 0.005, "broken": 0.01})",
+      R"({"id": 3, "kind": "status", "job": 12, "wait": true})",
+      R"({"id": 4, "kind": "cancel", "job": 12})",
+      R"({"id": 5, "kind": "stats", "detail": true})",
+      R"({"id": 6, "kind": "flush", "clear": true})",
+  };
+  for (const std::string& wire : wires) {
+    const std::string canonical = to_json(parse(wire));
+    EXPECT_EQ(to_json(parse(canonical)), canonical) << wire;
+  }
+}
+
+TEST(ApiTypesTest, RefineRequestCarriesEveryField) {
+  const request parsed = parse(
+      R"({"kind": "refine", "code": "GC", "radix": 2, "length": 8,)"
+      R"( "nanowires": 40, "trials": 90, "sigma_low": 0.01,)"
+      R"( "sigma_high": 0.2, "threshold": 0.7, "resolution": 0.002})");
+  const service::refine_request& refinement =
+      std::get<refine_request>(parsed).refinement;
+  EXPECT_EQ(refinement.design.length, 8u);
+  EXPECT_EQ(refinement.nanowires, 40u);
+  EXPECT_EQ(refinement.mc_trials, 90u);
+  EXPECT_FALSE(refinement.defects.has_value());
+  EXPECT_EQ(refinement.sigma_low, 0.01);
+  EXPECT_EQ(refinement.sigma_high, 0.2);
+  EXPECT_EQ(refinement.yield_threshold, 0.7);
+  EXPECT_EQ(refinement.resolution, 0.002);
+}
+
+TEST(ApiTypesTest, KindNamesMatchTheWireStrings) {
+  EXPECT_STREQ(kind_name(parse(
+                   R"({"kind":"sweep","codes":["TC"],"lengths":[8]})")),
+               "sweep");
+  EXPECT_STREQ(kind_name(parse(R"({"kind":"stats"})")), "stats");
+  EXPECT_STREQ(kind_name(parse(R"({"kind":"flush"})")), "flush");
+}
+
+// ------------------------------------------------------------ error paths
+
+TEST(ApiTypesTest, RejectsMalformedRequests) {
+  EXPECT_THROW(parse("not json at all"), json_parse_error);
+  EXPECT_THROW(parse("[1, 2, 3]"), nwdec::error);      // not an object
+  EXPECT_THROW(parse(R"({"id": 1})"), nwdec::error);   // no kind
+  EXPECT_THROW(parse(R"({"kind": "destroy"})"), invalid_argument_error);
+}
+
+TEST(ApiTypesTest, RejectsBadAxisTypes) {
+  // Wrong JSON types and out-of-domain values on every sweep axis.
+  EXPECT_THROW(parse(R"({"kind":"sweep","codes":"BGC","lengths":[8]})"),
+               nwdec::error);  // codes must be an array
+  EXPECT_THROW(parse(R"({"kind":"sweep","codes":["XYZ"],"lengths":[8]})"),
+               nwdec::error);  // unknown family
+  EXPECT_THROW(
+      parse(R"({"kind":"sweep","codes":["BGC"],"lengths":[8.5]})"),
+      invalid_argument_error);  // non-integer length
+  EXPECT_THROW(
+      parse(R"({"kind":"sweep","codes":["BGC"],"lengths":[-8]})"),
+      invalid_argument_error);  // negative length
+  EXPECT_THROW(
+      parse(R"({"kind":"sweep","codes":["BGC"],"lengths":[8],)"
+            R"("sigmas_vt":[-0.1]})"),
+      invalid_argument_error);  // negative sigma
+  EXPECT_THROW(
+      parse(R"({"kind":"sweep","codes":["BGC"],"lengths":[8],)"
+            R"("trials":"many"})"),
+      nwdec::error);  // mistyped trials
+  EXPECT_THROW(
+      parse(R"({"kind":"sweep","codes":["BGC"],"lengths":[8],)"
+            R"("broken":-0.05})"),
+      nwdec::error);  // negative defect rate
+  EXPECT_THROW(
+      parse(R"({"kind":"sweep","codes":["BGC"],"lengths":[8],)"
+            R"("min_half_width":1.5})"),
+      invalid_argument_error);  // target out of [0, 1)
+  EXPECT_THROW(parse(R"({"kind":"sweep","codes":[],"lengths":[8]})"),
+               invalid_argument_error);  // empty code axis
+}
+
+TEST(ApiTypesTest, RejectsBadJobAndControlFields) {
+  EXPECT_THROW(parse(R"({"kind":"status"})"), nwdec::error);  // no job
+  EXPECT_THROW(parse(R"({"kind":"status","job":-1})"),
+               invalid_argument_error);
+  EXPECT_THROW(parse(R"({"kind":"cancel","job":1.5})"),
+               invalid_argument_error);
+  EXPECT_THROW(parse(R"({"kind":"flush","clear":"yes"})"), nwdec::error);
+  EXPECT_THROW(
+      parse(R"({"kind":"stats","detail":1})"), nwdec::error);  // not bool
+  EXPECT_THROW(
+      parse(R"({"kind":"sweep","codes":["BGC"],"lengths":[8],)"
+            R"("priority":2.5})"),
+      invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace nwdec::api

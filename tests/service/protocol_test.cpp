@@ -280,5 +280,120 @@ TEST(ProtocolTest, MalformedAndInvalidRequestsBecomeErrorResponses) {
   EXPECT_NE(good.find("\"ok\":true"), std::string::npos);
 }
 
+// ----------------------------------------------------- async job surface
+
+TEST(ProtocolTest, AsyncSubmissionReturnsTheJobIdImmediately) {
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+  const std::string submitted = handler.handle_line(
+      R"({"id": 1, "kind": "sweep", "codes": ["BGC"], "lengths": [8],)"
+      R"( "trials": 80, "async": true})");
+  EXPECT_NE(submitted.find("\"async\":true"), std::string::npos);
+  EXPECT_NE(submitted.find("\"job\":1"), std::string::npos);
+  EXPECT_NE(submitted.find("\"state\":\"queued\""), std::string::npos);
+  EXPECT_EQ(submitted.find("\"result\""), std::string::npos);
+
+  // status + wait fetches the completed result; its payload is identical
+  // to what the synchronous path answers for the same request.
+  const std::string status = handler.handle_line(
+      R"({"id": 2, "kind": "status", "job": 1, "wait": true})");
+  EXPECT_NE(status.find("\"state\":\"done\""), std::string::npos);
+  EXPECT_NE(status.find("\"request_kind\":\"sweep\""), std::string::npos);
+  const std::string sync = handler.handle_line(
+      R"({"id": 3, "kind": "sweep", "codes": ["BGC"], "lengths": [8],)"
+      R"( "trials": 80})");
+  EXPECT_EQ(result_of(status), result_of(sync));
+}
+
+TEST(ProtocolTest, StatusAndCancelErrorPathsAnswerWithoutKillingTheLoop) {
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+
+  const std::string unknown_status =
+      handler.handle_line(R"({"id": 1, "kind": "status", "job": 42})");
+  EXPECT_NE(unknown_status.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(unknown_status.find("unknown job id 42"), std::string::npos);
+
+  const std::string unknown_cancel =
+      handler.handle_line(R"({"id": 2, "kind": "cancel", "job": 42})");
+  EXPECT_NE(unknown_cancel.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(unknown_cancel.find("unknown job id 42"), std::string::npos);
+
+  // Cancelling a finished job names its state instead of lying.
+  handler.handle_line(
+      R"({"kind": "sweep", "codes": ["BGC"], "lengths": [8],)"
+      R"( "async": true})");
+  handler.handle_line(R"({"kind": "status", "job": 1, "wait": true})");
+  const std::string finished_cancel =
+      handler.handle_line(R"({"id": 3, "kind": "cancel", "job": 1})");
+  EXPECT_NE(finished_cancel.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(finished_cancel.find("job 1 is done"), std::string::npos);
+
+  // A failed async job surfaces its diagnostic through status.
+  handler.handle_line(
+      R"({"kind": "sweep", "codes": ["GC"], "lengths": [7],)"
+      R"( "async": true})");
+  const std::string failed =
+      handler.handle_line(R"({"id": 4, "kind": "status", "job": 2,)"
+                          R"( "wait": true})");
+  EXPECT_NE(failed.find("\"state\":\"failed\""), std::string::npos);
+  EXPECT_NE(failed.find("\"error\":"), std::string::npos);
+}
+
+TEST(ProtocolTest, DetailStatsExposeClassSizesEvictionsAndJobCounters) {
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+  handler.handle_line(
+      R"({"kind": "sweep", "codes": ["BGC"], "lengths": [8],)"
+      R"( "trials": 50})");
+
+  // The legacy shape stays exactly as committed (golden-pinned)...
+  const std::string legacy =
+      handler.handle_line(R"({"id": 1, "kind": "stats"})");
+  EXPECT_EQ(legacy.find("cheap_entries"), std::string::npos);
+  EXPECT_EQ(legacy.find("\"jobs\""), std::string::npos);
+
+  // ...and detail adds the PR 4 cost-class counters plus the scheduler's.
+  const std::string detail =
+      handler.handle_line(R"({"id": 2, "kind": "stats", "detail": true})");
+  EXPECT_NE(detail.find("\"cheap_entries\":0"), std::string::npos);
+  EXPECT_NE(detail.find("\"mc_entries\":1"), std::string::npos);
+  EXPECT_NE(detail.find("\"cheap_evictions\":0"), std::string::npos);
+  EXPECT_NE(detail.find("\"mc_evictions\":0"), std::string::npos);
+  EXPECT_NE(detail.find("\"topped_up\":0"), std::string::npos);
+  EXPECT_NE(detail.find("\"jobs\":{\"submitted\":1"), std::string::npos);
+  EXPECT_NE(detail.find("\"sweep_batches\":1"), std::string::npos);
+}
+
+TEST(ProtocolTest, MinHalfWidthRequestsReportTopUpsInTheWrapper) {
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+  const std::string loose = handler.handle_line(
+      R"({"id": 1, "kind": "sweep", "codes": ["BGC"], "lengths": [8],)"
+      R"( "sigmas_vt": [0.08], "trials": 100000, "min_half_width": 0.05})");
+  EXPECT_NE(loose.find("\"topped_up\":0"), std::string::npos);
+  const std::string tightened = handler.handle_line(
+      R"({"id": 2, "kind": "sweep", "codes": ["BGC"], "lengths": [8],)"
+      R"( "sigmas_vt": [0.08], "trials": 100000, "min_half_width": 0.01})");
+  EXPECT_NE(tightened.find("\"topped_up\":1"), std::string::npos);
+  EXPECT_NE(tightened.find("\"computed\":0"), std::string::npos);
+}
+
+TEST(ProtocolTest, FlushClearWritesTheFileBeforeDroppingEntries) {
+  temp_file cache("nwdec_protocol_flush_order_test.json");
+  sweep_service service = make_service();
+  protocol_handler handler(service, cache.path());
+  handler.handle_line(
+      R"({"kind": "sweep", "codes": ["BGC"], "lengths": [8],)"
+      R"( "trials": 40})");
+  handler.handle_line(R"({"id": 1, "kind": "flush", "clear": true})");
+  EXPECT_EQ(service.stats().entries, 0u);
+
+  // The persisted file must hold the entry that was just cleared.
+  sweep_service restored = make_service();
+  ASSERT_TRUE(restored.load_cache(cache.path()));
+  EXPECT_EQ(restored.stats().entries, 1u);
+}
+
 }  // namespace
 }  // namespace nwdec::service

@@ -1,25 +1,42 @@
-// nwdec_service: the long-running sweep daemon over service::sweep_service.
+// nwdec_service: the long-running sweep daemon over service::sweep_service
+// and the api:: job scheduler.
 //
-// Speaks newline-delimited JSON on stdin/stdout: one request per line, one
-// response per line (the protocol grammar is documented in
-// src/service/protocol.h and bench/README.md). Diagnostics go to stderr;
-// stdout carries protocol responses only, so the daemon composes with
-// pipes:
+// Speaks newline-delimited JSON -- one request per line, one response per
+// line -- over one of two transports sharing one dispatcher (responses are
+// byte-identical either way):
 //
-//   $ nwdec_service --cache results.json < requests.ndjson > responses.ndjson
-//   $ echo '{"id":1,"kind":"sweep","codes":["BGC"],"lengths":[10],
-//            "trials":150}' | nwdec_service
+//   * stdin/stdout (default): diagnostics go to stderr, stdout carries
+//     protocol responses only, so the daemon composes with pipes:
 //
-// Identical points are answered from the fingerprint-keyed result store
-// (service/result_store.h) instead of recomputed -- across requests, and,
-// with --cache, across daemon restarts (the store is loaded at startup and
-// persisted on `flush` requests and at EOF). With --adaptive, Monte-Carlo
-// points stop at a target Wilson CI half-width instead of burning the full
-// --trials budget.
+//       $ nwdec_service --cache results.json < requests.ndjson > out.ndjson
+//       $ echo '{"id":1,"kind":"sweep","codes":["BGC"],"lengths":[10],
+//                "trials":150}' | nwdec_service
+//
+//   * TCP (--listen <port>, 0 = ephemeral; the bound port is printed to
+//     stderr): any number of concurrent connections, one response stream
+//     per connection; SIGINT/SIGTERM shut down cleanly (and persist the
+//     cache):
+//
+//       $ nwdec_service --listen 4750 --cache results.json &
+//       $ nc 127.0.0.1 4750 < requests.ndjson
+//
+// Requests become jobs on --workers threads; concurrent sweep jobs
+// coalesce their store misses into one engine run. The grammar -- async
+// submission, status/cancel, per-sweep "min_half_width" CI targets with
+// cross-restart top-up -- is documented in src/api/types.h and
+// bench/README.md. Identical points are answered from the fingerprint-
+// keyed result store (service/result_store.h) instead of recomputed --
+// across requests, and, with --cache, across daemon restarts.
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
 #include <iostream>
 #include <string>
 
-#include "service/protocol.h"
+#include "api/dispatch.h"
+#include "api/tcp_transport.h"
+#include "api/transport.h"
 #include "service/sweep_service.h"
 #include "util/cli.h"
 #include "util/error.h"
@@ -37,17 +54,39 @@ std::size_t get_size(const cli_parser& cli, const std::string& name) {
   return static_cast<std::size_t>(value);
 }
 
+// The TCP shutdown hook: signal handlers may only touch async-signal-safe
+// calls, so they write one byte to the transport's wake pipe.
+volatile std::sig_atomic_t g_shutdown_fd = -1;
+
+extern "C" void on_signal(int) {
+  if (g_shutdown_fd >= 0) {
+    const char wake = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(g_shutdown_fd, &wake, 1);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cli_parser cli("nwdec_service",
                  "long-running sweep daemon: newline-delimited JSON "
-                 "requests on stdin, one response per line on stdout "
-                 "(kinds: sweep | refine | stats | flush)");
+                 "requests over stdin/stdout or --listen TCP (kinds: sweep "
+                 "| refine | status | cancel | stats | flush; async jobs, "
+                 "cross-request batching)");
   cli.add_string("cache", "",
                  "result-store JSON file: loaded at startup, persisted on "
-                 "'flush' requests and at EOF ('' = in-memory only)");
+                 "'flush' requests and at shutdown ('' = in-memory only)");
   cli.add_int("capacity", 1 << 16, "result-store capacity (LRU entries)");
+  cli.add_int("listen", -1,
+              "serve a TCP port instead of stdin/stdout (0 = ephemeral; "
+              "the bound port is printed to stderr)");
+  cli.add_int("workers", 0,
+              "job-scheduler worker threads draining the request queue "
+              "(0 = hardware; results never depend on the count)");
+  cli.add_int("retain", 4096,
+              "finished async jobs retained for status/result fetches "
+              "(oldest are forgotten first; size burst submissions below "
+              "this or fetch as you go)");
   cli.add_int("threads", 0, "engine worker threads (0 = hardware)");
   cli.add_int("seed", 2009,
               "base seed (a point's result is a pure function of the seed, "
@@ -85,10 +124,10 @@ int main(int argc, char** argv) {
     const std::string cache_path = cli.get_string("cache");
     if (!cache_path.empty()) {
       // A stale or incompatible cache must not brick the daemon: start
-      // cold and let the EOF/flush persistence overwrite it.
+      // cold and let the shutdown/flush persistence overwrite it.
       try {
         if (service.load_cache(cache_path)) {
-          std::cerr << "nwdec_service: warmed " << service.store().size()
+          std::cerr << "nwdec_service: warmed " << service.stats().entries
                     << " results from " << cache_path << "\n";
         }
       } catch (const std::exception& failure) {
@@ -97,22 +136,45 @@ int main(int argc, char** argv) {
       }
     }
 
-    service::protocol_handler handler(service, cache_path);
-    std::string line;
-    while (std::getline(std::cin, line)) {
-      if (line.empty()) continue;
-      std::cout << handler.handle_line(line) << std::flush;
+    const std::int64_t listen = cli.get_int("listen");
+    int exit_code = 0;
+    {
+      api::dispatcher::options dispatch_options;
+      dispatch_options.workers = get_size(cli, "workers");
+      dispatch_options.cache_path = cache_path;
+      dispatch_options.retain_finished =
+          std::max<std::size_t>(1, get_size(cli, "retain"));
+      api::dispatcher dispatcher(service, dispatch_options);
+
+      if (listen >= 0) {
+        if (listen > 65535) {
+          throw invalid_argument_error("--listen port must be <= 65535");
+        }
+        api::tcp_transport transport(static_cast<std::uint16_t>(listen));
+        std::cerr << "nwdec_service: listening on port " << transport.port()
+                  << "\n";
+        g_shutdown_fd = transport.shutdown_fd();
+        std::signal(SIGINT, on_signal);
+        std::signal(SIGTERM, on_signal);
+        exit_code = transport.serve(dispatcher);
+        g_shutdown_fd = -1;
+      } else {
+        api::stdio_transport transport(std::cin, std::cout);
+        exit_code = transport.serve(dispatcher);
+      }
+      // The dispatcher (and its scheduler workers) drain here, before the
+      // final persistence snapshot below.
     }
 
-    // EOF persistence skips an empty store: after a `flush {"clear": true}`
-    // checkpoint the store is deliberately empty, and writing it out here
-    // would wipe the file the flush just persisted.
-    if (!cache_path.empty() && service.store().size() > 0) {
+    // Shutdown persistence skips an empty store: after a
+    // `flush {"clear": true}` checkpoint the store is deliberately empty,
+    // and writing it out here would wipe the file the flush just persisted.
+    if (!cache_path.empty() && service.stats().entries > 0) {
       service.save_cache(cache_path);
-      std::cerr << "nwdec_service: persisted " << service.store().size()
+      std::cerr << "nwdec_service: persisted " << service.stats().entries
                 << " results to " << cache_path << "\n";
     }
-    return 0;
+    return exit_code;
   } catch (const std::exception& failure) {
     std::cerr << "nwdec_service: " << failure.what() << "\n";
     return 1;

@@ -128,6 +128,11 @@ int main(int argc, char** argv) {
                  "sweeps skip every previously computed point -- and the "
                  "merged store is saved back after it ('' = no cache). The "
                  "file is only reused under the same --seed/--mode/--raw-kb");
+  cli.add_double("min-half-width", 0.0,
+                 "per-point Wilson CI target (0 = fixed --trials budget): "
+                 "each MC point stops at the first budget rung meeting it, "
+                 "and cached points that miss it are topped up from their "
+                 "persisted (mean, trials, M2) instead of recomputed");
   cli.add_flag("quick",
                "smoke preset for CI: the paper's Figs. 7/8 grid, 150 trials");
   if (!cli.parse(argc, argv)) return 0;
@@ -176,15 +181,19 @@ int main(int argc, char** argv) {
     options.mc_block_size = get_size(cli, "mc-block");
 
     const std::string cache_path = cli.get_string("cache");
+    const double min_half_width = cli.get_double("min-half-width");
+    NWDEC_EXPECTS(min_half_width >= 0.0 && min_half_width < 1.0,
+                  "--min-half-width must lie in [0, 1)");
     core::sweep_engine_report report;
-    if (cache_path.empty()) {
+    if (cache_path.empty() && min_half_width == 0.0) {
       const core::sweep_engine engine(spec, tech);
       report = engine.run(axes, options);
     } else {
       // Ride the sweep service's result store: previously computed points
-      // come back from the cache file, only the rest hit the engine, and
-      // the merged store is persisted for the next invocation. Results are
-      // identical to the direct path (same seed/mode/point fingerprints).
+      // come back from the cache file (or are topped up toward a tighter
+      // --min-half-width), only the rest hit the engine, and the merged
+      // store is persisted for the next invocation. Results are identical
+      // to the direct path (same seed/mode/point fingerprints).
       service::service_options service_options;
       service_options.threads = options.threads;
       service_options.seed = options.seed;
@@ -194,21 +203,29 @@ int main(int argc, char** argv) {
       // A stale or incompatible cache file must not block the sweep: run
       // cold and overwrite it with fresh results (same policy as the
       // daemon).
-      try {
-        if (service.load_cache(cache_path)) {
-          std::cout << "cache: warmed " << service.store().size()
-                    << " results from " << cache_path << "\n";
+      if (!cache_path.empty()) {
+        try {
+          if (service.load_cache(cache_path)) {
+            std::cout << "cache: warmed " << service.store().size()
+                      << " results from " << cache_path << "\n";
+          }
+        } catch (const std::exception& failure) {
+          std::cerr << "nwdec_sweep: ignoring cache " << cache_path << " ("
+                    << failure.what() << ")\n";
         }
-      } catch (const std::exception& failure) {
-        std::cerr << "nwdec_sweep: ignoring cache " << cache_path << " ("
-                  << failure.what() << ")\n";
       }
-      const service::sweep_response response = service.evaluate(axes);
-      service.save_cache(cache_path);
-      std::cout << "cache: " << response.cached << " points served from "
-                << cache_path << ", " << response.computed
-                << " computed; store now holds " << service.store().size()
-                << " results\n";
+      const service::sweep_response response =
+          service.evaluate(axes, min_half_width);
+      if (!cache_path.empty()) {
+        service.save_cache(cache_path);
+        std::cout << "cache: " << response.cached << " points served from "
+                  << cache_path << ", " << response.computed << " computed";
+        if (response.topped_up > 0) {
+          std::cout << ", " << response.topped_up << " topped up";
+        }
+        std::cout << "; store now holds " << service.store().size()
+                  << " results\n";
+      }
 
       // Synthesize the engine-report shape so every output path (table,
       // JSON, CSV) is shared with the direct run.
