@@ -4,6 +4,7 @@
 
 #include "service/refine.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 
 namespace nwdec::api {
 
@@ -21,11 +22,14 @@ json_writer begin_response(const json_value& id, const char* kind) {
 }  // namespace
 
 std::string error_response_json(const json_value& id,
-                                const std::string& what) {
+                                const std::string& what,
+                                const std::string& code) {
   json_writer json(json_writer::style::compact);
   json.begin_object();
   json.key("id").value(id);
-  json.field("ok", false).field("error", what).end_object();
+  json.field("ok", false).field("error", what);
+  if (!code.empty()) json.field("code", code);
+  json.end_object();
   return json.str();
 }
 
@@ -35,16 +39,20 @@ dispatcher::dispatcher(service::sweep_service& service)
 dispatcher::dispatcher(service::sweep_service& service, options opts)
     : service_(service),
       cache_path_(std::move(opts.cache_path)),
-      scheduler_(service, {opts.workers, opts.retain_finished}) {}
+      scheduler_(service,
+                 {opts.workers, opts.retain_finished, opts.max_queued}) {}
 
 std::string dispatcher::handle_line(const std::string& line) {
   json_value id;  // null until the request parses far enough to carry one
   try {
+    NWDEC_FAILPOINT("api.dispatch.handle_line");
     const json_value root = json_parse(line);
     NWDEC_EXPECTS(root.is_object(), "a request must be a JSON object");
     if (const json_value* found = root.find("id")) id = *found;
     const request parsed = parse_request(root);
     return std::visit([this](const auto& r) { return handle(r); }, parsed);
+  } catch (const overloaded_error& failure) {
+    return error_response_json(id, failure.what(), "overloaded");
   } catch (const std::exception& failure) {
     return error_response_json(id, failure.what());
   }
@@ -62,6 +70,10 @@ std::string dispatcher::sync_response(const json_value& id,
   }
   if (job.status.state == job_state::cancelled) {
     return error_response_json(id, "the job was cancelled");
+  }
+  if (job.status.state == job_state::timed_out) {
+    return error_response_json(id, "the job's timeout_ms deadline expired",
+                               "timed_out");
   }
   if (job.status.state != job_state::done) {
     // Only a scheduler shutdown releases a synchronous wait before the
@@ -136,7 +148,8 @@ std::string dispatcher::handle(const status_request& request) {
       .field("priority", job->status.priority)
       .field("progress_done", job->status.progress_done)
       .field("progress_total", job->status.progress_total);
-  if (job->status.state == job_state::failed) {
+  if (job->status.state == job_state::failed ||
+      job->status.state == job_state::timed_out) {
     json.field("error", job->status.error);
   } else if (job->status.state == job_state::done) {
     if (job->status.kind == "sweep") {
@@ -159,20 +172,31 @@ std::string dispatcher::handle(const status_request& request) {
 
 std::string dispatcher::handle(const cancel_request& request) {
   const json_value& id = request.header.client_id;
-  if (scheduler_.cancel(request.job)) {
-    json_writer json = begin_response(id, "cancel");
-    json.field("job", request.job).field("state", "cancelled");
-    return json.end_object().str();
+  switch (scheduler_.cancel(request.job)) {
+    case cancel_outcome::cancelled: {
+      json_writer json = begin_response(id, "cancel");
+      json.field("job", request.job).field("state", "cancelled");
+      return json.end_object().str();
+    }
+    case cancel_outcome::cancelling: {
+      // The running evaluation stops at its next cooperative check; a
+      // status request (or the job's synchronous waiter) sees the final
+      // cancelled/done/failed state.
+      json_writer json = begin_response(id, "cancel");
+      json.field("job", request.job).field("state", "cancelling");
+      return json.end_object().str();
+    }
+    case cancel_outcome::unknown:
+      return error_response_json(
+          id, "unknown job id " + std::to_string(request.job) +
+                  " (never submitted, or already forgotten)");
+    case cancel_outcome::finished: break;
   }
   const std::optional<job_result> job = scheduler_.inspect(request.job);
-  if (!job.has_value()) {
-    return error_response_json(
-        id, "unknown job id " + std::to_string(request.job) +
-                " (never submitted, or already forgotten)");
-  }
   return error_response_json(
       id, "job " + std::to_string(request.job) + " is " +
-              job_state_name(job->status.state) +
+              (job.has_value() ? job_state_name(job->status.state)
+                               : "forgotten") +
               " and can no longer be cancelled");
 }
 
@@ -220,6 +244,8 @@ std::string dispatcher::handle(const stats_request& request) {
         .field("completed", jobs.completed)
         .field("failed", jobs.failed)
         .field("cancelled", jobs.cancelled)
+        .field("timed_out", jobs.timed_out)
+        .field("shed", jobs.shed)
         .field("queued", jobs.queued)
         .field("running", jobs.running)
         .field("sweep_batches", jobs.sweep_batches)

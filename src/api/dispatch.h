@@ -43,6 +43,9 @@ class dispatcher final : public line_handler {
     std::string cache_path;
     /// Finished jobs retained for status fetches.
     std::size_t retain_finished = 1024;
+    /// Scheduler queue bound: submissions past this many waiting jobs get
+    /// an "overloaded" error response (0 = unbounded).
+    std::size_t max_queued = 4096;
   };
 
   explicit dispatcher(service::sweep_service& service);
@@ -67,8 +70,13 @@ class dispatcher final : public line_handler {
   job_scheduler scheduler_;
 };
 
-/// The "ok": false response every failure renders to.
+/// The "ok": false response every failure renders to. A non-empty `code`
+/// appends a machine-readable "code" member after "error" (the legacy
+/// shape is a byte-prefix of the coded one, so old clients keep parsing):
+/// "overloaded" (queue bound shed the job), "timed_out" (deadline
+/// expired), "idle_timeout" (transport closed an idle connection).
 std::string error_response_json(const json_value& id,
-                                const std::string& what);
+                                const std::string& what,
+                                const std::string& code = "");
 
 }  // namespace nwdec::api

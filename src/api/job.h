@@ -5,9 +5,19 @@
 //
 // State machine:
 //
-//   queued ----> running ----> done
-//      |             \-------> failed
-//      \----> cancelled           (cancel reaches queued jobs only)
+//   queued ----> running ------------> done
+//      |             |    \----------> failed
+//      |             \--> cancelling -> cancelled | done | failed
+//      |\---> cancelled               (cancel of a queued job)
+//      \----> timed_out               (deadline expired; also reachable
+//                                      from running/cancelling)
+//
+// cancelling is cooperative: the running evaluation observes the flag
+// between refine probes / Monte-Carlo batches and aborts -- but an
+// evaluation that completes first still finishes done (completion wins
+// the race; the client asked to stop work, not to un-compute a result).
+// timed_out is terminal: a queued job past its deadline never runs, a
+// running job aborts at the next check.
 //
 // A job's `result` payload is a pure function of (service configuration,
 // request): bit-identical whether it ran alone or batched with other
@@ -27,10 +37,32 @@
 
 namespace nwdec::api {
 
-enum class job_state { queued, running, done, failed, cancelled };
+enum class job_state {
+  queued,
+  running,
+  cancelling,  ///< running with a cancel request pending (cooperative)
+  done,
+  failed,
+  cancelled,
+  timed_out,  ///< the request's timeout_ms deadline expired
+};
 
 /// Wire name of a state ("queued", "running", ...).
 const char* job_state_name(job_state state);
+
+/// True for the states a job can never leave.
+constexpr bool job_state_terminal(job_state state) {
+  return state == job_state::done || state == job_state::failed ||
+         state == job_state::cancelled || state == job_state::timed_out;
+}
+
+/// What cancel(id) accomplished.
+enum class cancel_outcome {
+  unknown,     ///< no such job (never submitted, or already forgotten)
+  cancelled,   ///< the job was still queued and is now terminally cancelled
+  cancelling,  ///< the job is running; it will stop at its next check
+  finished,    ///< the job was already terminal (inspect() tells the state)
+};
 
 /// A point-in-time view of one job.
 struct job_status {
@@ -68,8 +100,10 @@ struct scheduler_stats {
   std::size_t completed = 0;  ///< reached done
   std::size_t failed = 0;
   std::size_t cancelled = 0;
+  std::size_t timed_out = 0;  ///< deadlines that expired (queued or running)
+  std::size_t shed = 0;       ///< submissions rejected by the queue bound
   std::size_t queued = 0;   ///< currently waiting
-  std::size_t running = 0;  ///< currently executing
+  std::size_t running = 0;  ///< currently executing (cancelling included)
   /// Cross-request batching: every batch is one sweep_service evaluation
   /// coalescing the points of `sweep_jobs_batched / sweep_batches` jobs on
   /// average (1.0 = no concurrency to exploit).

@@ -12,9 +12,11 @@ const char* job_state_name(job_state state) {
   switch (state) {
     case job_state::queued: return "queued";
     case job_state::running: return "running";
+    case job_state::cancelling: return "cancelling";
     case job_state::done: return "done";
     case job_state::failed: return "failed";
     case job_state::cancelled: return "cancelled";
+    case job_state::timed_out: return "timed_out";
   }
   return "unknown";
 }
@@ -25,6 +27,11 @@ struct job_scheduler::job_record {
   job_state state = job_state::queued;
   std::string kind;
   json_value client_id;
+  /// Cooperative cancel flag: polled (lock-free) by the running
+  /// evaluation's between-batch checks; set by cancel().
+  std::atomic<bool> cancel_requested{false};
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline;  ///< valid iff has_deadline
   // Request forms (one is populated, by kind).
   std::vector<service::point_query> queries;  ///< sweep grid, in order
   bool report_topped_up = false;
@@ -68,10 +75,12 @@ job_scheduler::~job_scheduler() {
 
 std::uint64_t job_scheduler::submit(request parsed) {
   auto record = std::make_shared<job_record>();
+  std::size_t timeout_ms = 0;
   if (const sweep_request* sweep = std::get_if<sweep_request>(&parsed)) {
     record->kind = "sweep";
     record->client_id = sweep->header.client_id;
     record->priority = sweep->header.priority;
+    timeout_ms = sweep->header.timeout_ms;
     record->report_topped_up = sweep->min_half_width > 0.0;
     for (const core::sweep_request& point : sweep->axes().expand()) {
       record->queries.push_back({point, sweep->min_half_width});
@@ -82,6 +91,7 @@ std::uint64_t job_scheduler::submit(request parsed) {
     record->kind = "refine";
     record->client_id = refine->header.client_id;
     record->priority = refine->header.priority;
+    timeout_ms = refine->header.timeout_ms;
     record->refinement = refine->refinement;
   } else {
     throw invalid_argument_error(
@@ -93,6 +103,21 @@ std::uint64_t job_scheduler::submit(request parsed) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     NWDEC_EXPECTS(!stopping_, "the job scheduler is shutting down");
+    // Load shedding: a bounded queue turns overload into an explicit,
+    // retryable error instead of unbounded memory growth and ever-worse
+    // latency. Shed before allocating an id so rejected submissions
+    // leave no trace beyond the counter.
+    if (options_.max_queued > 0 && queue_.size() >= options_.max_queued) {
+      ++stats_.shed;
+      throw overloaded_error("job queue is full (" +
+                             std::to_string(options_.max_queued) +
+                             " jobs waiting); retry later");
+    }
+    if (timeout_ms > 0) {
+      record->has_deadline = true;
+      record->deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(timeout_ms);
+    }
     id = next_id_++;
     record->id = id;
     jobs_.emplace(id, record);
@@ -138,27 +163,46 @@ std::optional<job_result> job_scheduler::wait(std::uint64_t id) {
   // never run the job, and a waiter blocked past the destructor would be
   // waiting on a destroyed condition variable. The caller then sees the
   // job in its non-terminal state and must treat it as unserved.
-  done_cv_.wait(lock, [&] {
-    return stopping_ || job->state == job_state::done ||
-           job->state == job_state::failed ||
-           job->state == job_state::cancelled;
-  });
+  const auto terminal = [&] {
+    return stopping_ || job_state_terminal(job->state);
+  };
+  if (job->has_deadline) {
+    if (!done_cv_.wait_until(lock, job->deadline, terminal) &&
+        job->state == job_state::queued) {
+      // Deadline passed with the job still waiting: time it out here --
+      // with every worker busy no one else would until a worker finally
+      // popped it. A running job instead times itself out at its next
+      // cooperative check, so just keep waiting for that.
+      queue_.erase({-job->priority, job->id});
+      finish(*job, job_state::timed_out);
+      done_cv_.notify_all();
+    }
+  }
+  done_cv_.wait(lock, terminal);
   job_result result = snapshot(*job);
   --job->waiters;
   trim_locked();  // catch up on trims this pin deferred
   return result;
 }
 
-bool job_scheduler::cancel(std::uint64_t id) {
+cancel_outcome job_scheduler::cancel(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto found = jobs_.find(id);
-  if (found == jobs_.end()) return false;
+  if (found == jobs_.end()) return cancel_outcome::unknown;
   job_record& job = *found->second;
-  if (job.state != job_state::queued) return false;
-  queue_.erase({-job.priority, id});
-  finish(job, job_state::cancelled);
-  done_cv_.notify_all();
-  return true;
+  if (job.state == job_state::queued) {
+    queue_.erase({-job.priority, id});
+    finish(job, job_state::cancelled);
+    done_cv_.notify_all();
+    return cancel_outcome::cancelled;
+  }
+  if (job.state == job_state::running ||
+      job.state == job_state::cancelling) {
+    job.cancel_requested.store(true, std::memory_order_relaxed);
+    job.state = job_state::cancelling;
+    return cancel_outcome::cancelling;
+  }
+  return cancel_outcome::finished;
 }
 
 scheduler_stats job_scheduler::stats() const {
@@ -182,12 +226,16 @@ void job_scheduler::trim_locked() {
 // Caller holds mutex_. Transitions a job into a terminal state and runs
 // the retention policy.
 void job_scheduler::finish(job_record& job, job_state state) {
-  if (job.state == job_state::running) --stats_.running;
+  if (job.state == job_state::running ||
+      job.state == job_state::cancelling) {
+    --stats_.running;
+  }
   job.state = state;
   switch (state) {
     case job_state::done: ++stats_.completed; break;
     case job_state::failed: ++stats_.failed; break;
     case job_state::cancelled: ++stats_.cancelled; break;
+    case job_state::timed_out: ++stats_.timed_out; break;
     default: break;
   }
   finished_.push_back(job.id);
@@ -200,6 +248,15 @@ void job_scheduler::worker_loop() {
     work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
     if (stopping_) return;
     const std::shared_ptr<job_record> head = jobs_.at(queue_.begin()->second);
+    if (head->has_deadline &&
+        std::chrono::steady_clock::now() >= head->deadline) {
+      // Expired while waiting: never spend engine time on a job whose
+      // client already gave up on it.
+      queue_.erase(queue_.begin());
+      finish(*head, job_state::timed_out);
+      done_cv_.notify_all();
+      continue;
+    }
     if (head->kind == "sweep") {
       run_sweep_batch(lock);
     } else {
@@ -219,20 +276,26 @@ void job_scheduler::worker_loop() {
 // concurrent clients thus share one engine run and duplicate points
 // across jobs compute once.
 void job_scheduler::run_sweep_batch(std::unique_lock<std::mutex>& lock) {
+  const auto now = std::chrono::steady_clock::now();
   std::vector<std::shared_ptr<job_record>> batch;
   std::vector<service::point_query> combined;
   std::vector<std::size_t> offsets;
   for (auto it = queue_.begin(); it != queue_.end();) {
-    const std::shared_ptr<job_record>& job = jobs_.at(it->second);
+    const std::shared_ptr<job_record> job = jobs_.at(it->second);
     if (job->kind != "sweep") break;
+    it = queue_.erase(it);
+    if (job->has_deadline && now >= job->deadline) {
+      finish(*job, job_state::timed_out);
+      continue;
+    }
     job->state = job_state::running;
     ++stats_.running;
     offsets.push_back(combined.size());
     combined.insert(combined.end(), job->queries.begin(),
                     job->queries.end());
     batch.push_back(job);
-    it = queue_.erase(it);
   }
+  if (batch.empty()) return;  // every queued sweep had already expired
   ++stats_.sweep_batches;
   stats_.sweep_jobs_batched += batch.size();
 
@@ -241,19 +304,53 @@ void job_scheduler::run_sweep_batch(std::unique_lock<std::mutex>& lock) {
   bool batch_failed = false;
   // Per-job fallback responses when the combined evaluation throws: one
   // client's bad request (e.g. an impossible code length that only fails
-  // in the engine) must not poison the other coalesced jobs, so each job
-  // re-evaluates alone and carries only its own diagnostic. Payload
-  // purity makes the solo rerun bit-identical to its share of the batch.
+  // in the engine) must not poison the other coalesced jobs -- and one
+  // job's cancel/deadline must not discard its batchmates' work -- so
+  // each job re-evaluates alone with only its own check and carries only
+  // its own diagnostic. Payload purity makes the solo rerun bit-identical
+  // to its share of the batch, and the store makes the rerun cheap (the
+  // aborted batch's completed points were already inserted).
+  enum class outcome { ok, failed, cancelled, timed_out };
   std::vector<service::sweep_response> solo(batch.size());
+  std::vector<outcome> solo_outcome(batch.size(), outcome::ok);
   std::vector<std::string> solo_error(batch.size());
+  const auto batch_check = [&batch] {
+    const auto poll = std::chrono::steady_clock::now();
+    for (const std::shared_ptr<job_record>& job : batch) {
+      if (job->cancel_requested.load(std::memory_order_relaxed)) {
+        throw cancelled_error("job " + std::to_string(job->id) +
+                              " cancelled");
+      }
+      if (job->has_deadline && poll >= job->deadline) {
+        throw timeout_error("job " + std::to_string(job->id) +
+                            " deadline expired");
+      }
+    }
+  };
   try {
-    response = service_.evaluate(combined);
+    response = service_.evaluate(combined, batch_check);
   } catch (const std::exception&) {
     batch_failed = true;
     for (std::size_t b = 0; b < batch.size(); ++b) {
+      const std::shared_ptr<job_record>& job = batch[b];
+      const auto check = [&job] {
+        if (job->cancel_requested.load(std::memory_order_relaxed)) {
+          throw cancelled_error("job cancelled");
+        }
+        if (job->has_deadline &&
+            std::chrono::steady_clock::now() >= job->deadline) {
+          throw timeout_error("job deadline expired");
+        }
+      };
       try {
-        solo[b] = service_.evaluate(batch[b]->queries);
+        solo[b] = service_.evaluate(job->queries, check);
+      } catch (const cancelled_error&) {
+        solo_outcome[b] = outcome::cancelled;
+      } catch (const timeout_error& failure) {
+        solo_outcome[b] = outcome::timed_out;
+        solo_error[b] = failure.what();
       } catch (const std::exception& failure) {
+        solo_outcome[b] = outcome::failed;
         solo_error[b] = failure.what();
       }
     }
@@ -262,9 +359,13 @@ void job_scheduler::run_sweep_batch(std::unique_lock<std::mutex>& lock) {
 
   for (std::size_t b = 0; b < batch.size(); ++b) {
     job_record& job = *batch[b];
-    if (batch_failed && !solo_error[b].empty()) {
+    if (batch_failed && solo_outcome[b] != outcome::ok) {
       job.error = solo_error[b];
-      finish(job, job_state::failed);
+      finish(job, solo_outcome[b] == outcome::cancelled
+                      ? job_state::cancelled
+                      : solo_outcome[b] == outcome::timed_out
+                            ? job_state::timed_out
+                            : job_state::failed);
       continue;
     }
     // Slice this job's points back out (or take its solo rerun) and
@@ -296,24 +397,53 @@ void job_scheduler::run_refine(std::unique_lock<std::mutex>& lock,
                                const std::shared_ptr<job_record>& job) {
   lock.unlock();
   service::refine_result refined;
+  enum class outcome { ok, failed, cancelled, timed_out };
+  outcome result = outcome::ok;
   std::string error;
+  const auto check = [&job] {
+    if (job->cancel_requested.load(std::memory_order_relaxed)) {
+      throw cancelled_error("job cancelled");
+    }
+    if (job->has_deadline &&
+        std::chrono::steady_clock::now() >= job->deadline) {
+      throw timeout_error("job deadline expired");
+    }
+  };
   try {
     refined = service::refine(
-        service_, job->refinement, [this, job](std::size_t evaluations) {
+        service_, job->refinement,
+        [this, job](std::size_t evaluations) {
           const std::lock_guard<std::mutex> progress_lock(mutex_);
           job->progress_done = evaluations;
-        });
+        },
+        check);
+  } catch (const cancelled_error&) {
+    result = outcome::cancelled;
+  } catch (const timeout_error& failure) {
+    result = outcome::timed_out;
+    error = failure.what();
   } catch (const std::exception& failure) {
+    result = outcome::failed;
     error = failure.what();
   }
   lock.lock();
-  if (!error.empty()) {
-    job->error = error;
-    finish(*job, job_state::failed);
-  } else {
-    job->refined =
-        std::make_shared<const service::refine_result>(std::move(refined));
-    finish(*job, job_state::done);
+  switch (result) {
+    case outcome::ok:
+      job->refined =
+          std::make_shared<const service::refine_result>(std::move(refined));
+      finish(*job, job_state::done);
+      break;
+    case outcome::cancelled:
+      finish(*job, job_state::cancelled);
+      break;
+    case outcome::timed_out:
+      job->error = error;
+      finish(*job, job_state::timed_out);
+      break;
+    case outcome::failed:
+      job->error = error;
+      finish(*job, job_state::failed);
+      break;
   }
 }
 

@@ -21,14 +21,25 @@
 // coalescing; only the wrapper's provenance counters (cached / computed /
 // topped_up) depend on what the store held when the batch ran.
 //
-// Lifecycle: cancel() removes a still-queued job (running jobs finish;
-// done/failed/cancelled jobs report their state). Finished jobs are
-// retained for status/result fetches up to options.retain_finished, then
-// forgotten oldest-first; wait() blocks until a job is terminal. The
-// destructor stops the workers after their current jobs; still-queued
-// jobs are dropped (the daemon drains synchronous requests before exit).
+// Lifecycle: cancel() of a queued job removes it; of a running job it
+// sets the cooperative cancel flag (state "cancelling") that the
+// evaluation observes between refine probes and Monte-Carlo batches --
+// the job then terminates cancelled (or done/failed if it beat the flag).
+// Deadlines (request "timeout_ms") are enforced at three points: a queued
+// job past its deadline is finished timed_out instead of run, a running
+// job's checks abort it, and a synchronous wait() times the job out at
+// the deadline even when no worker ever picked it up. The queue is
+// bounded (options.max_queued): past the bound submit() sheds load by
+// throwing overloaded_error instead of growing silently. Finished jobs
+// are retained for status/result fetches up to options.retain_finished,
+// then forgotten oldest-first; wait() blocks until a job is terminal.
+// The destructor stops the workers after their current jobs;
+// still-queued jobs are dropped (the daemon drains synchronous requests
+// before exit).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -57,6 +68,9 @@ class job_scheduler {
     std::size_t workers = 1;
     /// Finished jobs retained for status/result fetches.
     std::size_t retain_finished = 1024;
+    /// Queue bound: submissions past this many waiting jobs are shed with
+    /// overloaded_error (0 = unbounded). Running jobs do not count.
+    std::size_t max_queued = 4096;
   };
 
   explicit job_scheduler(service::sweep_service& service);
@@ -67,20 +81,23 @@ class job_scheduler {
 
   /// Queues a sweep or refine request and returns the job id; throws
   /// invalid_argument_error for the other request kinds (they are served
-  /// inline by the dispatcher, not queued).
+  /// inline by the dispatcher, not queued) and overloaded_error when the
+  /// queue bound sheds the submission (no job is created then).
   std::uint64_t submit(request job);
 
   /// Snapshot of a job (result payload included once done); nullopt for
   /// an unknown -- or already-forgotten -- id.
   std::optional<job_result> inspect(std::uint64_t id) const;
 
-  /// Blocks until the job is terminal, then returns its snapshot;
-  /// nullopt for an unknown id.
+  /// Blocks until the job is terminal (or its deadline passes: a job
+  /// still queued then is finished timed_out), then returns its
+  /// snapshot; nullopt for an unknown id.
   std::optional<job_result> wait(std::uint64_t id);
 
-  /// Cancels a queued job; returns false when the id is unknown or the
-  /// job already left the queue (inspect() then tells its state).
-  bool cancel(std::uint64_t id);
+  /// Cancels a queued job immediately; flags a running job for
+  /// cooperative cancellation (it stops at its next between-batch check).
+  /// See cancel_outcome for the four possible answers.
+  cancel_outcome cancel(std::uint64_t id);
 
   scheduler_stats stats() const;
 

@@ -36,7 +36,9 @@ bool send_all(int fd, const std::string& data) {
 
 }  // namespace
 
-tcp_transport::tcp_transport(std::uint16_t port, int backlog) {
+tcp_transport::tcp_transport(std::uint16_t port, int backlog,
+                             int idle_timeout_ms)
+    : idle_timeout_ms_(idle_timeout_ms) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw error("tcp_transport: cannot create socket");
   const int one = 1;
@@ -135,6 +137,22 @@ void tcp_transport::serve_connection(int client, line_handler& handler) {
     if (!send_all(client, handler.handle_line(line))) peer_gone = true;
   };
   for (;;) {
+    if (idle_timeout_ms_ > 0) {
+      // Bound how long a silent peer may hold this connection thread (and
+      // its fd): poll before blocking in read, and on expiry say why the
+      // connection is closing -- a client stuck mid-request deserves a
+      // diagnosis, not a silent RST.
+      pollfd waiting{client, POLLIN, 0};
+      const int ready = ::poll(&waiting, 1, idle_timeout_ms_);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready == 0) {
+        send_all(client,
+                 "{\"id\":null,\"ok\":false,\"error\":\"connection idle for "
+                 "too long; closing\",\"code\":\"idle_timeout\"}\n");
+        break;
+      }
+      if (ready < 0) break;
+    }
     const ssize_t n = ::read(client, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;

@@ -33,8 +33,11 @@ class tcp_transport final : public transport {
  public:
   /// Binds and listens immediately (so port() is valid before serve());
   /// port 0 picks an ephemeral port. Throws nwdec::error on any socket
-  /// failure.
-  explicit tcp_transport(std::uint16_t port, int backlog = 64);
+  /// failure. idle_timeout_ms > 0 closes a connection that sends no bytes
+  /// for that long (after one final "code": "idle_timeout" error line), so
+  /// silent peers cannot pin connection threads forever; 0 disables.
+  explicit tcp_transport(std::uint16_t port, int backlog = 64,
+                         int idle_timeout_ms = 0);
   ~tcp_transport() override;
   tcp_transport(const tcp_transport&) = delete;
   tcp_transport& operator=(const tcp_transport&) = delete;
@@ -60,6 +63,7 @@ class tcp_transport final : public transport {
   int wake_read_ = -1;
   int wake_write_ = -1;
   std::uint16_t port_ = 0;
+  int idle_timeout_ms_ = 0;  ///< 0 = never time out idle connections
 
   // Connection threads run detached (a long-lived daemon must not hoard
   // one joinable thread per connection ever served); serve() instead

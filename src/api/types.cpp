@@ -44,6 +44,11 @@ request_header parse_header(const json_value& root) {
                   "'priority' must be an integer in [-1e6, 1e6]");
     header.priority = static_cast<int>(value);
   }
+  header.timeout_ms = get_size_or(root, "timeout_ms", 0);
+  // Cap at 24h: keeps the deadline arithmetic trivially overflow-free and
+  // rejects garbage (a u64-max "timeout" is a client bug, not a wish).
+  NWDEC_EXPECTS(header.timeout_ms <= 86'400'000,
+                "'timeout_ms' must be at most 86400000 (24 hours)");
   return header;
 }
 
@@ -204,6 +209,7 @@ void write_header(json_writer& json, const request_header& header,
   json.field("kind", kind);
   if (header.async_submit) json.field("async", true);
   if (header.priority != 0) json.field("priority", header.priority);
+  if (header.timeout_ms != 0) json.field("timeout_ms", header.timeout_ms);
 }
 
 void write_defects(json_writer& json, const fab::defect_params& defects) {

@@ -9,8 +9,12 @@
 //
 // Request grammar (one JSON object per line; every request may carry
 // "id" (echoed verbatim in the response), "async" (submit and return the
-// job id immediately -- sweep/refine only), and "priority" (higher runs
-// first; default 0)):
+// job id immediately -- sweep/refine only), "priority" (higher runs
+// first; default 0), and "timeout_ms" (sweep/refine deadline in
+// milliseconds from submission; 0 = none. A job whose deadline expires
+// while queued, or that a running evaluation observes between batches,
+// terminates in the "timed_out" state and synchronous requests get an
+// error response with "code": "timed_out")):
 //
 //   {"id": 1, "kind": "sweep", "codes": ["TC", "BGC"], "radix": 2,
 //    "lengths": [8, 10], "nanowires": [20], "sigmas_vt": [0.04, 0.05],
@@ -63,6 +67,10 @@ struct request_header {
                              ///< when absent)
   bool async_submit = false; ///< "async": return the job id immediately
   int priority = 0;          ///< higher-priority jobs run first
+  /// Deadline in milliseconds from submission for sweep/refine jobs
+  /// (0 = none): expired jobs terminate "timed_out" instead of running
+  /// to completion. Ignored by the inline kinds (status/cancel/...).
+  std::size_t timeout_ms = 0;
 };
 
 /// One "sweep" request in wire form (the grid axes exactly as the client

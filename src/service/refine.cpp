@@ -27,7 +27,8 @@ void refine_request::validate() const {
 }
 
 refine_result refine(sweep_service& service, const refine_request& request,
-                     const std::function<void(std::size_t)>& on_progress) {
+                     const std::function<void(std::size_t)>& on_progress,
+                     const cancel_check_fn& check) {
   request.validate();
 
   const auto probe = [&](double sigma, refine_result& out) {
@@ -38,7 +39,7 @@ refine_result refine(sweep_service& service, const refine_request& request,
     point.mc_trials = request.mc_trials;
     point.defects = request.defects;
     const sweep_response response =
-        service.evaluate(std::vector<core::sweep_request>{point});
+        service.evaluate(std::vector<core::sweep_request>{point}, 0.0, check);
     ++out.evaluations;
     out.cached += response.cached;
     out.trace.push_back(response.points.front().result);

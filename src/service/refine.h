@@ -65,9 +65,14 @@ struct refine_result {
 /// Runs one refinement through the service (and therefore its caches).
 /// `on_progress`, when set, is invoked after every probe with the number
 /// of evaluations so far -- the job scheduler surfaces it as job progress.
+/// `check`, when set, rides into every probe's evaluation (and therefore
+/// fires between its Monte-Carlo batches too): a cancelled or timed-out
+/// refinement aborts by throwing mid-bisection instead of running the
+/// remaining probes.
 refine_result refine(
     sweep_service& service, const refine_request& request,
-    const std::function<void(std::size_t)>& on_progress = {});
+    const std::function<void(std::size_t)>& on_progress = {},
+    const cancel_check_fn& check = {});
 
 /// Writes the deterministic refine payload (bracket + trace) into an open
 /// writer; shared by the protocol responses and to_json below.

@@ -2,14 +2,12 @@
 
 #include <cmath>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <utility>
 #include <vector>
 
 #include "codes/code_space.h"
 #include "util/error.h"
+#include "util/fs.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -160,6 +158,34 @@ stored_result parse_stored_result(const json_value& node) {
   return result;
 }
 
+void write_store_entry(json_writer& json, std::uint64_t fingerprint,
+                       const stored_result& result) {
+  // The resumable moments and target provenance ride at the entry level:
+  // the "result" member stays exactly the response payload
+  // (write_stored_result), so the daemon's cold/warm byte identity never
+  // depends on fields only the top-up machinery reads.
+  json.begin_object()
+      .field("fingerprint", u64_string(fingerprint))
+      .field("m2", result.mc_m2)
+      .field("budget_target", result.budget_target);
+  json.key("result");
+  write_stored_result(json, result);
+  json.end_object();
+}
+
+parsed_store_entry parse_store_entry(const json_value& node) {
+  parsed_store_entry entry;
+  entry.fingerprint = parse_u64(node, "fingerprint");
+  entry.result = parse_stored_result(node.at("result"));
+  entry.result.mc_m2 = get_number(node, "m2");
+  entry.result.budget_target = get_number(node, "budget_target");
+  const std::uint64_t recomputed = core::fingerprint(entry.result.request);
+  NWDEC_EXPECTS(entry.fingerprint == recomputed,
+                "store entry fingerprint mismatch (incompatible "
+                "fingerprint scheme or corrupted file)");
+  return entry;
+}
+
 result_store::result_store(std::size_t capacity) : capacity_(capacity) {
   NWDEC_EXPECTS(capacity >= 1, "the result store needs capacity >= 1");
 }
@@ -239,17 +265,7 @@ std::string result_store::to_json(const store_header& header) const {
   auto cheap_it = cheap_.rbegin();
   auto expensive_it = expensive_.rbegin();
   const auto write_entry = [&json](const entry& e) {
-    // The resumable moments and target provenance ride at the entry level:
-    // the "result" member stays exactly the response payload
-    // (write_stored_result), so the daemon's cold/warm byte identity never
-    // depends on fields only the top-up machinery reads.
-    json.begin_object()
-        .field("fingerprint", u64_string(e.fingerprint))
-        .field("m2", e.result.mc_m2)
-        .field("budget_target", e.result.budget_target);
-    json.key("result");
-    write_stored_result(json, e.result);
-    json.end_object();
+    write_store_entry(json, e.fingerprint, e.result);
   };
   while (cheap_it != cheap_.rend() || expensive_it != expensive_.rend()) {
     const bool take_cheap =
@@ -291,44 +307,30 @@ void result_store::load_json(const std::string& text,
   // Stage every entry before touching the store: a corrupt entry anywhere
   // in the file must leave the current contents intact (a partial load
   // would otherwise be persisted back over the good file at shutdown).
-  std::vector<std::pair<std::uint64_t, stored_result>> staged;
+  std::vector<parsed_store_entry> staged;
   staged.reserve(document.at("entries").items().size());
   for (const json_value& entry : document.at("entries").items()) {
-    const std::uint64_t recorded = parse_u64(entry, "fingerprint");
-    stored_result result = parse_stored_result(entry.at("result"));
-    result.mc_m2 = get_number(entry, "m2");
-    result.budget_target = get_number(entry, "budget_target");
-    const std::uint64_t recomputed = core::fingerprint(result.request);
-    NWDEC_EXPECTS(recorded == recomputed,
-                  "result-store entry fingerprint mismatch (incompatible "
-                  "fingerprint scheme or corrupted file)");
-    staged.emplace_back(recorded, std::move(result));
+    staged.push_back(parse_store_entry(entry));
   }
 
   clear();
-  for (auto& [fingerprint, result] : staged) {
-    insert(fingerprint, std::move(result));
+  for (parsed_store_entry& entry : staged) {
+    insert(entry.fingerprint, std::move(entry.result));
   }
 }
 
 void result_store::save_file(const std::string& path,
                              const store_header& header) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw error("cannot open result-store file '" + path + "' for writing");
-  }
-  out << to_json(header);
-  if (!out) throw error("failed writing result-store file '" + path + "'");
+  // tmp + fsync + rename: a crash mid-save leaves the previous complete
+  // snapshot, never a torn file that a restart would refuse to load.
+  write_file_atomic(path, to_json(header));
 }
 
 bool result_store::load_file(const std::string& path,
                              const store_header& expected) {
-  if (!std::filesystem::exists(path)) return false;
-  std::ifstream in(path);
-  if (!in) throw error("cannot open result-store file '" + path + "'");
-  std::ostringstream text;
-  text << in.rdbuf();
-  load_json(text.str(), expected);
+  const std::optional<std::string> text = read_file(path);
+  if (!text.has_value()) return false;
+  load_json(*text, expected);
   return true;
 }
 

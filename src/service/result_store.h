@@ -190,6 +190,25 @@ void write_stored_result(json_writer& json, const stored_result& result);
 /// Inverse of write_stored_result; throws on missing/mistyped fields.
 stored_result parse_stored_result(const json_value& node);
 
+/// Serializes one persisted store entry -- fingerprint + resume moments +
+/// budget provenance wrapped around the canonical result payload. This is
+/// the element format of BOTH the snapshot document's "entries" array and
+/// the durable store's log-record payloads (service/durable_store.h), so
+/// the two persistence paths can never drift apart.
+void write_store_entry(json_writer& json, std::uint64_t fingerprint,
+                       const stored_result& result);
+
+/// One parsed persistence entry.
+struct parsed_store_entry {
+  std::uint64_t fingerprint = 0;
+  stored_result result;
+};
+
+/// Inverse of write_store_entry. Throws on missing/mistyped fields and on
+/// a recorded fingerprint that differs from the one recomputed over the
+/// parsed request (an incompatible fingerprint scheme or corruption).
+parsed_store_entry parse_store_entry(const json_value& node);
+
 /// mc_mode <-> protocol string ("window" / "operational").
 const char* mc_mode_name(yield::mc_mode mode);
 yield::mc_mode parse_mc_mode(const std::string& name);

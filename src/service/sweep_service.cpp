@@ -1,5 +1,6 @@
 #include "service/sweep_service.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -66,9 +67,10 @@ core::sweep_request sweep_service::resolve(core::sweep_request request) const {
   return engine_.resolve(request);
 }
 
-sweep_response sweep_service::evaluate(
-    const std::vector<point_query>& queries) {
+sweep_response sweep_service::evaluate(const std::vector<point_query>& queries,
+                                       const cancel_check_fn& check) {
   NWDEC_EXPECTS(!queries.empty(), "a sweep request needs at least one point");
+  if (check) check();
 
   sweep_response response;
   response.points.resize(queries.size());
@@ -168,6 +170,7 @@ sweep_response sweep_service::evaluate(
       groups[plans[p].target].push_back(p);
     }
     for (const auto& [target, members] : groups) {
+      if (check) check();  // between engine-run groups
       core::sweep_engine_options run_options = engine_options_;
       auto resumes = std::make_shared<
           std::unordered_map<std::uint64_t, core::mc_resume_point>>();
@@ -192,6 +195,29 @@ sweep_response sweep_service::evaluate(
         adaptive_options policy = rung_policy_;
         policy.target_half_width = target;
         run_options.mc_budget = make_budget(policy);
+      }
+      if (check) {
+        // Cancellation granularity INSIDE an engine run: the check rides
+        // the Monte-Carlo budget hook, so it fires between batches of
+        // every running point. The hook contract asks for a pure
+        // function; a throwing check is compatible because the throw
+        // abandons the whole run -- no result that could have depended
+        // on it is ever observed. Fixed budgets get chunked into
+        // cancellation-sized batches with the total unchanged, which is
+        // bit-identical to the single fixed batch by the mc_run_state
+        // contract.
+        const core::mc_budget_fn inner = run_options.mc_budget;
+        run_options.mc_budget =
+            [check, inner](const core::sweep_request& request,
+                           const core::mc_budget_status& status) {
+              check();
+              if (inner) return inner(request, status);
+              if (status.trials_done >= request.mc_trials) {
+                return std::size_t{0};
+              }
+              return std::min<std::size_t>(
+                  request.mc_trials - status.trials_done, 65536);
+            };
       }
       const core::sweep_engine_report report =
           engine_.run(grid, run_options);
@@ -226,7 +252,16 @@ sweep_response sweep_service::evaluate(
           (plan.target == 0.0 ||
            (resident->budget_target > 0.0 &&
             resident->budget_target <= plan.target));
-      if (!dominated) store_.insert(key, plan.produced);
+      if (!dominated) {
+        store_.insert(key, plan.produced);
+        // Write-ahead record per fresh insert; the sync below makes the
+        // whole pass durable with one fsync.
+        if (durable_) durable_->append(key, plan.produced);
+      }
+    }
+    if (durable_) {
+      durable_->sync();
+      if (durable_->wants_compaction()) durable_->compact(store_, header());
     }
     for (std::size_t k = 0; k < queries.size(); ++k) {
       if (!pending[k].has_value()) continue;
@@ -244,13 +279,14 @@ sweep_response sweep_service::evaluate(
 }
 
 sweep_response sweep_service::evaluate(
-    const std::vector<core::sweep_request>& points, double min_half_width) {
+    const std::vector<core::sweep_request>& points, double min_half_width,
+    const cancel_check_fn& check) {
   std::vector<point_query> queries;
   queries.reserve(points.size());
   for (const core::sweep_request& point : points) {
     queries.push_back({point, min_half_width});
   }
-  return evaluate(queries);
+  return evaluate(queries, check);
 }
 
 sweep_response sweep_service::evaluate(const core::sweep_axes& axes,
@@ -263,9 +299,31 @@ bool sweep_service::load_cache(const std::string& path) {
   return store_.load_file(path, header());
 }
 
-void sweep_service::save_cache(const std::string& path) const {
+void sweep_service::save_cache(const std::string& path) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  // A durable service checkpoints its own path by compacting (snapshot
+  // rotation + log truncation); exporting to a different path stays a
+  // plain (atomic) JSON write.
+  if (durable_ && path == durable_->snapshot_path()) {
+    durable_->compact(store_, header());
+    return;
+  }
   store_.save_file(path, header());
+}
+
+recovery_report sweep_service::enable_durability(const std::string& path,
+                                                 durable_options options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  NWDEC_EXPECTS(durable_ == nullptr, "durability is already enabled");
+  auto durable = std::make_unique<durable_store>(path, options);
+  recovery_report report = durable->open(store_, header());
+  durable_ = std::move(durable);
+  return report;
+}
+
+bool sweep_service::durable() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return durable_ != nullptr;
 }
 
 flush_summary sweep_service::flush(const std::string& path, bool clear) {
@@ -276,7 +334,13 @@ flush_summary sweep_service::flush(const std::string& path, bool clear) {
   // Persist strictly before dropping anything: a clear that ran first
   // would write an empty document over the results it was asked to
   // checkpoint.
-  if (summary.persisted) store_.save_file(path, header());
+  if (summary.persisted) {
+    if (durable_ && path == durable_->snapshot_path()) {
+      durable_->compact(store_, header());
+    } else {
+      store_.save_file(path, header());
+    }
+  }
   if (clear) {
     store_.clear();
     summary.cleared = true;

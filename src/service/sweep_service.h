@@ -38,6 +38,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -45,6 +47,7 @@
 
 #include "core/sweep_engine.h"
 #include "service/adaptive_budget.h"
+#include "service/durable_store.h"
 #include "service/result_store.h"
 
 namespace nwdec::service {
@@ -81,6 +84,13 @@ enum class point_source {
   cached,     ///< served by the store as-is
   topped_up,  ///< resumed from the store's persisted (mean, trials, M2)
 };
+
+/// A cooperative cancellation/deadline check: called between units of
+/// work (evaluation start, each engine-run group, each Monte-Carlo batch
+/// of a running group); aborts the evaluation by THROWING (cancelled_error
+/// / timeout_error by convention -- any exception propagates out of
+/// evaluate()). An empty function disables checking.
+using cancel_check_fn = std::function<void()>;
 
 /// One answered point: the payload plus its provenance.
 struct sweep_response_entry {
@@ -138,17 +148,35 @@ class sweep_service {
   /// Answers every query, serving store hits, topping up resumable
   /// entries, and batching the rest into one engine run per distinct
   /// budget target. Duplicate queries within one call are computed once.
-  sweep_response evaluate(const std::vector<point_query>& queries);
+  /// `check`, when set, is invoked between units of work and aborts the
+  /// evaluation by throwing (see cancel_check_fn); a fixed-budget run
+  /// under a check is chunked into cancellation-sized Monte-Carlo batches
+  /// -- bit-identical to the unchunked run by the mc_run_state contract.
+  sweep_response evaluate(const std::vector<point_query>& queries,
+                          const cancel_check_fn& check = {});
   /// Fixed-budget conveniences (min_half_width applied to every point).
   sweep_response evaluate(const std::vector<core::sweep_request>& points,
-                          double min_half_width = 0.0);
+                          double min_half_width = 0.0,
+                          const cancel_check_fn& check = {});
   sweep_response evaluate(const core::sweep_axes& axes,
                           double min_half_width = 0.0);
 
   /// Cache-file convenience: load_file/save_file with this service's
   /// header. load_cache returns false when the file does not exist.
   bool load_cache(const std::string& path);
-  void save_cache(const std::string& path) const;
+  void save_cache(const std::string& path);
+
+  /// Switches the service to crash-safe persistence rooted at `path`:
+  /// recovers snapshot + log (quarantining corrupt state, never
+  /// throwing on it -- see durable_store), then keeps the store durable
+  /// incrementally: every fresh result is appended to the write-ahead
+  /// log (one fsync per evaluation pass) and the snapshot is rotated
+  /// when the log outgrows it. flush()/save_cache() compact instead of
+  /// bare-writing. Throws io_error on real I/O failures (unwritable
+  /// directory); the caller may then continue un-durably.
+  recovery_report enable_durability(const std::string& path,
+                                    durable_options options = {});
+  bool durable() const;
 
   /// The flush endpoint's behavior, in the only safe order: persist the
   /// store to `path` (when non-empty) FIRST, then optionally drop the
@@ -165,8 +193,9 @@ class sweep_service {
   core::sweep_engine_options engine_options_;
   adaptive_options rung_policy_;  ///< rung schedule for min_half_width > 0
 
-  mutable std::mutex mutex_;  ///< guards store_ and topped_up_total_
+  mutable std::mutex mutex_;  ///< guards store_, durable_, topped_up_total_
   result_store store_;
+  std::unique_ptr<durable_store> durable_;  ///< null = plain JSON cache
   std::size_t topped_up_total_ = 0;
 };
 

@@ -1,0 +1,34 @@
+#include "util/checksum.h"
+
+#include <array>
+
+namespace nwdec {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t byte = 0; byte < 256; ++byte) {
+    std::uint32_t value = byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      value = (value >> 1) ^ ((value & 1u) != 0 ? 0xEDB88320u : 0u);
+    }
+    table[byte] = value;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> crc32_table = make_crc32_table();
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t k = 0; k < size; ++k) {
+    crc = (crc >> 8) ^ crc32_table[(crc ^ bytes[k]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace nwdec

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) -- the integrity
+// check on every write-ahead-log record (service/durable_store.h). The
+// choice is deliberate boring: the zlib/PNG CRC, table-driven, one byte at
+// a time; torn or bit-flipped records are detection targets, not
+// adversaries, and the recovery path verifies a handful of records per
+// startup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace nwdec {
+
+/// CRC-32 of `size` bytes at `data`, continuing from `seed` (pass a
+/// previous call's return value to checksum a buffer in pieces; the
+/// pre/post inversion is handled internally, so 0 starts a fresh sum).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(std::string_view text, std::uint32_t seed = 0) {
+  return crc32(text.data(), text.size(), seed);
+}
+
+}  // namespace nwdec

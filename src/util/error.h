@@ -38,6 +38,32 @@ class not_found_error : public error {
   explicit not_found_error(const std::string& what) : error(what) {}
 };
 
+/// A filesystem operation failed (open/write/fsync/rename); what() carries
+/// the path and the errno text.
+class io_error : public error {
+ public:
+  explicit io_error(const std::string& what) : error(what) {}
+};
+
+/// A job/evaluation was abandoned because its client cancelled it.
+class cancelled_error : public error {
+ public:
+  explicit cancelled_error(const std::string& what) : error(what) {}
+};
+
+/// A job/evaluation was abandoned because its deadline expired.
+class timeout_error : public error {
+ public:
+  explicit timeout_error(const std::string& what) : error(what) {}
+};
+
+/// The service shed load instead of queueing: the request was rejected
+/// without side effects and may be retried later.
+class overloaded_error : public error {
+ public:
+  explicit overloaded_error(const std::string& what) : error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] void throw_expects_failure(const char* condition, const char* file,

@@ -1,0 +1,177 @@
+#include "util/failpoint.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace nwdec::failpoints {
+
+namespace detail {
+
+std::atomic<bool> g_active{false};
+
+}  // namespace detail
+
+namespace {
+
+struct setting {
+  action act = action::error;
+  std::size_t skip = 0;  ///< hits left to let through before firing
+  std::size_t hits = 0;
+};
+
+struct registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, setting> armed;
+  bool tracing = false;
+  std::vector<std::string> trace;  ///< first-hit order, deduplicated
+};
+
+// Leaked on purpose: failpoints may be crossed from detached threads during
+// process teardown, after function-local statics would have been destroyed.
+registry& state() {
+  static registry* instance = new registry();
+  return *instance;
+}
+
+void refresh_active_locked(const registry& r) {
+  detail::g_active.store(!r.armed.empty() || r.tracing,
+                         std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+void hit(const char* name) {
+  registry& r = state();
+  action fire = action::error;
+  bool fired = false;
+  {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    if (r.tracing) {
+      bool seen = false;
+      for (const std::string& recorded : r.trace) {
+        if (recorded == name) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) r.trace.emplace_back(name);
+    }
+    const auto found = r.armed.find(name);
+    if (found == r.armed.end()) return;
+    setting& s = found->second;
+    ++s.hits;
+    if (s.skip > 0) {
+      --s.skip;
+      return;
+    }
+    fire = s.act;
+    fired = true;
+  }
+  if (!fired) return;
+  if (fire == action::kill) {
+    // Simulated kill -9: no destructors, no stream flush, no atexit --
+    // whatever the code under test already handed to the kernel is all a
+    // restart will find.
+    ::_exit(kill_exit_code);
+  }
+  throw error(std::string("failpoint '") + name + "' fired");
+}
+
+}  // namespace detail
+
+void arm(const std::string& name, action act, std::size_t skip) {
+  NWDEC_EXPECTS(!name.empty(), "a failpoint name cannot be empty");
+  registry& r = state();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.armed[name] = setting{act, skip, 0};
+  refresh_active_locked(r);
+}
+
+void disarm(const std::string& name) {
+  registry& r = state();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.armed.erase(name);
+  refresh_active_locked(r);
+}
+
+void disarm_all() {
+  registry& r = state();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.armed.clear();
+  refresh_active_locked(r);
+}
+
+std::size_t hit_count(const std::string& name) {
+  registry& r = state();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto found = r.armed.find(name);
+  return found == r.armed.end() ? 0 : found->second.hits;
+}
+
+std::size_t arm_from_env(const char* variable) {
+  const char* value = std::getenv(variable);
+  if (value == nullptr || *value == '\0') return 0;
+  const std::string list(value);
+  std::size_t armed = 0;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    std::size_t end = list.find_first_of(";,", begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string entry = list.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t equals = entry.find('=');
+    NWDEC_EXPECTS(equals != std::string::npos && equals > 0,
+                  "malformed failpoint entry '" + entry +
+                      "' (expected name=error|kill[@skip])");
+    const std::string name = entry.substr(0, equals);
+    std::string spec = entry.substr(equals + 1);
+    std::size_t skip = 0;
+    const std::size_t at = spec.find('@');
+    if (at != std::string::npos) {
+      const std::string digits = spec.substr(at + 1);
+      NWDEC_EXPECTS(!digits.empty() && digits.find_first_not_of(
+                                           "0123456789") == std::string::npos,
+                    "malformed failpoint skip count in '" + entry + "'");
+      skip = static_cast<std::size_t>(std::stoull(digits));
+      spec.erase(at);
+    }
+    action act;
+    if (spec == "error") {
+      act = action::error;
+    } else if (spec == "kill") {
+      act = action::kill;
+    } else {
+      throw invalid_argument_error("unknown failpoint action '" + spec +
+                                   "' in '" + entry +
+                                   "' (expected error | kill)");
+    }
+    arm(name, act, skip);
+    ++armed;
+  }
+  return armed;
+}
+
+void set_trace(bool enabled) {
+  registry& r = state();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.tracing = enabled;
+  if (enabled) r.trace.clear();
+  refresh_active_locked(r);
+}
+
+std::vector<std::string> trace() {
+  registry& r = state();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return r.trace;
+}
+
+}  // namespace nwdec::failpoints

@@ -1,0 +1,91 @@
+// util::failpoints: a fault-injection harness for crash-safety testing.
+//
+// A failpoint is a named marker in production code -- NWDEC_FAILPOINT("x")
+// -- that does nothing until a test (or the NWDEC_FAILPOINT environment
+// variable) arms it with an action:
+//
+//   * action::error -- throw nwdec::error from the marker, exercising the
+//     error-handling path of the surrounding code;
+//   * action::kill  -- _exit(kill_exit_code) immediately, simulating a
+//     kill -9 / power loss at exactly that instruction (no destructors, no
+//     atexit, no flush: whatever reached the kernel is what a restart sees).
+//
+// The disarmed fast path is one relaxed atomic load and a branch -- cheap
+// enough to leave the markers in release builds permanently, which is the
+// point: the crash-injection suite sweeps the *shipping* persistence code,
+// not a test double.
+//
+// Arming from the environment (picked up by tools calling arm_from_env):
+//
+//   NWDEC_FAILPOINT="durable.snapshot.before_rename=kill" nwdec_service ...
+//   NWDEC_FAILPOINT="durable.append.partial=error@2;other=kill"
+//
+// `@n` skips the first n hits before firing (fire on hit n+1); `;` (or ',')
+// separates multiple failpoints.
+//
+// Trace mode records the name of every marker crossed while enabled --
+// the crash sweep uses it to *discover* the set of failpoints a persistence
+// cycle passes through instead of hard-coding the list.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nwdec::failpoints {
+
+enum class action {
+  error,  ///< throw nwdec::error from the marker
+  kill,   ///< _exit(kill_exit_code): simulated kill -9 at the marker
+};
+
+/// Exit status of a kill-action failpoint -- distinguishable from every
+/// normal exit and from signal deaths in the test driver's waitpid.
+inline constexpr int kill_exit_code = 86;
+
+namespace detail {
+
+/// True when any failpoint is armed or trace mode is on; the macro's only
+/// cost when everything is disarmed.
+extern std::atomic<bool> g_active;
+
+/// Slow path behind the macro: records the hit (trace mode) and fires the
+/// armed action, if any.
+void hit(const char* name);
+
+}  // namespace detail
+
+/// Arms `name`: the marker fires `act` on its (skip+1)-th hit and every hit
+/// after. Re-arming replaces the previous setting and resets the skip.
+void arm(const std::string& name, action act, std::size_t skip = 0);
+
+/// Disarms one failpoint / every failpoint (hit counters reset too).
+void disarm(const std::string& name);
+void disarm_all();
+
+/// Times an *armed* failpoint was crossed (including skipped hits);
+/// 0 for disarmed names.
+std::size_t hit_count(const std::string& name);
+
+/// Parses the NWDEC_FAILPOINT-style arming list from the environment
+/// variable (see the header comment for the grammar) and arms every entry;
+/// returns how many were armed (0 when the variable is unset or empty).
+/// Throws invalid_argument_error on a malformed list.
+std::size_t arm_from_env(const char* variable = "NWDEC_FAILPOINT");
+
+/// Trace mode: while enabled, the name of every marker crossed is recorded
+/// once, in first-hit order. Enabling clears the previous trace.
+void set_trace(bool enabled);
+std::vector<std::string> trace();
+
+}  // namespace nwdec::failpoints
+
+/// Marks one failpoint. Disarmed cost: one relaxed atomic load.
+#define NWDEC_FAILPOINT(name)                       \
+  do {                                              \
+    if (::nwdec::failpoints::detail::g_active.load( \
+            std::memory_order_relaxed)) {           \
+      ::nwdec::failpoints::detail::hit(name);       \
+    }                                               \
+  } while (false)

@@ -1,0 +1,45 @@
+// Crash-safe filesystem primitives shared by the persistence layer.
+//
+// write_file_atomic is the only way nwdec replaces a file it cares about:
+// the contents go to `<path>.tmp`, are fsynced, and the tmp is renamed over
+// the destination (then the parent directory is fsynced so the rename
+// itself is durable). A crash at ANY instruction leaves either the old
+// complete file or the new complete file -- never a torn mix -- which is
+// the property the durable store's snapshot rotation and the result
+// store's save_file build on. The write path carries failpoints
+// (atomic_write.*) so the crash-injection suite can kill the process at
+// each step and assert exactly that.
+//
+// quarantine_file implements the service's never-abort policy for corrupt
+// state: a file that fails validation is renamed aside to the first free
+// `<path>.corrupt-<n>` -- preserved for diagnosis, out of the boot path --
+// and the caller starts cold.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nwdec {
+
+/// The whole file as bytes; nullopt when `path` does not exist. Throws
+/// io_error on any other failure (permissions, I/O error, a directory).
+std::optional<std::string> read_file(const std::string& path);
+
+/// Atomically replaces `path` with `contents` via tmp + fsync + rename
+/// (+ parent-directory fsync). With sync = false the fsyncs are skipped:
+/// still atomic against process crashes (rename is), not against power
+/// loss. Throws io_error on failure; `path` is untouched then.
+void write_file_atomic(const std::string& path, std::string_view contents,
+                       bool sync = true);
+
+/// Renames `path` aside to the first free `<path>.corrupt-<n>` (n >= 1)
+/// and returns that name. Throws io_error when the rename fails.
+std::string quarantine_file(const std::string& path);
+
+/// fsyncs the directory containing `path`, making a rename/creation in it
+/// durable. Failures are ignored (some filesystems refuse directory
+/// fsync); the subsequent data fsyncs carry the real guarantee.
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace nwdec

@@ -120,7 +120,7 @@ TEST(JobSchedulerTest, CancelReachesQueuedJobsOnly) {
   service::sweep_service service = make_service();
   job_scheduler scheduler(service, {1, 64});
 
-  EXPECT_FALSE(scheduler.cancel(99));  // unknown id
+  EXPECT_EQ(scheduler.cancel(99), cancel_outcome::unknown);
 
   // Occupy the single worker with a Monte-Carlo refine, then queue work
   // behind it.
@@ -131,9 +131,9 @@ TEST(JobSchedulerTest, CancelReachesQueuedJobsOnly) {
     return snapshot.has_value() &&
            snapshot->status.state == job_state::queued;
   }();
-  const bool cancelled = scheduler.cancel(queued);
+  const cancel_outcome cancelled = scheduler.cancel(queued);
   if (still_pending) {
-    EXPECT_TRUE(cancelled);
+    EXPECT_EQ(cancelled, cancel_outcome::cancelled);
     const std::optional<job_result> snapshot = scheduler.inspect(queued);
     ASSERT_TRUE(snapshot.has_value());
     EXPECT_EQ(snapshot->status.state, job_state::cancelled);
@@ -145,7 +145,7 @@ TEST(JobSchedulerTest, CancelReachesQueuedJobsOnly) {
   EXPECT_TRUE(finished->refined->bracketed);
 
   // A finished job can no longer be cancelled.
-  EXPECT_FALSE(scheduler.cancel(busy));
+  EXPECT_EQ(scheduler.cancel(busy), cancel_outcome::finished);
 }
 
 TEST(JobSchedulerTest, CoalescesQueuedSweepJobsIntoOneBatch) {

@@ -88,6 +88,39 @@ TEST(ApiTypesTest, RefineRequestCarriesEveryField) {
   EXPECT_EQ(refinement.resolution, 0.002);
 }
 
+TEST(ApiTypesTest, TimeoutMsRoundTripsAndIsBounded) {
+  const std::string wire =
+      R"({"kind": "sweep", "codes": ["BGC"], "lengths": [8],)"
+      R"( "timeout_ms": 2500})";
+  const request parsed = parse(wire);
+  EXPECT_EQ(std::get<sweep_request>(parsed).header.timeout_ms, 2500u);
+  const std::string canonical = to_json(parsed);
+  EXPECT_NE(canonical.find("\"timeout_ms\":2500"), std::string::npos);
+  EXPECT_EQ(to_json(parse(canonical)), canonical);
+
+  // Refine deadlines ride the same header.
+  const request refine = parse(
+      R"({"kind": "refine", "code": "BGC", "length": 8,)"
+      R"( "sigma_low": 0.02, "sigma_high": 0.12, "timeout_ms": 100})");
+  EXPECT_EQ(std::get<refine_request>(refine).header.timeout_ms, 100u);
+
+  // Zero means no deadline and stays off the canonical wire.
+  const request bare =
+      parse(R"({"kind": "sweep", "codes": ["BGC"], "lengths": [8]})");
+  EXPECT_EQ(std::get<sweep_request>(bare).header.timeout_ms, 0u);
+  EXPECT_EQ(to_json(bare).find("timeout_ms"), std::string::npos);
+
+  // More than 24 hours is a client bug, not a scheduling request.
+  EXPECT_THROW(
+      parse(R"({"kind":"sweep","codes":["BGC"],"lengths":[8],)"
+            R"("timeout_ms":86400001})"),
+      invalid_argument_error);
+  EXPECT_THROW(
+      parse(R"({"kind":"sweep","codes":["BGC"],"lengths":[8],)"
+            R"("timeout_ms":-5})"),
+      invalid_argument_error);
+}
+
 TEST(ApiTypesTest, KindNamesMatchTheWireStrings) {
   EXPECT_STREQ(kind_name(parse(
                    R"({"kind":"sweep","codes":["TC"],"lengths":[8]})")),

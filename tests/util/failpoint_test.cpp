@@ -1,0 +1,124 @@
+// The fault-injection harness: disarmed markers are inert, armed ones
+// fire their action on the right hit, the environment grammar arms the
+// registry, and trace mode records first-hit order (the crash sweep's
+// discovery mechanism).
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace nwdec::failpoints {
+namespace {
+
+// Every test leaves the (process-global) registry clean.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    disarm_all();
+    set_trace(false);
+  }
+};
+
+TEST_F(FailpointTest, DisarmedMarkersAreInert) {
+  EXPECT_NO_THROW(NWDEC_FAILPOINT("test.never_armed"));
+  EXPECT_EQ(hit_count("test.never_armed"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedErrorFailpointThrowsOnEveryHit) {
+  arm("test.fp", action::error);
+  EXPECT_THROW(NWDEC_FAILPOINT("test.fp"), nwdec::error);
+  EXPECT_THROW(NWDEC_FAILPOINT("test.fp"), nwdec::error);
+  EXPECT_EQ(hit_count("test.fp"), 2u);
+  // Other names stay inert while one is armed.
+  EXPECT_NO_THROW(NWDEC_FAILPOINT("test.other"));
+}
+
+TEST_F(FailpointTest, ErrorMessageNamesTheFailpoint) {
+  arm("test.named", action::error);
+  try {
+    NWDEC_FAILPOINT("test.named");
+    FAIL() << "the armed failpoint did not fire";
+  } catch (const nwdec::error& failure) {
+    EXPECT_NE(std::string(failure.what()).find("test.named"),
+              std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, SkipCountDelaysFiring) {
+  arm("test.skip", action::error, 2);
+  EXPECT_NO_THROW(NWDEC_FAILPOINT("test.skip"));  // hit 1: skipped
+  EXPECT_NO_THROW(NWDEC_FAILPOINT("test.skip"));  // hit 2: skipped
+  EXPECT_THROW(NWDEC_FAILPOINT("test.skip"), nwdec::error);  // hit 3
+  EXPECT_THROW(NWDEC_FAILPOINT("test.skip"), nwdec::error);  // and onward
+  EXPECT_EQ(hit_count("test.skip"), 4u);
+}
+
+TEST_F(FailpointTest, DisarmStopsFiringAndResetsCounts) {
+  arm("test.fp", action::error);
+  EXPECT_THROW(NWDEC_FAILPOINT("test.fp"), nwdec::error);
+  disarm("test.fp");
+  EXPECT_NO_THROW(NWDEC_FAILPOINT("test.fp"));
+  EXPECT_EQ(hit_count("test.fp"), 0u);
+}
+
+TEST_F(FailpointTest, RearmingReplacesTheSkip) {
+  arm("test.fp", action::error, 5);
+  EXPECT_NO_THROW(NWDEC_FAILPOINT("test.fp"));
+  arm("test.fp", action::error, 0);  // re-arm: fires immediately again
+  EXPECT_THROW(NWDEC_FAILPOINT("test.fp"), nwdec::error);
+}
+
+TEST_F(FailpointTest, TraceRecordsFirstHitOrderDeduplicated) {
+  set_trace(true);
+  NWDEC_FAILPOINT("test.b");
+  NWDEC_FAILPOINT("test.a");
+  NWDEC_FAILPOINT("test.b");  // repeat: recorded once
+  NWDEC_FAILPOINT("test.c");
+  const std::vector<std::string> crossed = trace();
+  ASSERT_EQ(crossed.size(), 3u);
+  EXPECT_EQ(crossed[0], "test.b");
+  EXPECT_EQ(crossed[1], "test.a");
+  EXPECT_EQ(crossed[2], "test.c");
+
+  // Re-enabling clears the previous trace.
+  set_trace(true);
+  NWDEC_FAILPOINT("test.d");
+  const std::vector<std::string> fresh = trace();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0], "test.d");
+}
+
+TEST_F(FailpointTest, ArmFromEnvParsesTheGrammar) {
+  ::setenv("NWDEC_FAILPOINT_TEST_VAR",
+           "test.env_a=error;test.env_b=error@1,test.env_kill=kill@9", 1);
+  EXPECT_EQ(arm_from_env("NWDEC_FAILPOINT_TEST_VAR"), 3u);
+  EXPECT_THROW(NWDEC_FAILPOINT("test.env_a"), nwdec::error);
+  EXPECT_NO_THROW(NWDEC_FAILPOINT("test.env_b"));  // @1: first hit skipped
+  EXPECT_THROW(NWDEC_FAILPOINT("test.env_b"), nwdec::error);
+  // The kill entry is armed (counted) but its skip keeps this process
+  // alive; crossing it still counts hits.
+  NWDEC_FAILPOINT("test.env_kill");
+  EXPECT_EQ(hit_count("test.env_kill"), 1u);
+  ::unsetenv("NWDEC_FAILPOINT_TEST_VAR");
+}
+
+TEST_F(FailpointTest, ArmFromEnvHandlesUnsetAndRejectsGarbage) {
+  ::unsetenv("NWDEC_FAILPOINT_TEST_VAR");
+  EXPECT_EQ(arm_from_env("NWDEC_FAILPOINT_TEST_VAR"), 0u);
+  ::setenv("NWDEC_FAILPOINT_TEST_VAR", "", 1);
+  EXPECT_EQ(arm_from_env("NWDEC_FAILPOINT_TEST_VAR"), 0u);
+  for (const char* bad :
+       {"noaction", "name=", "=error", "name=explode", "name=error@x"}) {
+    ::setenv("NWDEC_FAILPOINT_TEST_VAR", bad, 1);
+    EXPECT_THROW(arm_from_env("NWDEC_FAILPOINT_TEST_VAR"),
+                 invalid_argument_error)
+        << "accepted malformed arming list: " << bad;
+  }
+  ::unsetenv("NWDEC_FAILPOINT_TEST_VAR");
+}
+
+}  // namespace
+}  // namespace nwdec::failpoints

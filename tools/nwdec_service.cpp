@@ -37,9 +37,11 @@
 #include "api/dispatch.h"
 #include "api/tcp_transport.h"
 #include "api/transport.h"
+#include "service/durable_store.h"
 #include "service/sweep_service.h"
 #include "util/cli.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 
 namespace {
 
@@ -87,6 +89,12 @@ int main(int argc, char** argv) {
               "finished async jobs retained for status/result fetches "
               "(oldest are forgotten first; size burst submissions below "
               "this or fetch as you go)");
+  cli.add_int("max-queued", 4096,
+              "job-queue bound: submissions past this many waiting jobs "
+              "get an 'overloaded' error response (0 = unbounded)");
+  cli.add_int("idle-timeout", 300000,
+              "TCP connections silent for this many milliseconds are "
+              "closed with an 'idle_timeout' error line (0 = never)");
   cli.add_int("threads", 0, "engine worker threads (0 = hardware)");
   cli.add_int("seed", 2009,
               "base seed (a point's result is a pure function of the seed, "
@@ -103,6 +111,10 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   try {
+    // Fault injection for the crash-safety tests and CI smoke: inert (and
+    // free) unless NWDEC_FAILPOINT is set in the environment.
+    failpoints::arm_from_env();
+
     service::service_options options;
     options.threads = get_size(cli, "threads");
     options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -123,15 +135,26 @@ int main(int argc, char** argv) {
 
     const std::string cache_path = cli.get_string("cache");
     if (!cache_path.empty()) {
-      // A stale or incompatible cache must not brick the daemon: start
-      // cold and let the shutdown/flush persistence overwrite it.
+      // Crash-safe persistence: snapshot + write-ahead log. Recovery never
+      // aborts the daemon -- corrupt files are quarantined (reported below)
+      // and the daemon starts cold; a persistence layer that cannot even
+      // open falls back to in-memory service (shutdown still snapshots).
       try {
-        if (service.load_cache(cache_path)) {
+        const service::recovery_report recovered =
+            service.enable_durability(cache_path);
+        for (const std::string& warning : recovered.warnings) {
+          std::cerr << "nwdec_service: " << warning << "\n";
+        }
+        if (service.stats().entries > 0) {
           std::cerr << "nwdec_service: warmed " << service.stats().entries
-                    << " results from " << cache_path << "\n";
+                    << " results from " << cache_path;
+          if (recovered.log_records > 0) {
+            std::cerr << " (" << recovered.log_records << " from the log)";
+          }
+          std::cerr << "\n";
         }
       } catch (const std::exception& failure) {
-        std::cerr << "nwdec_service: ignoring cache " << cache_path << " ("
+        std::cerr << "nwdec_service: durability disabled ("
                   << failure.what() << ")\n";
       }
     }
@@ -144,13 +167,20 @@ int main(int argc, char** argv) {
       dispatch_options.cache_path = cache_path;
       dispatch_options.retain_finished =
           std::max<std::size_t>(1, get_size(cli, "retain"));
+      dispatch_options.max_queued = get_size(cli, "max-queued");
       api::dispatcher dispatcher(service, dispatch_options);
 
       if (listen >= 0) {
         if (listen > 65535) {
           throw invalid_argument_error("--listen port must be <= 65535");
         }
-        api::tcp_transport transport(static_cast<std::uint16_t>(listen));
+        const std::size_t idle_timeout = get_size(cli, "idle-timeout");
+        if (idle_timeout > 86'400'000) {
+          throw invalid_argument_error(
+              "--idle-timeout must be at most 86400000 ms (24 hours)");
+        }
+        api::tcp_transport transport(static_cast<std::uint16_t>(listen), 64,
+                                     static_cast<int>(idle_timeout));
         std::cerr << "nwdec_service: listening on port " << transport.port()
                   << "\n";
         g_shutdown_fd = transport.shutdown_fd();
