@@ -10,14 +10,19 @@
 //
 // The kernel section then compares the scalar per-trial path (block_size 1,
 // the PR 3 kernel, kept as the equivalence oracle) against the batched
-// block kernel across block sizes, at one thread and best-of-3 timing so a
-// noisy box cannot fake a regression. Two gates decide the exit code:
-// every block size must be bit-identical to the scalar path, and the best
-// batched rate must be at least 2x the scalar rate.
+// block kernel across block sizes AND across every runtime SIMD dispatch
+// path compiled into the binary (forced one at a time), at one thread and
+// best-of-3 timing so a noisy box cannot fake a regression. Two gates
+// decide the exit code: every (path, block size) cell must be bit-identical
+// to the scalar oracle, and the best batched rate on the default dispatch
+// path must clear the kernel floor -- 3x when the box dispatches avx2 or
+// avx512, 2x (the pre-dispatch bound) when only narrow paths exist, with
+// the path recorded in the JSON so CI can tell the cases apart.
 #include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <thread>
 
 #include "bench_util.h"
@@ -27,6 +32,7 @@
 #include "decoder/decoder_design.h"
 #include "device/tech_params.h"
 #include "util/cli.h"
+#include "util/cpu.h"
 #include "yield/monte_carlo_yield.h"
 
 namespace {
@@ -86,12 +92,24 @@ int main(int argc, char** argv) {
   const auto plan =
       crossbar::plan_contact_groups(nanowires, code.size(), tech);
 
+  // Resolve the dispatch path up front (honors NWDEC_SIMD_PATH and the
+  // deprecated NWDEC_SIMD shim) so every section below reports against it.
+  const cpu::simd_path default_path = cpu::active_path();
+  const std::string cpu_features = cpu::to_string(cpu::detect());
+  const std::vector<cpu::simd_path> paths = cpu::available_paths();
+
   bench::banner("MC engine",
                 "zero-allocation multithreaded Monte-Carlo yield");
   std::cout << "design: " << codes::code_type_name(code.type) << " M=" <<
       code.length << ", N=" << nanowires << ", mode="
             << (mode == yield::mc_mode::window ? "window" : "operational")
-            << ", trials=" << trials << "\n\n";
+            << ", trials=" << trials << "\n"
+            << "cpu: " << cpu_features << "; kernel dispatch: "
+            << cpu::simd_path_name(default_path) << " (available:";
+  for (const cpu::simd_path path : paths) {
+    std::cout << " " << cpu::simd_path_name(path);
+  }
+  std::cout << ")\n\n";
 
   // Scalar reference (the seed implementation, counter-based streams).
   rng reference_rng(seed);
@@ -182,40 +200,60 @@ int main(int argc, char** argv) {
     return best;
   };
 
+  // The scalar per-trial oracle runs on the forced scalar dispatch path:
+  // the genuinely scalar floor, not a vectorized copy of it. Every forced
+  // path below must reproduce its result bit for bit.
+  cpu::force_path(cpu::simd_path::scalar);
   yield::mc_yield_result scalar_result;
   const double scalar_rate = kernel_run(1, scalar_result);
 
   const std::size_t kernel_blocks[] = {16, 32, 64, 128};
   bool kernel_identical = true;
-  double kernel_rate = 0.0;
+  double kernel_rate = 0.0;        // best rate on the default dispatch path
   std::size_t kernel_block = 0;
-  text_table kernel_table({"kernel", "trials/sec", "vs scalar", "identical"});
-  kernel_table.add_row({"scalar (block 1)", format_fixed(scalar_rate, 0),
-                        "1.0x", "oracle"});
-  for (const std::size_t block_size : kernel_blocks) {
-    yield::mc_yield_result blocked_result;
-    const double rate = kernel_run(block_size, blocked_result);
-    const bool same = identical(blocked_result, scalar_result);
-    kernel_identical = kernel_identical && same;
-    if (rate > kernel_rate) {
-      kernel_rate = rate;
-      kernel_block = block_size;
+  std::map<std::string, double> path_rates;  // best rate per forced path
+  text_table kernel_table(
+      {"kernel", "path", "trials/sec", "vs scalar", "identical"});
+  kernel_table.add_row({"scalar (block 1)", "scalar",
+                        format_fixed(scalar_rate, 0), "1.0x", "oracle"});
+  for (const cpu::simd_path path : paths) {
+    cpu::force_path(path);
+    const char* path_name = cpu::simd_path_name(path);
+    for (const std::size_t block_size : kernel_blocks) {
+      yield::mc_yield_result blocked_result;
+      const double rate = kernel_run(block_size, blocked_result);
+      const bool same = identical(blocked_result, scalar_result);
+      kernel_identical = kernel_identical && same;
+      path_rates[path_name] = std::max(path_rates[path_name], rate);
+      if (path == default_path && rate > kernel_rate) {
+        kernel_rate = rate;
+        kernel_block = block_size;
+      }
+      kernel_table.add_row({"batched, block " + std::to_string(block_size),
+                            path_name, format_fixed(rate, 0),
+                            format_fixed(rate / scalar_rate, 2) + "x",
+                            same ? "yes" : "NO (BUG)"});
     }
-    kernel_table.add_row({"batched, block " + std::to_string(block_size),
-                          format_fixed(rate, 0),
-                          format_fixed(rate / scalar_rate, 2) + "x",
-                          same ? "yes" : "NO (BUG)"});
   }
+  cpu::force_path(default_path);
+  // The floor scales with the widest path the box actually dispatches: on
+  // an AVX2/AVX-512 machine the vectorized kernels owe 3x; a narrow box
+  // keeps the pre-dispatch 2x bound (recorded with its path in the JSON).
+  const bool wide_dispatch = default_path == cpu::simd_path::avx2 ||
+                             default_path == cpu::simd_path::avx512;
+  const double kernel_gate = wide_dispatch ? 3.0 : 2.0;
   const double kernel_speedup = kernel_rate / scalar_rate;
-  const bool kernel_fast_enough = kernel_speedup >= 2.0;
+  const bool kernel_fast_enough = kernel_speedup >= kernel_gate;
 
   std::cout << "\nbatched kernel vs scalar per-trial path (" << kernel_trials
-            << " trials, best of 3):\n\n";
+            << " trials, best of 3, every dispatch path):\n\n";
   kernel_table.print(std::cout);
-  std::cout << "\nbest block " << kernel_block << ": "
+  std::cout << "\nbest block " << kernel_block << " on dispatch path "
+            << cpu::simd_path_name(default_path) << ": "
             << format_fixed(kernel_speedup, 2) << "x scalar ("
             << (kernel_identical ? "bit-identical" : "DIVERGED (BUG)") << ", "
-            << (kernel_fast_enough ? "meets" : "MISSES") << " the 2x gate)\n";
+            << (kernel_fast_enough ? "meets" : "MISSES") << " the "
+            << format_fixed(kernel_gate, 1) << "x gate)\n";
 
   const std::string json_path = cli.get_string("json");
   if (!json_path.empty()) {
@@ -249,6 +287,24 @@ int main(int argc, char** argv) {
         << "  \"kernel_trials_per_second\": " << kernel_rate << ",\n"
         << "  \"block_size\": " << kernel_block << ",\n"
         << "  \"kernel_speedup_vs_scalar\": " << kernel_speedup << ",\n"
+        << "  \"kernel_gate\": " << kernel_gate << ",\n"
+        << "  \"kernel_dispatch_path\": \""
+        << cpu::simd_path_name(default_path) << "\",\n"
+        << "  \"cpu_features\": \"" << cpu_features << "\",\n"
+        << "  \"simd_paths_available\": [";
+    for (std::size_t k = 0; k < paths.size(); ++k) {
+      out << (k == 0 ? "" : ", ") << "\"" << cpu::simd_path_name(paths[k])
+          << "\"";
+    }
+    out << "],\n"
+        << "  \"kernel_path_trials_per_second\": {";
+    bool first_path_rate = true;
+    for (const auto& [path_name, rate] : path_rates) {
+      out << (first_path_rate ? "" : ", ") << "\"" << path_name
+          << "\": " << rate;
+      first_path_rate = false;
+    }
+    out << "},\n"
         << "  \"bit_identical_to_scalar\": "
         << (kernel_identical ? "true" : "false") << "\n}\n";
     std::cout << "wrote " << json_path << "\n";

@@ -1,11 +1,7 @@
 #include "decoder/addressing.h"
 
-#include <algorithm>
-
-#if defined(NWDEC_SIMD_AVX2)
-#include <immintrin.h>
-#endif
-
+#include "decoder/addressing_kernels.h"
+#include "util/cpu.h"
 #include "util/error.h"
 
 namespace nwdec::decoder {
@@ -25,94 +21,33 @@ bool conducts(const std::vector<double>& realized_vt,
   return true;
 }
 
-namespace {
+namespace detail {
 
-// Lane bodies of the blocked kernels. The default build relies on the
-// auto-vectorizer (the loops are contiguous, branch-free, min/blend
-// shaped); defining NWDEC_SIMD_AVX2 (CMake option NWDEC_SIMD) swaps in an
-// explicit AVX2 path for the margin sweeps. Both paths perform the same
-// IEEE operations per lane, so results are bit-identical either way.
-
-#if defined(NWDEC_SIMD_AVX2)
-// margin[t] = min(margin[t], gate - vt[t]) over one region's lane row.
-inline void fold_margin_lanes(double gate, const double* __restrict vt,
-                              double* __restrict margin, std::size_t lanes) {
-  const __m256d g = _mm256_set1_pd(gate);
-  std::size_t t = 0;
-  for (; t + 4 <= lanes; t += 4) {
-    const __m256d m = _mm256_loadu_pd(margin + t);
-    const __m256d d = _mm256_sub_pd(g, _mm256_loadu_pd(vt + t));
-    _mm256_storeu_pd(margin + t, _mm256_min_pd(d, m));
+const kernel_table* kernel_table_for(cpu::simd_path path) {
+  switch (path) {
+    case cpu::simd_path::scalar:
+      return scalar_kernel_table();
+    case cpu::simd_path::sse2:
+      return sse2_kernel_table();
+    case cpu::simd_path::avx2:
+      return avx2_kernel_table();
+    case cpu::simd_path::avx512:
+      return avx512_kernel_table();
   }
-  for (; t < lanes; ++t) {
-    const double d = gate - vt[t];
-    margin[t] = margin[t] < d ? margin[t] : d;
-  }
+  return scalar_kernel_table();
 }
 
-// margin[t] = gate - vt[t] (the first region seeds the running margin).
-inline void seed_margin_lanes(double gate, const double* __restrict vt,
-                              double* __restrict margin, std::size_t lanes) {
-  const __m256d g = _mm256_set1_pd(gate);
-  std::size_t t = 0;
-  for (; t + 4 <= lanes; t += 4) {
-    _mm256_storeu_pd(margin + t,
-                     _mm256_sub_pd(g, _mm256_loadu_pd(vt + t)));
-  }
-  for (; t < lanes; ++t) margin[t] = gate - vt[t];
-}
-#else
-inline void fold_margin_lanes(double gate, const double* __restrict vt,
-                              double* __restrict margin, std::size_t lanes) {
-  for (std::size_t t = 0; t < lanes; ++t) {
-    const double d = gate - vt[t];
-    margin[t] = margin[t] < d ? margin[t] : d;
-  }
+const kernel_table& active_kernel_table() {
+  const kernel_table* table = kernel_table_for(cpu::active_path());
+  // active_path() only hands out compiled paths (cpu::path_compiled gates
+  // on the identically-conditioned rng tables); a null table here means
+  // the two kernel sets' build gating diverged.
+  NWDEC_ENSURES(table != nullptr,
+                "active SIMD path has no compiled margin-kernel table");
+  return *table;
 }
 
-inline void seed_margin_lanes(double gate, const double* __restrict vt,
-                              double* __restrict margin, std::size_t lanes) {
-  for (std::size_t t = 0; t < lanes; ++t) margin[t] = gate - vt[t];
-}
-#endif
-
-// Four independent max accumulators: a single-accumulator FP max reduction
-// is a loop-carried latency chain the vectorizer must not reassociate
-// (strict IEEE), so unrolling by hand is what keeps this off the critical
-// path -- it runs once per margin sweep, not once per region.
-inline bool any_positive(const double* values, std::size_t lanes) {
-  double a = values[0], b = a, c = a, d = a;
-  std::size_t t = 1;
-  for (; t + 4 <= lanes; t += 4) {
-    a = a < values[t] ? values[t] : a;
-    b = b < values[t + 1] ? values[t + 1] : b;
-    c = c < values[t + 2] ? values[t + 2] : c;
-    d = d < values[t + 3] ? values[t + 3] : d;
-  }
-  for (; t < lanes; ++t) a = a < values[t] ? values[t] : a;
-  a = a < b ? b : a;
-  c = c < d ? d : c;
-  a = a < c ? c : a;
-  return a > 0.0;
-}
-
-// Running min of (gate[j] - vt lanes) over every region -- the lane t
-// verdict is margin[t] > 0. Deliberately no per-region early exit: the
-// blocked kernel's exit condition would be "every lane already blocked",
-// which across 64 lanes almost never happens mid-sweep (unlike the scalar
-// path's per-lane exit), while the check itself costs a max reduction per
-// region. A straight-line sweep is pure sub+min over contiguous lanes,
-// which the vectorizer handles outright.
-inline void margin_sweep(const double* gate, const double* lanes_base,
-                         std::size_t lane_stride, std::size_t regions,
-                         std::size_t lanes, double* margin) {
-  seed_margin_lanes(gate[0], lanes_base, margin, lanes);
-  for (std::size_t j = 1; j < regions; ++j) {
-    fold_margin_lanes(gate[j], lanes_base + j * lane_stride, margin, lanes);
-  }
-}
-
-}  // namespace
+}  // namespace detail
 
 bool conducts_block(const double* gate_voltages, const double* realized_lanes,
                     std::size_t lane_stride, std::size_t regions,
@@ -121,21 +56,9 @@ bool conducts_block(const double* gate_voltages, const double* realized_lanes,
                 "conducts_block needs at least one region and one lane");
   NWDEC_EXPECTS(lane_stride >= lanes,
                 "lane stride must cover every lane");
-  // Chunked so the margin scratch lives on the stack whatever `lanes` is.
-  constexpr std::size_t chunk = 128;
-  double margin[chunk];
-  bool any = false;
-  for (std::size_t t0 = 0; t0 < lanes; t0 += chunk) {
-    const std::size_t n = std::min(chunk, lanes - t0);
-    margin_sweep(gate_voltages, realized_lanes + t0, lane_stride, regions, n,
-                 margin);
-    for (std::size_t t = 0; t < n; ++t) {
-      const bool lane_conducts = margin[t] > 0.0;
-      conducts_out[t0 + t] = lane_conducts ? 1 : 0;
-      any = any || lane_conducts;
-    }
-  }
-  return any;
+  return detail::active_kernel_table().conducts_block(
+      gate_voltages, realized_lanes, lane_stride, regions, lanes,
+      conducts_out);
 }
 
 bool addressable_block(const double* gate_voltages, const double* vt_lanes,
@@ -145,43 +68,9 @@ bool addressable_block(const double* gate_voltages, const double* vt_lanes,
                        double* margin_scratch, double* addressable_out) {
   NWDEC_EXPECTS(regions >= 1 && lanes >= 1,
                 "addressable_block needs at least one region and one lane");
-  double* self_margin = margin_scratch;
-  double* member_margin = margin_scratch + lanes;
-
-  // Self first: lanes where the addressed nanowire itself blocks are dead
-  // no matter what the rest of the group does. This is the one early-exit
-  // mask that pays for its reduction -- at high sigma whole blocks die
-  // here, skipping the entire member scan.
-  const double* self_base = vt_lanes + self * regions * lane_stride;
-  margin_sweep(gate_voltages, self_base, lane_stride, regions, lanes,
-               self_margin);
-  if (!any_positive(self_margin, lanes)) {
-    for (std::size_t t = 0; t < lanes; ++t) addressable_out[t] = 0.0;
-    return false;
-  }
-
-  // Impostors: a member that conducts in lane t makes the address ambiguous
-  // there, so its positive-margin lanes are blended out of the running
-  // self margin. Straight-line sweeps and unconditional blends: per-member
-  // reductions would cost more than the lanes they could skip.
-  for (std::size_t k = 0; k < member_count; ++k) {
-    const std::size_t other = members[k];
-    if (other == self) continue;
-    const double* other_base = vt_lanes + other * regions * lane_stride;
-    margin_sweep(gate_voltages, other_base, lane_stride, regions, lanes,
-                 member_margin);
-    for (std::size_t t = 0; t < lanes; ++t) {
-      self_margin[t] = member_margin[t] > 0.0 ? -1.0 : self_margin[t];
-    }
-  }
-
-  bool any = false;
-  for (std::size_t t = 0; t < lanes; ++t) {
-    const bool ok = self_margin[t] > 0.0;
-    addressable_out[t] = ok ? 1.0 : 0.0;
-    any = any || ok;
-  }
-  return any;
+  return detail::active_kernel_table().addressable_block(
+      gate_voltages, vt_lanes, lane_stride, regions, lanes, self, members,
+      member_count, margin_scratch, addressable_out);
 }
 
 void addressable_group_block(const double* drive_table,
@@ -194,58 +83,20 @@ void addressable_group_block(const double* drive_table,
                 "a contact group holds at least one member");
   NWDEC_EXPECTS(regions >= 1 && lanes >= 1,
                 "addressable_group_block needs regions and lanes");
-  double* self_margins = margin_scratch;  // one lane row per member
-  double* sweep_margin = margin_scratch + member_count * lanes;
+  detail::active_kernel_table().addressable_group_block(
+      drive_table, vt_lanes, lane_stride, regions, lanes, members,
+      member_count, margin_scratch, out, out_stride);
+}
 
-  // Per-member alive flags gate the blend pass; a group too large for the
-  // stack buffer just treats everyone as alive (correct, merely slower).
-  constexpr std::size_t max_tracked = 512;
-  std::uint8_t alive[max_tracked];
-  const bool track = member_count <= max_tracked;
-
-  // Pass A: every member's own conduction margin (one sweep per row).
-  bool any_alive = false;
-  for (std::size_t k = 0; k < member_count; ++k) {
-    const std::size_t row = members[k];
-    margin_sweep(drive_table + row * regions,
-                 vt_lanes + row * regions * lane_stride, lane_stride, regions,
-                 lanes, self_margins + k * lanes);
-    const bool ok = any_positive(self_margins + k * lanes, lanes);
-    if (track) alive[k] = ok ? 1 : 0;
-    any_alive = any_alive || ok;
-  }
-  if (!any_alive) {
-    for (std::size_t k = 0; k < member_count; ++k) {
-      double* row_out = out + k * out_stride;
-      for (std::size_t t = 0; t < lanes; ++t) row_out[t] = 0.0;
-    }
-    return;
-  }
-
-  // Pass B: impostor vetoes, member-major so row o's lanes stay cache-hot
-  // while every other member's drive sweeps across them.
-  for (std::size_t o = 0; o < member_count; ++o) {
-    const double* row_o =
-        vt_lanes + members[o] * regions * lane_stride;
-    for (std::size_t k = 0; k < member_count; ++k) {
-      if (k == o || (track && alive[k] == 0)) continue;
-      margin_sweep(drive_table + members[k] * regions, row_o, lane_stride,
-                   regions, lanes, sweep_margin);
-      double* __restrict mine = self_margins + k * lanes;
-      const double* __restrict veto = sweep_margin;
-      for (std::size_t t = 0; t < lanes; ++t) {
-        mine[t] = veto[t] > 0.0 ? -1.0 : mine[t];
-      }
-    }
-  }
-
-  for (std::size_t k = 0; k < member_count; ++k) {
-    const double* mine = self_margins + k * lanes;
-    double* row_out = out + k * out_stride;
-    for (std::size_t t = 0; t < lanes; ++t) {
-      row_out[t] = mine[t] > 0.0 ? 1.0 : 0.0;
-    }
-  }
+bool window_margin_block(const double* vt_lanes_row, std::size_t lane_stride,
+                         std::size_t lanes, const double* nominal,
+                         const double* low_guard, double window_half_width,
+                         std::size_t regions, double* margin, double* out) {
+  NWDEC_EXPECTS(regions >= 1 && lanes >= 1,
+                "window_margin_block needs at least one region and one lane");
+  return detail::active_kernel_table().window_margin_block(
+      vt_lanes_row, lane_stride, lanes, nominal, low_guard,
+      window_half_width, regions, margin, out);
 }
 
 std::vector<double> drive_pattern(const codes::code_word& w,

@@ -13,6 +13,14 @@
 // (used for address-table construction and code validation), and the
 // voltage-level rule on *realized* V_T matrices (used by the Monte-Carlo
 // yield simulator, where process variability has displaced every V_T).
+//
+// The blocked kernels (conducts_block, addressable_block,
+// addressable_group_block, window_margin_block) are runtime-SIMD-
+// dispatched: one binary carries scalar / SSE2 / AVX2 / AVX-512
+// instantiations and util/cpu picks the widest one the running CPU
+// supports (NWDEC_SIMD_PATH overrides; see util/cpu.h). Every path
+// performs the same IEEE operations per lane, so the chosen path never
+// changes a result, only throughput.
 #pragma once
 
 #include <cstddef>
@@ -103,6 +111,21 @@ void addressable_group_block(const double* drive_table,
                              const std::size_t* members,
                              std::size_t member_count, double* margin_scratch,
                              double* out, std::size_t out_stride);
+
+/// Blocked window-criterion kernel (the Monte-Carlo engine's mc_mode::
+/// window): out[t] = 1.0 when lane t's realized V_T sits inside the
+/// assignment window of every region, else 0.0. One nanowire's lane rows:
+/// region j of lane t at vt_lanes_row[j * lane_stride + t]; `nominal` and
+/// `low_guard` hold the nanowire's M window centers and lower guards
+/// (-window_half_width, or -infinity where digit 0 exempts the lower
+/// bound). Same running-min margin shape as the conduction kernels, and
+/// dispatched through the same per-ISA tables. `margin` must hold `lanes`
+/// doubles. Returns true when any lane passes. Requires regions >= 1 and
+/// lanes >= 1.
+bool window_margin_block(const double* vt_lanes_row, std::size_t lane_stride,
+                         std::size_t lanes, const double* nominal,
+                         const double* low_guard, double window_half_width,
+                         std::size_t regions, double* margin, double* out);
 
 /// Mesowire voltages driving the address of word w.
 std::vector<double> drive_pattern(const codes::code_word& w,

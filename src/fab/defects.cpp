@@ -34,4 +34,36 @@ defect_map sample_defects(std::size_t nanowires, const defect_params& params,
   return map;
 }
 
+void defect_disables_from_uniforms(std::size_t nanowires,
+                                   const defect_params& params,
+                                   const double* uniforms,
+                                   std::uint8_t* disabled) {
+  NWDEC_EXPECTS(nanowires >= 1, "need at least one nanowire");
+  // bernoulli(p) = canonical < p; broken draws occupy uniforms[0..N), the
+  // bridge draws uniforms[N..2N-1). disables(i) = broken[i] or a bridge on
+  // either side; `prev` carries bridge i-1 so the loop stays branch-free.
+  const double broken_p = params.broken_probability;
+  const double bridge_p = params.bridge_probability;
+  const double* bridge = uniforms + nanowires;
+  std::uint8_t prev = 0;
+  for (std::size_t i = 0; i + 1 < nanowires; ++i) {
+    const std::uint8_t broken = uniforms[i] < broken_p ? 1 : 0;
+    const std::uint8_t next = bridge[i] < bridge_p ? 1 : 0;
+    disabled[i] = broken | next | prev;
+    prev = next;
+  }
+  const std::uint8_t last_broken =
+      uniforms[nanowires - 1] < broken_p ? 1 : 0;
+  disabled[nanowires - 1] = last_broken | prev;
+}
+
+void sample_defects_block(std::size_t nanowires, const defect_params& params,
+                          block_rng& stream, double* uniform_scratch,
+                          std::uint8_t* disabled) {
+  NWDEC_EXPECTS(nanowires >= 1, "need at least one nanowire");
+  params.validate();
+  stream.canonical_fill(uniform_scratch, defect_draw_count(nanowires));
+  defect_disables_from_uniforms(nanowires, params, uniform_scratch, disabled);
+}
+
 }  // namespace nwdec::fab

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/error.h"
@@ -67,5 +68,32 @@ void sample_defects_into(std::size_t nanowires, const defect_params& params,
     out.bridged_to_next[i] = random.bernoulli(params.bridge_probability);
   }
 }
+
+/// Number of uniforms one defect map consumes: `nanowires` broken draws
+/// plus `nanowires - 1` bridge draws, in that order -- the stream contract
+/// sample_defects_into pins.
+inline std::size_t defect_draw_count(std::size_t nanowires) {
+  return 2 * nanowires - 1;
+}
+
+/// Branch-free SoA form of the defect verdict: given the
+/// defect_draw_count(nanowires) uniforms the scalar path would have drawn
+/// (broken draws first, then bridge draws; bernoulli(p) = uniform < p),
+/// writes disabled[i] = 1 exactly where defect_map::disables(i) would be
+/// true. No defect_map is materialized -- the blocked trial kernel only
+/// ever asks the disables() question.
+void defect_disables_from_uniforms(std::size_t nanowires,
+                                   const defect_params& params,
+                                   const double* uniforms,
+                                   std::uint8_t* disabled);
+
+/// Blocked form of sample_defects_into: one bulk canonical_fill of the
+/// defect_draw_count(nanowires) uniforms through `stream` (leaving the
+/// stream at the identical position), then the branch-free disable
+/// computation. `uniform_scratch` must hold defect_draw_count(nanowires)
+/// doubles; `disabled` holds `nanowires` flags.
+void sample_defects_block(std::size_t nanowires, const defect_params& params,
+                          block_rng& stream, double* uniform_scratch,
+                          std::uint8_t* disabled);
 
 }  // namespace nwdec::fab

@@ -8,7 +8,37 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/cpu.h"
+#include "util/rng_kernels.h"
+
 namespace nwdec {
+
+namespace detail {
+
+const rng_kernel_table* rng_kernel_table_for(cpu::simd_path path) {
+  switch (path) {
+    case cpu::simd_path::scalar:
+      return scalar_rng_kernel_table();
+    case cpu::simd_path::sse2:
+      return sse2_rng_kernel_table();
+    case cpu::simd_path::avx2:
+      return avx2_rng_kernel_table();
+    case cpu::simd_path::avx512:
+      return avx512_rng_kernel_table();
+  }
+  return scalar_rng_kernel_table();
+}
+
+const rng_kernel_table& active_rng_kernel_table() {
+  const rng_kernel_table* table = rng_kernel_table_for(cpu::active_path());
+  // cpu::path_compiled gates on exactly these tables, so a compiled path
+  // always resolves; null here means the build gating diverged.
+  NWDEC_ENSURES(table != nullptr,
+                "active SIMD path has no compiled rng-kernel table");
+  return *table;
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -102,6 +132,41 @@ void block_rng::replenish() {
   twist_to(std::min(mt_n, twisted_ + twist_chunk));
 }
 
+void block_rng::canonical_fill(double* out, std::size_t count,
+                               std::size_t stride) {
+  // Peek-convert upcoming state words in bulk windows: tempering and the
+  // canonical conversion are pure, so a window of words is converted
+  // through the dispatched vector kernel and the index advanced by the
+  // whole window -- the same values, in the same order, at the same final
+  // position as `count` canonical() calls.
+  const detail::rng_kernel_table& kernels = detail::active_rng_kernel_table();
+  constexpr std::size_t max_chunk = 64;
+  double unit[max_chunk];
+  std::size_t k = 0;
+  while (k < count) {
+    if (index_ >= mt_n) {
+      index_ = 0;
+      twisted_ = 0;
+    }
+    if (twisted_ <= index_) {
+      const std::size_t need = std::min(count - k, twist_chunk);
+      twist_to(std::min(mt_n, std::max(twisted_ + 1, index_ + need)));
+    }
+    const std::size_t window =
+        std::min({count - k, twisted_ - index_, max_chunk});
+    if (stride == 1) {
+      kernels.units_from_words(state_ + index_, window, out + k);
+    } else {
+      kernels.units_from_words(state_ + index_, window, unit);
+      for (std::size_t w = 0; w < window; ++w) {
+        out[(k + w) * stride] = unit[w];
+      }
+    }
+    index_ += window;
+    k += window;
+  }
+}
+
 void block_rng::standard_normal_fill(double* out, std::size_t count,
                                      std::size_t stride) {
   // The pinned Marsaglia polar rule (see the class comment): draw x then y,
@@ -110,15 +175,19 @@ void block_rng::standard_normal_fill(double* out, std::size_t count,
   // emitted double is bit-identical to rng::standard_normal_fill.
   //
   // Structure: tempering and the canonical conversion are pure, so a run
-  // of upcoming draws is peek-converted in bulk (branch-free loops the
-  // vectorizer handles) and the candidate pairs' rejection radii are
-  // precomputed; the emit loop then only tests r2 and pays the log/sqrt
-  // for accepted pairs. State advances by exactly the pairs consumed --
-  // a draw-for-draw match with the one-at-a-time path, including the
-  // engine position the trial's tail draws continue from.
+  // of upcoming draws is peek-converted in bulk through the dispatched
+  // vector kernels (util/rng_kernels.h) and the candidate pairs' rejection
+  // radii are precomputed; a compress-store pass then packs the accepted
+  // pairs densely, so the log/sqrt runs over a branchless dense array and
+  // only for pairs actually emitted. State advances by exactly the pairs
+  // consumed -- a draw-for-draw match with the one-at-a-time path,
+  // including the engine position the trial's tail draws continue from.
+  const detail::rng_kernel_table& kernels = detail::active_rng_kernel_table();
   constexpr std::size_t max_words = 64;
-  double unit[max_words];
   double px[max_words / 2], py[max_words / 2], pr2[max_words / 2];
+  double ax[max_words / 2], ay[max_words / 2], ar2[max_words / 2];
+  double am[max_words / 2];
+  std::size_t apos[max_words / 2];
 
   std::size_t k = 0;
   while (k < count) {
@@ -157,30 +226,41 @@ void block_rng::standard_normal_fill(double* out, std::size_t count,
     const std::size_t words = std::min(
         {max_words, (twisted_ - index_) & ~std::size_t{1},
          std::max<std::size_t>(2, budget & ~std::size_t{1})});
-    for (std::size_t w = 0; w < words; ++w) {
-      unit[w] = to_unit(temper(state_[index_ + w]));
-    }
     const std::size_t pairs = words / 2;
+    kernels.pairs_from_words(state_ + index_, pairs, px, py, pr2);
+
+    // Compress-store acceptance: every slot is written unconditionally and
+    // the acceptance test is just the cursor increment, so the loop is
+    // branch-free; apos remembers each accepted pair's window position for
+    // the consumption accounting below.
+    std::size_t accepted = 0;
     for (std::size_t p = 0; p < pairs; ++p) {
-      const double x = 2.0 * unit[2 * p] - 1.0;
-      const double y = 2.0 * unit[2 * p + 1] - 1.0;
-      px[p] = x;
-      py[p] = y;
-      pr2[p] = x * x + y * y;
-    }
-    std::size_t p = 0;
-    for (; p < pairs && k < count; ++p) {
       const double r2 = pr2[p];
-      if (r2 > 1.0 || r2 == 0.0) continue;
-      const double mult = std::sqrt(-2.0 * std::log(r2) / r2);
-      out[k * stride] = py[p] * mult;
+      ax[accepted] = px[p];
+      ay[accepted] = py[p];
+      ar2[accepted] = r2;
+      apos[accepted] = p;
+      accepted += (r2 <= 1.0 && r2 != 0.0) ? 1 : 0;
+    }
+    const std::size_t need_pairs = (count - k + 1) / 2;
+    const std::size_t use = accepted < need_pairs ? accepted : need_pairs;
+    for (std::size_t a = 0; a < use; ++a) {
+      am[a] = std::sqrt(-2.0 * std::log(ar2[a]) / ar2[a]);
+    }
+    for (std::size_t a = 0; a < use; ++a) {
+      out[k * stride] = ay[a] * am[a];
       ++k;
       if (k < count) {
-        out[k * stride] = px[p] * mult;
+        out[k * stride] = ax[a] * am[a];
         ++k;
       }
     }
-    index_ += 2 * p;
+    // The one-at-a-time path consumes pairs up to and including the one
+    // that completes `count` (trailing rejects stay unconsumed); when
+    // acceptance ran dry first it swept the whole window.
+    const std::size_t consumed =
+        use == need_pairs ? apos[use - 1] + 1 : pairs;
+    index_ += 2 * consumed;
   }
 }
 

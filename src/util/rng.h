@@ -198,6 +198,15 @@ class block_rng {
   /// p == 0 -- the draw count is part of the stream contract.
   bool bernoulli(double p) { return canonical() < p; }
 
+  /// Fills out[k * stride] for k in [0, count) with exactly the values
+  /// `count` canonical() calls would produce, leaving the engine at the
+  /// same position. The difference is wholesale: upcoming state words are
+  /// peek-tempered and converted in bulk through the runtime-dispatched
+  /// conversion kernels (util/rng_kernels.h), so consumers that need a run
+  /// of uniforms -- the blocked trial kernel's defect/discard tails -- pay
+  /// O(count) vector work instead of per-draw bookkeeping.
+  void canonical_fill(double* out, std::size_t count, std::size_t stride = 1);
+
   /// Fills deviate k at out[k * stride] for k in [0, count) with exactly
   /// the standard normals rng::standard_normal_fill would produce from the
   /// same engine state (see the class comment for the pinned polar rule),

@@ -1,0 +1,15 @@
+// AVX2 instantiation of the bulk deviate conversions: compiled with -mavx2
+// when the compiler supports it (CMake adds the flag per-file), a stub
+// otherwise. Only the kernels behind the table pointers execute AVX2
+// instructions; the getter itself must stay runnable on any CPU.
+#include "util/rng_kernels.h"
+
+#if defined(__AVX2__)
+#define NWDEC_RNG_KERNEL_PATH_NAME "avx2"
+#define NWDEC_RNG_KERNEL_TABLE_FN avx2_rng_kernel_table
+#include "util/rng_kernels_body.inc"
+#else
+namespace nwdec::detail {
+const rng_kernel_table* avx2_rng_kernel_table() { return nullptr; }
+}  // namespace nwdec::detail
+#endif

@@ -1,0 +1,13 @@
+// AVX-512 instantiation of the bulk deviate conversions: compiled with
+// -mavx512f -mavx512bw when the compiler supports them, a stub otherwise.
+#include "util/rng_kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+#define NWDEC_RNG_KERNEL_PATH_NAME "avx512"
+#define NWDEC_RNG_KERNEL_TABLE_FN avx512_rng_kernel_table
+#include "util/rng_kernels_body.inc"
+#else
+namespace nwdec::detail {
+const rng_kernel_table* avx512_rng_kernel_table() { return nullptr; }
+}  // namespace nwdec::detail
+#endif

@@ -49,6 +49,7 @@ trial_context::trial_context(const decoder::decoder_design& design,
   std::vector<std::size_t> counts(plan.group_count, 0);
   for (std::size_t i = 0; i < nanowires_; ++i) {
     discard_probability_[i] = plan.discard_probability(i);
+    if (discard_probability_[i] > 0.0) at_risk_.push_back(i);
     group_of_[i] = plan.group_of(i);
     ++counts[group_of_[i]];
   }
@@ -139,52 +140,6 @@ std::size_t trial_context::run_trial(rng& stream, trial_scratch& scratch,
   return run_trial(stream, scratch, mode, design_.tech().sigma_vt, defects);
 }
 
-bool trial_context::window_block(const double* vt_lanes_row,
-                                 std::size_t lane_stride, std::size_t lanes,
-                                 std::size_t row, double* margin,
-                                 double* out) const {
-  // Window ok iff for every region j: (w - delta) > 0 and
-  // (delta - low_guard) > 0 with delta = vt - nominal -- the exact
-  // comparisons scalar window_ok makes (a > b iff a - b > 0 for finite
-  // doubles), folded into one running min margin per lane. The -infinity
-  // guard of digit-0 regions yields +infinity on the lower side, so it
-  // never binds and the lane body needs no digit branch.
-  const double* nominal = nominal_vt_.data() + row * regions_;
-  const double* guard = window_low_guard_.data() + row * regions_;
-  const double window = window_half_width_;
-  for (std::size_t j = 0; j < regions_; ++j) {
-    const double* vt = vt_lanes_row + j * lane_stride;
-    const double center = nominal[j];
-    const double low = guard[j];
-    if (j == 0) {
-      for (std::size_t t = 0; t < lanes; ++t) {
-        const double delta = vt[t] - center;
-        const double hi = window - delta;
-        const double lo = delta - low;
-        margin[t] = hi < lo ? hi : lo;
-      }
-      continue;
-    }
-    // Straight-line sweep, no per-region early exit: an all-lanes-dead
-    // reduction per region costs more than the folds it could skip (see
-    // decoder::addressable_block for the same trade).
-    for (std::size_t t = 0; t < lanes; ++t) {
-      const double delta = vt[t] - center;
-      const double hi = window - delta;
-      const double lo = delta - low;
-      const double cell = hi < lo ? hi : lo;
-      margin[t] = margin[t] < cell ? margin[t] : cell;
-    }
-  }
-  bool any = false;
-  for (std::size_t t = 0; t < lanes; ++t) {
-    const bool ok = margin[t] > 0.0;
-    out[t] = ok ? 1.0 : 0.0;
-    any = any || ok;
-  }
-  return any;
-}
-
 void trial_context::run_trial_block(std::uint64_t run_key, std::uint64_t first,
                                     std::size_t count, trial_scratch& scratch,
                                     mc_mode mode, double sigma_vt,
@@ -229,19 +184,39 @@ void trial_context::run_trial_block(std::uint64_t run_key, std::uint64_t first,
 
   // Phase 3: per-trial tail draws in scalar stream order (defect map, then
   // one discard Bernoulli per at-risk nanowire), folded into the survival
-  // mask the counting phase multiplies by.
+  // mask the counting phase multiplies by. The draws come as one bulk
+  // canonical_fill per trial -- the defect uniforms followed by the at-risk
+  // discard uniforms, the identical words the scalar path consumes one
+  // bernoulli at a time -- and the verdicts are branch-free SoA passes
+  // instead of per-nanowire rejection bookkeeping.
+  const std::size_t defect_draws =
+      defects != nullptr ? fab::defect_draw_count(nanowires_) : 0;
+  const std::size_t tail_draws = defect_draws + at_risk_.size();
+  if (defects != nullptr) defects->validate();
+  ensure(scratch.tail_uniforms, tail_draws);
+  if (scratch.disabled.size() < nanowires_) {
+    scratch.disabled.resize(nanowires_);
+  }
+  double* uniforms = scratch.tail_uniforms.data();
+  std::uint8_t* disabled = scratch.disabled.data();
+  for (std::size_t k = 0; k < nanowires_ * lane_stride; ++k) {
+    active[k] = 1.0;
+  }
   for (std::size_t t = 0; t < count; ++t) {
     block_rng& stream = scratch.streams[t];
+    if (tail_draws > 0) stream.canonical_fill(uniforms, tail_draws);
     if (defects != nullptr) {
-      fab::sample_defects_into(nanowires_, *defects, stream, scratch.defects);
-    }
-    for (std::size_t i = 0; i < nanowires_; ++i) {
-      bool dead = discard_probability_[i] > 0.0 &&
-                  stream.bernoulli(discard_probability_[i]);
-      if (!dead && defects != nullptr && scratch.defects.disables(i)) {
-        dead = true;
+      fab::defect_disables_from_uniforms(nanowires_, *defects, uniforms,
+                                         disabled);
+      for (std::size_t i = 0; i < nanowires_; ++i) {
+        if (disabled[i]) active[i * lane_stride + t] = 0.0;
       }
-      active[i * lane_stride + t] = dead ? 0.0 : 1.0;
+    }
+    for (std::size_t k = 0; k < at_risk_.size(); ++k) {
+      const std::size_t i = at_risk_[k];
+      if (uniforms[defect_draws + k] < discard_probability_[i]) {
+        active[i * lane_stride + t] = 0.0;
+      }
     }
   }
 
@@ -255,8 +230,11 @@ void trial_context::run_trial_block(std::uint64_t run_key, std::uint64_t first,
   double* verdicts = scratch.verdicts.data();
   if (mode == mc_mode::window) {
     for (std::size_t i = 0; i < nanowires_; ++i) {
-      window_block(slab + i * regions_ * lane_stride, lane_stride, count, i,
-                   margin, verdicts + i * lane_stride);
+      decoder::window_margin_block(
+          slab + i * regions_ * lane_stride, lane_stride, count,
+          nominal_vt_.data() + i * regions_,
+          window_low_guard_.data() + i * regions_, window_half_width_,
+          regions_, margin, verdicts + i * lane_stride);
     }
     for (std::size_t i = 0; i < nanowires_; ++i) {
       const double* survivors = active + i * lane_stride;

@@ -63,6 +63,8 @@ struct trial_scratch {
   std::vector<double> verdicts;       ///< nanowires x lane_stride lane masks
   std::vector<double> good_lanes;     ///< per-lane addressable counts
   std::vector<block_rng> streams;     ///< one per trial lane
+  std::vector<double> tail_uniforms;  ///< one trial's bulk tail draws
+  std::vector<std::uint8_t> disabled; ///< per-nanowire defect verdicts
 };
 
 /// Immutable precomputed view of one (design, contact plan) pair, shared by
@@ -117,13 +119,6 @@ class trial_context {
   bool window_ok(const double* vt_row, std::size_t row) const;
   bool operational_ok(const matrix<double>& realized_vt,
                       std::size_t row) const;
-  /// Lane mask of the window criterion for nanowire `row` over a trial
-  /// block: out[t] = 1.0 / 0.0. Same min-margin shape as the operational
-  /// kernels (decoder/addressing), with the per-cell lower guard absorbing
-  /// the digit-0 exemption branchlessly.
-  bool window_block(const double* vt_lanes_row, std::size_t lane_stride,
-                    std::size_t lanes, std::size_t row, double* margin,
-                    double* out) const;
 
   const decoder::decoder_design& design_;
   const crossbar::contact_group_plan& plan_;
@@ -140,6 +135,11 @@ class trial_context {
   /// branch in the lane body.
   std::vector<double> window_low_guard_;
   std::vector<double> discard_probability_;  ///< per nanowire
+  /// Nanowires with discard_probability_ > 0, in index order -- exactly
+  /// the set the scalar path draws a discard Bernoulli for, so the blocked
+  /// kernel can bulk-draw one uniform per entry and stay draw-for-draw
+  /// identical.
+  std::vector<std::size_t> at_risk_;
   std::vector<std::size_t> group_of_;        ///< per nanowire
   std::vector<std::size_t> member_offsets_;  ///< group g: [offsets[g], offsets[g+1])
   std::vector<std::size_t> members_;         ///< member indices, grouped

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <tuple>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "codes/tree_code.h"
 #include "decoder/pattern_matrix.h"
 #include "device/tech_params.h"
+#include "util/cpu.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -303,6 +305,101 @@ TEST(AddressableGroupBlockTest, AllBlockedGroupZeroesEveryLane) {
                           regions, lanes, members.data(), members.size(),
                           scratch.data(), out.data(), lanes);
   for (const double verdict : out) EXPECT_EQ(verdict, 0.0);
+}
+
+TEST(WindowMarginBlockTest, MatchesScalarWindowRule) {
+  // One nanowire's slab rows against its nominal levels: the lane verdict
+  // must equal the scalar two-sided check, with the -infinity low guard
+  // exempting digit-0 regions from the lower bound.
+  const std::size_t regions = 4, lanes = 13, lane_stride = 16;
+  const double whw = 0.05;
+  rng random(321);
+  std::vector<double> slab(regions * lane_stride);
+  std::vector<double> nominal(regions);
+  std::vector<double> low_guard(regions);
+  for (std::size_t j = 0; j < regions; ++j) {
+    nominal[j] = random.uniform(0.0, 1.0);
+    // Region 2 plays digit 0: lower bound exempt.
+    low_guard[j] =
+        j == 2 ? -std::numeric_limits<double>::infinity() : -whw;
+    for (std::size_t t = 0; t < lanes; ++t) {
+      // Deltas straddling both bounds so every outcome is exercised.
+      slab[j * lane_stride + t] = nominal[j] + random.uniform(-0.1, 0.1);
+    }
+  }
+  std::vector<double> margin(lane_stride), out(lane_stride, -1.0);
+  window_margin_block(slab.data(), lane_stride, lanes, nominal.data(),
+                      low_guard.data(), whw, regions, margin.data(),
+                      out.data());
+  for (std::size_t t = 0; t < lanes; ++t) {
+    bool expected = true;
+    for (std::size_t j = 0; j < regions; ++j) {
+      const double delta = slab[j * lane_stride + t] - nominal[j];
+      if (delta >= whw) expected = false;
+      if (j != 2 && delta <= -whw) expected = false;
+    }
+    EXPECT_EQ(out[t], expected ? 1.0 : 0.0) << "lane " << t;
+  }
+}
+
+TEST(BlockKernelDispatchTest, EveryPathBitIdenticalToScalar) {
+  // The margin kernels through every compiled-and-supported dispatch path
+  // must produce byte-identical verdicts and margins. scalar is the oracle.
+  struct path_guard {
+    cpu::simd_path saved = cpu::active_path();
+    ~path_guard() { cpu::force_path(saved); }
+  } restore;
+
+  const std::size_t rows = 6, regions = 3, lanes = 33;
+  lane_fixture f(rows, regions, lanes, 2026, 7);
+  const std::vector<std::size_t> members = {0, 1, 2, 3, 4, 5};
+  const double whw = 0.04;
+  std::vector<double> low_guard(regions, -whw);
+  low_guard[1] = -std::numeric_limits<double>::infinity();
+
+  struct outputs {
+    std::vector<std::uint8_t> conducts;
+    bool any = false;
+    std::vector<double> addressable;
+    std::vector<double> group;
+    std::vector<double> window_margin, window_out;
+  };
+  const auto run = [&] {
+    outputs o;
+    o.conducts.assign(lanes, 2);
+    o.any = conducts_block(f.drive(1), f.slab.data() + regions * f.lane_stride,
+                           f.lane_stride, regions, lanes, o.conducts.data());
+    std::vector<double> scratch(2 * lanes);
+    o.addressable.assign(lanes, -1.0);
+    addressable_block(f.drive(2), f.slab.data(), f.lane_stride, regions,
+                      lanes, 2, members.data(), members.size(),
+                      scratch.data(), o.addressable.data());
+    std::vector<double> group_scratch((members.size() + 1) * lanes);
+    o.group.assign(members.size() * lanes, -1.0);
+    addressable_group_block(f.drives.data(), f.slab.data(), f.lane_stride,
+                            regions, lanes, members.data(), members.size(),
+                            group_scratch.data(), o.group.data(), lanes);
+    o.window_margin.assign(lanes, -1.0);
+    o.window_out.assign(lanes, -1.0);
+    window_margin_block(f.slab.data(), f.lane_stride, lanes, f.drive(0),
+                        low_guard.data(), whw, regions,
+                        o.window_margin.data(), o.window_out.data());
+    return o;
+  };
+
+  cpu::force_path(cpu::simd_path::scalar);
+  const outputs oracle = run();
+  for (const cpu::simd_path path : cpu::available_paths()) {
+    cpu::force_path(path);
+    const outputs got = run();
+    const char* name = cpu::simd_path_name(path);
+    ASSERT_EQ(oracle.conducts, got.conducts) << name;
+    EXPECT_EQ(oracle.any, got.any) << name;
+    ASSERT_EQ(oracle.addressable, got.addressable) << name;
+    ASSERT_EQ(oracle.group, got.group) << name;
+    ASSERT_EQ(oracle.window_margin, got.window_margin) << name;
+    ASSERT_EQ(oracle.window_out, got.window_out) << name;
+  }
 }
 
 }  // namespace

@@ -70,6 +70,52 @@ TEST(DefectsTest, SampleIntoMatchesAllocatingForm) {
   EXPECT_EQ(out.bridged_to_next.size(), 9u);
 }
 
+TEST(DefectsTest, BlockFormMatchesSampleDefectsInto) {
+  // The SoA disable computation must agree with defect_map::disables for
+  // every nanowire, consume the identical uniforms, and leave the stream at
+  // the identical position -- across sizes including the one-wire edge
+  // (no bridge draws at all).
+  for (const std::size_t nanowires : {1UL, 2UL, 5UL, 40UL}) {
+    for (const defect_params params :
+         {defect_params{0.2, 0.1}, defect_params{0.0, 0.0},
+          defect_params{1.0, 1.0}}) {
+      block_rng reference(77);
+      defect_map expected;
+      sample_defects_into(nanowires, params, reference, expected);
+
+      block_rng blocked(77);
+      std::vector<double> uniforms(defect_draw_count(nanowires));
+      std::vector<std::uint8_t> disabled(nanowires, 2);
+      sample_defects_block(nanowires, params, blocked, uniforms.data(),
+                           disabled.data());
+      for (std::size_t i = 0; i < nanowires; ++i) {
+        ASSERT_EQ(expected.disables(i), disabled[i] != 0)
+            << "n " << nanowires << " wire " << i;
+      }
+      EXPECT_EQ(reference.next(), blocked.next()) << "n " << nanowires;
+    }
+  }
+}
+
+TEST(DefectsTest, DisablesFromUniformsIsPureInItsInputs) {
+  // Hand-built uniforms: wire 1 broken, bridge between 3 and 4.
+  const std::size_t n = 6;
+  const defect_params params{0.5, 0.5};
+  std::vector<double> uniforms(defect_draw_count(n), 0.9);
+  uniforms[1] = 0.1;      // broken draw, wire 1
+  uniforms[n + 3] = 0.1;  // bridge draw, gap 3-4
+  std::vector<std::uint8_t> disabled(n, 2);
+  defect_disables_from_uniforms(n, params, uniforms.data(), disabled.data());
+  const std::vector<std::uint8_t> expected = {0, 1, 0, 1, 1, 0};
+  EXPECT_EQ(disabled, expected);
+}
+
+TEST(DefectsTest, DrawCountMatchesStreamContract) {
+  EXPECT_EQ(defect_draw_count(1), 1u);
+  EXPECT_EQ(defect_draw_count(2), 3u);
+  EXPECT_EQ(defect_draw_count(50), 99u);
+}
+
 TEST(DefectsTest, OutOfRangeIndexThrows) {
   rng random(1);
   const defect_map map = sample_defects(5, defect_params{}, random);
