@@ -270,6 +270,8 @@ int main(int argc, char** argv) {
         << "  \"trials\": " << trials << ",\n"
         << "  \"seed\": " << seed << ",\n"
         << "  \"threads\": " << threads << ",\n"
+        << "  \"hardware_concurrency\": "
+        << std::max(1u, std::thread::hardware_concurrency()) << ",\n"
         << "  \"reference_trials_per_second\": " << reference_rate << ",\n"
         << "  \"engine1_trials_per_second\": " << engine1_rate << ",\n"
         << "  \"engineT_trials_per_second\": " << engine_t_rate << ",\n"

@@ -38,6 +38,7 @@
 #include "service/protocol.h"
 #include "service/sweep_service.h"
 #include "util/cli.h"
+#include "util/cpu.h"
 #include "util/error.h"
 #include "util/json.h"
 #include "util/stats.h"
@@ -358,6 +359,11 @@ int main(int argc, char** argv) {
           .field("points", cold.points.size())
           .field("trials", trials)
           .field("seed", options.seed)
+          .field("threads", options.threads)
+          .field("hardware_concurrency",
+                 std::max<std::size_t>(1,
+                                       std::thread::hardware_concurrency()))
+          .field("simd_path", cpu::simd_path_name(cpu::active_path()))
           .field("cold_seconds", cold_seconds)
           .field("warm_seconds", warm_seconds)
           .field("warm_speedup", speedup)

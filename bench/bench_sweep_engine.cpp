@@ -28,6 +28,7 @@
 #include "crossbar/contact_groups.h"
 #include "decoder/decoder_design.h"
 #include "util/cli.h"
+#include "util/cpu.h"
 #include "util/json.h"
 #include "yield/analytic_yield.h"
 #include "yield/monte_carlo_yield.h"
@@ -362,6 +363,9 @@ int main(int argc, char** argv) {
         .field("trials", trials)
         .field("seed", seed)
         .field("threads", threads)
+        .field("hardware_concurrency",
+               std::max<std::size_t>(1, std::thread::hardware_concurrency()))
+        .field("simd_path", cpu::simd_path_name(cpu::active_path()))
         .field("figs78_points", grid.size())
         .field("legacy_points_per_second", grid_points / legacy_seconds)
         .field("engine_cold_points_per_second", grid_points / cold_seconds)

@@ -5,6 +5,7 @@
 #include "service/refine.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 
 namespace nwdec::api {
 
@@ -39,8 +40,8 @@ dispatcher::dispatcher(service::sweep_service& service)
 dispatcher::dispatcher(service::sweep_service& service, options opts)
     : service_(service),
       cache_path_(std::move(opts.cache_path)),
-      scheduler_(service,
-                 {opts.workers, opts.retain_finished, opts.max_queued}) {}
+      scheduler_(service, {opts.workers, opts.retain_finished,
+                           opts.max_queued, opts.slow_request_ms}) {}
 
 std::string dispatcher::handle_line(const std::string& line) {
   json_value id;  // null until the request parses far enough to carry one
@@ -50,10 +51,16 @@ std::string dispatcher::handle_line(const std::string& line) {
     NWDEC_EXPECTS(root.is_object(), "a request must be a JSON object");
     if (const json_value* found = root.find("id")) id = *found;
     const request parsed = parse_request(root);
+    metrics::registry::global()
+        .get_counter("nwdec_requests_total",
+                     std::string("kind=\"") + kind_name(parsed) + "\"")
+        .inc();
     return std::visit([this](const auto& r) { return handle(r); }, parsed);
   } catch (const overloaded_error& failure) {
+    metrics::registry::global().get_counter("nwdec_request_errors_total").inc();
     return error_response_json(id, failure.what(), "overloaded");
   } catch (const std::exception& failure) {
+    metrics::registry::global().get_counter("nwdec_request_errors_total").inc();
     return error_response_json(id, failure.what());
   }
 }
@@ -148,6 +155,29 @@ std::string dispatcher::handle(const status_request& request) {
       .field("priority", job->status.priority)
       .field("progress_done", job->status.progress_done)
       .field("progress_total", job->status.progress_total);
+  // Out-of-band span record of a job that reached a worker: request
+  // tracing is additive observability around the payload, never part of
+  // it (the result bytes below are identical with or without it).
+  if (job->trace.ran) {
+    const job_trace& trace = job->trace;
+    json.key("trace")
+        .begin_object()
+        .field("trace_id", format_trace_id(trace.trace_id))
+        .field("queue_wait_ms", trace.queue_wait_seconds * 1000.0)
+        .field("batch_jobs", trace.batch_jobs)
+        .field("batch_points", trace.batch_points)
+        .field("store_lookup_ms", trace.spans.store_lookup_seconds * 1000.0)
+        .field("engine_ms", trace.spans.engine_seconds * 1000.0)
+        .field("engine_points", trace.spans.engine_points)
+        .field("mc_trials", trace.spans.mc_trials)
+        .field("store_insert_ms", trace.spans.store_insert_seconds * 1000.0)
+        .field("wal_append_ms", trace.spans.wal_append_seconds * 1000.0)
+        .field("wal_rotation_ms", trace.spans.wal_rotation_seconds * 1000.0);
+    if (job_state_terminal(job->status.state)) {
+      json.field("total_ms", trace.total_seconds * 1000.0);
+    }
+    json.end_object();
+  }
   if (job->status.state == job_state::failed ||
       job->status.state == job_state::timed_out) {
     json.field("error", job->status.error);
@@ -251,8 +281,44 @@ std::string dispatcher::handle(const stats_request& request) {
         .field("sweep_batches", jobs.sweep_batches)
         .field("sweep_jobs_batched", jobs.sweep_jobs_batched)
         .end_object();
+    // Observability detail (appended strictly AFTER the PR 5 detail keys,
+    // so existing detail consumers keep their byte prefixes): process
+    // uptime, the live queue depth, and a summary of the job-latency
+    // histogram the metrics registry accumulates.
+    metrics::registry& registry = metrics::registry::global();
+    json.field("uptime_ms", registry.uptime_seconds() * 1000.0)
+        .field("queue_depth", jobs.queued);
+    metrics::histogram& latency =
+        registry.get_histogram("nwdec_job_duration_seconds");
+    metrics::histogram_sample sample;
+    sample.bounds = latency.bounds();
+    sample.buckets = latency.bucket_counts();
+    sample.count = latency.count();
+    sample.sum = latency.sum();
+    json.key("job_latency")
+        .begin_object()
+        .field("count", sample.count)
+        .field("mean_ms", sample.count == 0
+                              ? 0.0
+                              : sample.sum * 1000.0 /
+                                    static_cast<double>(sample.count))
+        .field("p50_ms", metrics::histogram_quantile(sample, 0.5) * 1000.0)
+        .field("p90_ms", metrics::histogram_quantile(sample, 0.9) * 1000.0)
+        .field("p99_ms", metrics::histogram_quantile(sample, 0.99) * 1000.0)
+        .end_object();
   }
   json.end_object();
+  return json.end_object().str();
+}
+
+std::string dispatcher::handle(const metrics_request& request) {
+  // The uptime gauge is set here (not continuously) so snapshots are
+  // consistent: every value in one response was read at the same moment.
+  metrics::registry& registry = metrics::registry::global();
+  registry.get_gauge("nwdec_uptime_seconds").set(registry.uptime_seconds());
+  json_writer json = begin_response(request.header.client_id, "metrics");
+  json.key("result");
+  metrics::write_json(json, registry.snapshot());
   return json.end_object().str();
 }
 

@@ -46,6 +46,9 @@ class dispatcher final : public line_handler {
     /// Scheduler queue bound: submissions past this many waiting jobs get
     /// an "overloaded" error response (0 = unbounded).
     std::size_t max_queued = 4096;
+    /// Jobs whose submit->terminal wall exceeds this are logged as
+    /// `slow_request` warn records (0 = never; the daemon's --slow-ms).
+    std::size_t slow_request_ms = 1000;
   };
 
   explicit dispatcher(service::sweep_service& service);
@@ -62,6 +65,7 @@ class dispatcher final : public line_handler {
   std::string handle(const cancel_request& request);
   std::string handle(const stats_request& request);
   std::string handle(const flush_request& request);
+  std::string handle(const metrics_request& request);
   /// Renders a terminal job in the legacy synchronous wire shape.
   std::string sync_response(const json_value& id, const job_result& job);
 

@@ -78,6 +78,26 @@ struct job_status {
   std::string error;  ///< diagnostic of a failed job
 };
 
+/// Out-of-band span record of one job's execution: the `trace` object of
+/// terminal `status` responses and the slow-request log. Everything here
+/// observes scheduling and evaluation without steering either -- result
+/// payloads stay pure functions of (config, request) while queue waits,
+/// batch sizes, and span timings vary run to run.
+struct job_trace {
+  std::uint64_t trace_id = 0;  ///< minted at submit; unique per process
+  bool ran = false;            ///< the job reached a worker (vs shed early)
+  double queue_wait_seconds = 0.0;  ///< submit -> worker pickup
+  double total_seconds = 0.0;       ///< submit -> terminal state
+  std::size_t batch_jobs = 0;    ///< jobs coalesced into its evaluation
+  std::size_t batch_points = 0;  ///< grid points across the whole batch
+  /// Evaluation spans (sweep jobs: the batch's shared evaluation, or the
+  /// solo rerun; refine jobs: engine_seconds = the refine wall).
+  service::eval_trace spans;
+};
+
+/// Hex wire spelling of a trace id ("f07c19a2b4d3e581").
+std::string format_trace_id(std::uint64_t trace_id);
+
 /// A job snapshot plus, when the job is done, its result payload. The
 /// payloads are shared immutable state (set once at completion), so a
 /// snapshot is O(1) no matter how many grid points the job answered.
@@ -90,6 +110,7 @@ struct job_result {
   /// True when the submitting sweep asked for a CI target: the response
   /// wrapper then always reports the topped_up count.
   bool report_topped_up = false;
+  job_trace trace;  ///< span record (trace_id is set from submission on)
 };
 
 /// Aggregate scheduler counters (the stats endpoint's "jobs" block; the

@@ -1,12 +1,72 @@
 #include "api/job_scheduler.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 
 #include "service/refine.h"
 #include "util/error.h"
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/rng.h"
 
 namespace nwdec::api {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+// Job lifecycle metrics; resolved once, relaxed-atomic updates after.
+// All increments happen under the scheduler mutex, so counter totals
+// agree exactly with scheduler_stats.
+struct scheduler_metrics {
+  metrics::counter& submitted_sweep;
+  metrics::counter& submitted_refine;
+  metrics::counter& completed;
+  metrics::counter& failed;
+  metrics::counter& cancelled;
+  metrics::counter& timed_out;
+  metrics::counter& shed;
+  metrics::counter& sweep_batches;
+  metrics::counter& sweep_jobs_batched;
+  metrics::gauge& queued;
+  metrics::gauge& running;
+  metrics::histogram& queue_wait_seconds;
+  metrics::histogram& duration_seconds;
+
+  static scheduler_metrics& get() {
+    static scheduler_metrics instance = [] {
+      metrics::registry& reg = metrics::registry::global();
+      return scheduler_metrics{
+          reg.get_counter("nwdec_jobs_submitted_total", "kind=\"sweep\""),
+          reg.get_counter("nwdec_jobs_submitted_total", "kind=\"refine\""),
+          reg.get_counter("nwdec_jobs_completed_total"),
+          reg.get_counter("nwdec_jobs_failed_total"),
+          reg.get_counter("nwdec_jobs_cancelled_total"),
+          reg.get_counter("nwdec_jobs_timed_out_total"),
+          reg.get_counter("nwdec_jobs_shed_total"),
+          reg.get_counter("nwdec_sweep_batches_total"),
+          reg.get_counter("nwdec_sweep_jobs_batched_total"),
+          reg.get_gauge("nwdec_jobs_queued"),
+          reg.get_gauge("nwdec_jobs_running"),
+          reg.get_histogram("nwdec_job_queue_wait_seconds"),
+          reg.get_histogram("nwdec_job_duration_seconds")};
+    }();
+    return instance;
+  }
+};
+
+}  // namespace
+
+std::string format_trace_id(std::uint64_t trace_id) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buffer;
+}
 
 const char* job_state_name(job_state state) {
   switch (state) {
@@ -44,6 +104,9 @@ struct job_scheduler::job_record {
   std::size_t progress_done = 0;
   std::size_t progress_total = 0;
   int waiters = 0;  ///< active wait() calls; pins the record in retention
+  // Tracing (out-of-band; see job_trace).
+  std::chrono::steady_clock::time_point submit_time;
+  job_trace trace;
 };
 
 job_scheduler::job_scheduler(service::sweep_service& service)
@@ -53,6 +116,13 @@ job_scheduler::job_scheduler(service::sweep_service& service, options opts)
     : service_(service), options_(opts) {
   NWDEC_EXPECTS(options_.retain_finished >= 1,
                 "the scheduler must retain at least one finished job");
+  // Trace ids are (wall-clock anchor x job id) hashes: unique across
+  // scheduler instances and restarts, and strictly out-of-band (nothing
+  // deterministic ever depends on one).
+  trace_seed_ = rng::counter_seed(
+      0x7ace1dULL,
+      static_cast<std::uint64_t>(
+          std::chrono::system_clock::now().time_since_epoch().count()));
   std::size_t workers = options_.workers;
   if (workers == 0) {
     workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -109,20 +179,27 @@ std::uint64_t job_scheduler::submit(request parsed) {
     // leave no trace beyond the counter.
     if (options_.max_queued > 0 && queue_.size() >= options_.max_queued) {
       ++stats_.shed;
+      scheduler_metrics::get().shed.inc();
       throw overloaded_error("job queue is full (" +
                              std::to_string(options_.max_queued) +
                              " jobs waiting); retry later");
     }
+    record->submit_time = std::chrono::steady_clock::now();
     if (timeout_ms > 0) {
       record->has_deadline = true;
-      record->deadline = std::chrono::steady_clock::now() +
-                         std::chrono::milliseconds(timeout_ms);
+      record->deadline =
+          record->submit_time + std::chrono::milliseconds(timeout_ms);
     }
     id = next_id_++;
     record->id = id;
+    record->trace.trace_id = rng::counter_seed(trace_seed_, id);
     jobs_.emplace(id, record);
     queue_.emplace(-record->priority, id);
     ++stats_.submitted;
+    (record->kind == "sweep" ? scheduler_metrics::get().submitted_sweep
+                             : scheduler_metrics::get().submitted_refine)
+        .inc();
+    sync_gauges_locked();
   }
   work_cv_.notify_one();
   return id;
@@ -139,6 +216,7 @@ job_result job_scheduler::snapshot(const job_record& job) const {
   result.status.error = job.error;
   result.client_id = job.client_id;
   result.report_topped_up = job.report_topped_up;
+  result.trace = job.trace;
   if (job.state == job_state::done) {
     result.sweep = job.sweep;
     result.refined = job.refined;
@@ -223,6 +301,27 @@ void job_scheduler::trim_locked() {
   }
 }
 
+// Caller holds mutex_. Mirrors the live queue/running levels into the
+// metrics gauges (every mutation site calls this, so the gauges track
+// scheduler_stats exactly).
+void job_scheduler::sync_gauges_locked() {
+  scheduler_metrics::get().queued.set(static_cast<double>(queue_.size()));
+  scheduler_metrics::get().running.set(static_cast<double>(stats_.running));
+}
+
+// Caller holds mutex_. Marks a popped job running and closes its
+// queue-wait span.
+void job_scheduler::start_running_locked(job_record& job) {
+  job.state = job_state::running;
+  ++stats_.running;
+  job.trace.ran = true;
+  job.trace.queue_wait_seconds =
+      seconds_between(job.submit_time, std::chrono::steady_clock::now());
+  scheduler_metrics::get().queue_wait_seconds.observe(
+      job.trace.queue_wait_seconds);
+  sync_gauges_locked();
+}
+
 // Caller holds mutex_. Transitions a job into a terminal state and runs
 // the retention policy.
 void job_scheduler::finish(job_record& job, job_state state) {
@@ -238,8 +337,32 @@ void job_scheduler::finish(job_record& job, job_state state) {
     case job_state::timed_out: ++stats_.timed_out; break;
     default: break;
   }
+  scheduler_metrics& metrics = scheduler_metrics::get();
+  switch (state) {
+    case job_state::done: metrics.completed.inc(); break;
+    case job_state::failed: metrics.failed.inc(); break;
+    case job_state::cancelled: metrics.cancelled.inc(); break;
+    case job_state::timed_out: metrics.timed_out.inc(); break;
+    default: break;
+  }
+  job.trace.total_seconds =
+      seconds_between(job.submit_time, std::chrono::steady_clock::now());
+  metrics.duration_seconds.observe(job.trace.total_seconds);
+  if (options_.slow_request_ms > 0 &&
+      job.trace.total_seconds * 1000.0 >=
+          static_cast<double>(options_.slow_request_ms)) {
+    logging::event(logging::level::warn, "scheduler", "slow_request")
+        .field("trace_id", format_trace_id(job.trace.trace_id))
+        .field("job", job.id)
+        .field("kind", job.kind)
+        .field("state", job_state_name(state))
+        .field("total_ms", job.trace.total_seconds * 1000.0)
+        .field("queue_wait_ms", job.trace.queue_wait_seconds * 1000.0)
+        .field("engine_ms", job.trace.spans.engine_seconds * 1000.0);
+  }
   finished_.push_back(job.id);
   trim_locked();
+  sync_gauges_locked();
 }
 
 void job_scheduler::worker_loop() {
@@ -261,8 +384,7 @@ void job_scheduler::worker_loop() {
       run_sweep_batch(lock);
     } else {
       queue_.erase(queue_.begin());
-      head->state = job_state::running;
-      ++stats_.running;
+      start_running_locked(*head);
       run_refine(lock, head);
     }
     done_cv_.notify_all();
@@ -288,8 +410,7 @@ void job_scheduler::run_sweep_batch(std::unique_lock<std::mutex>& lock) {
       finish(*job, job_state::timed_out);
       continue;
     }
-    job->state = job_state::running;
-    ++stats_.running;
+    start_running_locked(*job);
     offsets.push_back(combined.size());
     combined.insert(combined.end(), job->queries.begin(),
                     job->queries.end());
@@ -298,9 +419,12 @@ void job_scheduler::run_sweep_batch(std::unique_lock<std::mutex>& lock) {
   if (batch.empty()) return;  // every queued sweep had already expired
   ++stats_.sweep_batches;
   stats_.sweep_jobs_batched += batch.size();
+  scheduler_metrics::get().sweep_batches.inc();
+  scheduler_metrics::get().sweep_jobs_batched.inc(batch.size());
 
   lock.unlock();
   service::sweep_response response;
+  service::eval_trace batch_trace;
   bool batch_failed = false;
   // Per-job fallback responses when the combined evaluation throws: one
   // client's bad request (e.g. an impossible code length that only fails
@@ -312,6 +436,7 @@ void job_scheduler::run_sweep_batch(std::unique_lock<std::mutex>& lock) {
   // aborted batch's completed points were already inserted).
   enum class outcome { ok, failed, cancelled, timed_out };
   std::vector<service::sweep_response> solo(batch.size());
+  std::vector<service::eval_trace> solo_trace(batch.size());
   std::vector<outcome> solo_outcome(batch.size(), outcome::ok);
   std::vector<std::string> solo_error(batch.size());
   const auto batch_check = [&batch] {
@@ -328,7 +453,7 @@ void job_scheduler::run_sweep_batch(std::unique_lock<std::mutex>& lock) {
     }
   };
   try {
-    response = service_.evaluate(combined, batch_check);
+    response = service_.evaluate(combined, batch_check, &batch_trace);
   } catch (const std::exception&) {
     batch_failed = true;
     for (std::size_t b = 0; b < batch.size(); ++b) {
@@ -343,7 +468,7 @@ void job_scheduler::run_sweep_batch(std::unique_lock<std::mutex>& lock) {
         }
       };
       try {
-        solo[b] = service_.evaluate(job->queries, check);
+        solo[b] = service_.evaluate(job->queries, check, &solo_trace[b]);
       } catch (const cancelled_error&) {
         solo_outcome[b] = outcome::cancelled;
       } catch (const timeout_error& failure) {
@@ -359,6 +484,17 @@ void job_scheduler::run_sweep_batch(std::unique_lock<std::mutex>& lock) {
 
   for (std::size_t b = 0; b < batch.size(); ++b) {
     job_record& job = *batch[b];
+    // A solo rerun's spans are its own; batched jobs share the batch's
+    // evaluation spans (that evaluation IS their execution).
+    if (batch_failed) {
+      job.trace.batch_jobs = 1;
+      job.trace.batch_points = job.queries.size();
+      job.trace.spans = solo_trace[b];
+    } else {
+      job.trace.batch_jobs = batch.size();
+      job.trace.batch_points = combined.size();
+      job.trace.spans = batch_trace;
+    }
     if (batch_failed && solo_outcome[b] != outcome::ok) {
       job.error = solo_error[b];
       finish(job, solo_outcome[b] == outcome::cancelled
@@ -409,6 +545,7 @@ void job_scheduler::run_refine(std::unique_lock<std::mutex>& lock,
       throw timeout_error("job deadline expired");
     }
   };
+  const auto refine_start = std::chrono::steady_clock::now();
   try {
     refined = service::refine(
         service_, job->refinement,
@@ -427,6 +564,11 @@ void job_scheduler::run_refine(std::unique_lock<std::mutex>& lock,
     error = failure.what();
   }
   lock.lock();
+  // Refine probes all funnel through the shared store; the whole wall is
+  // the engine span (refine has no finer instrumented spans).
+  job->trace.batch_jobs = 1;
+  job->trace.spans.engine_seconds =
+      seconds_between(refine_start, std::chrono::steady_clock::now());
   switch (result) {
     case outcome::ok:
       job->refined =

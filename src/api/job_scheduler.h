@@ -71,6 +71,10 @@ class job_scheduler {
     /// Queue bound: submissions past this many waiting jobs are shed with
     /// overloaded_error (0 = unbounded). Running jobs do not count.
     std::size_t max_queued = 4096;
+    /// A job whose submit->terminal wall exceeds this is logged as a
+    /// `slow_request` warn record with its full span breakdown
+    /// (0 = never log). Strictly out-of-band, like all tracing.
+    std::size_t slow_request_ms = 1000;
   };
 
   explicit job_scheduler(service::sweep_service& service);
@@ -110,10 +114,14 @@ class job_scheduler {
                   const std::shared_ptr<job_record>& job);
   void finish(job_record& job, job_state state);
   void trim_locked();
+  void sync_gauges_locked();
+  /// Marks a job running and records its queue-wait span/metrics.
+  void start_running_locked(job_record& job);
   job_result snapshot(const job_record& job) const;
 
   service::sweep_service& service_;
   options options_;
+  std::uint64_t trace_seed_ = 0;  ///< per-process anchor trace ids mix in
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< workers: queue became non-empty

@@ -1,0 +1,43 @@
+#include "api/metrics_http.h"
+
+#include "util/metrics.h"
+
+namespace nwdec::api {
+
+namespace {
+
+std::string http_response(const char* status, const std::string& body) {
+  return std::string("HTTP/1.0 ") + status +
+         "\r\n"
+         "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+         "Content-Length: " +
+         std::to_string(body.size()) +
+         "\r\n"
+         "Connection: close\r\n"
+         "\r\n" +
+         body;
+}
+
+}  // namespace
+
+std::string metrics_http_handler::handle_line(const std::string& line) {
+  // The request target ends at the space before the HTTP version; a bare
+  // "GET /metrics" (no version, e.g. hand-typed into nc) is accepted too.
+  const std::string target_and_version =
+      line.rfind("GET ", 0) == 0 ? line.substr(4) : std::string();
+  const std::string target =
+      target_and_version.substr(0, target_and_version.find(' '));
+  if (line.rfind("GET ", 0) != 0) {
+    return http_response("400 Bad Request", "expected: GET /metrics\n");
+  }
+  if (target != "/metrics") {
+    return http_response("404 Not Found", "unknown path '" + target +
+                                              "' (try /metrics)\n");
+  }
+  metrics::registry& registry = metrics::registry::global();
+  registry.get_gauge("nwdec_uptime_seconds").set(registry.uptime_seconds());
+  return http_response("200 OK",
+                       metrics::to_prometheus(registry.snapshot()));
+}
+
+}  // namespace nwdec::api

@@ -1,0 +1,34 @@
+// api::metrics_http_handler: the Prometheus scrape endpoint served on the
+// daemon's --metrics-port.
+//
+// The endpoint reuses tcp_transport wholesale -- its poll loop, wake-pipe
+// shutdown, idle timeout, and connection accounting -- by putting the
+// transport into single-request mode and treating the HTTP request line
+// ("GET /metrics HTTP/1.1") as the one line to answer: the handler
+// returns a complete HTTP/1.0 response (Content-Length, Connection:
+// close) and the transport closes the connection, which is exactly the
+// one-shot discipline Prometheus scrapes, curl, and
+// `printf 'GET /metrics\r\n\r\n' | nc` all speak.
+//
+//   GET /metrics   -> 200, text exposition format 0.0.4 of the global
+//                     metrics registry (util/metrics.h)
+//   GET <other>    -> 404
+//   anything else  -> 400
+//
+// Telemetry is strictly out-of-band: this listener shares no state with
+// the NDJSON protocol beyond the registry it reads.
+#pragma once
+
+#include <string>
+
+#include "api/dispatch.h"
+
+namespace nwdec::api {
+
+class metrics_http_handler final : public line_handler {
+ public:
+  /// `line` is an HTTP request line; returns the full HTTP response.
+  std::string handle_line(const std::string& line) override;
+};
+
+}  // namespace nwdec::api

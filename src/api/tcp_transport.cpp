@@ -131,10 +131,12 @@ void tcp_transport::serve_connection(int client, line_handler& handler) {
   std::string buffer;
   char chunk[4096];
   bool peer_gone = false;
+  bool answered = false;
   const auto answer = [&](std::string line) {
     if (!line.empty() && line.back() == '\r') line.pop_back();  // nc/telnet
     if (line.empty()) return;
     if (!send_all(client, handler.handle_line(line))) peer_gone = true;
+    answered = true;
   };
   for (;;) {
     if (idle_timeout_ms_ > 0) {
@@ -158,12 +160,13 @@ void tcp_transport::serve_connection(int client, line_handler& handler) {
     if (n <= 0) break;
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t newline = 0;
-    while (!peer_gone &&
+    while (!peer_gone && !(single_request_ && answered) &&
            (newline = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
       answer(std::move(line));
     }
+    if (single_request_ && answered) break;
     if (buffer.size() > max_line_bytes) {
       send_all(client,
                "{\"id\":null,\"ok\":false,\"error\":\"request line exceeds "
@@ -176,7 +179,9 @@ void tcp_transport::serve_connection(int client, line_handler& handler) {
   // A final request without a trailing newline still gets its answer --
   // the stdio transport (std::getline) serves such scripts, and the two
   // transports promise identical behavior.
-  if (!peer_gone && !buffer.empty()) answer(std::move(buffer));
+  if (!peer_gone && !buffer.empty() && !(single_request_ && answered)) {
+    answer(std::move(buffer));
+  }
   // Deregister before close so a reused fd number can never be confused
   // with this connection by a concurrent shutdown().
   {

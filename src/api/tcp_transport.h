@@ -56,6 +56,14 @@ class tcp_transport final : public transport {
   /// signal handler.
   int shutdown_fd() const { return wake_write_; }
 
+  /// Single-request mode: each connection is answered once -- the first
+  /// non-empty line gets its response, then the connection closes
+  /// (remaining buffered lines are dropped). This is the HTTP-style
+  /// request/response discipline the --metrics-port listener serves
+  /// (api/metrics_http.h): curl's headers after the request line are
+  /// ignored instead of answered as garbage. Set before serve().
+  void set_single_request(bool on) { single_request_ = on; }
+
  private:
   void serve_connection(int client, line_handler& handler);
 
@@ -64,6 +72,7 @@ class tcp_transport final : public transport {
   int wake_write_ = -1;
   std::uint16_t port_ = 0;
   int idle_timeout_ms_ = 0;  ///< 0 = never time out idle connections
+  bool single_request_ = false;  ///< close after the first answered line
 
   // Connection threads run detached (a long-lived daemon must not hoard
   // one joinable thread per connection ever served); serve() instead

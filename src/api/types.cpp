@@ -150,6 +150,7 @@ const char* kind_name(const request& parsed) {
     const char* operator()(const cancel_request&) const { return "cancel"; }
     const char* operator()(const stats_request&) const { return "stats"; }
     const char* operator()(const flush_request&) const { return "flush"; }
+    const char* operator()(const metrics_request&) const { return "metrics"; }
   };
   return std::visit(visitor{}, parsed);
 }
@@ -190,9 +191,15 @@ request parse_request(const json_value& root) {
     parsed.clear = get_bool_or(root, "clear", false);
     return parsed;
   }
+  if (kind == "metrics") {
+    metrics_request parsed;
+    parsed.header = parse_header(root);
+    return parsed;
+  }
   throw invalid_argument_error(
       "unknown request kind '" + kind +
-      "' (expected sweep | refine | status | cancel | stats | flush)");
+      "' (expected sweep | refine | status | cancel | stats | flush | "
+      "metrics)");
 }
 
 request parse_request_line(const std::string& line) {
@@ -294,6 +301,10 @@ struct request_writer {
   void operator()(const flush_request& r) const {
     write_header(json, r.header, "flush");
     if (r.clear) json.field("clear", true);
+  }
+
+  void operator()(const metrics_request& r) const {
+    write_header(json, r.header, "metrics");
   }
 };
 

@@ -45,6 +45,12 @@
 //   {"id": 6, "kind": "flush", "clear": false}
 //     -> persists the store to the daemon's cache file (before clearing,
 //        when "clear" is true).
+//
+//   {"id": 7, "kind": "metrics"}
+//     -> point-in-time snapshot of the observability registry
+//        (util/metrics): {"counters": {...}, "gauges": {...},
+//        "histograms": {...}} with byte-stable key order. The same
+//        snapshot renders in Prometheus text form on --metrics-port.
 #pragma once
 
 #include <cstddef>
@@ -118,8 +124,14 @@ struct flush_request {
   bool clear = false;
 };
 
-using request = std::variant<sweep_request, refine_request, status_request,
-                             cancel_request, stats_request, flush_request>;
+struct metrics_request {
+  request_header header;
+};
+
+using request =
+    std::variant<sweep_request, refine_request, status_request,
+                 cancel_request, stats_request, flush_request,
+                 metrics_request>;
 
 /// The request's wire kind ("sweep", "refine", ...).
 const char* kind_name(const request& parsed);

@@ -15,11 +15,32 @@
 #include "util/failpoint.h"
 #include "util/fs.h"
 #include "util/json.h"
+#include "util/log.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace nwdec::service {
 
 namespace {
+
+// WAL traffic counters; resolved once, relaxed-atomic updates after.
+struct wal_metrics {
+  metrics::counter& appended_bytes;
+  metrics::counter& records;
+  metrics::counter& syncs;
+  metrics::counter& compactions;
+
+  static wal_metrics& get() {
+    static wal_metrics instance = [] {
+      metrics::registry& reg = metrics::registry::global();
+      return wal_metrics{reg.get_counter("nwdec_wal_appended_bytes_total"),
+                         reg.get_counter("nwdec_wal_records_total"),
+                         reg.get_counter("nwdec_wal_syncs_total"),
+                         reg.get_counter("nwdec_wal_compactions_total")};
+    }();
+    return instance;
+  }
+};
 
 // Log header: 8-byte magic (version baked in: bump the last byte when the
 // record format changes) + u64 little-endian store-config digest.
@@ -272,10 +293,15 @@ void durable_store::append(std::uint64_t fingerprint,
   if (!ok) throw_errno("cannot append to log", log_path_);
   NWDEC_FAILPOINT("durable.append.after_write");
   log_bytes_ += record.size();
+  wal_metrics::get().records.inc();
+  wal_metrics::get().appended_bytes.inc(record.size());
 }
 
 void durable_store::sync() {
-  if (fd_ >= 0 && options_.fsync) ::fsync(fd_);
+  if (fd_ >= 0 && options_.fsync) {
+    ::fsync(fd_);
+    wal_metrics::get().syncs.inc();
+  }
 }
 
 bool durable_store::wants_compaction() const {
@@ -302,6 +328,17 @@ void durable_store::compact(const result_store& store,
   NWDEC_FAILPOINT("durable.compact.before_truncate");
   reset_log(header);
   NWDEC_FAILPOINT("durable.compact.after_truncate");
+  wal_metrics::get().compactions.inc();
+}
+
+void log_recovery(const recovery_report& report) {
+  metrics::registry::global()
+      .get_counter("nwdec_recovery_warnings_total")
+      .inc(report.warnings.size());
+  for (const std::string& warning : report.warnings) {
+    logging::event(logging::level::warn, "durable_store", "recovery_warning")
+        .field("warning", warning);
+  }
 }
 
 void durable_store::reset_log(const store_header& header) {

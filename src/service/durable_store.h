@@ -77,6 +77,12 @@ struct recovery_report {
 /// is only replayed into a store with the identical configuration.
 std::uint64_t store_config_digest(const store_header& header);
 
+/// Emits one structured `recovery_warning` record (component
+/// "durable_store", level warn) per degradation in `report`, and bumps
+/// nwdec_recovery_warnings_total -- the daemon's startup path and any
+/// other open() caller that wants the warnings on the log.
+void log_recovery(const recovery_report& report);
+
 class durable_store {
  public:
   /// `path` is the snapshot file; the log lives at `path` + ".log".

@@ -17,6 +17,13 @@
 // sweep | refine | stats | flush requests keep their PR 3 wire shape byte
 // for byte -- the committed golden (tools/service_smoke/) pins it.
 //
+// PR 8 adds the observability surface: a "metrics" request kind answering
+// a byte-stable JSON snapshot of the util/metrics registry (the same data
+// the daemon's --metrics-port serves in Prometheus text format), a
+// "trace" span object on status responses of jobs that ran, and
+// "stats" {"detail": true} uptime/queue-depth/latency summaries. All of
+// it is out-of-band: result payloads and the golden are unchanged.
+//
 // Worked examples, including driving the socket transport with nc, live in
 // bench/README.md.
 //

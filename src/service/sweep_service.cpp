@@ -1,17 +1,55 @@
 #include "service/sweep_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <unordered_map>
 #include <utility>
 
+#include "util/cpu.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/stats.h"
 
 namespace nwdec::service {
 
 namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Stable references into the process-wide metrics registry, resolved once:
+// the per-evaluation updates below are relaxed atomics only. Hit/miss/
+// top-up counters split by cost class (an analytic-only point is "cheap",
+// a Monte-Carlo point "mc" -- the result_store's eviction classes).
+struct service_metrics {
+  metrics::counter& hits_cheap;
+  metrics::counter& hits_mc;
+  metrics::counter& misses_cheap;
+  metrics::counter& misses_mc;
+  metrics::counter& topups;
+  metrics::counter& engine_runs;
+  metrics::histogram& engine_seconds;
+
+  static service_metrics& get() {
+    static service_metrics instance = [] {
+      metrics::registry& reg = metrics::registry::global();
+      return service_metrics{
+          reg.get_counter("nwdec_store_hits_total", "class=\"cheap\""),
+          reg.get_counter("nwdec_store_hits_total", "class=\"mc\""),
+          reg.get_counter("nwdec_store_misses_total", "class=\"cheap\""),
+          reg.get_counter("nwdec_store_misses_total", "class=\"mc\""),
+          reg.get_counter("nwdec_store_topups_total"),
+          reg.get_counter("nwdec_engine_runs_total"),
+          reg.get_histogram("nwdec_engine_run_seconds")};
+    }();
+    return instance;
+  }
+};
 
 // Wilson half-width of a stored Monte-Carlo entry -- the same
 // (successes, trials) formulation the engine's budget loop evaluates at
@@ -68,9 +106,16 @@ core::sweep_request sweep_service::resolve(core::sweep_request request) const {
 }
 
 sweep_response sweep_service::evaluate(const std::vector<point_query>& queries,
-                                       const cancel_check_fn& check) {
+                                       const cancel_check_fn& check,
+                                       eval_trace* trace) {
   NWDEC_EXPECTS(!queries.empty(), "a sweep request needs at least one point");
   if (check) check();
+  // All telemetry below (spans + registry counters) observes the
+  // evaluation without steering it; payloads stay pure functions of
+  // (config, request) whether or not anyone is watching.
+  eval_trace local_trace;
+  if (trace == nullptr) trace = &local_trace;
+  service_metrics& counters = service_metrics::get();
 
   sweep_response response;
   response.points.resize(queries.size());
@@ -96,6 +141,7 @@ sweep_response sweep_service::evaluate(const std::vector<point_query>& queries,
   // entries that already answer it, and plan the rest (see the header
   // comment for the serve / top-up / recompute rules).
   {
+    const auto lookup_start = std::chrono::steady_clock::now();
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t k = 0; k < queries.size(); ++k) {
       NWDEC_EXPECTS(queries[k].min_half_width >= 0.0,
@@ -143,10 +189,18 @@ sweep_response sweep_service::evaluate(const std::vector<point_query>& queries,
         // target) falls through to a cold recompute: the payload must be
         // a pure function of (config, query), not of cache history.
         if (serve) {
+          (resolved.mc_trials == 0 ? counters.hits_cheap : counters.hits_mc)
+              .inc();
           response.points[k] = {*hit, point_source::cached, true};
           ++response.cached;
           continue;
         }
+      }
+      if (source == point_source::topped_up) {
+        counters.topups.inc();
+      } else {
+        (resolved.mc_trials == 0 ? counters.misses_cheap : counters.misses_mc)
+            .inc();
       }
       const auto [it, inserted] =
           plan_index.emplace(std::make_pair(key, target), plans.size());
@@ -159,6 +213,7 @@ sweep_response sweep_service::evaluate(const std::vector<point_query>& queries,
       }
       pending[k] = slot_ref{it->second, source};
     }
+    trace->store_lookup_seconds = seconds_since(lookup_start);
   }
 
   // Pass 2 (unlocked): one engine run per distinct budget target -- points
@@ -219,11 +274,22 @@ sweep_response sweep_service::evaluate(const std::vector<point_query>& queries,
                   request.mc_trials - status.trials_done, 65536);
             };
       }
+      const auto run_start = std::chrono::steady_clock::now();
       const core::sweep_engine_report report =
           engine_.run(grid, run_options);
+      const double run_seconds = seconds_since(run_start);
+      trace->engine_seconds += run_seconds;
+      trace->engine_points += members.size();
+      counters.engine_runs.inc();
+      counters.engine_seconds.observe(run_seconds);
+      std::size_t trials_spent = 0;
       for (std::size_t m = 0; m < members.size(); ++m) {
         eval_plan& plan = plans[members[m]];
         const core::sweep_engine_entry& entry = report.entries[m];
+        // Trials SPENT by this run: a topped-up point's total includes the
+        // resumed trials, which were paid for (and counted) earlier.
+        trials_spent += entry.mc_trials_used -
+                        (plan.resume.has_value() ? plan.resume->trials : 0);
         plan.produced.request = entry.request;
         plan.produced.evaluation = entry.evaluation;
         plan.produced.mc_trials_used = entry.mc_trials_used;
@@ -231,11 +297,20 @@ sweep_response sweep_service::evaluate(const std::vector<point_query>& queries,
         plan.produced.budget_target =
             entry.evaluation.has_monte_carlo ? target : 0.0;
       }
+      trace->mc_trials += trials_spent;
+      if (trials_spent > 0) {
+        metrics::registry::global()
+            .get_counter("nwdec_mc_trials_total",
+                         std::string("path=\"") +
+                             cpu::simd_path_name(cpu::active_path()) + "\"")
+            .inc(trials_spent);
+      }
     }
 
     // Pass 3 (locked): store the fresh results and fan them out to every
     // requesting slot; one stored_result per plan is shared by the store
     // and the response, so the two payloads can never drift apart.
+    const auto insert_start = std::chrono::steady_clock::now();
     const std::lock_guard<std::mutex> lock(mutex_);
     for (const eval_plan& plan : plans) {
       const std::uint64_t key = core::fingerprint(plan.request);
@@ -256,12 +331,22 @@ sweep_response sweep_service::evaluate(const std::vector<point_query>& queries,
         store_.insert(key, plan.produced);
         // Write-ahead record per fresh insert; the sync below makes the
         // whole pass durable with one fsync.
-        if (durable_) durable_->append(key, plan.produced);
+        if (durable_) {
+          const auto append_start = std::chrono::steady_clock::now();
+          durable_->append(key, plan.produced);
+          trace->wal_append_seconds += seconds_since(append_start);
+        }
       }
     }
     if (durable_) {
+      const auto sync_start = std::chrono::steady_clock::now();
       durable_->sync();
-      if (durable_->wants_compaction()) durable_->compact(store_, header());
+      trace->wal_append_seconds += seconds_since(sync_start);
+      if (durable_->wants_compaction()) {
+        const auto rotate_start = std::chrono::steady_clock::now();
+        durable_->compact(store_, header());
+        trace->wal_rotation_seconds = seconds_since(rotate_start);
+      }
     }
     for (std::size_t k = 0; k < queries.size(); ++k) {
       if (!pending[k].has_value()) continue;
@@ -274,6 +359,7 @@ sweep_response sweep_service::evaluate(const std::vector<point_query>& queries,
         ++response.computed;
       }
     }
+    trace->store_insert_seconds = seconds_since(insert_start);
   }
   return response;
 }

@@ -92,6 +92,20 @@ enum class point_source {
 /// evaluate()). An empty function disables checking.
 using cancel_check_fn = std::function<void()>;
 
+/// Span timings of one evaluate() call, for request tracing (api::job
+/// carries these into `status` responses and the slow-request log).
+/// Strictly out-of-band: the trace observes the evaluation, never steers
+/// it, so payloads stay pure functions of (config, request).
+struct eval_trace {
+  double store_lookup_seconds = 0.0;  ///< pass 1: resolve + store probes
+  double engine_seconds = 0.0;        ///< pass 2: engine wall (all groups)
+  double store_insert_seconds = 0.0;  ///< pass 3 total (includes the WAL)
+  double wal_append_seconds = 0.0;    ///< WAL record appends + the fsync
+  double wal_rotation_seconds = 0.0;  ///< snapshot compaction, when it ran
+  std::size_t engine_points = 0;      ///< points the engine actually ran
+  std::size_t mc_trials = 0;          ///< Monte-Carlo trials spent
+};
+
 /// One answered point: the payload plus its provenance.
 struct sweep_response_entry {
   stored_result result;
@@ -152,8 +166,10 @@ class sweep_service {
   /// evaluation by throwing (see cancel_check_fn); a fixed-budget run
   /// under a check is chunked into cancellation-sized Monte-Carlo batches
   /// -- bit-identical to the unchunked run by the mc_run_state contract.
+  /// `trace`, when set, receives the evaluation's span timings.
   sweep_response evaluate(const std::vector<point_query>& queries,
-                          const cancel_check_fn& check = {});
+                          const cancel_check_fn& check = {},
+                          eval_trace* trace = nullptr);
   /// Fixed-budget conveniences (min_half_width applied to every point).
   sweep_response evaluate(const std::vector<core::sweep_request>& points,
                           double min_half_width = 0.0,

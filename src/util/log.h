@@ -1,0 +1,110 @@
+// util::logging: the leveled structured logger of the nwdec daemon.
+//
+// Every record is one NDJSON line -- machine-parseable, greppable, and
+// safe to interleave from any thread (one mutex-guarded write per line):
+//
+//   {"ts":"2026-08-08T12:31:07.042Z","level":"info","component":"daemon",
+//    "event":"listening","port":4750}
+//
+// The fixed prefix is always (ts, level, component, event) in that order;
+// event-specific fields follow in the order the call site added them, so
+// a given event renders its keys byte-stably (only ts varies).
+//
+// Usage -- a record is built fluently and emitted when the builder goes
+// out of scope (or emit() is called):
+//
+//   logging::event(logging::level::info, "daemon", "listening")
+//       .field("port", port);
+//
+// Levels: debug < info < warn < error < off. Records below the sink's
+// minimum level cost one relaxed atomic load and build nothing.
+//
+// The sink is stderr by default; set_file() routes records to a log file
+// (the daemon's --log-file), set_stream() to any ostream (tests capture
+// into an ostringstream). Logging is strictly out-of-band: nothing here
+// ever touches a protocol response, so payload determinism is unaffected
+// by the level.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace nwdec::logging {
+
+enum class level : int {
+  debug = 0,
+  info = 1,
+  warn = 2,
+  error = 3,
+  off = 4,  ///< sink threshold only; records cannot be emitted at `off`
+};
+
+/// Wire spelling ("debug", "info", "warn", "error").
+const char* level_name(level value);
+
+/// Parses a --log-level spelling; throws invalid_argument_error naming the
+/// valid values on anything else.
+level parse_level(const std::string& name);
+
+/// Minimum level a record must meet to be emitted. Default: info.
+void set_min_level(level minimum);
+level min_level();
+
+/// True when records at `value` would be emitted -- the one-relaxed-load
+/// fast path the builder checks before doing any work.
+bool enabled(level value);
+
+/// Routes records to an ostream the caller keeps alive (tests). Pass
+/// nullptr to restore the default stderr sink.
+void set_stream(std::ostream* sink);
+
+/// Routes records to an append-opened file (the daemon's --log-file).
+/// Throws io_error when the file cannot be opened.
+void set_file(const std::string& path);
+
+/// The current UTC timestamp in ISO-8601 with milliseconds
+/// ("2026-08-08T12:31:07.042Z").
+std::string timestamp_utc();
+
+/// One structured record under construction. Move-only; emits on
+/// destruction unless discarded by level or already emitted.
+class record {
+ public:
+  record(level value, const char* component, const char* event);
+  ~record();
+  record(record&& other) noexcept;
+  record(const record&) = delete;
+  record& operator=(const record&) = delete;
+  record& operator=(record&&) = delete;
+
+  record& field(const char* name, const std::string& value);
+  record& field(const char* name, const char* value);
+  record& field(const char* name, double value);
+  record& field(const char* name, bool value);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  record& field(const char* name, T value) {
+    if (active_) append_raw(name, std::to_string(value));
+    return *this;
+  }
+
+  /// Writes the record now (idempotent; the destructor is a no-op after).
+  void emit();
+
+ private:
+  void append_raw(const char* name, const std::string& rendered);
+
+  bool active_ = false;
+  std::ostringstream line_;
+};
+
+/// Builds one record; the returned builder emits when it goes out of
+/// scope. When `value` is below the sink threshold the builder is inert
+/// (fields cost nothing).
+record event(level value, const char* component, const char* event);
+
+}  // namespace nwdec::logging

@@ -1,0 +1,277 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace nwdec::metrics {
+
+namespace {
+
+// Shortest double text that parses back to the same bits -- the same
+// printing discipline as util/json, so snapshot renderings are
+// byte-stable.
+std::string format_double(double value) {
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) return "0";
+  return std::string(buffer, end);
+}
+
+}  // namespace
+
+histogram::histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  NWDEC_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bucket bounds must be ascending");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) buckets_[b].store(0);
+}
+
+void histogram::observe(double value) {
+  std::size_t bucket = bounds_.size();  // +Inf unless a finite edge covers it
+  for (std::size_t b = 0; b < bounds_.size(); ++b) {
+    if (value <= bounds_[b]) {
+      bucket = b;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double seen = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + value,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void histogram::reset() {
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) buckets_[b].store(0);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& latency_buckets_seconds() {
+  static const std::vector<double> buckets = {
+      0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+      0.25,  0.5,    1.0,   2.5,  5.0,   10.0, 60.0};
+  return buckets;
+}
+
+double histogram_quantile(const histogram_sample& sample, double q) {
+  if (sample.count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(sample.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < sample.buckets.size(); ++b) {
+    const std::uint64_t in_bucket = sample.buckets[b];
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The +Inf bucket has no finite upper edge: clamp to the last edge.
+    if (b >= sample.bounds.size()) {
+      return sample.bounds.empty() ? 0.0 : sample.bounds.back();
+    }
+    const double lower = b == 0 ? 0.0 : sample.bounds[b - 1];
+    const double upper = sample.bounds[b];
+    if (in_bucket == 0) return upper;
+    const double within =
+        (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, within));
+  }
+  return sample.bounds.empty() ? 0.0 : sample.bounds.back();
+}
+
+registry::registry() : created_(std::chrono::steady_clock::now()) {}
+
+counter& registry::get_counter(const std::string& name,
+                               const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entry& slot = entries_[{name, labels}];
+  if (slot.as_counter == nullptr) {
+    NWDEC_EXPECTS(slot.as_gauge == nullptr && slot.as_histogram == nullptr,
+                  "metric '" + name + "' is already registered as a "
+                  "different kind");
+    slot.type = kind::counter;
+    slot.as_counter = std::make_unique<counter>();
+  }
+  return *slot.as_counter;
+}
+
+gauge& registry::get_gauge(const std::string& name,
+                           const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entry& slot = entries_[{name, labels}];
+  if (slot.as_gauge == nullptr) {
+    NWDEC_EXPECTS(slot.as_counter == nullptr && slot.as_histogram == nullptr,
+                  "metric '" + name + "' is already registered as a "
+                  "different kind");
+    slot.type = kind::gauge;
+    slot.as_gauge = std::make_unique<gauge>();
+  }
+  return *slot.as_gauge;
+}
+
+histogram& registry::get_histogram(const std::string& name,
+                                   const std::string& labels,
+                                   const std::vector<double>& bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entry& slot = entries_[{name, labels}];
+  if (slot.as_histogram == nullptr) {
+    NWDEC_EXPECTS(slot.as_counter == nullptr && slot.as_gauge == nullptr,
+                  "metric '" + name + "' is already registered as a "
+                  "different kind");
+    slot.type = kind::histogram;
+    slot.as_histogram = std::make_unique<histogram>(bounds);
+  }
+  return *slot.as_histogram;
+}
+
+metrics_snapshot registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  metrics_snapshot out;
+  // entries_ is a std::map keyed by (name, labels): iteration is already
+  // the sorted order the stable renderings require.
+  for (const auto& [key, slot] : entries_) {
+    switch (slot.type) {
+      case kind::counter:
+        out.counters.push_back(
+            {key.first, key.second,
+             static_cast<double>(slot.as_counter->value())});
+        break;
+      case kind::gauge:
+        out.gauges.push_back({key.first, key.second, slot.as_gauge->value()});
+        break;
+      case kind::histogram: {
+        histogram_sample sample;
+        sample.name = key.first;
+        sample.labels = key.second;
+        sample.bounds = slot.as_histogram->bounds();
+        sample.buckets = slot.as_histogram->bucket_counts();
+        sample.count = slot.as_histogram->count();
+        sample.sum = slot.as_histogram->sum();
+        out.histograms.push_back(std::move(sample));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double registry::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       created_)
+      .count();
+}
+
+void registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, slot] : entries_) {
+    switch (slot.type) {
+      case kind::counter: slot.as_counter->reset(); break;
+      case kind::gauge: slot.as_gauge->reset(); break;
+      case kind::histogram: slot.as_histogram->reset(); break;
+    }
+  }
+}
+
+registry& registry::global() {
+  static registry instance;
+  return instance;
+}
+
+namespace {
+
+std::string sample_key(const std::string& name, const std::string& labels) {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+void write_sample_group(json_writer& json, const char* group,
+                        const std::vector<metric_sample>& samples) {
+  json.key(group).begin_object();
+  for (const metric_sample& sample : samples) {
+    json.field(sample_key(sample.name, sample.labels), sample.value);
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+void write_json(json_writer& json, const metrics_snapshot& snapshot) {
+  json.begin_object();
+  write_sample_group(json, "counters", snapshot.counters);
+  write_sample_group(json, "gauges", snapshot.gauges);
+  json.key("histograms").begin_object();
+  for (const histogram_sample& sample : snapshot.histograms) {
+    json.key(sample_key(sample.name, sample.labels)).begin_object();
+    json.key("buckets").begin_object();
+    for (std::size_t b = 0; b < sample.buckets.size(); ++b) {
+      const std::string edge = b < sample.bounds.size()
+                                   ? format_double(sample.bounds[b])
+                                   : std::string("+Inf");
+      json.field(edge, sample.buckets[b]);
+    }
+    json.end_object()
+        .field("count", sample.count)
+        .field("sum", sample.sum)
+        .end_object();
+  }
+  json.end_object().end_object();
+}
+
+std::string to_prometheus(const metrics_snapshot& snapshot) {
+  std::ostringstream out;
+  const auto type_line = [&out](const std::string& name, const char* type,
+                                std::string& last_family) {
+    if (name == last_family) return;  // one TYPE line per family
+    out << "# TYPE " << name << " " << type << "\n";
+    last_family = name;
+  };
+  std::string last_family;
+  for (const metric_sample& sample : snapshot.counters) {
+    type_line(sample.name, "counter", last_family);
+    out << sample_key(sample.name, sample.labels) << " "
+        << format_double(sample.value) << "\n";
+  }
+  last_family.clear();
+  for (const metric_sample& sample : snapshot.gauges) {
+    type_line(sample.name, "gauge", last_family);
+    out << sample_key(sample.name, sample.labels) << " "
+        << format_double(sample.value) << "\n";
+  }
+  last_family.clear();
+  for (const histogram_sample& sample : snapshot.histograms) {
+    type_line(sample.name, "histogram", last_family);
+    const std::string extra =
+        sample.labels.empty() ? std::string() : sample.labels + ",";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < sample.buckets.size(); ++b) {
+      cumulative += sample.buckets[b];
+      const std::string edge = b < sample.bounds.size()
+                                   ? format_double(sample.bounds[b])
+                                   : std::string("+Inf");
+      out << sample.name << "_bucket{" << extra << "le=\"" << edge << "\"} "
+          << cumulative << "\n";
+    }
+    out << sample_key(sample.name + "_sum", sample.labels) << " "
+        << format_double(sample.sum) << "\n"
+        << sample_key(sample.name + "_count", sample.labels) << " "
+        << sample.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace nwdec::metrics

@@ -1,0 +1,243 @@
+// PR 8's observability surface, end to end at the protocol layer: the
+// legacy stats wire shape stays byte-identical (regression against the
+// committed smoke golden), the `metrics` verb and the detailed stats
+// block expose the registry, status responses of ran jobs carry the trace
+// span object, recovery warnings emit one NDJSON record each, the global
+// counters track a scripted workload, and the --metrics-port HTTP
+// endpoint answers a real loopback scrape.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dispatch.h"
+#include "api/metrics_http.h"
+#include "api/tcp_transport.h"
+#include "service/durable_store.h"
+#include "service/protocol.h"
+#include "service/sweep_service.h"
+#include "util/log.h"
+#include "util/metrics.h"
+
+namespace nwdec::service {
+namespace {
+
+sweep_service make_service() {
+  return sweep_service(crossbar::crossbar_spec{}, device::paper_technology(),
+                       {});
+}
+
+// The committed smoke workload (tools/service_smoke/requests.ndjson),
+// minus the flush -- enough to reproduce the stats golden.
+const std::vector<std::string> kSmokeScript = {
+    R"({"id": 1, "kind": "sweep", "codes": ["TC", "BGC"], "lengths": [8, 10], "sigmas_vt": [0.04, 0.05], "trials": 60})",
+    R"({"id": 2, "kind": "sweep", "codes": ["TC", "BGC"], "lengths": [8, 10], "sigmas_vt": [0.04, 0.05], "trials": 60})",
+    R"({"id": 3, "kind": "refine", "code": "BGC", "length": 10, "sigma_low": 0.02, "sigma_high": 0.12, "trials": 60, "threshold": 0.5, "resolution": 0.005})",
+};
+
+TEST(ObservabilityStatsTest, LegacyStatsWireShapeIsByteIdentical) {
+  // The exact stats line the committed golden
+  // (tools/service_smoke/golden.ndjson) pins: adding observability must
+  // not perturb one byte of the legacy (non-detail) stats response.
+  const std::string golden =
+      R"({"id":4,"kind":"stats","ok":true,"result":{"mode":"operational",)"
+      R"("seed":"2009","adaptive":false,"store":{"entries":15,)"
+      R"("capacity":65536,"hits":8,"misses":15,"insertions":15,)"
+      R"("evictions":0},"engine":{"designs_built":4,"design_reuses":11,)"
+      R"("plans_built":2,"plan_reuses":2}}})"
+      "\n";
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+  for (const std::string& line : kSmokeScript) handler.handle_line(line);
+  EXPECT_EQ(handler.handle_line(R"({"id": 4, "kind": "stats"})"), golden);
+}
+
+TEST(ObservabilityStatsTest, DetailAddsUptimeQueueDepthAndLatency) {
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+  handler.handle_line(kSmokeScript[0]);
+  const std::string detail =
+      handler.handle_line(R"({"id":9,"kind":"stats","detail":true})");
+  EXPECT_NE(detail.find("\"uptime_ms\":"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("\"queue_depth\":"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("\"job_latency\":{\"count\":"), std::string::npos)
+      << detail;
+  EXPECT_NE(detail.find("\"mean_ms\":"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("\"p50_ms\":"), std::string::npos) << detail;
+  EXPECT_NE(detail.find("\"p99_ms\":"), std::string::npos) << detail;
+}
+
+TEST(ObservabilityMetricsVerbTest, SnapshotsTheRegistryInBand) {
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+  handler.handle_line(kSmokeScript[0]);
+  const std::string response =
+      handler.handle_line(R"({"id":7,"kind":"metrics"})");
+  EXPECT_EQ(response.rfind(R"({"id":7,"kind":"metrics","ok":true,)", 0), 0u)
+      << response;
+  EXPECT_NE(response.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(response.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(response.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(response.find("nwdec_requests_total{kind=\\\"sweep\\\"}"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"nwdec_uptime_seconds\":"), std::string::npos);
+}
+
+TEST(ObservabilityTraceTest, StatusOfARanJobCarriesTheSpanObject) {
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+  const std::string submitted = handler.handle_line(
+      R"({"id":1,"kind":"sweep","codes":["BGC"],"lengths":[8],)"
+      R"("sigmas_vt":[0.05],"trials":60,"async":true})");
+  ASSERT_NE(submitted.find("\"job\":1"), std::string::npos) << submitted;
+  const std::string status =
+      handler.handle_line(R"({"id":2,"kind":"status","job":1,"wait":true})");
+  EXPECT_NE(status.find("\"state\":\"done\""), std::string::npos) << status;
+  EXPECT_NE(status.find("\"trace\":{\"trace_id\":\""), std::string::npos)
+      << status;
+  for (const char* key :
+       {"\"queue_wait_ms\":", "\"batch_jobs\":", "\"batch_points\":",
+        "\"store_lookup_ms\":", "\"engine_ms\":", "\"engine_points\":",
+        "\"mc_trials\":", "\"store_insert_ms\":", "\"wal_append_ms\":",
+        "\"total_ms\":"}) {
+    EXPECT_NE(status.find(key), std::string::npos) << key << "\n" << status;
+  }
+  // The span actually measured the work: one job, one point, 60 trials.
+  EXPECT_NE(status.find("\"batch_points\":1"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"mc_trials\":60"), std::string::npos) << status;
+  // The 16-hex-digit trace id is distinct across jobs (minted per job from
+  // the scheduler's seed, never zero in practice for this workload).
+  const std::size_t id_pos = status.find("\"trace_id\":\"");
+  ASSERT_NE(id_pos, std::string::npos);
+  const std::string trace_id = status.substr(id_pos + 12, 16);
+  EXPECT_EQ(trace_id.find_first_not_of("0123456789abcdef"),
+            std::string::npos)
+      << trace_id;
+}
+
+TEST(ObservabilityCountersTest, StoreCountersTrackAScriptedWorkload) {
+  metrics::registry& reg = metrics::registry::global();
+  metrics::counter& hits = reg.get_counter("nwdec_store_hits_total",
+                                           "class=\"mc\"");
+  metrics::counter& misses = reg.get_counter("nwdec_store_misses_total",
+                                             "class=\"mc\"");
+  const std::uint64_t hits_before = hits.value();
+  const std::uint64_t misses_before = misses.value();
+
+  sweep_service service = make_service();
+  protocol_handler handler(service, "");
+  const std::string request =
+      R"({"id":1,"kind":"sweep","codes":["BGC"],"lengths":[8],)"
+      R"("sigmas_vt":[0.05,0.06],"trials":60})";
+  handler.handle_line(request);  // cold: 2 MC misses
+  handler.handle_line(request);  // warm repeat: 2 MC hits
+  EXPECT_EQ(misses.value() - misses_before, 2u);
+  EXPECT_EQ(hits.value() - hits_before, 2u);
+}
+
+TEST(ObservabilityRecoveryTest, OneNdjsonRecordPerQuarantineWarning) {
+  metrics::counter& warnings_total =
+      metrics::registry::global().get_counter("nwdec_recovery_warnings_total");
+  const std::uint64_t before = warnings_total.value();
+
+  std::ostringstream captured;
+  logging::set_stream(&captured);
+  recovery_report report;
+  report.warnings = {"quarantined snapshot 'cache.json' (bad digest)",
+                     "invalid log tail: 17 bytes dropped"};
+  log_recovery(report);
+  logging::set_stream(nullptr);
+
+  std::vector<std::string> lines;
+  std::istringstream in(captured.str());
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), report.warnings.size());
+  for (std::size_t w = 0; w < lines.size(); ++w) {
+    EXPECT_EQ(lines[w].rfind("{\"ts\":\"", 0), 0u) << lines[w];
+    EXPECT_NE(lines[w].find("\"level\":\"warn\",\"component\":"
+                            "\"durable_store\",\"event\":"
+                            "\"recovery_warning\""),
+              std::string::npos)
+        << lines[w];
+    // Record w carries warning w verbatim -- one record per warning, in
+    // report order.
+    EXPECT_NE(lines[w].find("\"warning\":\"" + report.warnings[w] + "\"}"),
+              std::string::npos)
+        << lines[w];
+  }
+  EXPECT_EQ(warnings_total.value() - before, report.warnings.size());
+
+  // A clean recovery logs nothing and counts nothing.
+  const std::uint64_t after = warnings_total.value();
+  std::ostringstream clean;
+  logging::set_stream(&clean);
+  log_recovery(recovery_report{});
+  logging::set_stream(nullptr);
+  EXPECT_TRUE(clean.str().empty());
+  EXPECT_EQ(warnings_total.value(), after);
+}
+
+// Minimal blocking HTTP client for the scrape endpoint: one request, read
+// to EOF (the single-request transport closes after answering).
+std::string scrape(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                      sizeof(address)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ObservabilityScrapeTest, MetricsPortAnswersALoopbackScrape) {
+  // Seed the registry with at least one metric so the exposition is
+  // non-trivial even when this test runs alone.
+  metrics::registry::global().get_counter("nwdec_requests_total",
+                                          "kind=\"stats\"");
+  api::metrics_http_handler handler;
+  api::tcp_transport transport(0, 16, 5000);
+  transport.set_single_request(true);
+  std::thread server([&] { transport.serve(handler); });
+
+  const std::string ok =
+      scrape(transport.port(), "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(ok.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << ok;
+  EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(ok.find("\r\n\r\n# TYPE "), std::string::npos) << ok;
+  EXPECT_NE(ok.find("nwdec_uptime_seconds"), std::string::npos);
+
+  const std::string missing =
+      scrape(transport.port(), "GET /nope HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << missing;
+
+  const std::string bad = scrape(transport.port(), "POST /metrics\r\n\r\n");
+  EXPECT_EQ(bad.rfind("HTTP/1.0 400 Bad Request\r\n", 0), 0u) << bad;
+
+  transport.shutdown();
+  server.join();
+}
+
+}  // namespace
+}  // namespace nwdec::service

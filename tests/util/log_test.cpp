@@ -1,0 +1,113 @@
+// The structured logger: every record is one NDJSON line with the fixed
+// (ts, level, component, event) prefix, call-site fields render in order
+// and escaped, levels below the sink threshold build nothing, and the
+// test-stream sink captures records without touching stderr.
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nwdec::logging {
+namespace {
+
+// Every test captures into its own stream and restores the defaults.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_stream(&captured_);
+    set_min_level(level::debug);
+  }
+  void TearDown() override {
+    set_stream(nullptr);
+    set_min_level(level::info);
+  }
+
+  std::vector<std::string> lines() const {
+    std::vector<std::string> out;
+    std::istringstream in(captured_.str());
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+  }
+
+  std::ostringstream captured_;
+};
+
+TEST_F(LogTest, RecordIsOneNdjsonLineWithFixedPrefix) {
+  event(level::info, "daemon", "listening").field("port", 4750);
+  const std::vector<std::string> records = lines();
+  ASSERT_EQ(records.size(), 1u);
+  const std::string& line = records[0];
+  EXPECT_EQ(line.rfind("{\"ts\":\"", 0), 0u);
+  EXPECT_NE(line.find("\",\"level\":\"info\",\"component\":\"daemon\","
+                      "\"event\":\"listening\",\"port\":4750}"),
+            std::string::npos)
+      << line;
+}
+
+TEST_F(LogTest, FieldsRenderInCallOrderWithTypedValues) {
+  event(level::warn, "svc", "slow")
+      .field("name", std::string("a\"b"))
+      .field("ms", 12.5)
+      .field("count", 7)
+      .field("terminal", true);
+  const std::vector<std::string> records = lines();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NE(records[0].find("\"event\":\"slow\",\"name\":\"a\\\"b\","
+                            "\"ms\":12.5,\"count\":7,\"terminal\":true}"),
+            std::string::npos)
+      << records[0];
+}
+
+TEST_F(LogTest, RecordsBelowTheThresholdBuildNothing) {
+  set_min_level(level::warn);
+  event(level::debug, "svc", "noise").field("x", 1);
+  event(level::info, "svc", "noise").field("x", 2);
+  event(level::warn, "svc", "kept");
+  event(level::error, "svc", "kept_too");
+  const std::vector<std::string> records = lines();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].find("\"kept\""), std::string::npos);
+  EXPECT_NE(records[1].find("\"kept_too\""), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_min_level(level::off);
+  event(level::error, "svc", "dropped");
+  EXPECT_TRUE(captured_.str().empty());
+}
+
+TEST_F(LogTest, ExplicitEmitIsIdempotent) {
+  {
+    record r = event(level::info, "svc", "once");
+    r.emit();
+    r.emit();  // second call is a no-op; destructor must not re-emit
+  }
+  EXPECT_EQ(lines().size(), 1u);
+}
+
+TEST(LogLevelTest, ParseLevelRoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(parse_level("debug"), level::debug);
+  EXPECT_EQ(parse_level("info"), level::info);
+  EXPECT_EQ(parse_level("warn"), level::warn);
+  EXPECT_EQ(parse_level("error"), level::error);
+  EXPECT_EQ(parse_level("off"), level::off);
+  EXPECT_THROW(parse_level("verbose"), invalid_argument_error);
+  EXPECT_STREQ(level_name(level::warn), "warn");
+}
+
+TEST(LogTimestampTest, TimestampIsIso8601Utc) {
+  const std::string ts = timestamp_utc();
+  ASSERT_EQ(ts.size(), 24u) << ts;
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[23], 'Z');
+}
+
+}  // namespace
+}  // namespace nwdec::logging

@@ -5,20 +5,30 @@
 // line -- over one of two transports sharing one dispatcher (responses are
 // byte-identical either way):
 //
-//   * stdin/stdout (default): diagnostics go to stderr, stdout carries
-//     protocol responses only, so the daemon composes with pipes:
+//   * stdin/stdout (default): diagnostics go to stderr (structured NDJSON
+//     records -- util/log.h; route them to a file with --log-file, tune
+//     with --log-level), stdout carries protocol responses only, so the
+//     daemon composes with pipes:
 //
 //       $ nwdec_service --cache results.json < requests.ndjson > out.ndjson
 //       $ echo '{"id":1,"kind":"sweep","codes":["BGC"],"lengths":[10],
 //                "trials":150}' | nwdec_service
 //
-//   * TCP (--listen <port>, 0 = ephemeral; the bound port is printed to
-//     stderr): any number of concurrent connections, one response stream
-//     per connection; SIGINT/SIGTERM shut down cleanly (and persist the
-//     cache):
+//   * TCP (--listen <port>, 0 = ephemeral; the bound port is in the
+//     "listening" log record): any number of concurrent connections, one
+//     response stream per connection; SIGINT/SIGTERM shut down cleanly
+//     (and persist the cache):
 //
 //       $ nwdec_service --listen 4750 --cache results.json &
 //       $ nc 127.0.0.1 4750 < requests.ndjson
+//
+// Observability: --metrics-port serves the util/metrics registry in
+// Prometheus text format over one-shot HTTP (api/metrics_http.h; works
+// with curl, Prometheus scrapes, and `printf 'GET /metrics\r\n\r\n' |
+// nc`); the same snapshot is available in-band via the "metrics" request
+// kind. Jobs slower than --slow-ms are logged as slow_request warn
+// records with their span breakdown. All telemetry is out-of-band:
+// response payloads are byte-identical with or without it.
 //
 // Requests become jobs on --workers threads; concurrent sweep jobs
 // coalesce their store misses into one engine run. The grammar -- async
@@ -32,9 +42,12 @@
 #include <algorithm>
 #include <csignal>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "api/dispatch.h"
+#include "api/metrics_http.h"
 #include "api/tcp_transport.h"
 #include "api/transport.h"
 #include "service/durable_store.h"
@@ -42,6 +55,7 @@
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/log.h"
 
 namespace {
 
@@ -73,8 +87,8 @@ int main(int argc, char** argv) {
   cli_parser cli("nwdec_service",
                  "long-running sweep daemon: newline-delimited JSON "
                  "requests over stdin/stdout or --listen TCP (kinds: sweep "
-                 "| refine | status | cancel | stats | flush; async jobs, "
-                 "cross-request batching)");
+                 "| refine | status | cancel | stats | flush | metrics; "
+                 "async jobs, cross-request batching)");
   cli.add_string("cache", "",
                  "result-store JSON file: loaded at startup, persisted on "
                  "'flush' requests and at shutdown ('' = in-memory only)");
@@ -108,9 +122,27 @@ int main(int argc, char** argv) {
                  "adaptive stopping target (Wilson CI half-width)");
   cli.add_int("initial-batch", 64, "adaptive first-batch trials");
   cli.add_double("growth", 2.0, "adaptive total-trials growth per round");
+  cli.add_string("log-level", "info",
+                 "minimum level of the structured NDJSON diagnostics "
+                 "(debug | info | warn | error | off)");
+  cli.add_string("log-file", "",
+                 "append NDJSON log records to this file instead of stderr");
+  cli.add_int("metrics-port", -1,
+              "serve Prometheus text-format metrics over HTTP on this "
+              "port (0 = ephemeral; the bound port is in the "
+              "'metrics_listening' log record)");
+  cli.add_int("slow-ms", 1000,
+              "log jobs slower than this many milliseconds as "
+              "'slow_request' warn records (0 = never)");
   if (!cli.parse(argc, argv)) return 0;
 
   try {
+    // Logging first: everything after this line reports through the
+    // structured logger (stderr by default).
+    logging::set_min_level(logging::parse_level(cli.get_string("log-level")));
+    const std::string log_file = cli.get_string("log-file");
+    if (!log_file.empty()) logging::set_file(log_file);
+
     // Fault injection for the crash-safety tests and CI smoke: inert (and
     // free) unless NWDEC_FAILPOINT is set in the environment.
     failpoints::arm_from_env();
@@ -142,20 +174,17 @@ int main(int argc, char** argv) {
       try {
         const service::recovery_report recovered =
             service.enable_durability(cache_path);
-        for (const std::string& warning : recovered.warnings) {
-          std::cerr << "nwdec_service: " << warning << "\n";
-        }
+        service::log_recovery(recovered);
         if (service.stats().entries > 0) {
-          std::cerr << "nwdec_service: warmed " << service.stats().entries
-                    << " results from " << cache_path;
-          if (recovered.log_records > 0) {
-            std::cerr << " (" << recovered.log_records << " from the log)";
-          }
-          std::cerr << "\n";
+          logging::event(logging::level::info, "daemon", "warmed")
+              .field("entries", service.stats().entries)
+              .field("cache", cache_path)
+              .field("log_records", recovered.log_records);
         }
       } catch (const std::exception& failure) {
-        std::cerr << "nwdec_service: durability disabled ("
-                  << failure.what() << ")\n";
+        logging::event(logging::level::warn, "daemon", "durability_disabled")
+            .field("error", failure.what())
+            .field("cache", cache_path);
       }
     }
 
@@ -168,7 +197,30 @@ int main(int argc, char** argv) {
       dispatch_options.retain_finished =
           std::max<std::size_t>(1, get_size(cli, "retain"));
       dispatch_options.max_queued = get_size(cli, "max-queued");
+      dispatch_options.slow_request_ms = get_size(cli, "slow-ms");
       api::dispatcher dispatcher(service, dispatch_options);
+
+      // The Prometheus scrape endpoint: a second listener sharing the
+      // tcp_transport machinery in single-request (HTTP-style) mode,
+      // served from its own thread so it answers while the main
+      // transport blocks in its accept/read loop.
+      const std::int64_t metrics_port = cli.get_int("metrics-port");
+      std::unique_ptr<api::tcp_transport> metrics_transport;
+      api::metrics_http_handler metrics_handler;
+      std::thread metrics_thread;
+      if (metrics_port >= 0) {
+        if (metrics_port > 65535) {
+          throw invalid_argument_error("--metrics-port must be <= 65535");
+        }
+        metrics_transport = std::make_unique<api::tcp_transport>(
+            static_cast<std::uint16_t>(metrics_port), 16, 10000);
+        metrics_transport->set_single_request(true);
+        logging::event(logging::level::info, "daemon", "metrics_listening")
+            .field("port", metrics_transport->port());
+        metrics_thread = std::thread([&metrics_transport, &metrics_handler] {
+          metrics_transport->serve(metrics_handler);
+        });
+      }
 
       if (listen >= 0) {
         if (listen > 65535) {
@@ -181,8 +233,8 @@ int main(int argc, char** argv) {
         }
         api::tcp_transport transport(static_cast<std::uint16_t>(listen), 64,
                                      static_cast<int>(idle_timeout));
-        std::cerr << "nwdec_service: listening on port " << transport.port()
-                  << "\n";
+        logging::event(logging::level::info, "daemon", "listening")
+            .field("port", transport.port());
         g_shutdown_fd = transport.shutdown_fd();
         std::signal(SIGINT, on_signal);
         std::signal(SIGTERM, on_signal);
@@ -191,6 +243,10 @@ int main(int argc, char** argv) {
       } else {
         api::stdio_transport transport(std::cin, std::cout);
         exit_code = transport.serve(dispatcher);
+      }
+      if (metrics_transport) {
+        metrics_transport->shutdown();
+        metrics_thread.join();
       }
       // The dispatcher (and its scheduler workers) drain here, before the
       // final persistence snapshot below.
@@ -201,12 +257,14 @@ int main(int argc, char** argv) {
     // and writing it out here would wipe the file the flush just persisted.
     if (!cache_path.empty() && service.stats().entries > 0) {
       service.save_cache(cache_path);
-      std::cerr << "nwdec_service: persisted " << service.stats().entries
-                << " results to " << cache_path << "\n";
+      logging::event(logging::level::info, "daemon", "persisted")
+          .field("entries", service.stats().entries)
+          .field("cache", cache_path);
     }
     return exit_code;
   } catch (const std::exception& failure) {
-    std::cerr << "nwdec_service: " << failure.what() << "\n";
+    logging::event(logging::level::error, "daemon", "fatal")
+        .field("error", failure.what());
     return 1;
   }
 }
