@@ -41,7 +41,8 @@ dispatcher::dispatcher(service::sweep_service& service, options opts)
     : service_(service),
       cache_path_(std::move(opts.cache_path)),
       scheduler_(service, {opts.workers, opts.retain_finished,
-                           opts.max_queued, opts.slow_request_ms}) {}
+                           opts.max_queued, opts.slow_request_ms,
+                           opts.dedup_window}) {}
 
 std::string dispatcher::handle_line(const std::string& line) {
   json_value id;  // null until the request parses far enough to carry one
@@ -59,6 +60,9 @@ std::string dispatcher::handle_line(const std::string& line) {
   } catch (const overloaded_error& failure) {
     metrics::registry::global().get_counter("nwdec_request_errors_total").inc();
     return error_response_json(id, failure.what(), "overloaded");
+  } catch (const conflict_error& failure) {
+    metrics::registry::global().get_counter("nwdec_request_errors_total").inc();
+    return error_response_json(id, failure.what(), "request_id_conflict");
   } catch (const std::exception& failure) {
     metrics::registry::global().get_counter("nwdec_request_errors_total").inc();
     return error_response_json(id, failure.what());
@@ -85,9 +89,12 @@ std::string dispatcher::sync_response(const json_value& id,
   if (job.status.state != job_state::done) {
     // Only a scheduler shutdown releases a synchronous wait before the
     // job is terminal; answer honestly instead of rendering an empty
-    // payload as success.
+    // payload as success. The job never ran, so "draining" tells a
+    // resilient client the request is safe to retry against the
+    // restarted daemon.
     return error_response_json(
-        id, "the service is shutting down before the job could run");
+        id, "the service is shutting down before the job could run",
+        "draining");
   }
   if (job.status.kind == "sweep") {
     json_writer json = begin_response(id, "sweep");
@@ -108,12 +115,28 @@ std::string dispatcher::sync_response(const json_value& id,
   return json.end_object().str();
 }
 
-std::string dispatcher::handle(const sweep_request& request) {
-  const json_value& id = request.header.client_id;
-  const std::uint64_t job = scheduler_.submit(request);
-  if (request.header.async_submit) {
-    json_writer json = begin_response(id, "sweep");
-    json.field("async", true).field("job", job).field("state", "queued");
+// Shared submit path of the two job kinds: async submissions answer the
+// job id immediately, synchronous ones wait for the terminal snapshot. A
+// request_id retry deduplicated onto an existing job reports that job's
+// CURRENT state (it may already be running or done) plus
+// "deduplicated": true; first-time submissions keep their exact legacy
+// bytes, so the committed golden is unchanged.
+std::string dispatcher::submit_job(const request& parsed, const char* kind) {
+  const json_value& id = header_of(parsed).client_id;
+  bool deduplicated = false;
+  const std::uint64_t job = scheduler_.submit(parsed, &deduplicated);
+  if (header_of(parsed).async_submit) {
+    json_writer json = begin_response(id, kind);
+    json.field("async", true).field("job", job);
+    if (deduplicated) {
+      const std::optional<job_result> existing = scheduler_.inspect(job);
+      json.field("state", existing.has_value()
+                              ? job_state_name(existing->status.state)
+                              : "forgotten")
+          .field("deduplicated", true);
+    } else {
+      json.field("state", "queued");
+    }
     return json.end_object().str();
   }
   const std::optional<job_result> done = scheduler_.wait(job);
@@ -123,19 +146,12 @@ std::string dispatcher::handle(const sweep_request& request) {
   return sync_response(id, *done);
 }
 
+std::string dispatcher::handle(const sweep_request& request) {
+  return submit_job(request, "sweep");
+}
+
 std::string dispatcher::handle(const refine_request& request) {
-  const json_value& id = request.header.client_id;
-  const std::uint64_t job = scheduler_.submit(request);
-  if (request.header.async_submit) {
-    json_writer json = begin_response(id, "refine");
-    json.field("async", true).field("job", job).field("state", "queued");
-    return json.end_object().str();
-  }
-  const std::optional<job_result> done = scheduler_.wait(job);
-  if (!done.has_value()) {
-    return error_response_json(id, "the job result expired unfetched");
-  }
-  return sync_response(id, *done);
+  return submit_job(request, "refine");
 }
 
 std::string dispatcher::handle(const status_request& request) {
@@ -280,6 +296,10 @@ std::string dispatcher::handle(const stats_request& request) {
         .field("running", jobs.running)
         .field("sweep_batches", jobs.sweep_batches)
         .field("sweep_jobs_batched", jobs.sweep_jobs_batched)
+        // Appended strictly after the PR 5 keys (the detail-consumer
+        // byte-prefix discipline): request_id retries answered with an
+        // existing job instead of a duplicate.
+        .field("deduplicated", jobs.deduplicated)
         .end_object();
     // Observability detail (appended strictly AFTER the PR 5 detail keys,
     // so existing detail consumers keep their byte prefixes): process

@@ -49,6 +49,9 @@ class dispatcher final : public line_handler {
     /// Jobs whose submit->terminal wall exceeds this are logged as
     /// `slow_request` warn records (0 = never; the daemon's --slow-ms).
     std::size_t slow_request_ms = 1000;
+    /// request_id idempotency keys remembered for duplicate-submit
+    /// detection (the daemon's --dedup-window; 0 disables).
+    std::size_t dedup_window = 4096;
   };
 
   explicit dispatcher(service::sweep_service& service);
@@ -59,6 +62,9 @@ class dispatcher final : public line_handler {
   job_scheduler& scheduler() { return scheduler_; }
 
  private:
+  /// Shared sweep/refine submission path (async reply or synchronous
+  /// wait; request_id retries report their existing job).
+  std::string submit_job(const request& parsed, const char* kind);
   std::string handle(const sweep_request& request);
   std::string handle(const refine_request& request);
   std::string handle(const status_request& request);
@@ -76,9 +82,21 @@ class dispatcher final : public line_handler {
 
 /// The "ok": false response every failure renders to. A non-empty `code`
 /// appends a machine-readable "code" member after "error" (the legacy
-/// shape is a byte-prefix of the coded one, so old clients keep parsing):
-/// "overloaded" (queue bound shed the job), "timed_out" (deadline
-/// expired), "idle_timeout" (transport closed an idle connection).
+/// shape is a byte-prefix of the coded one, so old clients keep parsing).
+/// The code vocabulary, by retry class:
+///   * retryable as-is, after backoff -- "overloaded" (queue bound shed
+///     the job);
+///   * retryable on a fresh connection -- "idle_timeout" (transport
+///     closed an idle connection), "read_timeout" (a request line was
+///     left incomplete past the read deadline), "too_many_connections"
+///     (the accept cap shed the connection), "draining" (the daemon
+///     shut down before the job could run -- retry lands on the
+///     restarted instance);
+///   * NOT retryable as-is -- "timed_out" (the job's own deadline
+///     expired), "payload_too_large" (request line over the transport's
+///     byte cap), "request_id_conflict" (idempotency key reused with a
+///     different payload).
+/// api::resilient_client implements exactly this classification.
 std::string error_response_json(const json_value& id,
                                 const std::string& what,
                                 const std::string& code = "");

@@ -123,6 +123,9 @@ struct scheduler_stats {
   std::size_t cancelled = 0;
   std::size_t timed_out = 0;  ///< deadlines that expired (queued or running)
   std::size_t shed = 0;       ///< submissions rejected by the queue bound
+  /// Submissions answered by the request_id dedup window with an EXISTING
+  /// job instead of a new one (retries after a reset land here).
+  std::size_t deduplicated = 0;
   std::size_t queued = 0;   ///< currently waiting
   std::size_t running = 0;  ///< currently executing (cancelling included)
   /// Cross-request batching: every batch is one sweep_service evaluation

@@ -30,6 +30,7 @@ struct scheduler_metrics {
   metrics::counter& cancelled;
   metrics::counter& timed_out;
   metrics::counter& shed;
+  metrics::counter& deduplicated;
   metrics::counter& sweep_batches;
   metrics::counter& sweep_jobs_batched;
   metrics::gauge& queued;
@@ -48,6 +49,7 @@ struct scheduler_metrics {
           reg.get_counter("nwdec_jobs_cancelled_total"),
           reg.get_counter("nwdec_jobs_timed_out_total"),
           reg.get_counter("nwdec_jobs_shed_total"),
+          reg.get_counter("nwdec_jobs_deduplicated_total"),
           reg.get_counter("nwdec_sweep_batches_total"),
           reg.get_counter("nwdec_sweep_jobs_batched_total"),
           reg.get_gauge("nwdec_jobs_queued"),
@@ -143,7 +145,31 @@ job_scheduler::~job_scheduler() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-std::uint64_t job_scheduler::submit(request parsed) {
+std::uint64_t job_scheduler::submit(request parsed, bool* deduplicated) {
+  if (deduplicated != nullptr) *deduplicated = false;
+  // The idempotency payload: the request's canonical wire form with the
+  // envelope members that do not change the work (the echoed "id", the
+  // async flag) normalized away -- so a retry over a fresh connection
+  // with a new envelope id still matches its original submission, while
+  // any change to the actual work (grid, trials, priority, deadline) is
+  // a different payload and conflicts.
+  std::string dedup_key;
+  std::string dedup_payload;
+  if (options_.dedup_window > 0 &&
+      (std::holds_alternative<sweep_request>(parsed) ||
+       std::holds_alternative<refine_request>(parsed)) &&
+      !header_of(parsed).request_id.empty()) {
+    request normalized = parsed;
+    std::visit(
+        [](auto& r) {
+          r.header.client_id = json_value();
+          r.header.async_submit = false;
+        },
+        normalized);
+    dedup_key = header_of(parsed).request_id;
+    dedup_payload = to_json(normalized);
+  }
+
   auto record = std::make_shared<job_record>();
   std::size_t timeout_ms = 0;
   if (const sweep_request* sweep = std::get_if<sweep_request>(&parsed)) {
@@ -173,6 +199,25 @@ std::uint64_t job_scheduler::submit(request parsed) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     NWDEC_EXPECTS(!stopping_, "the job scheduler is shutting down");
+    // Idempotent retry detection comes FIRST -- before the queue bound --
+    // because answering a retry with its existing job creates no new
+    // work: shedding it would punish exactly the client the dedup window
+    // exists to protect.
+    if (!dedup_key.empty()) {
+      const auto found = dedup_.find(dedup_key);
+      if (found != dedup_.end()) {
+        if (found->second.payload != dedup_payload) {
+          throw conflict_error(
+              "request_id '" + dedup_key +
+              "' was already used by a different request; retries must "
+              "resend the original payload (or pick a fresh request_id)");
+        }
+        ++stats_.deduplicated;
+        scheduler_metrics::get().deduplicated.inc();
+        if (deduplicated != nullptr) *deduplicated = true;
+        return found->second.job;
+      }
+    }
     // Load shedding: a bounded queue turns overload into an explicit,
     // retryable error instead of unbounded memory growth and ever-worse
     // latency. Shed before allocating an id so rejected submissions
@@ -193,6 +238,19 @@ std::uint64_t job_scheduler::submit(request parsed) {
     id = next_id_++;
     record->id = id;
     record->trace.trace_id = rng::counter_seed(trace_seed_, id);
+    if (!dedup_key.empty()) {
+      // Remember the submission (bounded FIFO): once the window rolls a
+      // key out, a very late retry becomes a fresh job -- which is safe,
+      // just not free, because the result store still answers its points
+      // from cache.
+      dedup_.emplace(dedup_key,
+                     dedup_entry{id, std::move(dedup_payload)});
+      dedup_order_.push_back(std::move(dedup_key));
+      while (dedup_order_.size() > options_.dedup_window) {
+        dedup_.erase(dedup_order_.front());
+        dedup_order_.pop_front();
+      }
+    }
     jobs_.emplace(id, record);
     queue_.emplace(-record->priority, id);
     ++stats_.submitted;
@@ -281,6 +339,33 @@ cancel_outcome job_scheduler::cancel(std::uint64_t id) {
     return cancel_outcome::cancelling;
   }
   return cancel_outcome::finished;
+}
+
+std::size_t job_scheduler::cancel_all() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t touched = 0;
+  // Queued jobs first. finish() runs the retention trim, which mutates
+  // jobs_, so collect the ids before finishing any of them.
+  std::vector<std::uint64_t> waiting;
+  waiting.reserve(queue_.size());
+  for (const auto& [neg_priority, id] : queue_) waiting.push_back(id);
+  queue_.clear();
+  for (const std::uint64_t id : waiting) {
+    const auto found = jobs_.find(id);
+    if (found == jobs_.end()) continue;
+    finish(*found->second, job_state::cancelled);
+    ++touched;
+  }
+  for (const auto& entry : jobs_) {
+    job_record& job = *entry.second;
+    if (job.state == job_state::running) {
+      job.cancel_requested.store(true, std::memory_order_relaxed);
+      job.state = job_state::cancelling;
+      ++touched;
+    }
+  }
+  if (touched > 0) done_cv_.notify_all();
+  return touched;
 }
 
 scheduler_stats job_scheduler::stats() const {

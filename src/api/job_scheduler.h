@@ -75,6 +75,11 @@ class job_scheduler {
     /// `slow_request` warn record with its full span breakdown
     /// (0 = never log). Strictly out-of-band, like all tracing.
     std::size_t slow_request_ms = 1000;
+    /// request_id idempotency keys remembered for duplicate-submit
+    /// detection: the most recent this many submissions carrying a
+    /// request_id are deduplicated (oldest keys evicted first). 0
+    /// disables the window entirely (every submit enqueues).
+    std::size_t dedup_window = 4096;
   };
 
   explicit job_scheduler(service::sweep_service& service);
@@ -87,7 +92,15 @@ class job_scheduler {
   /// invalid_argument_error for the other request kinds (they are served
   /// inline by the dispatcher, not queued) and overloaded_error when the
   /// queue bound sheds the submission (no job is created then).
-  std::uint64_t submit(request job);
+  ///
+  /// Idempotency: a request carrying header.request_id is checked against
+  /// the dedup window FIRST -- a remembered key with an identical payload
+  /// returns the existing job's id (no new job, no shedding;
+  /// `*deduplicated` is set true when the caller passed it), and a
+  /// remembered key with a different payload throws conflict_error
+  /// without side effects. Exactly-once submission semantics for clients
+  /// that retry after a connection reset ate the response.
+  std::uint64_t submit(request job, bool* deduplicated = nullptr);
 
   /// Snapshot of a job (result payload included once done); nullopt for
   /// an unknown -- or already-forgotten -- id.
@@ -102,6 +115,13 @@ class job_scheduler {
   /// cooperative cancellation (it stops at its next between-batch check).
   /// See cancel_outcome for the four possible answers.
   cancel_outcome cancel(std::uint64_t id);
+
+  /// Cancels every non-terminal job at once: queued jobs finish
+  /// cancelled immediately, running jobs get the cooperative flag.
+  /// Returns how many jobs were touched. The daemon's drain deadline
+  /// calls this so a connection thread blocked in a synchronous wait()
+  /// is released instead of pinning the process past its drain budget.
+  std::size_t cancel_all();
 
   scheduler_stats stats() const;
 
@@ -133,6 +153,15 @@ class job_scheduler {
   std::map<std::uint64_t, std::shared_ptr<job_record>> jobs_;
   std::deque<std::uint64_t> finished_;  ///< retention ring, oldest first
   scheduler_stats stats_;
+  /// The request_id dedup window: key -> (job id, canonical payload).
+  /// The payload is kept verbatim (not hashed) so a key collision with
+  /// different work is detected exactly, never probabilistically.
+  struct dedup_entry {
+    std::uint64_t job = 0;
+    std::string payload;
+  };
+  std::map<std::string, dedup_entry> dedup_;
+  std::deque<std::string> dedup_order_;  ///< eviction ring, oldest first
 
   std::vector<std::thread> workers_;
 };

@@ -7,38 +7,66 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "util/error.h"
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/net.h"
 
 namespace nwdec::api {
 
 namespace {
 
-// Full-buffer send; MSG_NOSIGNAL so a client that hung up surfaces as an
-// error return instead of SIGPIPE. Returns false once the peer is gone.
-bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
+struct transport_metrics {
+  metrics::counter& accepted;
+  metrics::gauge& active;
+  metrics::counter& shed;
+  metrics::counter& idle_timeouts;
+  metrics::counter& read_timeouts;
+  metrics::counter& oversized;
+  metrics::counter& drains;
+  metrics::counter& drain_forced;
+  metrics::gauge& drain_seconds;
+
+  static transport_metrics& get() {
+    static transport_metrics instance = [] {
+      metrics::registry& reg = metrics::registry::global();
+      return transport_metrics{
+          reg.get_counter("nwdec_connections_accepted_total"),
+          reg.get_gauge("nwdec_connections_active"),
+          reg.get_counter("nwdec_connections_shed_total"),
+          reg.get_counter("nwdec_connections_closed_total",
+                          "reason=\"idle_timeout\""),
+          reg.get_counter("nwdec_connections_closed_total",
+                          "reason=\"read_timeout\""),
+          reg.get_counter("nwdec_connections_closed_total",
+                          "reason=\"payload_too_large\""),
+          reg.get_counter("nwdec_drain_total"),
+          reg.get_counter("nwdec_drain_forced_connections_total"),
+          reg.get_gauge("nwdec_drain_seconds")};
+    }();
+    return instance;
   }
-  return true;
-}
+};
 
 }  // namespace
 
 tcp_transport::tcp_transport(std::uint16_t port, int backlog,
                              int idle_timeout_ms)
-    : idle_timeout_ms_(idle_timeout_ms) {
+    : tcp_transport(port, backlog, [&] {
+        tcp_limits limits;
+        limits.idle_timeout_ms = idle_timeout_ms;
+        return limits;
+      }()) {}
+
+tcp_transport::tcp_transport(std::uint16_t port, int backlog,
+                             tcp_limits limits)
+    : limits_(limits) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw error("tcp_transport: cannot create socket");
   const int one = 1;
@@ -105,72 +133,171 @@ int tcp_transport::serve(line_handler& handler) {
       // Register before the thread exists so serve()'s drain barrier can
       // never miss a connection that is about to start.
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (limits_.max_connections > 0 &&
+          active_ >= limits_.max_connections) {
+        // Accept-shedding: past the cap every connection thread we could
+        // start is one a hostile peer could pin, so answer with the
+        // retry-on-a-fresh-connection code and close inline -- the
+        // error line is tiny, so the one blocking send here cannot stall
+        // the accept loop the way serving the connection would.
+        transport_metrics::get().shed.inc();
+        net::send_all(client,
+                      error_response_json(
+                          json_value(),
+                          "connection limit (" +
+                              std::to_string(limits_.max_connections) +
+                              ") reached; retry after backoff",
+                          "too_many_connections"));
+        ::close(client);
+        continue;
+      }
       clients_.push_back(client);
       ++active_;
+      transport_metrics::get().accepted.inc();
+      transport_metrics::get().active.set(static_cast<double>(active_));
     }
     std::thread([this, client, &handler] {
       serve_connection(client, handler);
     }).detach();
   }
 
-  // Unblock every connection thread (their reads return 0), then wait for
-  // the last one to deregister -- `handler` and `this` must outlive them.
   std::unique_lock<std::mutex> lock(mutex_);
+  if (limits_.drain_ms > 0 && active_ > 0) {
+    // Graceful drain: half-close every connection -- their reads return
+    // 0, so each thread answers what it already buffered and exits --
+    // and give in-flight requests up to drain_ms to finish before the
+    // hard close below. Responses still flow during the window (only
+    // the read side is shut).
+    transport_metrics::get().drains.inc();
+    logging::event(logging::level::info, "tcp", "draining")
+        .field("connections", active_)
+        .field("drain_ms", limits_.drain_ms);
+    const auto drain_start = std::chrono::steady_clock::now();
+    for (const int client : clients_) ::shutdown(client, SHUT_RD);
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(limits_.drain_ms),
+                      [this] { return active_ == 0; });
+    const std::size_t stragglers = active_;
+    if (stragglers > 0) {
+      transport_metrics::get().drain_forced.inc(stragglers);
+      logging::event(logging::level::warn, "tcp", "drain_deadline")
+          .field("forced", stragglers);
+      if (drain_deadline_action_) {
+        // A force-closed socket cannot unblock a thread waiting inside a
+        // synchronous evaluation; the action (the daemon wires it to
+        // cancel every outstanding job) releases those cooperatively.
+        lock.unlock();
+        drain_deadline_action_();
+        lock.lock();
+      }
+    }
+    transport_metrics::get().drain_seconds.set(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      drain_start)
+            .count());
+  }
+  // Unblock every remaining connection thread (reads AND writes fail
+  // from here), then wait for the last one to deregister -- `handler`
+  // and `this` must outlive them.
   for (const int client : clients_) ::shutdown(client, SHUT_RDWR);
   idle_cv_.wait(lock, [this] { return active_ == 0; });
   return 0;
 }
 
 void tcp_transport::serve_connection(int client, line_handler& handler) {
-  // Hard cap on one pending request line: the socket is unauthenticated,
-  // so a peer streaming bytes without ever sending a newline must cost
-  // bounded memory -- past the cap it gets an error line and the
-  // connection closes. Real requests are a few hundred bytes; the largest
-  // sane grids are well under this.
-  constexpr std::size_t max_line_bytes = std::size_t{4} << 20;  // 4 MiB
+  using clock = std::chrono::steady_clock;
   std::string buffer;
   char chunk[4096];
   bool peer_gone = false;
   bool answered = false;
+  // When the buffered partial line started (slowloris clock); reset every
+  // time the buffer drains back to empty.
+  clock::time_point partial_since{};
   const auto answer = [&](std::string line) {
     if (!line.empty() && line.back() == '\r') line.pop_back();  // nc/telnet
     if (line.empty()) return;
-    if (!send_all(client, handler.handle_line(line))) peer_gone = true;
+    if (!net::send_all(client, handler.handle_line(line))) peer_gone = true;
     answered = true;
   };
   for (;;) {
-    if (idle_timeout_ms_ > 0) {
-      // Bound how long a silent peer may hold this connection thread (and
-      // its fd): poll before blocking in read, and on expiry say why the
-      // connection is closing -- a client stuck mid-request deserves a
-      // diagnosis, not a silent RST.
-      pollfd waiting{client, POLLIN, 0};
-      const int ready = ::poll(&waiting, 1, idle_timeout_ms_);
-      if (ready < 0 && errno == EINTR) continue;
-      if (ready == 0) {
-        send_all(client,
-                 "{\"id\":null,\"ok\":false,\"error\":\"connection idle for "
-                 "too long; closing\",\"code\":\"idle_timeout\"}\n");
+    // Bound how long a peer may hold this connection thread (and its fd)
+    // without progress: poll before blocking in read, and on expiry say
+    // why the connection is closing -- a client stuck mid-request
+    // deserves a diagnosis, not a silent RST. Two clocks run here: the
+    // idle clock resets on every received byte; the read-deadline clock
+    // only resets when a full line arrives, so a slowloris peer dribbling
+    // one byte per poll still runs out of budget.
+    int wait_ms = limits_.idle_timeout_ms > 0 ? limits_.idle_timeout_ms : -1;
+    if (!buffer.empty() && limits_.read_deadline_ms > 0) {
+      const auto deadline =
+          partial_since + std::chrono::milliseconds(limits_.read_deadline_ms);
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 deadline - clock::now())
+                                 .count();
+      if (remaining <= 0) {
+        transport_metrics::get().read_timeouts.inc();
+        net::send_all(client,
+                      error_response_json(
+                          json_value(),
+                          "request line incomplete past the read deadline; "
+                          "closing connection",
+                          "read_timeout"));
+        // The peer was just told this line never completed; answering its
+        // fragments after that would contradict the diagnosis.
+        buffer.clear();
         break;
       }
+      if (wait_ms < 0 || remaining < wait_ms)
+        wait_ms = static_cast<int>(remaining);
+    }
+    if (wait_ms >= 0) {
+      pollfd waiting{client, POLLIN, 0};
+      const int ready = ::poll(&waiting, 1, wait_ms);
+      if (ready < 0 && errno == EINTR) continue;
       if (ready < 0) break;
+      if (ready == 0) {
+        if (!buffer.empty() && limits_.read_deadline_ms > 0) {
+          // Could be either clock; loop back so the deadline check above
+          // decides (and emits the read_timeout line if it expired).
+          continue;
+        }
+        transport_metrics::get().idle_timeouts.inc();
+        net::send_all(client,
+                      error_response_json(json_value(),
+                                          "connection idle for too long; "
+                                          "closing",
+                                          "idle_timeout"));
+        buffer.clear();  // never answer fragments after announcing a close
+        break;
+      }
     }
     const ssize_t n = ::read(client, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
+    if (buffer.empty()) partial_since = clock::now();
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t newline = 0;
     while (!peer_gone && !(single_request_ && answered) &&
            (newline = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
+      partial_since = clock::now();  // the next line's budget starts now
       answer(std::move(line));
     }
     if (single_request_ && answered) break;
-    if (buffer.size() > max_line_bytes) {
-      send_all(client,
-               "{\"id\":null,\"ok\":false,\"error\":\"request line exceeds "
-               "the 4 MiB limit; closing connection\"}\n");
+    if (buffer.size() > limits_.max_request_bytes) {
+      // Hard cap on one pending request line: a peer streaming bytes
+      // without ever sending a newline must cost bounded memory. Real
+      // requests are a few hundred bytes; the largest sane grids are
+      // well under the 4 MiB default.
+      transport_metrics::get().oversized.inc();
+      net::send_all(
+          client,
+          error_response_json(
+              json_value(),
+              "request line exceeds the " +
+                  std::to_string(limits_.max_request_bytes) +
+                  " byte limit; closing connection",
+              "payload_too_large"));
       buffer.clear();
       break;
     }
@@ -194,7 +321,8 @@ void tcp_transport::serve_connection(int client, line_handler& handler) {
       }
     }
     --active_;
-    if (active_ == 0) idle_cv_.notify_all();
+    transport_metrics::get().active.set(static_cast<double>(active_));
+    idle_cv_.notify_all();
   }
   ::close(client);
 }

@@ -9,11 +9,32 @@
 // engine run). Responses are byte-identical to the stdio transport's --
 // the dispatcher is shared and the CI smoke diffs the two.
 //
+// Self-protection (tcp_limits): the socket is unauthenticated, so every
+// per-connection resource is bounded and every bound closes with a
+// machine-readable error line (never a silent RST):
+//   * idle_timeout_ms  -- a peer that sends no bytes for this long gets
+//     "code": "idle_timeout" and the connection closes;
+//   * read_deadline_ms -- a peer that starts a request line but never
+//     finishes it (slowloris: one byte per poll keeps the idle clock
+//     happy forever) gets "code": "read_timeout" once the partial line is
+//     this old;
+//   * max_request_bytes -- a request line past this many bytes gets
+//     "code": "payload_too_large" (bounded memory per connection);
+//   * max_connections  -- an accept past this many live connections is
+//     answered "code": "too_many_connections" and closed immediately
+//     (bounded threads/fds; the client retries after backoff).
+//
 // Shutdown: shutdown() (thread-safe, idempotent) stops the accept loop,
 // unblocks every connection, and makes serve() return after joining the
 // connection threads. shutdown_fd() exposes the write end of the internal
 // wake pipe so a signal handler can request the same with a single
-// async-signal-safe write().
+// async-signal-safe write(). With drain_ms > 0 shutdown is graceful:
+// serve() first half-closes every connection (SHUT_RD -- buffered and
+// in-flight requests still get their responses) and waits up to drain_ms
+// for them to finish before force-closing the stragglers; the optional
+// drain-deadline action (the daemon wires it to cancel outstanding jobs)
+// runs when the window expires so a stuck evaluation cannot pin the
+// process past its drain budget.
 //
 //   $ nwdec_service --listen 4750 &
 //   $ printf '%s\n' '{"id":1,"kind":"sweep","codes":["BGC"],
@@ -21,7 +42,9 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -29,15 +52,33 @@
 
 namespace nwdec::api {
 
+/// Per-connection resource bounds (see the header comment for the error
+/// code each bound answers with). The defaults keep the PR 4 behavior:
+/// no timeouts, no connection cap, a 4 MiB line cap, immediate shutdown.
+struct tcp_limits {
+  /// Close a connection that sends no bytes for this long (0 = never).
+  int idle_timeout_ms = 0;
+  /// Close a connection whose partial request line is this old (0 =
+  /// never). Defeats slowloris peers that dribble bytes forever.
+  int read_deadline_ms = 0;
+  /// Error out a request line past this many bytes.
+  std::size_t max_request_bytes = std::size_t{4} << 20;  // 4 MiB
+  /// Shed accepts past this many live connections (0 = unbounded).
+  std::size_t max_connections = 0;
+  /// Graceful-drain window on shutdown: half-close connections, wait
+  /// this long for in-flight requests to finish, then force-close
+  /// (0 = force-close immediately, the PR 4 behavior).
+  int drain_ms = 0;
+};
+
 class tcp_transport final : public transport {
  public:
   /// Binds and listens immediately (so port() is valid before serve());
   /// port 0 picks an ephemeral port. Throws nwdec::error on any socket
-  /// failure. idle_timeout_ms > 0 closes a connection that sends no bytes
-  /// for that long (after one final "code": "idle_timeout" error line), so
-  /// silent peers cannot pin connection threads forever; 0 disables.
+  /// failure.
   explicit tcp_transport(std::uint16_t port, int backlog = 64,
                          int idle_timeout_ms = 0);
+  tcp_transport(std::uint16_t port, int backlog, tcp_limits limits);
   ~tcp_transport() override;
   tcp_transport(const tcp_transport&) = delete;
   tcp_transport& operator=(const tcp_transport&) = delete;
@@ -64,6 +105,16 @@ class tcp_transport final : public transport {
   /// ignored instead of answered as garbage. Set before serve().
   void set_single_request(bool on) { single_request_ = on; }
 
+  /// Runs when the drain window expires with connections still busy --
+  /// before they are force-closed. The daemon points this at the
+  /// scheduler's cancel_all() so a connection thread blocked inside a
+  /// long synchronous evaluation is released cooperatively (a force-
+  /// closed socket alone cannot unblock a thread waiting on a job).
+  /// Set before serve(); called without transport locks held.
+  void set_drain_deadline_action(std::function<void()> action) {
+    drain_deadline_action_ = std::move(action);
+  }
+
  private:
   void serve_connection(int client, line_handler& handler);
 
@@ -71,8 +122,9 @@ class tcp_transport final : public transport {
   int wake_read_ = -1;
   int wake_write_ = -1;
   std::uint16_t port_ = 0;
-  int idle_timeout_ms_ = 0;  ///< 0 = never time out idle connections
+  tcp_limits limits_;
   bool single_request_ = false;  ///< close after the first answered line
+  std::function<void()> drain_deadline_action_;
 
   // Connection threads run detached (a long-lived daemon must not hoard
   // one joinable thread per connection ever served); serve() instead

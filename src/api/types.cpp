@@ -49,6 +49,19 @@ request_header parse_header(const json_value& root) {
   // rejects garbage (a u64-max "timeout" is a client bug, not a wish).
   NWDEC_EXPECTS(header.timeout_ms <= 86'400'000,
                 "'timeout_ms' must be at most 86400000 (24 hours)");
+  if (const json_value* found = root.find("request_id")) {
+    header.request_id = found->as_string();
+    // Visible-ASCII-only, bounded: the key is compared byte for byte and
+    // echoed into diagnostics, so control bytes and unbounded blobs are
+    // client bugs worth rejecting at the door.
+    NWDEC_EXPECTS(!header.request_id.empty() &&
+                      header.request_id.size() <= 128,
+                  "'request_id' must be 1..128 characters");
+    for (const char c : header.request_id) {
+      NWDEC_EXPECTS(c >= 0x21 && c <= 0x7e,
+                    "'request_id' must be visible ASCII (0x21..0x7e)");
+    }
+  }
   return header;
 }
 
@@ -217,6 +230,9 @@ void write_header(json_writer& json, const request_header& header,
   if (header.async_submit) json.field("async", true);
   if (header.priority != 0) json.field("priority", header.priority);
   if (header.timeout_ms != 0) json.field("timeout_ms", header.timeout_ms);
+  if (!header.request_id.empty()) {
+    json.field("request_id", header.request_id);
+  }
 }
 
 void write_defects(json_writer& json, const fab::defect_params& defects) {

@@ -10,11 +10,20 @@
 // Request grammar (one JSON object per line; every request may carry
 // "id" (echoed verbatim in the response), "async" (submit and return the
 // job id immediately -- sweep/refine only), "priority" (higher runs
-// first; default 0), and "timeout_ms" (sweep/refine deadline in
+// first; default 0), "timeout_ms" (sweep/refine deadline in
 // milliseconds from submission; 0 = none. A job whose deadline expires
 // while queued, or that a running evaluation observes between batches,
 // terminates in the "timed_out" state and synchronous requests get an
-// error response with "code": "timed_out")):
+// error response with "code": "timed_out"), and "request_id" (a
+// client-chosen idempotency key for sweep/refine, 1..128 visible ASCII
+// characters. Submitting a request whose request_id matches a recent
+// submission with the SAME payload returns the EXISTING job instead of
+// enqueueing a duplicate -- the safe way to retry a submit after a
+// connection reset that ate the response. The scheduler remembers the
+// most recent submissions in a bounded window (the daemon's
+// --dedup-window, default 4096 keys, oldest evicted first); reusing a
+// remembered key with a DIFFERENT payload is rejected with
+// "code": "request_id_conflict". Ignored by the inline kinds)):
 //
 //   {"id": 1, "kind": "sweep", "codes": ["TC", "BGC"], "radix": 2,
 //    "lengths": [8, 10], "nanowires": [20], "sigmas_vt": [0.04, 0.05],
@@ -77,6 +86,12 @@ struct request_header {
   /// (0 = none): expired jobs terminate "timed_out" instead of running
   /// to completion. Ignored by the inline kinds (status/cancel/...).
   std::size_t timeout_ms = 0;
+  /// Idempotency key for sweep/refine submissions ('' = none): retrying
+  /// a submit with the same key and payload returns the existing job
+  /// instead of enqueueing a duplicate; the same key with a different
+  /// payload is rejected with "code": "request_id_conflict" (see the
+  /// header comment). Ignored by the inline kinds.
+  std::string request_id;
 };
 
 /// One "sweep" request in wire form (the grid axes exactly as the client

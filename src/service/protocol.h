@@ -24,6 +24,21 @@
 // "stats" {"detail": true} uptime/queue-depth/latency summaries. All of
 // it is out-of-band: result payloads and the golden are unchanged.
 //
+// PR 9 hardens the protocol for hostile networks. Sweep/refine
+// submissions may carry "request_id" (1-128 visible-ASCII characters,
+// grammar in api/types.h): a retried submission whose key is in the
+// scheduler's bounded dedup window maps to the EXISTING job (sync
+// retries answer byte-identically; async retries report the same job id
+// plus "deduplicated": true), and a reused key with different work is
+// refused with "code": "request_id_conflict". Error responses carry a
+// machine-readable "code" after "error"; the retry classes (documented
+// at api::error_response_json in api/dispatch.h) are: "overloaded" ->
+// back off and retry on the same connection; "idle_timeout" |
+// "read_timeout" | "too_many_connections" | "draining" -> retry on a
+// fresh connection; "timed_out" | "payload_too_large" |
+// "request_id_conflict" -> do not retry. api::resilient_client
+// implements exactly this ladder.
+//
 // Worked examples, including driving the socket transport with nc, live in
 // bench/README.md.
 //

@@ -64,6 +64,16 @@ class overloaded_error : public error {
   explicit overloaded_error(const std::string& what) : error(what) {}
 };
 
+/// A request reused an idempotency key (request_id) with a DIFFERENT
+/// payload than the submission that registered it: the retry-vs-new-work
+/// question cannot be answered safely, so the request is rejected without
+/// side effects. Unlike overloaded_error this is not retryable as-is --
+/// the client must pick a fresh request_id (or resend the original bytes).
+class conflict_error : public error {
+ public:
+  explicit conflict_error(const std::string& what) : error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] void throw_expects_failure(const char* condition, const char* file,

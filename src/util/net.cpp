@@ -1,0 +1,112 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+namespace nwdec::net {
+
+bool send_all(int fd, const void* data, std::size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_all(int fd, const std::string& data) {
+  return send_all(fd, data.data(), data.size());
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port,
+                int connect_timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    errno = EINVAL;
+    return -1;
+  }
+  if (connect_timeout_ms <= 0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return -1;
+    }
+    return fd;
+  }
+  // Bounded connect: go non-blocking, start the handshake, poll for
+  // writability, then read SO_ERROR for the real outcome.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int started = ::connect(
+      fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+  if (started != 0 && errno != EINPROGRESS) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  if (started != 0) {
+    pollfd waiting{fd, POLLOUT, 0};
+    const int ready = ::poll(&waiting, 1, connect_timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      errno = ready == 0 ? ETIMEDOUT : errno;
+      return -1;
+    }
+    int error = 0;
+    socklen_t length = sizeof(error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &length) != 0 ||
+        error != 0) {
+      ::close(fd);
+      errno = error != 0 ? error : errno;
+      return -1;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return fd;
+}
+
+long read_some(int fd, void* buffer, std::size_t size, int timeout_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  int remaining = timeout_ms;
+  for (;;) {
+    if (timeout_ms >= 0) {
+      pollfd waiting{fd, POLLIN, 0};
+      const int ready = ::poll(&waiting, 1, remaining);
+      if (ready == 0) return -2;
+      if (ready < 0) {
+        if (errno != EINTR) return -1;
+        // Retry with whatever budget the interrupted poll left.
+        const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+        remaining = timeout_ms - static_cast<int>(waited.count());
+        if (remaining <= 0) return -2;
+        continue;
+      }
+    }
+    const ssize_t n = ::read(fd, buffer, size);
+    if (n < 0 && errno == EINTR) continue;
+    return static_cast<long>(n);
+  }
+}
+
+}  // namespace nwdec::net

@@ -1,0 +1,164 @@
+// request_id idempotency: a retried submission whose key is in the dedup
+// window maps to the EXISTING job (same id, same bytes) instead of
+// re-running; a reused key with different work is a distinct error code;
+// old keys fall out of the bounded window. This is the server half of
+// the exactly-once story -- api::resilient_client is the client half.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/dispatch.h"
+#include "service/sweep_service.h"
+#include "util/json.h"
+
+namespace nwdec::api {
+namespace {
+
+service::sweep_service make_service() {
+  return service::sweep_service(crossbar::crossbar_spec{},
+                                device::paper_technology(), {});
+}
+
+dispatcher::options small_options(std::size_t dedup_window = 4096) {
+  dispatcher::options options;
+  options.workers = 1;
+  options.dedup_window = dedup_window;
+  return options;
+}
+
+std::string sweep_line(const std::string& request_id,
+                       const std::string& id = "1", int trials = 60) {
+  return R"({"id":)" + id + R"(,"kind":"sweep","request_id":")" +
+         request_id + R"(","codes":["BGC"],"lengths":[8],)" +
+         R"("sigmas_vt":[0.05],"trials":)" + std::to_string(trials) + "}";
+}
+
+std::uint64_t job_of(const std::string& response) {
+  const json_value root = json_parse(response);
+  const json_value* job = root.find("job");
+  EXPECT_NE(job, nullptr) << response;
+  return job == nullptr ? 0 : static_cast<std::uint64_t>(job->as_number());
+}
+
+TEST(IdempotencyTest, SyncRetryReturnsByteIdenticalResponse) {
+  service::sweep_service service = make_service();
+  dispatcher dispatch(service, small_options());
+  const std::string first = dispatch.handle_line(sweep_line("key-1"));
+  const std::string retry = dispatch.handle_line(sweep_line("key-1"));
+  EXPECT_EQ(first, retry);
+  EXPECT_NE(first.find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(dispatch.scheduler().stats().deduplicated, 1u);
+  // One job, not two: the retry never re-ran anything.
+  EXPECT_EQ(dispatch.scheduler().stats().submitted, 1u);
+}
+
+TEST(IdempotencyTest, AsyncRetryReportsTheExistingJob) {
+  service::sweep_service service = make_service();
+  dispatcher dispatch(service, small_options());
+  const std::string submit = R"({"id":1,"kind":"sweep","async":true,)"
+                             R"("request_id":"async-1","codes":["BGC"],)"
+                             R"("lengths":[8],"sigmas_vt":[0.05],)"
+                             R"("trials":60})";
+  const std::string first = dispatch.handle_line(submit);
+  const std::string retry = dispatch.handle_line(submit);
+  EXPECT_EQ(job_of(first), job_of(retry));
+  EXPECT_NE(retry.find("\"deduplicated\":true"), std::string::npos) << retry;
+  EXPECT_EQ(first.find("\"deduplicated\""), std::string::npos) << first;
+}
+
+TEST(IdempotencyTest, DifferentEnvelopeIdStillDeduplicates) {
+  // The envelope "id" is the client's correlation tag for ONE connection;
+  // a retry over a fresh connection picks a new one. Only the work is
+  // keyed, so the retry still maps to the existing job.
+  service::sweep_service service = make_service();
+  dispatcher dispatch(service, small_options());
+  dispatch.handle_line(sweep_line("key-2", "1"));
+  dispatch.handle_line(sweep_line("key-2", "99"));
+  EXPECT_EQ(dispatch.scheduler().stats().deduplicated, 1u);
+  EXPECT_EQ(dispatch.scheduler().stats().submitted, 1u);
+}
+
+TEST(IdempotencyTest, ReusedKeyWithDifferentWorkIsAConflict) {
+  service::sweep_service service = make_service();
+  dispatcher dispatch(service, small_options());
+  dispatch.handle_line(sweep_line("key-3", "1", 60));
+  const std::string conflict = dispatch.handle_line(sweep_line("key-3", "2", 80));
+  EXPECT_NE(conflict.find("\"ok\":false"), std::string::npos) << conflict;
+  EXPECT_NE(conflict.find("\"code\":\"request_id_conflict\""),
+            std::string::npos)
+      << conflict;
+  // The conflict had no side effects: the original mapping still answers.
+  EXPECT_EQ(dispatch.handle_line(sweep_line("key-3", "1", 60)),
+            dispatch.handle_line(sweep_line("key-3", "1", 60)));
+}
+
+TEST(IdempotencyTest, WindowEvictsOldestKeysFirst)
+{
+  service::sweep_service service = make_service();
+  dispatcher dispatch(service, small_options(/*dedup_window=*/2));
+  dispatch.handle_line(sweep_line("evict-a", "1", 50));
+  dispatch.handle_line(sweep_line("evict-b", "2", 55));
+  dispatch.handle_line(sweep_line("evict-c", "3", 60));  // evicts a
+  // "a" fell out of the window: its retry is a fresh submission (and a
+  // conflicting reuse of the evicted key is no longer detectable -- the
+  // window is a bounded memory, not a ledger).
+  dispatch.handle_line(sweep_line("evict-a", "4", 50));
+  const scheduler_stats stats = dispatch.scheduler().stats();
+  EXPECT_EQ(stats.deduplicated, 0u);
+  EXPECT_EQ(stats.submitted, 4u);
+}
+
+TEST(IdempotencyTest, ZeroWindowDisablesDedup) {
+  service::sweep_service service = make_service();
+  dispatcher dispatch(service, small_options(/*dedup_window=*/0));
+  dispatch.handle_line(sweep_line("off-1"));
+  dispatch.handle_line(sweep_line("off-1"));
+  EXPECT_EQ(dispatch.scheduler().stats().deduplicated, 0u);
+  EXPECT_EQ(dispatch.scheduler().stats().submitted, 2u);
+}
+
+TEST(IdempotencyTest, RequestIdGrammarIsEnforced) {
+  service::sweep_service service = make_service();
+  dispatcher dispatch(service, small_options());
+  // Empty.
+  EXPECT_NE(dispatch
+                .handle_line(R"({"id":1,"kind":"sweep","request_id":"",)"
+                             R"("codes":["BGC"],"lengths":[8],)"
+                             R"("sigmas_vt":[0.05],"trials":60})")
+                .find("\"ok\":false"),
+            std::string::npos);
+  // Over 128 characters.
+  EXPECT_NE(dispatch.handle_line(sweep_line(std::string(129, 'x')))
+                .find("\"ok\":false"),
+            std::string::npos);
+  // Non-visible-ASCII (a space).
+  EXPECT_NE(dispatch.handle_line(sweep_line("has space"))
+                .find("\"ok\":false"),
+            std::string::npos);
+  // 128 visible-ASCII characters is the inclusive maximum.
+  EXPECT_NE(dispatch.handle_line(sweep_line(std::string(128, 'k')))
+                .find("\"ok\":true"),
+            std::string::npos);
+}
+
+TEST(IdempotencyTest, StatsDetailCountsDeduplicatedSubmissions) {
+  service::sweep_service service = make_service();
+  dispatcher dispatch(service, small_options());
+  dispatch.handle_line(sweep_line("stat-1"));
+  dispatch.handle_line(sweep_line("stat-1"));
+  const std::string stats =
+      dispatch.handle_line(R"({"id":9,"kind":"stats","detail":true})");
+  EXPECT_NE(stats.find("\"deduplicated\":1"), std::string::npos) << stats;
+}
+
+TEST(IdempotencyTest, RequestIdRoundTripsThroughTheWireTypes) {
+  const request parsed =
+      parse_request(json_parse(sweep_line("round-trip-1")));
+  const std::string rendered = to_json(parsed);
+  const json_value reparsed = json_parse(rendered);
+  ASSERT_NE(reparsed.find("request_id"), nullptr) << rendered;
+  EXPECT_EQ(reparsed.find("request_id")->as_string(), "round-trip-1");
+}
+
+}  // namespace
+}  // namespace nwdec::api

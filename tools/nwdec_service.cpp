@@ -109,6 +109,25 @@ int main(int argc, char** argv) {
   cli.add_int("idle-timeout", 300000,
               "TCP connections silent for this many milliseconds are "
               "closed with an 'idle_timeout' error line (0 = never)");
+  cli.add_int("read-deadline", 30000,
+              "TCP connections whose partial request line is this many "
+              "milliseconds old are closed with a 'read_timeout' error "
+              "line -- slowloris peers dribbling bytes cannot pin a "
+              "connection thread (0 = never)");
+  cli.add_int("max-request-bytes", 4 << 20,
+              "request lines past this many bytes get a "
+              "'payload_too_large' error line and the connection closes");
+  cli.add_int("max-connections", 0,
+              "TCP accepts past this many live connections are answered "
+              "'too_many_connections' and closed (0 = unbounded)");
+  cli.add_int("drain-ms", 5000,
+              "graceful-drain window on SIGINT/SIGTERM: stop accepting, "
+              "give in-flight requests this long to finish, cancel the "
+              "stragglers, persist, exit (0 = close immediately)");
+  cli.add_int("dedup-window", 4096,
+              "request_id idempotency keys remembered for duplicate-submit "
+              "detection: a retried submit whose key is in the window "
+              "returns the existing job instead of re-running (0 = off)");
   cli.add_int("threads", 0, "engine worker threads (0 = hardware)");
   cli.add_int("seed", 2009,
               "base seed (a point's result is a pure function of the seed, "
@@ -198,6 +217,7 @@ int main(int argc, char** argv) {
           std::max<std::size_t>(1, get_size(cli, "retain"));
       dispatch_options.max_queued = get_size(cli, "max-queued");
       dispatch_options.slow_request_ms = get_size(cli, "slow-ms");
+      dispatch_options.dedup_window = get_size(cli, "dedup-window");
       api::dispatcher dispatcher(service, dispatch_options);
 
       // The Prometheus scrape endpoint: a second listener sharing the
@@ -231,8 +251,22 @@ int main(int argc, char** argv) {
           throw invalid_argument_error(
               "--idle-timeout must be at most 86400000 ms (24 hours)");
         }
+        api::tcp_limits limits;
+        limits.idle_timeout_ms = static_cast<int>(idle_timeout);
+        limits.read_deadline_ms =
+            static_cast<int>(get_size(cli, "read-deadline"));
+        limits.max_request_bytes = get_size(cli, "max-request-bytes");
+        limits.max_connections = get_size(cli, "max-connections");
+        limits.drain_ms = static_cast<int>(get_size(cli, "drain-ms"));
         api::tcp_transport transport(static_cast<std::uint16_t>(listen), 64,
-                                     static_cast<int>(idle_timeout));
+                                     limits);
+        // A drain window that expires with requests still running cancels
+        // the outstanding jobs cooperatively -- their synchronous waiters
+        // are released, the connection threads exit, and shutdown
+        // persistence (below) runs within the drain budget instead of
+        // blocking on an arbitrarily long evaluation.
+        transport.set_drain_deadline_action(
+            [&dispatcher] { dispatcher.scheduler().cancel_all(); });
         logging::event(logging::level::info, "daemon", "listening")
             .field("port", transport.port());
         g_shutdown_fd = transport.shutdown_fd();
