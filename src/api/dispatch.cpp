@@ -2,6 +2,7 @@
 
 #include <exception>
 
+#include "api/events.h"
 #include "service/refine.h"
 #include "util/error.h"
 #include "util/failpoint.h"
@@ -96,22 +97,11 @@ std::string dispatcher::sync_response(const json_value& id,
         id, "the service is shutting down before the job could run",
         "draining");
   }
-  if (job.status.kind == "sweep") {
-    json_writer json = begin_response(id, "sweep");
-    json.field("cached", job.sweep->cached)
-        .field("computed", job.sweep->computed);
-    if (job.report_topped_up || job.sweep->topped_up > 0) {
-      json.field("topped_up", job.sweep->topped_up);
-    }
-    json.key("result");
-    service::write_payload(json, *job.sweep);
-    return json.end_object().str();
-  }
-  json_writer json = begin_response(id, "refine");
-  json.field("evaluations", job.refined->evaluations)
-      .field("cached", job.refined->cached);
-  json.key("result");
-  service::write_payload(json, *job.refined);
+  json_writer json = begin_response(
+      id, job.status.kind == "sweep" ? "sweep" : "refine");
+  write_result_fields(json, result_payload{job.status.kind, job.sweep,
+                                           job.refined,
+                                           job.report_topped_up});
   return json.end_object().str();
 }
 
@@ -123,12 +113,29 @@ std::string dispatcher::sync_response(const json_value& id,
 // bytes, so the committed golden is unchanged.
 std::string dispatcher::submit_job(const request& parsed, const char* kind) {
   const json_value& id = header_of(parsed).client_id;
-  bool deduplicated = false;
-  const std::uint64_t job = scheduler_.submit(parsed, &deduplicated);
+  // Store-aware admission applies to synchronous sweeps only: async
+  // submissions and refines need a job id, so they always enqueue.
+  const bool allow_inline = !header_of(parsed).async_submit &&
+                            std::holds_alternative<sweep_request>(parsed);
+  const submit_outcome outcome =
+      scheduler_.submit_or_serve(parsed, allow_inline);
+  if (outcome.inline_sweep != nullptr) {
+    // Answered inline from the store: render exactly the synchronous
+    // done-job shape, so a warm response is byte-identical whether a
+    // worker produced it or admission short-circuited it.
+    job_result served;
+    served.status.state = job_state::done;
+    served.status.kind = "sweep";
+    served.sweep = outcome.inline_sweep;
+    served.report_topped_up =
+        std::get<sweep_request>(parsed).min_half_width > 0.0;
+    return sync_response(id, served);
+  }
+  const std::uint64_t job = outcome.job;
   if (header_of(parsed).async_submit) {
     json_writer json = begin_response(id, kind);
     json.field("async", true).field("job", job);
-    if (deduplicated) {
+    if (outcome.deduplicated) {
       const std::optional<job_result> existing = scheduler_.inspect(job);
       json.field("state", existing.has_value()
                               ? job_state_name(existing->status.state)
@@ -198,20 +205,9 @@ std::string dispatcher::handle(const status_request& request) {
       job->status.state == job_state::timed_out) {
     json.field("error", job->status.error);
   } else if (job->status.state == job_state::done) {
-    if (job->status.kind == "sweep") {
-      json.field("cached", job->sweep->cached)
-          .field("computed", job->sweep->computed);
-      if (job->report_topped_up || job->sweep->topped_up > 0) {
-        json.field("topped_up", job->sweep->topped_up);
-      }
-      json.key("result");
-      service::write_payload(json, *job->sweep);
-    } else {
-      json.field("evaluations", job->refined->evaluations)
-          .field("cached", job->refined->cached);
-      json.key("result");
-      service::write_payload(json, *job->refined);
-    }
+    write_result_fields(json, result_payload{job->status.kind, job->sweep,
+                                             job->refined,
+                                             job->report_topped_up});
   }
   return json.end_object().str();
 }
@@ -298,8 +294,10 @@ std::string dispatcher::handle(const stats_request& request) {
         .field("sweep_jobs_batched", jobs.sweep_jobs_batched)
         // Appended strictly after the PR 5 keys (the detail-consumer
         // byte-prefix discipline): request_id retries answered with an
-        // existing job instead of a duplicate.
+        // existing job instead of a duplicate, then sweeps answered
+        // inline by store-aware admission (strictly after again).
         .field("deduplicated", jobs.deduplicated)
+        .field("answered_inline", jobs.answered_inline)
         .end_object();
     // Observability detail (appended strictly AFTER the PR 5 detail keys,
     // so existing detail consumers keep their byte prefixes): process
@@ -340,6 +338,66 @@ std::string dispatcher::handle(const metrics_request& request) {
   json.key("result");
   metrics::write_json(json, registry.snapshot());
   return json.end_object().str();
+}
+
+std::string dispatcher::handle(const subscribe_request& request) {
+  // Reachable only through handle_line(): a transport that cannot
+  // interleave pushed lines (the one-in/one-out contract) has no place
+  // to deliver a stream, so answering the ack and silently dropping the
+  // events would be worse than refusing.
+  return error_response_json(
+      request.header.client_id,
+      "subscribe requires a streaming transport (socket or HTTP SSE); "
+      "this transport answers exactly one line per request");
+}
+
+void dispatcher::handle_stream(const std::string& line, line_sink& sink) {
+  // Only "subscribe" diverges from the one-in/one-out path. Sniff the
+  // kind; on ANY failure fall through to handle_line(), which renders
+  // the same diagnostics it always has -- so malformed subscribes and
+  // every other kind behave exactly as before.
+  try {
+    const json_value root = json_parse(line);
+    if (root.is_object()) {
+      const json_value* kind = root.find("kind");
+      if (kind != nullptr && kind->as_string() == "subscribe") {
+        const request parsed = parse_request(root);
+        metrics::registry::global()
+            .get_counter("nwdec_requests_total", "kind=\"subscribe\"")
+            .inc();
+        serve_subscription(std::get<subscribe_request>(parsed), sink);
+        return;
+      }
+    }
+  } catch (const std::exception&) {
+    // handle_line() below re-raises and renders the diagnostic.
+  }
+  sink.write(handle_line(line));
+}
+
+void dispatcher::serve_subscription(const subscribe_request& request,
+                                    line_sink& sink) {
+  const json_value& id = request.header.client_id;
+  const std::shared_ptr<event_subscription> events =
+      scheduler_.subscribe(request.job, request.from_seq);
+  if (events == nullptr) {
+    sink.write(error_response_json(
+        id, "unknown job id " + std::to_string(request.job) +
+                " (never submitted, or already forgotten)"));
+    return;
+  }
+  json_writer ack = begin_response(id, "subscribe");
+  ack.field("job", request.job);
+  if (request.from_seq != 0) ack.field("from", request.from_seq);
+  if (!sink.write(ack.end_object().str())) return;
+  for (;;) {
+    const std::optional<job_event> event = events->next(200);
+    if (event.has_value()) {
+      if (!sink.write(event->line)) return;  // peer gone: stop pumping
+      continue;
+    }
+    if (events->closed()) return;  // terminal / evicted / drained
+  }
 }
 
 std::string dispatcher::handle(const flush_request& request) {

@@ -1,0 +1,32 @@
+#include "api/events.h"
+
+namespace nwdec::api {
+
+void write_result_fields(json_writer& json, const result_payload& payload) {
+  if (payload.kind == "sweep") {
+    json.field("cached", payload.sweep->cached)
+        .field("computed", payload.sweep->computed);
+    if (payload.report_topped_up || payload.sweep->topped_up > 0) {
+      json.field("topped_up", payload.sweep->topped_up);
+    }
+    json.key("result");
+    service::write_payload(json, *payload.sweep);
+    return;
+  }
+  json.field("evaluations", payload.refined->evaluations)
+      .field("cached", payload.refined->cached);
+  json.key("result");
+  service::write_payload(json, *payload.refined);
+}
+
+std::string json_fragment(const std::function<void(json_writer&)>& fill) {
+  json_writer json(json_writer::style::compact);
+  json.begin_object();
+  fill(json);
+  json.end_object();
+  const std::string text = json.str();  // "{...}\n"
+  if (text.size() <= 3) return "";      // "{}\n": nothing to splice
+  return "," + text.substr(1, text.size() - 3);
+}
+
+}  // namespace nwdec::api

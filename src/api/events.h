@@ -1,0 +1,42 @@
+// api::events -- the one renderer behind every view of a finished job.
+//
+// A done job's wire body ("cached"/"computed"[/"topped_up"] or
+// "evaluations"/"cached", then "result": <payload>) is rendered in
+// exactly one place so the synchronous response, the terminal `status`
+// body, the `done` push event, and the SSE terminal frame can never
+// drift: the acceptance contract is that the result payload a subscriber
+// receives is byte-identical to the one `status {"wait": true}` returns.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "service/refine.h"
+#include "service/sweep_service.h"
+#include "util/json.h"
+
+namespace nwdec::api {
+
+/// The immutable result of a done job, decoupled from the scheduler's
+/// bookkeeping records so event closures can capture it by value (the
+/// payloads are shared_ptr-held and set exactly once at completion).
+struct result_payload {
+  std::string kind;  ///< "sweep" | "refine"
+  std::shared_ptr<const service::sweep_response> sweep;
+  std::shared_ptr<const service::refine_result> refined;
+  /// True when the submitting sweep asked for a CI target: the wrapper
+  /// then always reports the topped_up count (even when it is 0).
+  bool report_topped_up = false;
+};
+
+/// Writes the provenance counters + "result" payload of a done job into
+/// an already-open object scope.
+void write_result_fields(json_writer& json, const result_payload& payload);
+
+/// Renders `fill`'s fields as a compact object-body fragment: ","-led,
+/// brace-free, newline-free -- ready to splice into an event line after
+/// the envelope members. An empty object renders "".
+std::string json_fragment(const std::function<void(json_writer&)>& fill);
+
+}  // namespace nwdec::api

@@ -1,0 +1,245 @@
+#include "api/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace nwdec::api::http {
+
+namespace {
+
+bool iequals(const std::string& a, const std::string& b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+std::string trimmed(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t')) ++begin;
+  while (end > begin &&
+         (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+          text[end - 1] == '\r')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::string request::header(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return value;
+  }
+  return "";
+}
+
+std::string request::path() const {
+  const std::size_t query = target.find('?');
+  return query == std::string::npos ? target : target.substr(0, query);
+}
+
+std::string request::query_param(const std::string& name) const {
+  const std::size_t query = target.find('?');
+  if (query == std::string::npos) return "";
+  std::size_t cursor = query + 1;
+  while (cursor < target.size()) {
+    std::size_t end = target.find('&', cursor);
+    if (end == std::string::npos) end = target.size();
+    const std::size_t equals = target.find('=', cursor);
+    if (equals != std::string::npos && equals < end &&
+        target.compare(cursor, equals - cursor, name) == 0) {
+      return target.substr(equals + 1, end - equals - 1);
+    }
+    cursor = end + 1;
+  }
+  return "";
+}
+
+request_parser::request_parser(std::size_t max_bytes)
+    : max_bytes_(max_bytes) {}
+
+void request_parser::fail(int status, std::string reason) {
+  phase_ = phase::failed;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+}
+
+request_parser::phase request_parser::consume(const char* data,
+                                              std::size_t size) {
+  if (phase_ == phase::complete || phase_ == phase::failed) return phase_;
+  buffer_.append(data, size);
+  advance();
+  return phase_;
+}
+
+// Parses the head lines in buffer_[0, head_end). Returns false after
+// fail()ing.
+bool request_parser::parse_head(std::size_t head_end) {
+  // Request line: METHOD SP TARGET SP VERSION. Tolerate a bare-LF
+  // terminator (head_end already excludes it); strip a trailing CR.
+  std::size_t line_end = buffer_.find('\n');
+  std::string line = buffer_.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  parsed_.method = line.substr(0, sp1);
+  parsed_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  parsed_.version = trimmed(line.substr(sp2 + 1));
+  if (parsed_.method.empty() || parsed_.target.empty() ||
+      parsed_.target[0] != '/') {
+    fail(400, "malformed request line");
+    return false;
+  }
+  if (parsed_.version != "HTTP/1.1" && parsed_.version != "HTTP/1.0") {
+    fail(505, "only HTTP/1.1 and HTTP/1.0 are supported");
+    return false;
+  }
+  // Header lines until the blank line.
+  std::size_t cursor = line_end + 1;
+  while (cursor < head_end) {
+    std::size_t next = buffer_.find('\n', cursor);
+    if (next == std::string::npos || next > head_end) next = head_end;
+    std::string field = buffer_.substr(cursor, next - cursor);
+    if (!field.empty() && field.back() == '\r') field.pop_back();
+    cursor = next + 1;
+    if (field.empty()) break;
+    const std::size_t colon = field.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      fail(400, "malformed header line");
+      return false;
+    }
+    parsed_.headers.emplace_back(field.substr(0, colon),
+                                 trimmed(field.substr(colon + 1)));
+  }
+  // Connection semantics.
+  const std::string connection = parsed_.header("Connection");
+  if (parsed_.version == "HTTP/1.0") {
+    parsed_.keep_alive = iequals(connection, "keep-alive");
+  } else {
+    parsed_.keep_alive = !iequals(connection, "close");
+  }
+  // Body framing: Content-Length only. Transfer-Encoding would demand a
+  // dechunker for request bodies nothing sends; refuse it explicitly.
+  if (!parsed_.header("Transfer-Encoding").empty()) {
+    fail(411, "Transfer-Encoding request bodies are not supported; send "
+              "a Content-Length");
+    return false;
+  }
+  const std::string length = parsed_.header("Content-Length");
+  body_needed_ = 0;
+  if (!length.empty()) {
+    std::size_t value = 0;
+    for (const char c : length) {
+      if (c < '0' || c > '9' || value > (std::size_t{1} << 40)) {
+        fail(400, "malformed Content-Length");
+        return false;
+      }
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    body_needed_ = value;
+  }
+  return true;
+}
+
+void request_parser::advance() {
+  if (phase_ == phase::head) {
+    // The head ends at the first blank line (CRLFCRLF, or bare LFLF).
+    std::size_t head_end = std::string::npos;
+    std::size_t head_len = 0;
+    const std::size_t crlf = buffer_.find("\r\n\r\n");
+    const std::size_t lflf = buffer_.find("\n\n");
+    if (crlf != std::string::npos &&
+        (lflf == std::string::npos || crlf + 1 < lflf)) {
+      head_end = crlf;
+      head_len = crlf + 4;
+    } else if (lflf != std::string::npos) {
+      head_end = lflf;
+      head_len = lflf + 2;
+    }
+    if (head_end == std::string::npos) {
+      if (max_bytes_ > 0 && buffer_.size() > max_bytes_) {
+        fail(413, "request head exceeds the transport's byte cap");
+      }
+      return;
+    }
+    if (!parse_head(head_end + 1)) return;
+    buffer_.erase(0, head_len);
+    if (max_bytes_ > 0 && body_needed_ > max_bytes_) {
+      fail(413, "request body exceeds the transport's byte cap");
+      return;
+    }
+    phase_ = phase::body;
+  }
+  if (phase_ == phase::body) {
+    if (buffer_.size() < body_needed_) return;
+    parsed_.body = buffer_.substr(0, body_needed_);
+    buffer_.erase(0, body_needed_);
+    phase_ = phase::complete;
+  }
+}
+
+void request_parser::reset() {
+  parsed_ = request{};
+  body_needed_ = 0;
+  error_status_ = 0;
+  error_reason_.clear();
+  phase_ = phase::head;
+  // Re-parse pipelined leftovers already buffered.
+  if (!buffer_.empty()) advance();
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Status";
+  }
+}
+
+std::string response(int status, const std::string& content_type,
+                     const std::string& body, bool keep_alive,
+                     const std::vector<std::string>& extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    reason_phrase(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const std::string& header : extra_headers) {
+    out += header + "\r\n";
+  }
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+int status_for_code(const std::string& code, bool ok) {
+  if (ok) return 200;
+  if (code == "overloaded" || code == "draining" ||
+      code == "too_many_connections") {
+    return 503;
+  }
+  if (code == "payload_too_large") return 413;
+  if (code == "read_timeout" || code == "idle_timeout") return 408;
+  if (code == "timed_out") return 504;
+  if (code == "request_id_conflict") return 409;
+  return 400;
+}
+
+}  // namespace nwdec::api::http

@@ -1,0 +1,106 @@
+// api::http -- a minimal, allocation-conscious HTTP/1.1 message layer:
+// an incremental request parser plus response assembly. No sockets here;
+// http_transport owns the I/O and feeds bytes in as they arrive, so the
+// parser must accept arbitrary split points (a request head fragmented
+// across reads, pipelined requests arriving in one).
+//
+// Deliberately small surface: origin-form targets, Content-Length bodies
+// only (Transfer-Encoding is refused with 411 -- the service's request
+// bodies are NDJSON lines whose size the client always knows), bare-LF
+// tolerance on header lines, and a hard byte cap shared with the raw
+// NDJSON transport's max_request_bytes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nwdec::api::http {
+
+/// One parsed request. Header names are matched case-insensitively by
+/// header(); values are returned with surrounding whitespace trimmed.
+struct request {
+  std::string method;   ///< uppercase on the wire ("GET", "POST", ...)
+  std::string target;   ///< origin-form, query string included
+  std::string version;  ///< "HTTP/1.1" (or "HTTP/1.0")
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection semantics after this exchange: HTTP/1.1 defaults to
+  /// keep-alive unless "Connection: close"; HTTP/1.0 defaults to close
+  /// unless "Connection: keep-alive".
+  bool keep_alive = true;
+
+  /// First value of a header, matched case-insensitively; "" when absent.
+  std::string header(const std::string& name) const;
+  /// The target's path, query string stripped ("/v1/rpc?x=1" -> "/v1/rpc").
+  std::string path() const;
+  /// A query parameter's (percent-decoding-free) value; "" when absent.
+  std::string query_param(const std::string& name) const;
+};
+
+/// Incremental request parser. Feed bytes with consume(); once state()
+/// is complete, take result() and reset() -- leftover bytes past the
+/// request (pipelining) carry over into the next cycle. A failed parse
+/// reports the HTTP status to answer with (400/411/413/505) and a
+/// one-line reason; the connection must close after answering.
+class request_parser {
+ public:
+  enum class phase { head, body, complete, failed };
+
+  /// `max_bytes` bounds the whole request (head + body), sharing the
+  /// transport's max_request_bytes budget; 0 = unbounded.
+  explicit request_parser(std::size_t max_bytes);
+
+  /// Appends bytes and advances the parse as far as they allow.
+  phase consume(const char* data, std::size_t size);
+
+  phase state() const { return phase_; }
+  /// True while NO byte of the next request has arrived -- the idle/
+  /// read-deadline boundary, exactly like the NDJSON transport's "blank
+  /// line buffer" condition.
+  bool idle() const { return phase_ == phase::head && buffer_.empty(); }
+
+  /// The parsed request; valid only in phase::complete.
+  const request& result() const { return parsed_; }
+
+  /// Failure verdict; valid only in phase::failed.
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// Clears the completed/failed request and re-parses any leftover
+  /// pipelined bytes (so state() may be complete again immediately).
+  void reset();
+
+ private:
+  void advance();
+  void fail(int status, std::string reason);
+  bool parse_head(std::size_t head_end);
+
+  std::size_t max_bytes_;
+  std::string buffer_;
+  phase phase_ = phase::head;
+  request parsed_;
+  std::size_t body_needed_ = 0;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+/// Assembles a complete response: status line, Content-Type /
+/// Content-Length, any extra headers (each "Name: value", no CRLF), the
+/// Connection header matching `keep_alive`, then the body.
+std::string response(int status, const std::string& content_type,
+                     const std::string& body, bool keep_alive,
+                     const std::vector<std::string>& extra_headers = {});
+
+/// "OK", "Bad Request", ... (a small table; unknown codes say "Status").
+const char* reason_phrase(int status);
+
+/// Maps a dispatcher response's error "code" (the vocabulary documented
+/// at error_response_json) to the HTTP status the gateway answers with:
+/// ok -> 200; overloaded / draining / too_many_connections -> 503;
+/// payload_too_large -> 413; read_timeout / idle_timeout -> 408;
+/// timed_out -> 504; request_id_conflict -> 409; any other error -> 400.
+int status_for_code(const std::string& code, bool ok);
+
+}  // namespace nwdec::api::http

@@ -1,0 +1,318 @@
+#include "api/http_transport.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "api/dispatch.h"
+#include "api/event_bus.h"
+#include "api/job_scheduler.h"
+#include "api/transport_metrics.h"
+#include "util/metrics.h"
+#include "util/net.h"
+
+namespace nwdec::api {
+
+namespace {
+
+// An error answered at the HTTP layer still carries the NDJSON error
+// shape in its body, so a client can treat every failure uniformly.
+std::string http_error(int status, const std::string& what,
+                       const std::string& code = "",
+                       const std::vector<std::string>& extra = {}) {
+  return http::response(status, "application/json",
+                        error_response_json(json_value(), what, code), false,
+                        extra);
+}
+
+// One SSE frame, chunk-encoded: `id:` carries the sequence number so
+// EventSource reconnects can resume, `event:` the lifecycle type, and
+// `data:` the exact NDJSON event line (newline stripped) -- the SSE
+// framing is transport dressing around the same bytes the raw socket
+// pushes.
+std::string sse_chunk(const job_event& event) {
+  std::string line = event.line;
+  while (!line.empty() && line.back() == '\n') line.pop_back();
+  std::string frame = "id: " + std::to_string(event.seq) + "\n" +
+                      "event: " + event.type + "\n" + "data: " + line +
+                      "\n\n";
+  char size[32];
+  std::snprintf(size, sizeof(size), "%zx\r\n", frame.size());
+  return size + frame + "\r\n";
+}
+
+// The response "code" drives the HTTP status of single-request bodies;
+// responses are the dispatcher's own output, so the parse cannot fail.
+int status_of_response_line(const std::string& line) {
+  const json_value root = json_parse(line);
+  const json_value* ok = root.find("ok");
+  const json_value* code = root.find("code");
+  return http::status_for_code(code != nullptr ? code->as_string() : "",
+                               ok != nullptr && ok->as_bool());
+}
+
+}  // namespace
+
+http_transport::http_transport(std::uint16_t port, int backlog,
+                               tcp_limits limits,
+                               http_gateway_options gateway)
+    : socket_server(port, backlog, limits), gateway_(gateway) {}
+
+std::string http_transport::shed_response() const {
+  return http_error(
+      503,
+      "connection limit (" + std::to_string(limits().max_connections) +
+          ") reached; retry after backoff",
+      "too_many_connections", {"Retry-After: 1"});
+}
+
+void http_transport::serve_connection(int client, line_handler& handler) {
+  using clock = std::chrono::steady_clock;
+  http::request_parser parser(limits().max_request_bytes);
+  char chunk[4096];
+  // When the current (partial) request's first byte arrived -- the HTTP
+  // analogue of the NDJSON transport's partial-line clock.
+  clock::time_point request_since{};
+  for (;;) {
+    // Same two clocks as the raw socket: the idle clock runs while no
+    // request is in flight (expiry closes silently -- nothing was owed),
+    // the read deadline runs from a request's first byte (expiry answers
+    // 408 -- the peer started something and deserves the diagnosis).
+    int wait_ms =
+        parser.idle() && limits().idle_timeout_ms > 0
+            ? limits().idle_timeout_ms
+            : -1;
+    if (!parser.idle() && limits().read_deadline_ms > 0) {
+      const auto deadline =
+          request_since +
+          std::chrono::milliseconds(limits().read_deadline_ms);
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                clock::now())
+              .count();
+      if (remaining <= 0) {
+        transport_metrics::get().read_timeouts.inc();
+        net::send_all(client,
+                      http_error(408,
+                                 "request incomplete past the read "
+                                 "deadline; closing connection",
+                                 "read_timeout"));
+        return;
+      }
+      wait_ms = static_cast<int>(remaining);
+    }
+    if (wait_ms >= 0) {
+      pollfd waiting{client, POLLIN, 0};
+      const int ready = ::poll(&waiting, 1, wait_ms);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) return;
+      if (ready == 0) {
+        if (!parser.idle()) continue;  // deadline check above decides
+        transport_metrics::get().idle_timeouts.inc();
+        return;  // idle close: no request in flight, nothing owed
+      }
+    }
+    const ssize_t n = ::read(client, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+    if (parser.idle()) request_since = clock::now();
+    parser.consume(chunk, static_cast<std::size_t>(n));
+    while (parser.state() == http::request_parser::phase::complete) {
+      if (!handle_request(client, parser.result(), handler)) return;
+      parser.reset();  // may complete again on pipelined leftovers
+      request_since = clock::now();
+    }
+    if (parser.state() == http::request_parser::phase::failed) {
+      if (parser.error_status() == 413) {
+        transport_metrics::get().oversized.inc();
+      }
+      net::send_all(
+          client,
+          http_error(parser.error_status(), parser.error_reason(),
+                     parser.error_status() == 413 ? "payload_too_large"
+                                                  : ""));
+      return;
+    }
+  }
+}
+
+bool http_transport::handle_request(int client,
+                                    const http::request& request,
+                                    line_handler& handler) {
+  // During drain every response closes so peers reconnect to a live
+  // instance instead of queueing more work on a dying one.
+  const bool keep_alive =
+      request.keep_alive && !gateway_.force_close && !draining();
+  const std::string path = request.path();
+
+  if (gateway_.serve_metrics && path == "/metrics") {
+    if (request.method != "GET") {
+      net::send_all(client,
+                    http_error(405, "only GET is supported on /metrics"));
+      return false;
+    }
+    return serve_metrics(client, request, keep_alive);
+  }
+  if (gateway_.serve_rpc && path == "/v1/rpc") {
+    if (request.method != "POST") {
+      net::send_all(client,
+                    http_error(405, "only POST is supported on /v1/rpc"));
+      return false;
+    }
+    return serve_rpc(client, request, handler, keep_alive);
+  }
+  if (gateway_.serve_events && path.rfind("/v1/jobs/", 0) == 0 &&
+      path.size() > 16 &&
+      path.compare(path.size() - 7, 7, "/events") == 0) {
+    if (request.method != "GET") {
+      net::send_all(
+          client, http_error(405, "only GET is supported on an event "
+                                  "stream"));
+      return false;
+    }
+    const std::string digits = path.substr(9, path.size() - 16);
+    std::uint64_t job = 0;
+    bool valid = !digits.empty();
+    for (const char c : digits) {
+      if (c < '0' || c > '9') {
+        valid = false;
+        break;
+      }
+      job = job * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (!valid) {
+      net::send_all(client,
+                    http_error(404, "malformed job id in '" + path + "'"));
+      return false;
+    }
+    serve_events(client, request, job);
+    return false;  // the stream always ends the connection
+  }
+  net::send_all(
+      client,
+      http_error(404, "unknown path '" + path +
+                          "' (try POST /v1/rpc, GET /v1/jobs/{id}/events, "
+                          "GET /metrics)"));
+  return false;
+}
+
+bool http_transport::serve_rpc(int client, const http::request& request,
+                               line_handler& handler, bool keep_alive) {
+  // The body is the NDJSON protocol verbatim: one request per line, each
+  // answered with exactly the line the raw socket would produce.
+  std::vector<std::string> responses;
+  std::size_t cursor = 0;
+  while (cursor <= request.body.size()) {
+    std::size_t end = request.body.find('\n', cursor);
+    if (end == std::string::npos) end = request.body.size();
+    std::string line = request.body.substr(cursor, end - cursor);
+    cursor = end + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    responses.push_back(handler.handle_line(line));
+  }
+  if (responses.empty()) {
+    net::send_all(client,
+                  http_error(400, "empty request body (expected one or "
+                                  "more NDJSON request lines)"));
+    return false;
+  }
+  if (responses.size() == 1) {
+    // One request, one response: surface its error class as the HTTP
+    // status so plain HTTP clients get retry semantics without parsing
+    // the body. 503 carries Retry-After, matching the backoff the
+    // resilient client applies to the same codes.
+    const int status = status_of_response_line(responses.front());
+    std::vector<std::string> extra;
+    if (status == 503) extra.push_back("Retry-After: 1");
+    return net::send_all(
+               client, http::response(status, "application/json",
+                                      responses.front(), keep_alive,
+                                      extra)) &&
+           keep_alive;
+  }
+  // A batch answers 200 + NDJSON: per-line verdicts live in the lines,
+  // exactly as they do on the socket.
+  std::string body;
+  for (const std::string& response : responses) body += response;
+  return net::send_all(client,
+                       http::response(200, "application/x-ndjson", body,
+                                      keep_alive)) &&
+         keep_alive;
+}
+
+bool http_transport::serve_metrics(int client, const http::request&,
+                                   bool keep_alive) {
+  // The uptime gauge is set at scrape time (not continuously) so every
+  // value in one exposition was read at the same moment.
+  metrics::registry& registry = metrics::registry::global();
+  registry.get_gauge("nwdec_uptime_seconds").set(registry.uptime_seconds());
+  return net::send_all(
+             client,
+             http::response(200,
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            metrics::to_prometheus(registry.snapshot()),
+                            keep_alive)) &&
+         keep_alive;
+}
+
+void http_transport::serve_events(int client, const http::request& request,
+                                  std::uint64_t job) {
+  std::uint64_t from = 0;
+  const std::string from_param = request.query_param("from");
+  for (const char c : from_param) {
+    if (c < '0' || c > '9') {
+      from = 0;
+      break;
+    }
+    from = from * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  const std::shared_ptr<event_subscription> events =
+      scheduler_ == nullptr ? nullptr : scheduler_->subscribe(job, from);
+  if (events == nullptr) {
+    net::send_all(client,
+                  http_error(404, "unknown job id " + std::to_string(job) +
+                                      " (never submitted, or already "
+                                      "forgotten)"));
+    return;
+  }
+  if (!net::send_all(client,
+                     "HTTP/1.1 200 OK\r\n"
+                     "Content-Type: text/event-stream\r\n"
+                     "Cache-Control: no-cache\r\n"
+                     "Transfer-Encoding: chunked\r\n"
+                     "Connection: close\r\n"
+                     "\r\n")) {
+    return;
+  }
+  const int poll_ms = gateway_.sse_poll_ms > 0 ? gateway_.sse_poll_ms : 250;
+  for (;;) {
+    const std::optional<job_event> event = events->next(poll_ms);
+    if (event.has_value()) {
+      if (!net::send_all(client, sse_chunk(*event))) return;
+      continue;
+    }
+    if (events->closed()) break;
+    if (draining()) {
+      // Fallback for a listener whose drain-start action was not wired
+      // to close_event_streams(): end the stream ourselves so the drain
+      // window can finish. Subscribers treat it like the bus's own
+      // draining event: reconnect, resume from the last seen id.
+      job_event drain_event;
+      drain_event.job = job;
+      drain_event.type = "draining";
+      drain_event.line = "{\"job\":" + std::to_string(job) +
+                         ",\"event\":\"draining\",\"code\":\"draining\"}\n";
+      net::send_all(client, sse_chunk(drain_event));
+      break;
+    }
+  }
+  net::send_all(client, "0\r\n\r\n");  // chunked-encoding terminator
+}
+
+}  // namespace nwdec::api

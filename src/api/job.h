@@ -126,6 +126,10 @@ struct scheduler_stats {
   /// Submissions answered by the request_id dedup window with an EXISTING
   /// job instead of a new one (retries after a reset land here).
   std::size_t deduplicated = 0;
+  /// Sweeps answered inline from the store (every point a cache hit at
+  /// sufficient provenance) without occupying a worker or allocating a
+  /// job id -- store-aware admission.
+  std::size_t answered_inline = 0;
   std::size_t queued = 0;   ///< currently waiting
   std::size_t running = 0;  ///< currently executing (cancelling included)
   /// Cross-request batching: every batch is one sweep_service evaluation

@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <exception>
 
+#include "api/events.h"
 #include "service/refine.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/rng.h"
@@ -31,6 +33,7 @@ struct scheduler_metrics {
   metrics::counter& timed_out;
   metrics::counter& shed;
   metrics::counter& deduplicated;
+  metrics::counter& answered_inline;
   metrics::counter& sweep_batches;
   metrics::counter& sweep_jobs_batched;
   metrics::gauge& queued;
@@ -50,6 +53,7 @@ struct scheduler_metrics {
           reg.get_counter("nwdec_jobs_timed_out_total"),
           reg.get_counter("nwdec_jobs_shed_total"),
           reg.get_counter("nwdec_jobs_deduplicated_total"),
+          reg.get_counter("nwdec_jobs_answered_inline_total"),
           reg.get_counter("nwdec_sweep_batches_total"),
           reg.get_counter("nwdec_sweep_jobs_batched_total"),
           reg.get_gauge("nwdec_jobs_queued"),
@@ -140,13 +144,24 @@ job_scheduler::~job_scheduler() {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
+  // Release subscription pumps before joining: a connection thread
+  // blocked in event_subscription::next() would otherwise only notice
+  // the shutdown at its next poll timeout.
+  events_.close_all();
   work_cv_.notify_all();
   done_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
 std::uint64_t job_scheduler::submit(request parsed, bool* deduplicated) {
-  if (deduplicated != nullptr) *deduplicated = false;
+  const submit_outcome outcome = submit_or_serve(std::move(parsed), false);
+  if (deduplicated != nullptr) *deduplicated = outcome.deduplicated;
+  return outcome.job;
+}
+
+submit_outcome job_scheduler::submit_or_serve(request parsed,
+                                              bool allow_inline) {
+  submit_outcome outcome;
   // The idempotency payload: the request's canonical wire form with the
   // envelope members that do not change the work (the echoed "id", the
   // async flag) normalized away -- so a retry over a fresh connection
@@ -195,28 +210,104 @@ std::uint64_t job_scheduler::submit(request parsed, bool* deduplicated) {
         std::string(kind_name(parsed)) + " is served inline)");
   }
 
+  // Both locked sections below consult the dedup window; the verdicts
+  // must match exactly, so the logic lives here once. Returns the entry
+  // (nullptr when the key is absent or unused); throws on a payload
+  // conflict. Caller holds mutex_.
+  const auto dedup_lookup_locked = [&]() -> dedup_entry* {
+    if (dedup_key.empty()) return nullptr;
+    const auto found = dedup_.find(dedup_key);
+    if (found == dedup_.end()) return nullptr;
+    if (found->second.payload != dedup_payload) {
+      throw conflict_error(
+          "request_id '" + dedup_key +
+          "' was already used by a different request; retries must "
+          "resend the original payload (or pick a fresh request_id)");
+    }
+    return &found->second;
+  };
+
+  // Phase 1 (locked): idempotent retry detection comes FIRST -- before
+  // the queue bound and before the store probe -- because answering a
+  // retry with its existing job creates no new work: shedding it would
+  // punish exactly the client the dedup window exists to protect. An
+  // entry with job == 0 marks a request answered inline earlier; the
+  // retry falls through to be answered inline again (or enqueued, for
+  // an async retry that needs a job id).
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    NWDEC_EXPECTS(!stopping_, "the job scheduler is shutting down");
+    if (const dedup_entry* entry = dedup_lookup_locked();
+        entry != nullptr && entry->job != 0) {
+      ++stats_.deduplicated;
+      scheduler_metrics::get().deduplicated.inc();
+      outcome.job = entry->job;
+      outcome.deduplicated = true;
+      return outcome;
+    }
+  }
+
+  // Phase 2 (unlocked): store-aware admission. A synchronous sweep whose
+  // every point the store already answers never needs a worker or a job
+  // id -- the probe either serves the whole response (hit counters and
+  // LRU recency moving exactly as the batched path would) or declines
+  // with no side effects. Probing outside mutex_ keeps slow store passes
+  // off the submit path of other clients.
+  if (allow_inline && record->kind == "sweep" && !record->queries.empty()) {
+    std::optional<service::sweep_response> served =
+        service_.try_serve_cached(record->queries);
+    if (served.has_value()) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      NWDEC_EXPECTS(!stopping_, "the job scheduler is shutting down");
+      // Remember the inline answer under its request_id with job 0, so a
+      // retry is recognized (deduplicated) instead of conflicting -- and
+      // re-served inline, which is idempotent: the payload is a pure
+      // function of (config, request). A concurrent identical submit may
+      // have raced a REAL job in while we probed; answer the retry with
+      // that job's id instead, like any other dedup hit.
+      if (const dedup_entry* entry = dedup_lookup_locked();
+          entry != nullptr) {
+        outcome.deduplicated = true;
+        if (entry->job != 0) {
+          ++stats_.deduplicated;
+          scheduler_metrics::get().deduplicated.inc();
+          outcome.job = entry->job;
+          return outcome;
+        }
+        ++stats_.deduplicated;
+        scheduler_metrics::get().deduplicated.inc();
+      } else if (!dedup_key.empty()) {
+        dedup_.emplace(dedup_key, dedup_entry{0, dedup_payload});
+        dedup_order_.push_back(dedup_key);
+        while (dedup_order_.size() > options_.dedup_window) {
+          dedup_.erase(dedup_order_.front());
+          dedup_order_.pop_front();
+        }
+      }
+      ++stats_.answered_inline;
+      scheduler_metrics::get().answered_inline.inc();
+      outcome.inline_sweep = std::make_shared<const service::sweep_response>(
+          std::move(*served));
+      return outcome;
+    }
+  }
+
+  // Phase 3 (locked): enqueue. The dedup window is re-checked because
+  // phase 2 ran unlocked: a concurrent identical submit may have created
+  // the job already (answer with it), and a key remembered as an inline
+  // answer (job 0) is upgraded in place to point at the new job so later
+  // retries keep converging on one submission.
   std::uint64_t id = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     NWDEC_EXPECTS(!stopping_, "the job scheduler is shutting down");
-    // Idempotent retry detection comes FIRST -- before the queue bound --
-    // because answering a retry with its existing job creates no new
-    // work: shedding it would punish exactly the client the dedup window
-    // exists to protect.
-    if (!dedup_key.empty()) {
-      const auto found = dedup_.find(dedup_key);
-      if (found != dedup_.end()) {
-        if (found->second.payload != dedup_payload) {
-          throw conflict_error(
-              "request_id '" + dedup_key +
-              "' was already used by a different request; retries must "
-              "resend the original payload (or pick a fresh request_id)");
-        }
-        ++stats_.deduplicated;
-        scheduler_metrics::get().deduplicated.inc();
-        if (deduplicated != nullptr) *deduplicated = true;
-        return found->second.job;
-      }
+    dedup_entry* existing = dedup_lookup_locked();
+    if (existing != nullptr && existing->job != 0) {
+      ++stats_.deduplicated;
+      scheduler_metrics::get().deduplicated.inc();
+      outcome.job = existing->job;
+      outcome.deduplicated = true;
+      return outcome;
     }
     // Load shedding: a bounded queue turns overload into an explicit,
     // retryable error instead of unbounded memory growth and ever-worse
@@ -238,7 +329,9 @@ std::uint64_t job_scheduler::submit(request parsed, bool* deduplicated) {
     id = next_id_++;
     record->id = id;
     record->trace.trace_id = rng::counter_seed(trace_seed_, id);
-    if (!dedup_key.empty()) {
+    if (existing != nullptr) {
+      existing->job = id;
+    } else if (!dedup_key.empty()) {
       // Remember the submission (bounded FIFO): once the window rolls a
       // key out, a very late retry becomes a fresh job -- which is safe,
       // just not free, because the result store still answers its points
@@ -257,10 +350,33 @@ std::uint64_t job_scheduler::submit(request parsed, bool* deduplicated) {
     (record->kind == "sweep" ? scheduler_metrics::get().submitted_sweep
                              : scheduler_metrics::get().submitted_refine)
         .inc();
+    publish_event_locked(*record, "queued", false,
+                         json_fragment([&](json_writer& json) {
+                           json.field("kind", record->kind);
+                           json.field("priority", record->priority);
+                         }));
     sync_gauges_locked();
   }
   work_cv_.notify_one();
-  return id;
+  outcome.job = id;
+  return outcome;
+}
+
+std::shared_ptr<event_subscription> job_scheduler::subscribe(
+    std::uint64_t job, std::uint64_t from_seq) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (jobs_.find(job) == jobs_.end()) return nullptr;
+  return events_.subscribe(job, from_seq);
+}
+
+void job_scheduler::close_event_streams() { events_.close_all(); }
+
+// Caller holds mutex_ (the documented scheduler -> bus lock order; the
+// bus never calls back into the scheduler).
+void job_scheduler::publish_event_locked(const job_record& job,
+                                         const char* type, bool terminal,
+                                         std::string body) {
+  events_.publish(job.id, type, terminal, std::move(body));
 }
 
 job_result job_scheduler::snapshot(const job_record& job) const {
@@ -381,7 +497,13 @@ void job_scheduler::trim_locked() {
   while (finished_.size() > options_.retain_finished) {
     const auto oldest = jobs_.find(finished_.front());
     if (oldest != jobs_.end() && oldest->second->waiters > 0) break;
-    if (oldest != jobs_.end()) jobs_.erase(oldest);
+    if (oldest != jobs_.end()) {
+      // Forgetting a job drops its event history too (closing any
+      // subscriber still attached): subscribe() answers for exactly the
+      // jobs status answers for.
+      events_.forget(oldest->first);
+      jobs_.erase(oldest);
+    }
     finished_.pop_front();
   }
 }
@@ -404,6 +526,7 @@ void job_scheduler::start_running_locked(job_record& job) {
       seconds_between(job.submit_time, std::chrono::steady_clock::now());
   scheduler_metrics::get().queue_wait_seconds.observe(
       job.trace.queue_wait_seconds);
+  publish_event_locked(job, "running", false, "");
   sync_gauges_locked();
 }
 
@@ -444,6 +567,28 @@ void job_scheduler::finish(job_record& job, job_state state) {
         .field("total_ms", job.trace.total_seconds * 1000.0)
         .field("queue_wait_ms", job.trace.queue_wait_seconds * 1000.0)
         .field("engine_ms", job.trace.spans.engine_seconds * 1000.0);
+  }
+  // The terminal event goes out BEFORE the retention trim below so the
+  // stream can never be forgotten with its ending unpublished. A done
+  // job's body is rendered lazily: with no subscriber ever attaching,
+  // the result payload is never serialized a second time.
+  if (state == job_state::done) {
+    events_.publish_lazy(
+        job.id, "done", true,
+        [payload = result_payload{job.kind, job.sweep, job.refined,
+                                  job.report_topped_up}] {
+          return json_fragment([&payload](json_writer& json) {
+            write_result_fields(json, payload);
+          });
+        });
+  } else if (state == job_state::failed || state == job_state::timed_out) {
+    const std::string& error = job.error;
+    publish_event_locked(job, job_state_name(state), true,
+                         json_fragment([&error](json_writer& json) {
+                           json.field("error", error);
+                         }));
+  } else {
+    publish_event_locked(job, job_state_name(state), true, "");
   }
   finished_.push_back(job.id);
   trim_locked();
@@ -538,6 +683,7 @@ void job_scheduler::run_sweep_batch(std::unique_lock<std::mutex>& lock) {
     }
   };
   try {
+    NWDEC_FAILPOINT("api.job.sweep.evaluate");
     response = service_.evaluate(combined, batch_check, &batch_trace);
   } catch (const std::exception&) {
     batch_failed = true;
@@ -553,6 +699,7 @@ void job_scheduler::run_sweep_batch(std::unique_lock<std::mutex>& lock) {
         }
       };
       try {
+        NWDEC_FAILPOINT("api.job.sweep.evaluate");
         solo[b] = service_.evaluate(job->queries, check, &solo_trace[b]);
       } catch (const cancelled_error&) {
         solo_outcome[b] = outcome::cancelled;
@@ -637,6 +784,11 @@ void job_scheduler::run_refine(std::unique_lock<std::mutex>& lock,
         [this, job](std::size_t evaluations) {
           const std::lock_guard<std::mutex> progress_lock(mutex_);
           job->progress_done = evaluations;
+          publish_event_locked(*job, "progress", false,
+                               json_fragment([&](json_writer& json) {
+                                 json.field("done", evaluations);
+                                 json.field("total", job->progress_total);
+                               }));
         },
         check);
   } catch (const cancelled_error&) {

@@ -53,11 +53,26 @@
 #include <utility>
 #include <vector>
 
+#include "api/event_bus.h"
 #include "api/job.h"
 #include "api/types.h"
 #include "service/sweep_service.h"
 
 namespace nwdec::api {
+
+/// What submit_or_serve() accomplished: either a job was enqueued (or an
+/// existing one answered the retry), or the sweep was served inline from
+/// the store without a job ever existing.
+struct submit_outcome {
+  /// The job id; 0 when the request was answered inline (no job).
+  std::uint64_t job = 0;
+  /// The dedup window recognized this request_id (existing job, or an
+  /// earlier inline answer re-served).
+  bool deduplicated = false;
+  /// Set iff the sweep was answered inline: the full response, every
+  /// point a store hit.
+  std::shared_ptr<const service::sweep_response> inline_sweep;
+};
 
 class job_scheduler {
  public:
@@ -102,6 +117,30 @@ class job_scheduler {
   /// that retry after a connection reset ate the response.
   std::uint64_t submit(request job, bool* deduplicated = nullptr);
 
+  /// submit() plus store-aware admission: with `allow_inline` (the
+  /// dispatcher sets it for SYNCHRONOUS sweep submissions), a sweep whose
+  /// every point the store already serves at sufficient provenance
+  /// (service::sweep_service::try_serve_cached) is answered inline --
+  /// no worker occupied, no job id allocated -- and the outcome carries
+  /// the response instead of a job. The request_id dedup window covers
+  /// inline answers too: a retried key re-serves inline (store counters
+  /// move again -- provenance counters were never part of the purity
+  /// contract), and a conflicting payload still throws. Async
+  /// submissions and refines always enqueue (they need a job id).
+  submit_outcome submit_or_serve(request job, bool allow_inline);
+
+  /// Attaches an event subscription to a job's lifecycle stream
+  /// (event_bus semantics: replay from `from_seq`, then live events;
+  /// subscribe-after-terminal replays through the terminal event).
+  /// nullptr for an unknown -- or already-forgotten -- job.
+  std::shared_ptr<event_subscription> subscribe(std::uint64_t job,
+                                                std::uint64_t from_seq);
+
+  /// Drain hook: pushes a closing "draining" event to every live event
+  /// subscriber and closes their feeds (event_bus::close_all), so
+  /// subscription-pumping connection threads exit promptly on SIGTERM.
+  void close_event_streams();
+
   /// Snapshot of a job (result payload included once done); nullopt for
   /// an unknown -- or already-forgotten -- id.
   std::optional<job_result> inspect(std::uint64_t id) const;
@@ -133,6 +172,11 @@ class job_scheduler {
   void run_refine(std::unique_lock<std::mutex>& lock,
                   const std::shared_ptr<job_record>& job);
   void finish(job_record& job, job_state state);
+  /// Publishes a lifecycle event for a job (caller holds mutex_; the bus
+  /// takes its own lock underneath -- the documented scheduler->bus
+  /// order).
+  void publish_event_locked(const job_record& job, const char* type,
+                            bool terminal, std::string body);
   void trim_locked();
   void sync_gauges_locked();
   /// Marks a job running and records its queue-wait span/metrics.
@@ -162,6 +206,9 @@ class job_scheduler {
   };
   std::map<std::string, dedup_entry> dedup_;
   std::deque<std::string> dedup_order_;  ///< eviction ring, oldest first
+  /// Per-job lifecycle event streams. Lock order: mutex_ -> bus mutex;
+  /// the bus never calls back into the scheduler.
+  event_bus events_;
 
   std::vector<std::thread> workers_;
 };

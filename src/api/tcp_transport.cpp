@@ -1,57 +1,34 @@
 #include "api/tcp_transport.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <string>
-#include <thread>
-#include <utility>
 
-#include "util/error.h"
-#include "util/log.h"
-#include "util/metrics.h"
+#include "api/transport_metrics.h"
 #include "util/net.h"
 
 namespace nwdec::api {
 
 namespace {
 
-struct transport_metrics {
-  metrics::counter& accepted;
-  metrics::gauge& active;
-  metrics::counter& shed;
-  metrics::counter& idle_timeouts;
-  metrics::counter& read_timeouts;
-  metrics::counter& oversized;
-  metrics::counter& drains;
-  metrics::counter& drain_forced;
-  metrics::gauge& drain_seconds;
-
-  static transport_metrics& get() {
-    static transport_metrics instance = [] {
-      metrics::registry& reg = metrics::registry::global();
-      return transport_metrics{
-          reg.get_counter("nwdec_connections_accepted_total"),
-          reg.get_gauge("nwdec_connections_active"),
-          reg.get_counter("nwdec_connections_shed_total"),
-          reg.get_counter("nwdec_connections_closed_total",
-                          "reason=\"idle_timeout\""),
-          reg.get_counter("nwdec_connections_closed_total",
-                          "reason=\"read_timeout\""),
-          reg.get_counter("nwdec_connections_closed_total",
-                          "reason=\"payload_too_large\""),
-          reg.get_counter("nwdec_drain_total"),
-          reg.get_counter("nwdec_drain_forced_connections_total"),
-          reg.get_gauge("nwdec_drain_seconds")};
-    }();
-    return instance;
+// Response lines (and pushed subscription events) go straight to the
+// socket; a failed send flips peer_gone so the read loop stops.
+class socket_sink final : public line_sink {
+ public:
+  socket_sink(int fd, bool& peer_gone) : fd_(fd), peer_gone_(peer_gone) {}
+  bool write(const std::string& line) override {
+    if (net::send_all(fd_, line)) return true;
+    peer_gone_ = true;
+    return false;
   }
+
+ private:
+  int fd_;
+  bool& peer_gone_;
 };
 
 }  // namespace
@@ -66,141 +43,14 @@ tcp_transport::tcp_transport(std::uint16_t port, int backlog,
 
 tcp_transport::tcp_transport(std::uint16_t port, int backlog,
                              tcp_limits limits)
-    : limits_(limits) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw error("tcp_transport: cannot create socket");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    : socket_server(port, backlog, limits) {}
 
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_addr.s_addr = htonl(INADDR_ANY);
-  address.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
-             sizeof(address)) != 0) {
-    ::close(listen_fd_);
-    throw error("tcp_transport: cannot bind port " + std::to_string(port) +
-                " (" + std::strerror(errno) + ")");
-  }
-  if (::listen(listen_fd_, backlog) != 0) {
-    ::close(listen_fd_);
-    throw error("tcp_transport: cannot listen on port " +
-                std::to_string(port));
-  }
-  socklen_t length = sizeof(address);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
-                    &length) != 0) {
-    ::close(listen_fd_);
-    throw error("tcp_transport: cannot read the bound port");
-  }
-  port_ = ntohs(address.sin_port);
-
-  int pipe_fds[2] = {-1, -1};
-  if (::pipe(pipe_fds) != 0) {
-    ::close(listen_fd_);
-    throw error("tcp_transport: cannot create the shutdown pipe");
-  }
-  wake_read_ = pipe_fds[0];
-  wake_write_ = pipe_fds[1];
-}
-
-tcp_transport::~tcp_transport() {
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (wake_read_ >= 0) ::close(wake_read_);
-  if (wake_write_ >= 0) ::close(wake_write_);
-}
-
-void tcp_transport::shutdown() {
-  // One byte on the wake pipe; write() is async-signal-safe, so signal
-  // handlers can do exactly this through shutdown_fd().
-  const char wake = 'x';
-  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &wake, 1);
-}
-
-int tcp_transport::serve(line_handler& handler) {
-  for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_, POLLIN, 0}};
-    const int ready = ::poll(fds, 2, -1);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if ((fds[1].revents & POLLIN) != 0) break;  // shutdown requested
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
-    {
-      // Register before the thread exists so serve()'s drain barrier can
-      // never miss a connection that is about to start.
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (limits_.max_connections > 0 &&
-          active_ >= limits_.max_connections) {
-        // Accept-shedding: past the cap every connection thread we could
-        // start is one a hostile peer could pin, so answer with the
-        // retry-on-a-fresh-connection code and close inline -- the
-        // error line is tiny, so the one blocking send here cannot stall
-        // the accept loop the way serving the connection would.
-        transport_metrics::get().shed.inc();
-        net::send_all(client,
-                      error_response_json(
-                          json_value(),
-                          "connection limit (" +
-                              std::to_string(limits_.max_connections) +
-                              ") reached; retry after backoff",
-                          "too_many_connections"));
-        ::close(client);
-        continue;
-      }
-      clients_.push_back(client);
-      ++active_;
-      transport_metrics::get().accepted.inc();
-      transport_metrics::get().active.set(static_cast<double>(active_));
-    }
-    std::thread([this, client, &handler] {
-      serve_connection(client, handler);
-    }).detach();
-  }
-
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (limits_.drain_ms > 0 && active_ > 0) {
-    // Graceful drain: half-close every connection -- their reads return
-    // 0, so each thread answers what it already buffered and exits --
-    // and give in-flight requests up to drain_ms to finish before the
-    // hard close below. Responses still flow during the window (only
-    // the read side is shut).
-    transport_metrics::get().drains.inc();
-    logging::event(logging::level::info, "tcp", "draining")
-        .field("connections", active_)
-        .field("drain_ms", limits_.drain_ms);
-    const auto drain_start = std::chrono::steady_clock::now();
-    for (const int client : clients_) ::shutdown(client, SHUT_RD);
-    idle_cv_.wait_for(lock, std::chrono::milliseconds(limits_.drain_ms),
-                      [this] { return active_ == 0; });
-    const std::size_t stragglers = active_;
-    if (stragglers > 0) {
-      transport_metrics::get().drain_forced.inc(stragglers);
-      logging::event(logging::level::warn, "tcp", "drain_deadline")
-          .field("forced", stragglers);
-      if (drain_deadline_action_) {
-        // A force-closed socket cannot unblock a thread waiting inside a
-        // synchronous evaluation; the action (the daemon wires it to
-        // cancel every outstanding job) releases those cooperatively.
-        lock.unlock();
-        drain_deadline_action_();
-        lock.lock();
-      }
-    }
-    transport_metrics::get().drain_seconds.set(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      drain_start)
-            .count());
-  }
-  // Unblock every remaining connection thread (reads AND writes fail
-  // from here), then wait for the last one to deregister -- `handler`
-  // and `this` must outlive them.
-  for (const int client : clients_) ::shutdown(client, SHUT_RDWR);
-  idle_cv_.wait(lock, [this] { return active_ == 0; });
-  return 0;
+std::string tcp_transport::shed_response() const {
+  return error_response_json(
+      json_value(),
+      "connection limit (" + std::to_string(limits().max_connections) +
+          ") reached; retry after backoff",
+      "too_many_connections");
 }
 
 void tcp_transport::serve_connection(int client, line_handler& handler) {
@@ -209,13 +59,14 @@ void tcp_transport::serve_connection(int client, line_handler& handler) {
   char chunk[4096];
   bool peer_gone = false;
   bool answered = false;
+  socket_sink sink(client, peer_gone);
   // When the buffered partial line started (slowloris clock); reset every
   // time the buffer drains back to empty.
   clock::time_point partial_since{};
   const auto answer = [&](std::string line) {
     if (!line.empty() && line.back() == '\r') line.pop_back();  // nc/telnet
     if (line.empty()) return;
-    if (!net::send_all(client, handler.handle_line(line))) peer_gone = true;
+    handler.handle_stream(line, sink);
     answered = true;
   };
   for (;;) {
@@ -226,13 +77,16 @@ void tcp_transport::serve_connection(int client, line_handler& handler) {
     // idle clock resets on every received byte; the read-deadline clock
     // only resets when a full line arrives, so a slowloris peer dribbling
     // one byte per poll still runs out of budget.
-    int wait_ms = limits_.idle_timeout_ms > 0 ? limits_.idle_timeout_ms : -1;
-    if (!buffer.empty() && limits_.read_deadline_ms > 0) {
+    int wait_ms =
+        limits().idle_timeout_ms > 0 ? limits().idle_timeout_ms : -1;
+    if (!buffer.empty() && limits().read_deadline_ms > 0) {
       const auto deadline =
-          partial_since + std::chrono::milliseconds(limits_.read_deadline_ms);
-      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-                                 deadline - clock::now())
-                                 .count();
+          partial_since +
+          std::chrono::milliseconds(limits().read_deadline_ms);
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                clock::now())
+              .count();
       if (remaining <= 0) {
         transport_metrics::get().read_timeouts.inc();
         net::send_all(client,
@@ -255,7 +109,7 @@ void tcp_transport::serve_connection(int client, line_handler& handler) {
       if (ready < 0 && errno == EINTR) continue;
       if (ready < 0) break;
       if (ready == 0) {
-        if (!buffer.empty() && limits_.read_deadline_ms > 0) {
+        if (!buffer.empty() && limits().read_deadline_ms > 0) {
           // Could be either clock; loop back so the deadline check above
           // decides (and emits the read_timeout line if it expired).
           continue;
@@ -284,7 +138,7 @@ void tcp_transport::serve_connection(int client, line_handler& handler) {
       answer(std::move(line));
     }
     if (single_request_ && answered) break;
-    if (buffer.size() > limits_.max_request_bytes) {
+    if (buffer.size() > limits().max_request_bytes) {
       // Hard cap on one pending request line: a peer streaming bytes
       // without ever sending a newline must cost bounded memory. Real
       // requests are a few hundred bytes; the largest sane grids are
@@ -295,7 +149,7 @@ void tcp_transport::serve_connection(int client, line_handler& handler) {
           error_response_json(
               json_value(),
               "request line exceeds the " +
-                  std::to_string(limits_.max_request_bytes) +
+                  std::to_string(limits().max_request_bytes) +
                   " byte limit; closing connection",
               "payload_too_large"));
       buffer.clear();
@@ -309,22 +163,7 @@ void tcp_transport::serve_connection(int client, line_handler& handler) {
   if (!peer_gone && !buffer.empty() && !(single_request_ && answered)) {
     answer(std::move(buffer));
   }
-  // Deregister before close so a reused fd number can never be confused
-  // with this connection by a concurrent shutdown().
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (int& fd : clients_) {
-      if (fd == client) {
-        std::swap(fd, clients_.back());
-        clients_.pop_back();
-        break;
-      }
-    }
-    --active_;
-    transport_metrics::get().active.set(static_cast<double>(active_));
-    idle_cv_.notify_all();
-  }
-  ::close(client);
+  // The chassis deregisters and closes the fd after this returns.
 }
 
 }  // namespace nwdec::api

@@ -1,17 +1,20 @@
-// api::tcp_transport: the socket front end of the nwdec service.
+// api::tcp_transport: the raw NDJSON socket front end of the nwdec
+// service, built on the socket_server chassis (bind/listen, accept loop,
+// shutdown pipe, connection bookkeeping, graceful drain -- see
+// api/socket_server.h; the HTTP gateway shares the same chassis).
 //
-// Listens on a TCP port (IPv4 loopback-or-any, SO_REUSEADDR) and serves
-// any number of concurrent connections, one thread per connection. Each
-// connection speaks the same NDJSON protocol as stdin/stdout: one request
-// per line, one response line per request, written in that connection's
-// request order (concurrency across connections comes from the job
-// scheduler underneath, so two clients' sweep jobs coalesce into one
-// engine run). Responses are byte-identical to the stdio transport's --
-// the dispatcher is shared and the CI smoke diffs the two.
+// Each connection speaks the same NDJSON protocol as stdin/stdout: one
+// request per line, one response line per request, written in that
+// connection's request order (concurrency across connections comes from
+// the job scheduler underneath, so two clients' sweep jobs coalesce into
+// one engine run). A "subscribe" request switches the connection to push
+// delivery: the dispatcher keeps writing job lifecycle event lines until
+// the stream ends. Responses are byte-identical to the stdio
+// transport's -- the dispatcher is shared and the CI smoke diffs the two.
 //
-// Self-protection (tcp_limits): the socket is unauthenticated, so every
-// per-connection resource is bounded and every bound closes with a
-// machine-readable error line (never a silent RST):
+// Self-protection (tcp_limits, shared with the chassis): the socket is
+// unauthenticated, so every per-connection resource is bounded and every
+// bound closes with a machine-readable error line (never a silent RST):
 //   * idle_timeout_ms  -- a peer that sends no bytes for this long gets
 //     "code": "idle_timeout" and the connection closes;
 //   * read_deadline_ms -- a peer that starts a request line but never
@@ -25,114 +28,40 @@
 //     (bounded threads/fds; the client retries after backoff).
 //
 // Shutdown: shutdown() (thread-safe, idempotent) stops the accept loop,
-// unblocks every connection, and makes serve() return after joining the
-// connection threads. shutdown_fd() exposes the write end of the internal
-// wake pipe so a signal handler can request the same with a single
-// async-signal-safe write(). With drain_ms > 0 shutdown is graceful:
-// serve() first half-closes every connection (SHUT_RD -- buffered and
-// in-flight requests still get their responses) and waits up to drain_ms
-// for them to finish before force-closing the stragglers; the optional
-// drain-deadline action (the daemon wires it to cancel outstanding jobs)
-// runs when the window expires so a stuck evaluation cannot pin the
-// process past its drain budget.
+// unblocks every connection, and makes serve() return after the
+// connection threads deregister; with drain_ms > 0 in-flight requests
+// first get a grace window (socket_server semantics).
 //
 //   $ nwdec_service --listen 4750 &
 //   $ printf '%s\n' '{"id":1,"kind":"sweep","codes":["BGC"],
 //       "lengths":[10],"trials":150}' | nc 127.0.0.1 4750
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <mutex>
-#include <vector>
 
-#include "api/transport.h"
+#include "api/socket_server.h"
 
 namespace nwdec::api {
 
-/// Per-connection resource bounds (see the header comment for the error
-/// code each bound answers with). The defaults keep the PR 4 behavior:
-/// no timeouts, no connection cap, a 4 MiB line cap, immediate shutdown.
-struct tcp_limits {
-  /// Close a connection that sends no bytes for this long (0 = never).
-  int idle_timeout_ms = 0;
-  /// Close a connection whose partial request line is this old (0 =
-  /// never). Defeats slowloris peers that dribble bytes forever.
-  int read_deadline_ms = 0;
-  /// Error out a request line past this many bytes.
-  std::size_t max_request_bytes = std::size_t{4} << 20;  // 4 MiB
-  /// Shed accepts past this many live connections (0 = unbounded).
-  std::size_t max_connections = 0;
-  /// Graceful-drain window on shutdown: half-close connections, wait
-  /// this long for in-flight requests to finish, then force-close
-  /// (0 = force-close immediately, the PR 4 behavior).
-  int drain_ms = 0;
-};
-
-class tcp_transport final : public transport {
+class tcp_transport final : public socket_server {
  public:
-  /// Binds and listens immediately (so port() is valid before serve());
-  /// port 0 picks an ephemeral port. Throws nwdec::error on any socket
-  /// failure.
   explicit tcp_transport(std::uint16_t port, int backlog = 64,
                          int idle_timeout_ms = 0);
   tcp_transport(std::uint16_t port, int backlog, tcp_limits limits);
-  ~tcp_transport() override;
-  tcp_transport(const tcp_transport&) = delete;
-  tcp_transport& operator=(const tcp_transport&) = delete;
-
-  /// The bound port (the ephemeral pick when constructed with 0).
-  std::uint16_t port() const { return port_; }
-
-  /// Accept loop; returns 0 after shutdown() completes it.
-  int serve(line_handler& handler) override;
-
-  /// Requests serve() to stop; safe from any thread, idempotent.
-  void shutdown();
-
-  /// Write end of the shutdown wake pipe: write(shutdown_fd(), "x", 1)
-  /// is the async-signal-safe equivalent of shutdown() for use inside a
-  /// signal handler.
-  int shutdown_fd() const { return wake_write_; }
 
   /// Single-request mode: each connection is answered once -- the first
   /// non-empty line gets its response, then the connection closes
-  /// (remaining buffered lines are dropped). This is the HTTP-style
-  /// request/response discipline the --metrics-port listener serves
-  /// (api/metrics_http.h): curl's headers after the request line are
-  /// ignored instead of answered as garbage. Set before serve().
+  /// (remaining buffered lines are dropped). This was the --metrics-port
+  /// discipline before the HTTP gateway existed; tests still exercise
+  /// it. Set before serve().
   void set_single_request(bool on) { single_request_ = on; }
 
-  /// Runs when the drain window expires with connections still busy --
-  /// before they are force-closed. The daemon points this at the
-  /// scheduler's cancel_all() so a connection thread blocked inside a
-  /// long synchronous evaluation is released cooperatively (a force-
-  /// closed socket alone cannot unblock a thread waiting on a job).
-  /// Set before serve(); called without transport locks held.
-  void set_drain_deadline_action(std::function<void()> action) {
-    drain_deadline_action_ = std::move(action);
-  }
+ protected:
+  void serve_connection(int client, line_handler& handler) override;
+  std::string shed_response() const override;
 
  private:
-  void serve_connection(int client, line_handler& handler);
-
-  int listen_fd_ = -1;
-  int wake_read_ = -1;
-  int wake_write_ = -1;
-  std::uint16_t port_ = 0;
-  tcp_limits limits_;
   bool single_request_ = false;  ///< close after the first answered line
-  std::function<void()> drain_deadline_action_;
-
-  // Connection threads run detached (a long-lived daemon must not hoard
-  // one joinable thread per connection ever served); serve() instead
-  // counts them and blocks on idle_cv_ until the last one deregisters.
-  std::mutex mutex_;  ///< guards clients_ and active_
-  std::condition_variable idle_cv_;
-  std::vector<int> clients_;
-  std::size_t active_ = 0;
 };
 
 }  // namespace nwdec::api

@@ -1,0 +1,43 @@
+// Internal: the connection-lifecycle metrics shared by every socket
+// front end. One registry family regardless of protocol -- an operator
+// watching nwdec_connections_active sees NDJSON and HTTP connections in
+// one gauge, exactly like the kernel sees them in one fd table.
+#pragma once
+
+#include "util/metrics.h"
+
+namespace nwdec::api {
+
+struct transport_metrics {
+  metrics::counter& accepted;
+  metrics::gauge& active;
+  metrics::counter& shed;
+  metrics::counter& idle_timeouts;
+  metrics::counter& read_timeouts;
+  metrics::counter& oversized;
+  metrics::counter& drains;
+  metrics::counter& drain_forced;
+  metrics::gauge& drain_seconds;
+
+  static transport_metrics& get() {
+    static transport_metrics instance = [] {
+      metrics::registry& reg = metrics::registry::global();
+      return transport_metrics{
+          reg.get_counter("nwdec_connections_accepted_total"),
+          reg.get_gauge("nwdec_connections_active"),
+          reg.get_counter("nwdec_connections_shed_total"),
+          reg.get_counter("nwdec_connections_closed_total",
+                          "reason=\"idle_timeout\""),
+          reg.get_counter("nwdec_connections_closed_total",
+                          "reason=\"read_timeout\""),
+          reg.get_counter("nwdec_connections_closed_total",
+                          "reason=\"payload_too_large\""),
+          reg.get_counter("nwdec_drain_total"),
+          reg.get_counter("nwdec_drain_forced_connections_total"),
+          reg.get_gauge("nwdec_drain_seconds")};
+    }();
+    return instance;
+  }
+};
+
+}  // namespace nwdec::api

@@ -39,8 +39,31 @@
 // "request_id_conflict" -> do not retry. api::resilient_client
 // implements exactly this ladder.
 //
-// Worked examples, including driving the socket transport with nc, live in
-// bench/README.md.
+// PR 10 opens two push/HTTP surfaces over the same grammar:
+//
+//   * "subscribe" {"job": J, "from": S} -- streaming transports only
+//     (TCP/stdio; one-shot carriers refuse it): one ack line, then the
+//     job's event lines {"job":J,"seq":N,"event":...} in seq order,
+//     gap-free from S+1 (0 = from the start), ending with the terminal
+//     event whose "result" payload is byte-identical to a status
+//     {"wait": true} response's. A slow subscriber is evicted with a
+//     closing "event_overflow" line (resubscribe from the last seq you
+//     processed); drain closes streams with a "draining" line. Grammar
+//     details in api/types.h; the bus itself in api/event_bus.h.
+//   * --http-port serves HTTP/1.1: POST /v1/rpc carries request line(s)
+//     verbatim (response bytes identical to this protocol; error "code"
+//     -> HTTP status), GET /v1/jobs/{id}/events streams the same event
+//     lines as Server-Sent Events, GET /metrics serves the Prometheus
+//     exposition. See api/http_transport.h.
+//
+// PR 10 also adds store-aware admission: a synchronous sweep the store
+// can answer at full provenance is served inline at submit time (no job,
+// "cached":N,"computed":0, same result bytes; counted by
+// jobs.answered_inline and nwdec_jobs_answered_inline_total). Async
+// submissions always mint a job.
+//
+// Worked examples, including driving the socket transport with nc and
+// the HTTP gateway with curl, live in bench/README.md.
 //
 // Determinism: the "result" member of sweep/refine responses is a pure
 // function of (service configuration, request) -- cache provenance counts

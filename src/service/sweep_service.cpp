@@ -69,6 +69,37 @@ core::mc_resume_point moments_of(const stored_result& entry) {
   return resume;
 }
 
+// The serve decision of evaluate()'s pass 1 and of try_serve_cached's
+// admission probe -- one predicate so the two can never drift. True when
+// `hit` answers (resolved, target) as-is (see the header comment for the
+// full provenance rules).
+bool entry_serves(const stored_result& hit,
+                  const core::sweep_request& resolved, double target) {
+  if (resolved.mc_trials == 0) {
+    return true;  // analytic results have no budget dimension
+  }
+  if (target == 0.0) {
+    // Fixed budget: the answer is the state at exactly mc_trials.
+    return hit.mc_trials_used == resolved.mc_trials;
+  }
+  // The entry walked the same rungs under an equal-or-looser target, so
+  // every rung below its total is known to miss this target too: serve
+  // when it already converged (or exhausted the cap).
+  return hit.budget_target > 0.0 && hit.budget_target >= target &&
+         (stored_half_width(hit) <= target ||
+          hit.mc_trials_used == resolved.mc_trials);
+}
+
+// Whether a non-serving entry may RESUME (top up) instead of recomputing
+// cold: a partial fixed-budget entry resumes to the cap; a same-rung
+// entry resumes its walk. Weaker provenance recomputes.
+bool entry_resumes(const stored_result& hit,
+                   const core::sweep_request& resolved, double target) {
+  if (resolved.mc_trials == 0) return false;
+  if (target == 0.0) return true;
+  return hit.budget_target > 0.0 && hit.budget_target >= target;
+}
+
 }  // namespace
 
 sweep_service::sweep_service(crossbar::crossbar_spec spec,
@@ -149,52 +180,29 @@ sweep_response sweep_service::evaluate(const std::vector<point_query>& queries,
       const core::sweep_request resolved =
           engine_.resolve(queries[k].request);
       const std::uint64_t key = core::fingerprint(resolved);
-      double target = queries[k].min_half_width;
-      if (target == 0.0 && options_.adaptive.has_value()) {
-        target = options_.adaptive->target_half_width;
-      }
-      if (resolved.mc_trials == 0) target = 0.0;  // analytic-only point
+      const double target =
+          effective_target(resolved, queries[k].min_half_width);
 
       const stored_result* hit = store_.find(key);
       point_source source = point_source::computed;
       std::optional<core::mc_resume_point> resume;
       if (hit != nullptr) {
-        bool serve = false;
-        if (resolved.mc_trials == 0) {
-          serve = true;  // analytic results have no budget dimension
-        } else if (target == 0.0) {
-          // Fixed budget: the answer is the state at exactly mc_trials.
-          // A partial entry (stopped early under some CI target) resumes
-          // to the cap -- bit-identical to a cold fixed run.
-          if (hit->mc_trials_used == resolved.mc_trials) {
-            serve = true;
-          } else {
-            resume = moments_of(*hit);
-            source = point_source::topped_up;
-          }
-        } else if (hit->budget_target > 0.0 && hit->budget_target >= target) {
-          // The entry walked the same rungs under an equal-or-looser
-          // target, so every rung below its total is known to miss this
-          // target too: serve it when it already converged (or exhausted
-          // the cap), resume the walk from its state otherwise.
-          if (stored_half_width(*hit) <= target ||
-              hit->mc_trials_used == resolved.mc_trials) {
-            serve = true;
-          } else {
-            resume = moments_of(*hit);
-            source = point_source::topped_up;
-          }
-        }
-        // Weaker provenance (fixed-cap entry, or a looser recorded
-        // target) falls through to a cold recompute: the payload must be
-        // a pure function of (config, query), not of cache history.
-        if (serve) {
+        if (entry_serves(*hit, resolved, target)) {
           (resolved.mc_trials == 0 ? counters.hits_cheap : counters.hits_mc)
               .inc();
           response.points[k] = {*hit, point_source::cached, true};
           ++response.cached;
           continue;
         }
+        if (entry_resumes(*hit, resolved, target)) {
+          // Resumable: top up from the persisted (mean, trials, M2) --
+          // bit-identical to the cold walk by the mc_run_state contract.
+          resume = moments_of(*hit);
+          source = point_source::topped_up;
+        }
+        // Weaker provenance (fixed-cap entry, or a looser recorded
+        // target) falls through to a cold recompute: the payload must be
+        // a pure function of (config, query), not of cache history.
       }
       if (source == point_source::topped_up) {
         counters.topups.inc();
@@ -378,6 +386,52 @@ sweep_response sweep_service::evaluate(
 sweep_response sweep_service::evaluate(const core::sweep_axes& axes,
                                        double min_half_width) {
   return evaluate(axes.expand(), min_half_width);
+}
+
+double sweep_service::effective_target(const core::sweep_request& resolved,
+                                       double requested) const {
+  double target = requested;
+  if (target == 0.0 && options_.adaptive.has_value()) {
+    target = options_.adaptive->target_half_width;
+  }
+  if (resolved.mc_trials == 0) target = 0.0;  // analytic-only point
+  return target;
+}
+
+std::optional<sweep_response> sweep_service::try_serve_cached(
+    const std::vector<point_query>& queries) {
+  if (queries.empty()) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Phase 1: side-effect-free servability check over EVERY point. peek()
+  // moves no recency and counts nothing, so declining here leaves the
+  // store exactly as found -- the normal evaluate() path then records
+  // its own misses, once, as always.
+  for (const point_query& query : queries) {
+    if (query.min_half_width < 0.0) return std::nullopt;
+    const core::sweep_request resolved = engine_.resolve(query.request);
+    const stored_result* hit = store_.peek(core::fingerprint(resolved));
+    if (hit == nullptr ||
+        !entry_serves(*hit, resolved,
+                      effective_target(resolved, query.min_half_width))) {
+      return std::nullopt;
+    }
+  }
+  // Phase 2: serve through find(), so hit counters and LRU motion are
+  // exactly what the normal path would have recorded for this sweep.
+  // Same mutex hold as phase 1: no eviction can interleave.
+  service_metrics& counters = service_metrics::get();
+  sweep_response response;
+  response.points.reserve(queries.size());
+  for (const point_query& query : queries) {
+    const core::sweep_request resolved = engine_.resolve(query.request);
+    const stored_result* hit = store_.find(core::fingerprint(resolved));
+    NWDEC_EXPECTS(hit != nullptr,
+                  "a peeked entry vanished under the service mutex");
+    (resolved.mc_trials == 0 ? counters.hits_cheap : counters.hits_mc).inc();
+    response.points.push_back({*hit, point_source::cached, true});
+    ++response.cached;
+  }
+  return response;
 }
 
 bool sweep_service::load_cache(const std::string& path) {

@@ -177,6 +177,18 @@ class sweep_service {
   sweep_response evaluate(const core::sweep_axes& axes,
                           double min_half_width = 0.0);
 
+  /// Store-aware admission probe: when EVERY query is servable from the
+  /// store at sufficient provenance (by exactly evaluate()'s pass-1 serve
+  /// rules), answers the whole sweep inline -- hit counters and LRU
+  /// recency move identically to the normal path -- and returns the
+  /// response. Otherwise returns nullopt with NO side effects: the check
+  /// runs on peek(), so a declined probe perturbs neither counters nor
+  /// eviction order, and the follow-up evaluate() records the misses
+  /// itself. The scheduler uses this to answer fully-cached sweeps
+  /// without occupying a worker or allocating a job id.
+  std::optional<sweep_response> try_serve_cached(
+      const std::vector<point_query>& queries);
+
   /// Cache-file convenience: load_file/save_file with this service's
   /// header. load_cache returns false when the file does not exist.
   bool load_cache(const std::string& path);
@@ -204,6 +216,12 @@ class sweep_service {
   service_stats stats() const;
 
  private:
+  /// The budget target a query actually runs under: the query's own,
+  /// else the service's adaptive policy target, and always 0 for
+  /// analytic-only points (no Monte-Carlo leg to budget).
+  double effective_target(const core::sweep_request& resolved,
+                          double requested) const;
+
   core::sweep_engine engine_;
   service_options options_;
   core::sweep_engine_options engine_options_;

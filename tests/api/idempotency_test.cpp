@@ -99,13 +99,15 @@ TEST(IdempotencyTest, WindowEvictsOldestKeysFirst)
   dispatch.handle_line(sweep_line("evict-a", "1", 50));
   dispatch.handle_line(sweep_line("evict-b", "2", 55));
   dispatch.handle_line(sweep_line("evict-c", "3", 60));  // evicts a
-  // "a" fell out of the window: its retry is a fresh submission (and a
-  // conflicting reuse of the evicted key is no longer detectable -- the
-  // window is a bounded memory, not a ledger).
+  // "a" fell out of the window: its retry is NOT deduplicated (the
+  // window is a bounded memory, not a ledger). It also never becomes a
+  // fresh job: the first run left its result in the store, so admission
+  // answers it inline.
   dispatch.handle_line(sweep_line("evict-a", "4", 50));
   const scheduler_stats stats = dispatch.scheduler().stats();
   EXPECT_EQ(stats.deduplicated, 0u);
-  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.answered_inline, 1u);
 }
 
 TEST(IdempotencyTest, ZeroWindowDisablesDedup) {
@@ -113,8 +115,11 @@ TEST(IdempotencyTest, ZeroWindowDisablesDedup) {
   dispatcher dispatch(service, small_options(/*dedup_window=*/0));
   dispatch.handle_line(sweep_line("off-1"));
   dispatch.handle_line(sweep_line("off-1"));
+  // No dedup hit with the window off -- but the repeat is fully cached,
+  // so store-aware admission answers it without a second job either.
   EXPECT_EQ(dispatch.scheduler().stats().deduplicated, 0u);
-  EXPECT_EQ(dispatch.scheduler().stats().submitted, 2u);
+  EXPECT_EQ(dispatch.scheduler().stats().submitted, 1u);
+  EXPECT_EQ(dispatch.scheduler().stats().answered_inline, 1u);
 }
 
 TEST(IdempotencyTest, RequestIdGrammarIsEnforced) {

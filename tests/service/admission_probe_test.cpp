@@ -1,0 +1,96 @@
+// sweep_service::try_serve_cached -- the store-aware admission probe.
+// The contract under test: a fully-cached sweep is answered with exactly
+// the payload (and exactly the counter movement) of the normal evaluate()
+// path, and a declined probe has NO side effects at all.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "service/sweep_service.h"
+
+namespace nwdec::service {
+namespace {
+
+sweep_service make_service() {
+  return sweep_service(crossbar::crossbar_spec{}, device::paper_technology(),
+                       {});
+}
+
+point_query fixed_point(double sigma, std::size_t trials = 2000) {
+  point_query query;
+  query.request.design = {codes::code_type::balanced_gray, 2, 8};
+  query.request.sigma_vt = sigma;
+  query.request.mc_trials = trials;
+  return query;
+}
+
+TEST(AdmissionProbeTest, ColdProbeDeclinesWithoutSideEffects) {
+  sweep_service service = make_service();
+  const service_stats before = service.stats();
+  EXPECT_FALSE(service.try_serve_cached({fixed_point(0.05)}).has_value());
+  const service_stats after = service.stats();
+  // A declined probe is invisible: no hit, no miss, no insert.
+  EXPECT_EQ(after.store.hits, before.store.hits);
+  EXPECT_EQ(after.store.misses, before.store.misses);
+  EXPECT_EQ(after.entries, before.entries);
+}
+
+TEST(AdmissionProbeTest, WarmProbeMatchesEvaluateByteForByte) {
+  sweep_service service = make_service();
+  const std::vector<point_query> queries = {fixed_point(0.05),
+                                            fixed_point(0.08)};
+  service.evaluate(queries);
+
+  const std::optional<sweep_response> probe =
+      service.try_serve_cached(queries);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(probe->cached, 2u);
+  EXPECT_EQ(probe->computed, 0u);
+
+  // Same bytes as a warm evaluate() of the same queries.
+  const sweep_response warm = service.evaluate(queries);
+  EXPECT_EQ(to_json(*probe), to_json(warm));
+}
+
+TEST(AdmissionProbeTest, ServingProbeMovesHitCountersLikeEvaluate) {
+  sweep_service service = make_service();
+  service.evaluate({fixed_point(0.05)});
+  const std::size_t hits_before = service.stats().store.hits;
+  ASSERT_TRUE(service.try_serve_cached({fixed_point(0.05)}).has_value());
+  // The served point counts as a store hit, exactly like evaluate().
+  EXPECT_EQ(service.stats().store.hits, hits_before + 1);
+}
+
+TEST(AdmissionProbeTest, MixedWarmColdDeclinesUntouched) {
+  sweep_service service = make_service();
+  service.evaluate({fixed_point(0.05)});
+  const service_stats before = service.stats();
+  // One servable point does not make a servable sweep.
+  EXPECT_FALSE(
+      service.try_serve_cached({fixed_point(0.05), fixed_point(0.09)})
+          .has_value());
+  const service_stats after = service.stats();
+  EXPECT_EQ(after.store.hits, before.store.hits);
+  EXPECT_EQ(after.store.misses, before.store.misses);
+}
+
+TEST(AdmissionProbeTest, AdaptiveTargetIsNotServedByAWeakFixedEntry) {
+  sweep_service service = make_service();
+  // A small fixed-budget entry in the Figs. 7/8 cliff region: its
+  // half-width is far too wide for a tight CI target.
+  service.evaluate({fixed_point(0.08, 500)});
+  point_query tight = fixed_point(0.08, 100000);
+  tight.min_half_width = 0.005;
+  EXPECT_FALSE(service.try_serve_cached({tight}).has_value());
+}
+
+TEST(AdmissionProbeTest, LargerFixedBudgetIsNotServedByASmallerOne) {
+  sweep_service service = make_service();
+  service.evaluate({fixed_point(0.05, 500)});
+  EXPECT_FALSE(service.try_serve_cached({fixed_point(0.05, 2000)})
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace nwdec::service

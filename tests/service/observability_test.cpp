@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "api/dispatch.h"
-#include "api/metrics_http.h"
+#include "api/http_transport.h"
 #include "api/tcp_transport.h"
 #include "service/durable_store.h"
 #include "service/protocol.h"
@@ -187,7 +187,7 @@ TEST(ObservabilityRecoveryTest, OneNdjsonRecordPerQuarantineWarning) {
 }
 
 // Minimal blocking HTTP client for the scrape endpoint: one request, read
-// to EOF (the single-request transport closes after answering).
+// to EOF (the force_close gateway closes after answering).
 std::string scrape(std::uint16_t port, const std::string& request) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   EXPECT_GE(fd, 0);
@@ -215,14 +215,24 @@ TEST(ObservabilityScrapeTest, MetricsPortAnswersALoopbackScrape) {
   // non-trivial even when this test runs alone.
   metrics::registry::global().get_counter("nwdec_requests_total",
                                           "kind=\"stats\"");
-  api::metrics_http_handler handler;
-  api::tcp_transport transport(0, 16, 5000);
-  transport.set_single_request(true);
+  // The metrics listener is a metrics-only HTTP gateway: no RPC route,
+  // no events route, every response closes (force_close) so a plain
+  // read-to-EOF scrape works.
+  struct refuse_handler final : public api::line_handler {
+    std::string handle_line(const std::string&) override { return "{}\n"; }
+  } handler;
+  api::tcp_limits limits;
+  limits.idle_timeout_ms = 5000;
+  api::http_gateway_options scrape_only;
+  scrape_only.serve_rpc = false;
+  scrape_only.serve_events = false;
+  scrape_only.force_close = true;
+  api::http_transport transport(0, 16, limits, scrape_only);
   std::thread server([&] { transport.serve(handler); });
 
   const std::string ok =
       scrape(transport.port(), "GET /metrics HTTP/1.1\r\n\r\n");
-  EXPECT_EQ(ok.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << ok;
+  EXPECT_EQ(ok.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << ok;
   EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"),
             std::string::npos);
   EXPECT_NE(ok.find("\r\n\r\n# TYPE "), std::string::npos) << ok;
@@ -230,10 +240,22 @@ TEST(ObservabilityScrapeTest, MetricsPortAnswersALoopbackScrape) {
 
   const std::string missing =
       scrape(transport.port(), "GET /nope HTTP/1.1\r\n\r\n");
-  EXPECT_EQ(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << missing;
+  EXPECT_EQ(missing.rfind("HTTP/1.1 404 Not Found\r\n", 0), 0u) << missing;
 
-  const std::string bad = scrape(transport.port(), "POST /metrics\r\n\r\n");
-  EXPECT_EQ(bad.rfind("HTTP/1.0 400 Bad Request\r\n", 0), 0u) << bad;
+  // A metrics-only gateway refuses the RPC route outright (404: the
+  // route is not served here), and a wrong method on a served route is
+  // answered 405.
+  const std::string no_rpc = scrape(
+      transport.port(), "POST /v1/rpc HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(no_rpc.rfind("HTTP/1.1 404 Not Found\r\n", 0), 0u) << no_rpc;
+
+  const std::string bad =
+      scrape(transport.port(), "POST /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(bad.rfind("HTTP/1.1 405 Method Not Allowed\r\n", 0), 0u) << bad;
+
+  const std::string malformed = scrape(transport.port(), "POST /metrics\r\n\r\n");
+  EXPECT_EQ(malformed.rfind("HTTP/1.1 400 Bad Request\r\n", 0), 0u)
+      << malformed;
 
   transport.shutdown();
   server.join();

@@ -22,13 +22,26 @@
 //       $ nwdec_service --listen 4750 --cache results.json &
 //       $ nc 127.0.0.1 4750 < requests.ndjson
 //
+//   * HTTP/1.1 (--http-port <port>, 0 = ephemeral; the bound port is in
+//     the "http_listening" log record; serves beside either transport
+//     above): POST /v1/rpc carries the same NDJSON lines (responses
+//     byte-identical to the other transports), GET /v1/jobs/{id}/events
+//     streams job lifecycle events as SSE, GET /metrics serves the
+//     Prometheus text exposition. Shares the same self-protection
+//     bounds (--idle-timeout/--read-deadline/--max-request-bytes/
+//     --max-connections) and the same graceful drain:
+//
+//       $ nwdec_service --http-port 8080 --listen 4750 &
+//       $ curl -s http://127.0.0.1:8080/v1/rpc --data-binary @requests.ndjson
+//
 // Observability: --metrics-port serves the util/metrics registry in
-// Prometheus text format over one-shot HTTP (api/metrics_http.h; works
-// with curl, Prometheus scrapes, and `printf 'GET /metrics\r\n\r\n' |
-// nc`); the same snapshot is available in-band via the "metrics" request
-// kind. Jobs slower than --slow-ms are logged as slow_request warn
-// records with their span breakdown. All telemetry is out-of-band:
-// response payloads are byte-identical with or without it.
+// Prometheus text format over HTTP (a metrics-only api/http_transport;
+// works with curl, Prometheus scrapes, and `printf 'GET /metrics
+// HTTP/1.0\r\n\r\n' | nc`); the same snapshot is available in-band via
+// the "metrics" request kind and on the gateway's /metrics route. Jobs
+// slower than --slow-ms are logged as slow_request warn records with
+// their span breakdown. All telemetry is out-of-band: response payloads
+// are byte-identical with or without it.
 //
 // Requests become jobs on --workers threads; concurrent sweep jobs
 // coalesce their store misses into one engine run. The grammar -- async
@@ -47,7 +60,7 @@
 #include <thread>
 
 #include "api/dispatch.h"
-#include "api/metrics_http.h"
+#include "api/http_transport.h"
 #include "api/tcp_transport.h"
 #include "api/transport.h"
 #include "service/durable_store.h"
@@ -70,14 +83,18 @@ std::size_t get_size(const cli_parser& cli, const std::string& name) {
   return static_cast<std::size_t>(value);
 }
 
-// The TCP shutdown hook: signal handlers may only touch async-signal-safe
-// calls, so they write one byte to the transport's wake pipe.
-volatile std::sig_atomic_t g_shutdown_fd = -1;
+// The shutdown hook: signal handlers may only touch async-signal-safe
+// calls, so they write one byte to each listener's wake pipe. Up to
+// three listeners run at once (NDJSON socket, HTTP gateway, metrics
+// port); unused slots stay -1.
+volatile std::sig_atomic_t g_shutdown_fds[3] = {-1, -1, -1};
 
 extern "C" void on_signal(int) {
-  if (g_shutdown_fd >= 0) {
-    const char wake = 'x';
-    [[maybe_unused]] const ssize_t n = ::write(g_shutdown_fd, &wake, 1);
+  for (const std::sig_atomic_t fd : g_shutdown_fds) {
+    if (fd >= 0) {
+      const char wake = 'x';
+      [[maybe_unused]] const ssize_t n = ::write(fd, &wake, 1);
+    }
   }
 }
 
@@ -96,6 +113,12 @@ int main(int argc, char** argv) {
   cli.add_int("listen", -1,
               "serve a TCP port instead of stdin/stdout (0 = ephemeral; "
               "the bound port is printed to stderr)");
+  cli.add_int("http-port", -1,
+              "serve an HTTP/1.1 gateway beside the main transport "
+              "(POST /v1/rpc = the NDJSON protocol, GET "
+              "/v1/jobs/{id}/events = SSE job events, GET /metrics; "
+              "0 = ephemeral; the bound port is in the 'http_listening' "
+              "log record)");
   cli.add_int("workers", 0,
               "job-scheduler worker threads draining the request queue "
               "(0 = hardware; results never depend on the count)");
@@ -220,25 +243,83 @@ int main(int argc, char** argv) {
       dispatch_options.dedup_window = get_size(cli, "dedup-window");
       api::dispatcher dispatcher(service, dispatch_options);
 
-      // The Prometheus scrape endpoint: a second listener sharing the
-      // tcp_transport machinery in single-request (HTTP-style) mode,
-      // served from its own thread so it answers while the main
-      // transport blocks in its accept/read loop.
+      // One set of per-connection bounds protects every listener: the
+      // NDJSON socket and the HTTP gateway share the tcp_limits verbatim.
+      const std::size_t idle_timeout = get_size(cli, "idle-timeout");
+      if (idle_timeout > 86'400'000) {
+        throw invalid_argument_error(
+            "--idle-timeout must be at most 86400000 ms (24 hours)");
+      }
+      api::tcp_limits limits;
+      limits.idle_timeout_ms = static_cast<int>(idle_timeout);
+      limits.read_deadline_ms =
+          static_cast<int>(get_size(cli, "read-deadline"));
+      limits.max_request_bytes = get_size(cli, "max-request-bytes");
+      limits.max_connections = get_size(cli, "max-connections");
+      limits.drain_ms = static_cast<int>(get_size(cli, "drain-ms"));
+
+      // Drain wiring shared by the long-lived listeners: when a drain
+      // begins, close the scheduler's event streams so subscription
+      // pumps finish like ordinary in-flight requests; when the window
+      // expires with requests still running, cancel the outstanding
+      // jobs cooperatively -- their synchronous waiters are released,
+      // the connection threads exit, and shutdown persistence (below)
+      // runs within the drain budget instead of blocking on an
+      // arbitrarily long evaluation.
+      const auto on_drain_start = [&dispatcher] {
+        dispatcher.scheduler().close_event_streams();
+      };
+      const auto on_drain_deadline = [&dispatcher] {
+        dispatcher.scheduler().cancel_all();
+      };
+
+      // The Prometheus scrape endpoint: a metrics-only HTTP listener
+      // (no RPC, no events, every response closes), served from its own
+      // thread so it answers while the main transport blocks in its
+      // accept/read loop.
       const std::int64_t metrics_port = cli.get_int("metrics-port");
-      std::unique_ptr<api::tcp_transport> metrics_transport;
-      api::metrics_http_handler metrics_handler;
+      std::unique_ptr<api::http_transport> metrics_transport;
       std::thread metrics_thread;
       if (metrics_port >= 0) {
         if (metrics_port > 65535) {
           throw invalid_argument_error("--metrics-port must be <= 65535");
         }
-        metrics_transport = std::make_unique<api::tcp_transport>(
-            static_cast<std::uint16_t>(metrics_port), 16, 10000);
-        metrics_transport->set_single_request(true);
+        api::tcp_limits scrape_limits;
+        scrape_limits.idle_timeout_ms = 10000;
+        api::http_gateway_options scrape_only;
+        scrape_only.serve_rpc = false;
+        scrape_only.serve_events = false;
+        scrape_only.force_close = true;
+        metrics_transport = std::make_unique<api::http_transport>(
+            static_cast<std::uint16_t>(metrics_port), 16, scrape_limits,
+            scrape_only);
         logging::event(logging::level::info, "daemon", "metrics_listening")
             .field("port", metrics_transport->port());
-        metrics_thread = std::thread([&metrics_transport, &metrics_handler] {
-          metrics_transport->serve(metrics_handler);
+        g_shutdown_fds[2] = metrics_transport->shutdown_fd();
+        metrics_thread = std::thread([&metrics_transport, &dispatcher] {
+          metrics_transport->serve(dispatcher);
+        });
+      }
+
+      // The HTTP/1.1 gateway: the full route set, served beside (not
+      // instead of) the main transport, under the same bounds.
+      const std::int64_t http_port = cli.get_int("http-port");
+      std::unique_ptr<api::http_transport> http_gateway;
+      std::thread http_thread;
+      if (http_port >= 0) {
+        if (http_port > 65535) {
+          throw invalid_argument_error("--http-port must be <= 65535");
+        }
+        http_gateway = std::make_unique<api::http_transport>(
+            static_cast<std::uint16_t>(http_port), 64, limits);
+        http_gateway->set_event_source(&dispatcher.scheduler());
+        http_gateway->set_drain_start_action(on_drain_start);
+        http_gateway->set_drain_deadline_action(on_drain_deadline);
+        logging::event(logging::level::info, "daemon", "http_listening")
+            .field("port", http_gateway->port());
+        g_shutdown_fds[1] = http_gateway->shutdown_fd();
+        http_thread = std::thread([&http_gateway, &dispatcher] {
+          http_gateway->serve(dispatcher);
         });
       }
 
@@ -246,41 +327,36 @@ int main(int argc, char** argv) {
         if (listen > 65535) {
           throw invalid_argument_error("--listen port must be <= 65535");
         }
-        const std::size_t idle_timeout = get_size(cli, "idle-timeout");
-        if (idle_timeout > 86'400'000) {
-          throw invalid_argument_error(
-              "--idle-timeout must be at most 86400000 ms (24 hours)");
-        }
-        api::tcp_limits limits;
-        limits.idle_timeout_ms = static_cast<int>(idle_timeout);
-        limits.read_deadline_ms =
-            static_cast<int>(get_size(cli, "read-deadline"));
-        limits.max_request_bytes = get_size(cli, "max-request-bytes");
-        limits.max_connections = get_size(cli, "max-connections");
-        limits.drain_ms = static_cast<int>(get_size(cli, "drain-ms"));
         api::tcp_transport transport(static_cast<std::uint16_t>(listen), 64,
                                      limits);
-        // A drain window that expires with requests still running cancels
-        // the outstanding jobs cooperatively -- their synchronous waiters
-        // are released, the connection threads exit, and shutdown
-        // persistence (below) runs within the drain budget instead of
-        // blocking on an arbitrarily long evaluation.
-        transport.set_drain_deadline_action(
-            [&dispatcher] { dispatcher.scheduler().cancel_all(); });
+        transport.set_drain_start_action(on_drain_start);
+        transport.set_drain_deadline_action(on_drain_deadline);
         logging::event(logging::level::info, "daemon", "listening")
             .field("port", transport.port());
-        g_shutdown_fd = transport.shutdown_fd();
+        g_shutdown_fds[0] = transport.shutdown_fd();
         std::signal(SIGINT, on_signal);
         std::signal(SIGTERM, on_signal);
         exit_code = transport.serve(dispatcher);
-        g_shutdown_fd = -1;
+        g_shutdown_fds[0] = -1;
       } else {
+        if (http_port >= 0) {
+          // HTTP-only daemons still need clean SIGTERM semantics even
+          // though the stdio loop itself only ends at EOF.
+          std::signal(SIGINT, on_signal);
+          std::signal(SIGTERM, on_signal);
+        }
         api::stdio_transport transport(std::cin, std::cout);
         exit_code = transport.serve(dispatcher);
+      }
+      if (http_gateway) {
+        http_gateway->shutdown();
+        http_thread.join();
+        g_shutdown_fds[1] = -1;
       }
       if (metrics_transport) {
         metrics_transport->shutdown();
         metrics_thread.join();
+        g_shutdown_fds[2] = -1;
       }
       // The dispatcher (and its scheduler workers) drain here, before the
       // final persistence snapshot below.
